@@ -1,0 +1,273 @@
+package orchestra_test
+
+// One benchmark per experiment in DESIGN.md §2 (E1–E7). The same workloads
+// back cmd/orchestra-bench, which prints the EXPERIMENTS.md tables with
+// absolute times; these testing.B entry points give ns/op and allocation
+// profiles:
+//
+//	go test -bench=. -benchmem
+//
+// Benchmark sizes are kept laptop-scale; use cmd/orchestra-bench -full for
+// the larger sweeps.
+
+import (
+	"fmt"
+	"testing"
+
+	"orchestra/internal/datalog"
+	"orchestra/internal/experiments"
+	"orchestra/internal/p2p"
+	"orchestra/internal/recon"
+	"orchestra/internal/updates"
+	"orchestra/internal/workload"
+
+	"orchestra/internal/core"
+)
+
+// BenchmarkE1UpdateExchangeInsertions measures incremental translation of
+// published insertions through the 4-peer join/split chain (E1; the
+// VLDB'07 incremental-insertion experiment shape). One engine is shared
+// across iterations — per-insert cost is flat in instance size (see
+// EXPERIMENTS.md E1), so amortizing setup does not distort the figure.
+func BenchmarkE1UpdateExchangeInsertions(b *testing.B) {
+	eng, stream, err := experiments.BuildInsertWorkload(20, 5)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := experiments.ApplyStream(eng, stream); err != nil {
+		b.Fatal(err)
+	}
+	seq := uint64(10000)
+	key := int64(1 << 40) // fresh key space, disjoint from the seed data
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		txn := &updates.Transaction{ID: updates.TxnID{Peer: "p00", Seq: seq}}
+		for j := 0; j < 5; j++ {
+			txn.Updates = append(txn.Updates,
+				updates.Insert("S", workload.STuple(key, key, workload.Sequence(key, key))))
+			key++
+		}
+		seq++
+		if _, err := eng.Apply(txn); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE2IncrementalVsFull compares incremental delta propagation with
+// full recomputation on the Figure 2 CDSS (E2).
+func BenchmarkE2IncrementalVsFull(b *testing.B) {
+	const base = 400
+	b.Run("incremental-delta4", func(b *testing.B) {
+		eng, seq, err := experiments.BuildFig2Engine(base)
+		if err != nil {
+			b.Fatal(err)
+		}
+		key := int64(1 << 40)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			var delta []*updates.Transaction
+			for j := 0; j < 4; j++ {
+				delta = append(delta, &updates.Transaction{
+					ID: updates.TxnID{Peer: workload.Alaska, Seq: seq},
+					Updates: []updates.Update{
+						updates.Insert("S", workload.STuple(key, key, "ACGT"))},
+				})
+				seq++
+				key++
+			}
+			if _, err := experiments.ApplyStream(eng, delta); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("full-recompute", func(b *testing.B) {
+		eng, _, err := experiments.BuildFig2Engine(base)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := eng.Recompute(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkE3DeletionPropagation measures provenance-based deletion (E3):
+// each iteration inserts a fresh joinable tuple and measures retracting it
+// through the mappings.
+func BenchmarkE3DeletionPropagation(b *testing.B) {
+	eng, seq, err := experiments.BuildFig2Engine(100)
+	if err != nil {
+		b.Fatal(err)
+	}
+	key := int64(1 << 40)
+	for i := 0; i < b.N; i++ {
+		tu := workload.STuple(key, key, "ACGT")
+		ins := &updates.Transaction{ID: updates.TxnID{Peer: workload.Alaska, Seq: seq},
+			Updates: []updates.Update{updates.Insert("S", tu)}}
+		seq++
+		b.StopTimer()
+		if _, err := eng.Apply(ins); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		del := &updates.Transaction{ID: updates.TxnID{Peer: workload.Alaska, Seq: seq},
+			Updates: []updates.Update{updates.Delete("S", tu)}}
+		seq++
+		key++
+		if _, err := eng.Apply(del); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE4ProvenanceOverhead isolates annotation bookkeeping cost on an
+// acyclic 3-way join (E4): none vs. witness-set B[X] vs. exact N[X].
+func BenchmarkE4ProvenanceOverhead(b *testing.B) {
+	const n = 2000
+	prog, edb, err := experiments.BuildJoinEDB(n)
+	if err != nil {
+		b.Fatal(err)
+	}
+	modes := []struct {
+		name string
+		opts datalog.Options
+	}{
+		{"none", datalog.Options{}},
+		{"witness", datalog.Options{Provenance: true}},
+		{"exact", datalog.Options{Provenance: true, Exact: true}},
+	}
+	for _, m := range modes {
+		b.Run(m.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := datalog.Eval(prog, edb, m.opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkE5Reconciliation measures the greedy reconciliation algorithm
+// against transaction count and conflict rate (E5; SIGMOD'06 shape).
+func BenchmarkE5Reconciliation(b *testing.B) {
+	for _, n := range []int{100, 500} {
+		for _, rate := range []float64{0, 0.5} {
+			b.Run(fmt.Sprintf("txns=%d/conflict=%.0f%%", 2*n, rate*100), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					b.StopTimer()
+					st, mixed := experiments.BuildReconWorkload(n, rate)
+					b.StartTimer()
+					if _, err := st.Reconcile(recon.TrustAll(1), mixed); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkE6Topologies sweeps mapping topologies (E6).
+func BenchmarkE6Topologies(b *testing.B) {
+	kinds := []struct {
+		name  string
+		build func(int) *workload.Topology
+	}{
+		{"chain", workload.Chain},
+		{"star", workload.Star},
+		{"mesh", workload.Mesh},
+	}
+	for _, k := range kinds {
+		for _, n := range []int{2, 4} {
+			b.Run(fmt.Sprintf("%s-%dpeers", k.name, n), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					b.StopTimer()
+					topo := k.build(n)
+					sys, err := core.NewSystem(topo.Peers, topo.Mappings)
+					if err != nil {
+						b.Fatal(err)
+					}
+					store := p2p.NewMemoryStore()
+					origin, err := core.NewPeer(topo.Names[0], sys, store, recon.TrustAll(1))
+					if err != nil {
+						b.Fatal(err)
+					}
+					sink, err := core.NewPeer(topo.Names[len(topo.Names)-1], sys, store, recon.TrustAll(1))
+					if err != nil {
+						b.Fatal(err)
+					}
+					tx := origin.NewTransaction()
+					for j := int64(0); j < 20; j++ {
+						tx.Insert("S", workload.STuple(j, j, workload.Sequence(j, j)))
+					}
+					if _, err := tx.Commit(); err != nil {
+						b.Fatal(err)
+					}
+					if _, err := origin.Publish(); err != nil {
+						b.Fatal(err)
+					}
+					b.StartTimer()
+					if _, err := sink.Reconcile(); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkE7WitnessBound ablates the witness-set bound on a small identity
+// mesh (E7): bounded annotations vs. unbounded blowup.
+func BenchmarkE7WitnessBound(b *testing.B) {
+	for _, bound := range []int{1, 8, 0} {
+		name := fmt.Sprintf("max=%d", bound)
+		if bound == 0 {
+			name = "max=unbounded"
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := experiments.E7WitnessBound(3, 15, []int{bound}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkPublishReconcileRoundTrip measures the end-to-end peer lifecycle
+// on the Figure 2 CDSS: commit + publish at Alaska, reconcile at Dresden.
+func BenchmarkPublishReconcileRoundTrip(b *testing.B) {
+	sys, err := core.NewSystem(workload.Figure2Peers(), workload.Figure2Mappings())
+	if err != nil {
+		b.Fatal(err)
+	}
+	store := p2p.NewMemoryStore()
+	alaska, err := core.NewPeer(workload.Alaska, sys, store, recon.TrustAll(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	dresden, err := core.NewPeer(workload.Dresden, sys, store, recon.TrustAll(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := int64(i)
+		tx := alaska.NewTransaction().
+			Insert("O", workload.OTuple(workload.Organism(i), k)).
+			Insert("P", workload.PTuple(workload.Protein(i), k)).
+			Insert("S", workload.STuple(k, k, workload.Sequence(k, k)))
+		if _, err := tx.Commit(); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := alaska.Publish(); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := dresden.Reconcile(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,87 @@
+// Command orchestra-bench regenerates the experiment tables E1–E7 indexed
+// in DESIGN.md §2 and recorded in EXPERIMENTS.md. Sizes are laptop-scale by
+// default; -quick shrinks them further, -full grows them.
+//
+// Usage:
+//
+//	orchestra-bench             # default sizes
+//	orchestra-bench -quick      # CI-friendly
+//	orchestra-bench -full       # the sizes recorded in EXPERIMENTS.md
+//	orchestra-bench -only E2,E5 # subset
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"orchestra/internal/experiments"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "smaller sizes (CI)")
+	full := flag.Bool("full", false, "the sizes recorded in EXPERIMENTS.md")
+	only := flag.String("only", "", "comma-separated experiment ids (e.g. E1,E5)")
+	flag.Parse()
+
+	e1 := []int{20, 100, 400}
+	e2base, e2fracs := 2000, []float64{0.001, 0.01, 0.1, 1.0}
+	e3base, e3fracs := 2000, []float64{0.001, 0.01, 0.1}
+	e4 := 20000
+	e5sizes, e5rates := []int{100, 1000}, []float64{0, 0.1, 0.5}
+	e6sizes, e6txns := []int{2, 4, 8}, 100
+	e7peers, e7txns, e7bounds := 4, 60, []int{1, 4, 8, 0}
+	if *quick {
+		e1 = []int{10, 50}
+		e2base, e2fracs = 400, []float64{0.01, 0.1, 1.0}
+		e3base, e3fracs = 400, []float64{0.01, 0.1}
+		e4 = 2000
+		e5sizes, e5rates = []int{100}, []float64{0, 0.5}
+		e6sizes, e6txns = []int{2, 4}, 30
+		e7peers, e7txns, e7bounds = 3, 20, []int{1, 8, 0}
+	}
+	if *full {
+		e1 = []int{20, 100, 400, 2000}
+		e2base, e2fracs = 10000, []float64{0.001, 0.01, 0.1, 1.0}
+		e3base, e3fracs = 10000, []float64{0.001, 0.01, 0.1}
+		e4 = 50000
+		e5sizes, e5rates = []int{100, 1000, 5000}, []float64{0, 0.1, 0.5}
+		e6sizes, e6txns = []int{2, 4, 8, 16}, 200
+		e7peers, e7txns, e7bounds = 4, 100, []int{1, 4, 8, 16, 0}
+	}
+
+	wanted := map[string]bool{}
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			wanted[strings.TrimSpace(strings.ToUpper(id))] = true
+		}
+	}
+	want := func(id string) bool { return len(wanted) == 0 || wanted[id] }
+
+	type runner struct {
+		id  string
+		run func() (*experiments.Table, error)
+	}
+	runners := []runner{
+		{"E1", func() (*experiments.Table, error) { return experiments.E1InsertionScaling(e1) }},
+		{"E2", func() (*experiments.Table, error) { return experiments.E2IncrementalVsFull(e2base, e2fracs) }},
+		{"E3", func() (*experiments.Table, error) { return experiments.E3DeletionPropagation(e3base, e3fracs) }},
+		{"E4", func() (*experiments.Table, error) { return experiments.E4ProvenanceOverhead(e4) }},
+		{"E5", func() (*experiments.Table, error) { return experiments.E5Reconciliation(e5sizes, e5rates) }},
+		{"E6", func() (*experiments.Table, error) { return experiments.E6Topologies(e6sizes, e6txns) }},
+		{"E7", func() (*experiments.Table, error) { return experiments.E7WitnessBound(e7peers, e7txns, e7bounds) }},
+	}
+	for _, r := range runners {
+		if !want(r.id) {
+			continue
+		}
+		tbl, err := r.run()
+		if err != nil {
+			log.Fatalf("%s: %v", r.id, err)
+		}
+		tbl.Fprint(os.Stdout)
+		fmt.Println()
+	}
+}

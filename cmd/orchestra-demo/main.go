@@ -1,0 +1,39 @@
+// Command orchestra-demo runs the SIGMOD 2007 demonstration scenarios
+// (Section 4 of the paper) over the Figure 2 bioinformatics CDSS, printing
+// each peer's state transitions. This is the textual counterpart of the
+// paper's Java GUI demonstration (see DESIGN.md, substitutions).
+//
+// Usage:
+//
+//	orchestra-demo             # run all five scenarios
+//	orchestra-demo -scenario 3 # run one scenario
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"orchestra/internal/demo"
+)
+
+func main() {
+	scenario := flag.Int("scenario", 0, "scenario to run (1..5); 0 runs all")
+	flag.Parse()
+
+	run := func(n int) {
+		fmt.Printf("=== Demonstration scenario %d ===\n", n)
+		if err := demo.Run(os.Stdout, n); err != nil {
+			log.Fatalf("scenario %d: %v", n, err)
+		}
+		fmt.Println()
+	}
+	if *scenario != 0 {
+		run(*scenario)
+		return
+	}
+	for n := 1; n <= demo.Scenarios(); n++ {
+		run(n)
+	}
+}

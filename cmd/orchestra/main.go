@@ -1,0 +1,133 @@
+// Command orchestra runs CDSS nodes and update-store replicas.
+//
+// Usage:
+//
+//	orchestra serve -addr 127.0.0.1:7070 [-log store.log]   # run a store replica
+//	orchestra node  -config cdss.conf -peer NAME \
+//	                [-store HOST:PORT,HOST:PORT]            # interactive peer
+//	orchestra epoch -addr 127.0.0.1:7070                    # print the current epoch
+//	orchestra log   -addr 127.0.0.1:7070 [-since N]         # dump archived transactions
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"strings"
+
+	"orchestra/internal/config"
+	"orchestra/internal/core"
+	"orchestra/internal/p2p"
+	"orchestra/internal/repl"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "node":
+		fs := flag.NewFlagSet("node", flag.ExitOnError)
+		confPath := fs.String("config", "", "CDSS configuration file")
+		peerName := fs.String("peer", "", "peer to run as")
+		storeAddrs := fs.String("store", "", "comma-separated store replica addresses; empty = in-process store")
+		_ = fs.Parse(os.Args[2:])
+		if *confPath == "" || *peerName == "" {
+			log.Fatal("usage: orchestra node -config FILE -peer NAME [-store ADDRS]")
+		}
+		f, err := os.Open(*confPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg, err := config.Parse(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		sys, err := cfg.System()
+		if err != nil {
+			log.Fatal(err)
+		}
+		var store p2p.Store = p2p.NewMemoryStore()
+		if *storeAddrs != "" {
+			var replicas []p2p.Store
+			for _, a := range strings.Split(*storeAddrs, ",") {
+				replicas = append(replicas, p2p.NewClient(strings.TrimSpace(a)))
+			}
+			store = p2p.NewReplicatedStore(replicas...)
+		}
+		peer, err := core.NewPeer(*peerName, sys, store, cfg.Policy(*peerName))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("orchestra node %q ready (type help)\n", *peerName)
+		if err := repl.New(peer, os.Stdout).Run(os.Stdin); err != nil {
+			log.Fatal(err)
+		}
+	case "serve":
+		fs := flag.NewFlagSet("serve", flag.ExitOnError)
+		addr := fs.String("addr", "127.0.0.1:7070", "listen address")
+		logPath := fs.String("log", "", "durable append-only log file (empty = in-memory)")
+		_ = fs.Parse(os.Args[2:])
+		var store p2p.Store = p2p.NewMemoryStore()
+		if *logPath != "" {
+			fstore, err := p2p.OpenFileStore(*logPath)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer fstore.Close()
+			store = fstore
+		}
+		srv, err := p2p.NewServer(store, *addr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("orchestra update-store replica listening on %s\n", srv.Addr())
+		ch := make(chan os.Signal, 1)
+		signal.Notify(ch, os.Interrupt)
+		<-ch
+		fmt.Println("shutting down")
+		_ = srv.Close()
+	case "epoch":
+		fs := flag.NewFlagSet("epoch", flag.ExitOnError)
+		addr := fs.String("addr", "127.0.0.1:7070", "store address")
+		_ = fs.Parse(os.Args[2:])
+		epoch, err := p2p.NewClient(*addr).Epoch()
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(epoch)
+	case "log":
+		fs := flag.NewFlagSet("log", flag.ExitOnError)
+		addr := fs.String("addr", "127.0.0.1:7070", "store address")
+		since := fs.Uint64("since", 0, "only transactions after this epoch")
+		_ = fs.Parse(os.Args[2:])
+		txns, epoch, err := p2p.NewClient(*addr).Since(*since)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "epoch %d, %d transaction(s)\n", epoch, len(txns))
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		for _, t := range txns {
+			if err := enc.Encode(p2p.EncodeTxn(t)); err != nil {
+				log.Fatal(err)
+			}
+		}
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage:
+  orchestra node  -config FILE -peer NAME [-store ADDRS]  interactive CDSS peer
+  orchestra serve -addr HOST:PORT [-log FILE]             run a store replica
+  orchestra epoch -addr HOST:PORT                         print the current epoch
+  orchestra log   -addr HOST:PORT [-since N]              dump archived transactions
+`)
+	os.Exit(2)
+}

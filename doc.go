@@ -1,0 +1,12 @@
+// Package orchestra is a from-scratch Go reproduction of the ORCHESTRA
+// collaborative data sharing system (Green, Karvounarakis, Taylor, Biton,
+// Ives, Tannen — SIGMOD 2007) and the machinery of its companion papers:
+// update exchange with mappings and provenance (VLDB 2007), provenance
+// semirings (PODS 2007), and reconciliation with disagreement (SIGMOD
+// 2006).
+//
+// The public entry point is internal/core (the Peer lifecycle); see README
+// for a tour, DESIGN.md for the system inventory and experiment index, and
+// EXPERIMENTS.md for paper-vs-measured results. The benchmarks in
+// bench_test.go regenerate the experiment tables E1–E7.
+package orchestra

@@ -1,0 +1,131 @@
+// Command epidemic models a disease-surveillance confederation: regional
+// labs report case counts to a central registry (star topology), and the
+// registry applies provenance-based trust — reports are accepted only if
+// their provenance passes through an accredited lab's mapping, and a
+// relation-level condition quarantines draft data. This exercises the
+// CDSS's "selective disagreement": the registry and a skeptical mirror can
+// disagree about the same published stream.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"orchestra/internal/core"
+	"orchestra/internal/mapping"
+	"orchestra/internal/p2p"
+	"orchestra/internal/recon"
+	"orchestra/internal/schema"
+)
+
+func caseTuple(region string, week int64, count int64) schema.Tuple {
+	return schema.NewTuple(schema.String(region), schema.Int(week), schema.Int(count))
+}
+
+func main() {
+	// Cases(region, week, count), keyed by (region, week).
+	s := schema.NewSchema("surveillance")
+	s.MustAddRelation(schema.MustRelation("Cases",
+		[]schema.Attribute{
+			{Name: "region", Type: schema.KindString},
+			{Name: "week", Type: schema.KindInt},
+			{Name: "count", Type: schema.KindInt},
+		}, "region", "week"))
+
+	labs := []string{"lab-north", "lab-south", "lab-unaccredited"}
+	peers := map[string]*schema.Schema{"registry": s, "mirror": s}
+	for _, lab := range labs {
+		peers[lab] = s
+	}
+	var mappings []*mapping.Mapping
+	for _, lab := range labs {
+		mappings = append(mappings, mapping.Identity("M_"+lab, lab, "registry", s)...)
+	}
+	mappings = append(mappings, mapping.Identity("M_reg_mirror", "registry", "mirror", s)...)
+
+	sys, err := core.NewSystem(peers, mappings)
+	if err != nil {
+		log.Fatal(err)
+	}
+	store := p2p.NewMemoryStore()
+
+	// The registry trusts accredited labs at priority 2 and everything
+	// else not at all.
+	registryPolicy := &recon.Policy{Conditions: []recon.Condition{
+		recon.FromPeer("lab-north", 2),
+		recon.FromPeer("lab-south", 2),
+	}, Default: recon.Distrusted}
+	// The mirror is stricter: it only takes reports whose provenance
+	// passes through lab-north's mapping (a provenance-based condition).
+	mirrorPolicy := &recon.Policy{Conditions: []recon.Condition{
+		recon.ThroughMapping("M_lab-north_Cases", 1),
+	}, Default: recon.Distrusted}
+
+	mk := func(name string, pol *recon.Policy) *core.Peer {
+		p, err := core.NewPeer(name, sys, store, pol)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return p
+	}
+	registry := mk("registry", registryPolicy)
+	mirror := mk("mirror", mirrorPolicy)
+	labPeers := map[string]*core.Peer{}
+	for _, lab := range labs {
+		labPeers[lab] = mk(lab, recon.TrustAll(1))
+	}
+
+	// Each lab reports a week of data; the unaccredited lab reports too.
+	reports := map[string]schema.Tuple{
+		"lab-north":        caseTuple("north", 23, 17),
+		"lab-south":        caseTuple("south", 23, 9),
+		"lab-unaccredited": caseTuple("west", 23, 999),
+	}
+	for lab, tup := range reports {
+		if _, err := labPeers[lab].NewTransaction().Insert("Cases", tup).Commit(); err != nil {
+			log.Fatal(err)
+		}
+		if _, err := labPeers[lab].Publish(); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	r, err := registry.Reconcile()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("registry: accepted=%v pending=%v\n", r.Accepted, r.Pending)
+	printCases("registry", registry)
+
+	// The registry republishes its curated view; the mirror takes only the
+	// lab-north-derived rows.
+	if _, err := registry.Publish(); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := mirror.Reconcile(); err != nil {
+		log.Fatal(err)
+	}
+	printCases("mirror (trusts only lab-north provenance)", mirror)
+
+	// Week 24: lab-south corrects week 23 with a modification; the
+	// registry follows the dependency.
+	if _, err := labPeers["lab-south"].NewTransaction().
+		Modify("Cases", caseTuple("south", 23, 9), caseTuple("south", 23, 12)).Commit(); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := labPeers["lab-south"].Publish(); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := registry.Reconcile(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("after lab-south's correction:")
+	printCases("registry", registry)
+}
+
+func printCases(label string, p *core.Peer) {
+	fmt.Printf("%s:\n", label)
+	for _, row := range p.Instance().Table("Cases").Rows() {
+		fmt.Printf("  Cases%s\n", row.Tuple)
+	}
+}

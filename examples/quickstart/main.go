@@ -1,0 +1,83 @@
+// Command quickstart is the smallest possible ORCHESTRA CDSS: two peers
+// sharing one schema, linked by identity mappings. Alice inserts a tuple
+// and publishes; Bob reconciles and receives it; Bob modifies it and Alice
+// picks up the change.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"orchestra/internal/core"
+	"orchestra/internal/mapping"
+	"orchestra/internal/p2p"
+	"orchestra/internal/recon"
+	"orchestra/internal/schema"
+)
+
+func main() {
+	// One relation: Gene(name, chromosome), keyed by name.
+	s := schema.NewSchema("genes")
+	s.MustAddRelation(schema.MustRelation("Gene",
+		[]schema.Attribute{
+			{Name: "name", Type: schema.KindString},
+			{Name: "chromosome", Type: schema.KindInt},
+		}, "name"))
+
+	peers := map[string]*schema.Schema{"alice": s, "bob": s}
+	var mappings []*mapping.Mapping
+	mappings = append(mappings, mapping.Identity("M_ab", "alice", "bob", s)...)
+	mappings = append(mappings, mapping.Identity("M_ba", "bob", "alice", s)...)
+
+	sys, err := core.NewSystem(peers, mappings)
+	if err != nil {
+		log.Fatal(err)
+	}
+	store := p2p.NewMemoryStore()
+	alice, err := core.NewPeer("alice", sys, store, recon.TrustAll(1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	bob, err := core.NewPeer("bob", sys, store, recon.TrustAll(1))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Alice edits locally, then publishes.
+	brca1 := schema.NewTuple(schema.String("BRCA1"), schema.Int(17))
+	if _, err := alice.NewTransaction().Insert("Gene", brca1).Commit(); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := alice.Publish(); err != nil {
+		log.Fatal(err)
+	}
+
+	// Bob reconciles and receives Alice's tuple.
+	report, err := bob.Reconcile()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("bob reconciled to epoch %d: accepted %d txn(s)\n", report.Epoch, len(report.Accepted))
+	fmt.Printf("bob's Gene table: %v\n", rows(bob))
+
+	// Bob corrects the chromosome and publishes; Alice picks it up.
+	fixed := schema.NewTuple(schema.String("BRCA1"), schema.Int(13))
+	if _, err := bob.NewTransaction().Modify("Gene", brca1, fixed).Commit(); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := bob.Publish(); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := alice.Reconcile(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("alice's Gene table after Bob's fix: %v\n", rows(alice))
+}
+
+func rows(p *core.Peer) []string {
+	var out []string
+	for _, r := range p.Instance().Table("Gene").Rows() {
+		out = append(out, r.Tuple.String())
+	}
+	return out
+}

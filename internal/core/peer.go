@@ -1,0 +1,332 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"orchestra/internal/exchange"
+	"orchestra/internal/p2p"
+	"orchestra/internal/provenance"
+	"orchestra/internal/recon"
+	"orchestra/internal/schema"
+	"orchestra/internal/storage"
+	"orchestra/internal/updates"
+)
+
+// Peer is one CDSS participant: a local editable instance, a public
+// snapshot, a trust policy, and the machinery to publish and reconcile.
+// A Peer is safe for use from one goroutine; the shared Store handles
+// cross-peer concurrency.
+type Peer struct {
+	mu        sync.Mutex
+	name      string
+	sys       *System
+	store     p2p.Store
+	policy    *recon.Policy
+	local     *storage.Instance
+	published *storage.Instance
+	engine    *exchange.Engine
+	state     *recon.State
+	tracker   *updates.Tracker
+	nextSeq   uint64
+	lastEpoch uint64
+	// unpublished holds committed local transactions awaiting Publish.
+	unpublished []*updates.Transaction
+}
+
+// NewPeer creates a participant named name with the given trust policy,
+// attached to the shared update store.
+func NewPeer(name string, sys *System, store p2p.Store, policy *recon.Policy) (*Peer, error) {
+	s := sys.Schema(name)
+	if s == nil {
+		return nil, fmt.Errorf("core: system has no peer %q", name)
+	}
+	eng, err := exchange.NewEngine(sys.Peers(), sys.Mappings())
+	if err != nil {
+		return nil, err
+	}
+	keyOf := func(rel string, tu schema.Tuple) schema.Tuple {
+		r := s.Relation(rel)
+		if r == nil {
+			return tu
+		}
+		return r.KeyOf(tu)
+	}
+	return &Peer{
+		name:      name,
+		sys:       sys,
+		store:     store,
+		policy:    policy,
+		local:     storage.NewInstance(s),
+		published: storage.NewInstance(s),
+		engine:    eng,
+		state:     recon.NewState(keyOf),
+		tracker:   updates.NewTracker(keyOf),
+		nextSeq:   1,
+	}, nil
+}
+
+// Name returns the peer's name.
+func (p *Peer) Name() string { return p.name }
+
+// Instance returns the local editable instance.
+func (p *Peer) Instance() *storage.Instance { return p.local }
+
+// PublishedSnapshot returns the public snapshot made at the last Publish.
+func (p *Peer) PublishedSnapshot() *storage.Instance { return p.published }
+
+// Epoch returns the last epoch this peer has reconciled up to.
+func (p *Peer) Epoch() uint64 { return p.lastEpoch }
+
+// Status returns the peer's disposition of a transaction.
+func (p *Peer) Status(id updates.TxnID) recon.Status { return p.state.Status(id) }
+
+// Txn is an in-progress local transaction. Updates accumulate and apply
+// atomically at Commit.
+type Txn struct {
+	peer *Peer
+	ups  []updates.Update
+	done bool
+}
+
+// NewTransaction starts a local transaction.
+func (p *Peer) NewTransaction() *Txn { return &Txn{peer: p} }
+
+// Insert schedules an insertion.
+func (t *Txn) Insert(rel string, tu schema.Tuple) *Txn {
+	t.ups = append(t.ups, updates.Insert(rel, tu))
+	return t
+}
+
+// Delete schedules a deletion.
+func (t *Txn) Delete(rel string, tu schema.Tuple) *Txn {
+	t.ups = append(t.ups, updates.Delete(rel, tu))
+	return t
+}
+
+// Modify schedules a modification.
+func (t *Txn) Modify(rel string, old, new schema.Tuple) *Txn {
+	t.ups = append(t.ups, updates.Modify(rel, old, new))
+	return t
+}
+
+// Commit validates the updates, applies them atomically to the local
+// instance, and queues the transaction for the next Publish. On error
+// nothing is applied.
+func (t *Txn) Commit() (*updates.Transaction, error) {
+	if t.done {
+		return nil, fmt.Errorf("core: transaction already finished")
+	}
+	t.done = true
+	p := t.peer
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	s := p.sys.Schema(p.name)
+	// Validate against the schema and the current local state.
+	for _, u := range t.ups {
+		rel := s.Relation(u.Rel)
+		if rel == nil {
+			return nil, fmt.Errorf("core: peer %s has no relation %s", p.name, u.Rel)
+		}
+		for _, tu := range []schema.Tuple{u.Old, u.New} {
+			if tu == nil {
+				continue
+			}
+			if err := rel.Validate(tu); err != nil {
+				return nil, err
+			}
+		}
+	}
+	txn := &updates.Transaction{
+		ID:      updates.TxnID{Peer: p.name, Seq: p.nextSeq},
+		Updates: append([]updates.Update(nil), t.ups...),
+	}
+	// Dependencies: the last writers of every key this txn touches.
+	p.tracker.Record(txn)
+	// Apply to the local instance.
+	if err := p.applyUpdates(txn.Updates); err != nil {
+		return nil, err
+	}
+	// The peer trusts its own edits unconditionally.
+	if err := p.state.AcceptLocal(txn); err != nil {
+		return nil, err
+	}
+	p.nextSeq++
+	p.unpublished = append(p.unpublished, txn)
+	return txn, nil
+}
+
+// Abort discards the transaction.
+func (t *Txn) Abort() { t.done = true }
+
+// applyUpdates applies translated or local updates to the local instance.
+func (p *Peer) applyUpdates(ups []updates.Update) error {
+	for _, u := range ups {
+		prov := u.Prov
+		if prov.IsZero() {
+			prov = provenance.One()
+		}
+		switch u.Op {
+		case updates.OpInsert:
+			if _, err := p.local.Upsert(u.Rel, u.New, prov); err != nil {
+				return err
+			}
+		case updates.OpDelete:
+			if _, err := p.local.Delete(u.Rel, u.Old); err != nil {
+				return err
+			}
+		case updates.OpModify:
+			if u.Old != nil {
+				if _, err := p.local.Delete(u.Rel, u.Old); err != nil {
+					return err
+				}
+			}
+			if _, err := p.local.Upsert(u.Rel, u.New, prov); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Publish archives all committed-but-unpublished transactions in the store,
+// advances the logical clock, and refreshes the public snapshot.
+func (p *Peer) Publish() (uint64, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(p.unpublished) == 0 {
+		return p.store.Epoch()
+	}
+	epoch, err := p.store.Publish(p.unpublished)
+	if err != nil {
+		return 0, err
+	}
+	p.unpublished = nil
+	p.published = p.local.Clone()
+	return epoch, nil
+}
+
+// ReconcileReport summarizes one reconciliation.
+type ReconcileReport struct {
+	// Epoch is the store epoch reconciled up to.
+	Epoch uint64
+	// Fetched counts transactions retrieved from the store this round.
+	Fetched int
+	// Accepted, Rejected, Deferred, Pending list candidate ids by outcome,
+	// in deterministic order.
+	Accepted []updates.TxnID
+	Rejected []updates.TxnID
+	Deferred []updates.TxnID
+	Pending  []updates.TxnID
+	// AppliedUpdates counts tuple-level updates applied to the local
+	// instance.
+	AppliedUpdates int
+}
+
+// Reconcile fetches newly published transactions from the store, translates
+// them into the local schema via the mappings (maintaining provenance),
+// runs the trust/conflict reconciliation, and applies the accepted
+// transactions to the local instance.
+func (p *Peer) Reconcile() (*ReconcileReport, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	txns, epoch, err := p.store.Since(p.lastEpoch)
+	if err != nil {
+		return nil, err
+	}
+	report := &ReconcileReport{Epoch: epoch, Fetched: len(txns)}
+	var candidates []*updates.Transaction
+	for _, txn := range txns {
+		if p.engine.Applied(txn.ID) {
+			continue
+		}
+		res, err := p.engine.Apply(txn)
+		if err != nil {
+			return nil, err
+		}
+		if txn.ID.Peer == p.name {
+			// Our own published transaction coming back: already applied
+			// locally at commit time.
+			continue
+		}
+		cand := &updates.Transaction{
+			ID:      txn.ID,
+			Epoch:   txn.Epoch,
+			Updates: res.PerPeer[p.name],
+			Deps:    mergeDeps(txn.Deps, res.ExtraDeps[p.name]),
+		}
+		candidates = append(candidates, cand)
+	}
+	outcome, err := p.state.Reconcile(p.policy, candidates)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.applyOutcome(outcome, report); err != nil {
+		return nil, err
+	}
+	p.lastEpoch = epoch
+	report.sort()
+	return report, nil
+}
+
+// Resolve settles a deferred conflict in favor of winner (site-administrator
+// action, demo scenario 4) and applies the consequences.
+func (p *Peer) Resolve(winner updates.TxnID) (*ReconcileReport, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	outcome, err := p.state.Resolve(winner)
+	if err != nil {
+		return nil, err
+	}
+	report := &ReconcileReport{Epoch: p.lastEpoch}
+	if err := p.applyOutcome(outcome, report); err != nil {
+		return nil, err
+	}
+	report.sort()
+	return report, nil
+}
+
+func (p *Peer) applyOutcome(outcome *recon.Outcome, report *ReconcileReport) error {
+	for _, txn := range outcome.Accepted {
+		if err := p.applyUpdates(txn.Updates); err != nil {
+			return err
+		}
+		p.tracker.RecordWrites(txn)
+		report.Accepted = append(report.Accepted, txn.ID)
+		report.AppliedUpdates += len(txn.Updates)
+	}
+	report.Rejected = append(report.Rejected, outcome.Rejected...)
+	report.Deferred = append(report.Deferred, outcome.Deferred...)
+	report.Pending = append(report.Pending, outcome.Pending...)
+	return nil
+}
+
+func (r *ReconcileReport) sort() {
+	less := func(ids []updates.TxnID) func(i, j int) bool {
+		return func(i, j int) bool { return ids[i].Less(ids[j]) }
+	}
+	// Accepted preserves application order; the others sort by id.
+	sort.Slice(r.Rejected, less(r.Rejected))
+	sort.Slice(r.Deferred, less(r.Deferred))
+	sort.Slice(r.Pending, less(r.Pending))
+}
+
+func mergeDeps(a, b []updates.TxnID) []updates.TxnID {
+	seen := map[updates.TxnID]bool{}
+	var out []updates.TxnID
+	for _, id := range a {
+		if !seen[id] {
+			seen[id] = true
+			out = append(out, id)
+		}
+	}
+	for _, id := range b {
+		if !seen[id] {
+			seen[id] = true
+			out = append(out, id)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}

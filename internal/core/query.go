@@ -1,0 +1,123 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"orchestra/internal/datalog"
+	"orchestra/internal/provenance"
+	"orchestra/internal/schema"
+	"orchestra/internal/updates"
+)
+
+// Query is a conjunctive query (with optional builtins and negation)
+// against a peer's local instance. Body atoms use the peer's local
+// relation names; Select lists the output variables.
+//
+//	q := core.Query{
+//	    Select: []string{"org", "seq"},
+//	    Body: []datalog.Literal{
+//	        datalog.Pos(datalog.NewAtom("O", datalog.V("org"), datalog.V("oid"))),
+//	        datalog.Pos(datalog.NewAtom("S", datalog.V("oid"), datalog.V("pid"), datalog.V("seq"))),
+//	    },
+//	}
+type Query struct {
+	Select []string
+	Body   []datalog.Literal
+}
+
+// Answer is one query result: the selected values plus the provenance
+// polynomial combining the provenance of every tuple joined to produce it.
+type Answer struct {
+	Tuple schema.Tuple
+	Prov  provenance.Poly
+}
+
+// Query evaluates a conjunctive query over the peer's current local
+// instance. Answers carry provenance, so trust conditions and Explain work
+// on query results exactly as on stored tuples.
+func (p *Peer) Query(q Query) ([]Answer, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(q.Select) == 0 {
+		return nil, fmt.Errorf("core: query selects no variables")
+	}
+	s := p.sys.Schema(p.name)
+	// Load the local instance as the EDB.
+	edb := datalog.NewDB()
+	for _, rel := range s.Relations() {
+		for _, row := range p.local.Table(rel.Name).Rows() {
+			edb.Add(rel.Name, row.Tuple, row.Prov)
+		}
+	}
+	head := make([]datalog.HeadTerm, len(q.Select))
+	for i, v := range q.Select {
+		head[i] = datalog.HV(v)
+	}
+	prog := &datalog.Program{Rules: []datalog.Rule{{
+		ID:   "query",
+		Head: datalog.Head{Pred: "_ans", Terms: head},
+		Body: q.Body,
+	}}}
+	res, err := datalog.Eval(prog, edb, datalog.Options{Provenance: true})
+	if err != nil {
+		return nil, err
+	}
+	var out []Answer
+	for _, f := range res.Rel("_ans").Facts() {
+		out = append(out, Answer{Tuple: f.Tuple, Prov: f.Prov})
+	}
+	return out, nil
+}
+
+// Support is one alternative derivation of a tuple: the publishing
+// transactions whose data it joins and the mappings it passed through.
+type Support struct {
+	Txns     []updates.TxnID
+	Mappings []string
+}
+
+// Explain returns the provenance of a tuple in the peer's local instance:
+// the polynomial itself plus a per-derivation breakdown into supporting
+// transactions and mappings. ok is false if the tuple is not present.
+// Locally inserted tuples report the local transaction only.
+func (p *Peer) Explain(rel string, tu schema.Tuple) (prov provenance.Poly, supports []Support, ok bool) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	tbl := p.local.Table(rel)
+	if tbl == nil {
+		return provenance.Poly{}, nil, false
+	}
+	row, found := tbl.Get(tu)
+	if !found {
+		return provenance.Poly{}, nil, false
+	}
+	return row.Prov, DecodeSupports(row.Prov), true
+}
+
+// DecodeSupports splits a provenance polynomial into per-monomial Support
+// records: update tokens become transaction ids, all other variables are
+// mapping tokens.
+func DecodeSupports(p provenance.Poly) []Support {
+	var out []Support
+	for _, m := range p.Monomials() {
+		var sup Support
+		seenTxn := map[updates.TxnID]bool{}
+		seenMap := map[string]bool{}
+		for _, vp := range m.Vars {
+			if id, isTok := updates.TokenTxn(vp.Var); isTok {
+				if !seenTxn[id] {
+					seenTxn[id] = true
+					sup.Txns = append(sup.Txns, id)
+				}
+			} else if !seenMap[string(vp.Var)] {
+				seenMap[string(vp.Var)] = true
+				sup.Mappings = append(sup.Mappings, string(vp.Var))
+			}
+		}
+		sort.Slice(sup.Txns, func(i, j int) bool { return sup.Txns[i].Less(sup.Txns[j]) })
+		sort.Strings(sup.Mappings)
+		out = append(out, sup)
+	}
+	return out
+}

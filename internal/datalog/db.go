@@ -1,0 +1,215 @@
+package datalog
+
+import (
+	"sort"
+
+	"orchestra/internal/provenance"
+	"orchestra/internal/schema"
+)
+
+// Fact is a tuple with its provenance annotation.
+type Fact struct {
+	Tuple schema.Tuple
+	Prov  provenance.Poly
+}
+
+// Rel is the annotated extent of one predicate.
+type Rel struct {
+	facts   map[string]Fact
+	indexes map[string]map[string][]string // colset -> valueKey -> tuple keys
+}
+
+// NewRel creates an empty extent.
+func NewRel() *Rel {
+	return &Rel{facts: map[string]Fact{}, indexes: map[string]map[string][]string{}}
+}
+
+// Len returns the number of facts.
+func (r *Rel) Len() int { return len(r.facts) }
+
+// Get returns the fact for the tuple, if present.
+func (r *Rel) Get(t schema.Tuple) (Fact, bool) {
+	f, ok := r.facts[t.Key()]
+	return f, ok
+}
+
+// Contains reports tuple membership.
+func (r *Rel) Contains(t schema.Tuple) bool {
+	_, ok := r.facts[t.Key()]
+	return ok
+}
+
+// put inserts or merges a fact; it reports whether the extent changed and
+// invalidates indexes on genuine insertion.
+func (r *Rel) put(t schema.Tuple, p provenance.Poly) bool {
+	k := t.Key()
+	if f, ok := r.facts[k]; ok {
+		if f.Prov.Subsumes(p) {
+			return false
+		}
+		f.Prov = f.Prov.Add(p)
+		r.facts[k] = f
+		return true
+	}
+	r.facts[k] = Fact{Tuple: t, Prov: p}
+	// New tuple: incrementally update existing indexes.
+	for colKey, idx := range r.indexes {
+		cols := decodeCols(colKey)
+		vk := t.Project(cols).Key()
+		idx[vk] = append(idx[vk], k)
+	}
+	return true
+}
+
+// set replaces the annotation of an existing fact (internal; indexes track
+// tuples, not annotations, so none are touched).
+func (r *Rel) set(t schema.Tuple, p provenance.Poly) {
+	k := t.Key()
+	if f, ok := r.facts[k]; ok {
+		f.Prov = p
+		r.facts[k] = f
+	}
+}
+
+// Facts returns all facts in deterministic (tuple) order.
+func (r *Rel) Facts() []Fact {
+	out := make([]Fact, 0, len(r.facts))
+	for _, f := range r.facts {
+		out = append(out, f)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Tuple.Compare(out[j].Tuple) < 0 })
+	return out
+}
+
+func encodeCols(cols []int) string {
+	b := make([]byte, 0, len(cols)*2)
+	for _, c := range cols {
+		// Arities are tiny; one byte per column is plenty.
+		b = append(b, byte(c), ';')
+	}
+	return string(b)
+}
+
+func decodeCols(key string) []int {
+	cols := make([]int, 0, len(key)/2)
+	for i := 0; i+1 < len(key); i += 2 {
+		cols = append(cols, int(key[i]))
+	}
+	return cols
+}
+
+// lookupCount returns the number of facts whose projection on cols equals
+// vals without materializing them — the cardinality estimate the join
+// orderer uses.
+func (r *Rel) lookupCount(cols []int, vals schema.Tuple) int {
+	if len(cols) == 0 {
+		return len(r.facts)
+	}
+	colKey := encodeCols(cols)
+	idx, ok := r.indexes[colKey]
+	if !ok {
+		idx = map[string][]string{}
+		for k, f := range r.facts {
+			vk := f.Tuple.Project(cols).Key()
+			idx[vk] = append(idx[vk], k)
+		}
+		r.indexes[colKey] = idx
+	}
+	return len(idx[vals.Key()])
+}
+
+// lookup returns the facts whose projection on cols equals vals, building a
+// hash index on first use. With no bound columns it returns all facts.
+func (r *Rel) lookup(cols []int, vals schema.Tuple) []Fact {
+	if len(cols) == 0 {
+		out := make([]Fact, 0, len(r.facts))
+		for _, f := range r.facts {
+			out = append(out, f)
+		}
+		return out
+	}
+	colKey := encodeCols(cols)
+	idx, ok := r.indexes[colKey]
+	if !ok {
+		idx = map[string][]string{}
+		for k, f := range r.facts {
+			vk := f.Tuple.Project(cols).Key()
+			idx[vk] = append(idx[vk], k)
+		}
+		r.indexes[colKey] = idx
+	}
+	keys := idx[vals.Key()]
+	out := make([]Fact, 0, len(keys))
+	for _, k := range keys {
+		if f, ok := r.facts[k]; ok {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// DB maps predicate names to extents.
+type DB struct {
+	rels map[string]*Rel
+}
+
+// NewDB creates an empty database.
+func NewDB() *DB { return &DB{rels: map[string]*Rel{}} }
+
+// Rel returns the extent for pred, creating it if needed.
+func (db *DB) Rel(pred string) *Rel {
+	r, ok := db.rels[pred]
+	if !ok {
+		r = NewRel()
+		db.rels[pred] = r
+	}
+	return r
+}
+
+// Has reports whether the predicate has a (possibly empty) extent.
+func (db *DB) Has(pred string) bool {
+	_, ok := db.rels[pred]
+	return ok
+}
+
+// Preds returns the sorted predicate names present.
+func (db *DB) Preds() []string {
+	out := make([]string, 0, len(db.rels))
+	for p := range db.rels {
+		out = append(out, p)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Add inserts a fact.
+func (db *DB) Add(pred string, t schema.Tuple, p provenance.Poly) bool {
+	return db.Rel(pred).put(t, p)
+}
+
+// AddTuple inserts a fact annotated 1 (used for plain set-semantics EDBs).
+func (db *DB) AddTuple(pred string, t schema.Tuple) bool {
+	return db.Rel(pred).put(t, provenance.One())
+}
+
+// Size returns the total number of facts.
+func (db *DB) Size() int {
+	n := 0
+	for _, r := range db.rels {
+		n += len(r.facts)
+	}
+	return n
+}
+
+// Clone deep-copies the database (indexes are not copied).
+func (db *DB) Clone() *DB {
+	c := NewDB()
+	for p, r := range db.rels {
+		nr := NewRel()
+		for k, f := range r.facts {
+			nr.facts[k] = f
+		}
+		c.rels[p] = nr
+	}
+	return c
+}

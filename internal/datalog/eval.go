@@ -1,0 +1,618 @@
+package datalog
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"orchestra/internal/provenance"
+	"orchestra/internal/schema"
+)
+
+// Options configures evaluation.
+type Options struct {
+	// Provenance enables annotation computation. When false all facts are
+	// annotated 1 and only tuple sets are computed (fastest).
+	Provenance bool
+	// Exact requests exact N[X] provenance. Exact evaluation requires a
+	// non-recursive program; the fixpoint engine otherwise computes the
+	// B[X] witness-set quotient (see package comment).
+	Exact bool
+	// MaxIterations bounds the fixpoint loop; 0 means the default (100000).
+	MaxIterations int
+	// MaxMonomials, when positive, bounds every stored annotation to that
+	// many lowest-degree witness monomials (provenance.Poly.Truncate). On
+	// dense or cyclic mapping graphs the number of alternative derivation
+	// paths grows combinatorially; bounded witness sets keep evaluation
+	// polynomial while preserving the short derivations that trust
+	// conditions and deletion propagation use. 0 means unbounded.
+	MaxMonomials int
+	// ChaseSubsumption enables the chase-style redundancy check used for
+	// schema-mapping programs: a derived tuple containing labeled nulls is
+	// not emitted if an existing tuple of the same predicate subsumes it
+	// (maps onto it by a consistent substitution of its nulls). This keeps
+	// cyclic mapping graphs — e.g. ORCHESTRA's A→C join composed with the
+	// C→A split — from echoing Skolem-padded variants of data the target
+	// already has in concrete form.
+	ChaseSubsumption bool
+}
+
+// DefaultMaxIterations is the fixpoint iteration bound when unspecified.
+const DefaultMaxIterations = 100000
+
+// Eval evaluates the program over the EDB and returns a database containing
+// both EDB and derived facts. The input database is not modified.
+func Eval(p *Program, edb *DB, opts Options) (*DB, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	strata, err := p.Stratify()
+	if err != nil {
+		return nil, err
+	}
+	result := edb.Clone()
+	if opts.Exact && opts.Provenance {
+		if cyc := recursivePreds(p); len(cyc) > 0 {
+			return nil, fmt.Errorf("datalog: exact provenance requires a non-recursive program; recursive predicates: %s",
+				strings.Join(cyc, ", "))
+		}
+		if err := evalExact(p, result, opts); err != nil {
+			return nil, err
+		}
+		return result, nil
+	}
+	maxIter := opts.MaxIterations
+	if maxIter <= 0 {
+		maxIter = DefaultMaxIterations
+	}
+	for _, stratum := range strata {
+		if err := evalStratum(stratum, result, opts, maxIter); err != nil {
+			return nil, err
+		}
+	}
+	return result, nil
+}
+
+// evalExact evaluates a non-recursive program with exact N[X] provenance:
+// predicates are processed in dependency order and every rule fires exactly
+// once over complete extents, so each derivation is counted exactly once.
+func evalExact(p *Program, db *DB, opts Options) error {
+	idb := p.IDBPreds()
+	// Kahn topological sort of IDB predicates by body dependencies.
+	deps := map[string]map[string]bool{}  // head -> IDB body preds
+	rdeps := map[string]map[string]bool{} // body pred -> heads
+	for pred := range idb {
+		deps[pred] = map[string]bool{}
+	}
+	for _, r := range p.Rules {
+		for _, l := range r.Body {
+			if l.Builtin == nil && idb[l.Atom.Pred] && l.Atom.Pred != r.Head.Pred {
+				deps[r.Head.Pred][l.Atom.Pred] = true
+				if rdeps[l.Atom.Pred] == nil {
+					rdeps[l.Atom.Pred] = map[string]bool{}
+				}
+				rdeps[l.Atom.Pred][r.Head.Pred] = true
+			}
+		}
+	}
+	var ready []string
+	indeg := map[string]int{}
+	for pred, ds := range deps {
+		indeg[pred] = len(ds)
+		if len(ds) == 0 {
+			ready = append(ready, pred)
+		}
+	}
+	sort.Strings(ready)
+	rulesByHead := map[string][]Rule{}
+	for _, r := range p.Rules {
+		rulesByHead[r.Head.Pred] = append(rulesByHead[r.Head.Pred], r)
+	}
+	emit := func(pred string, t schema.Tuple, prov provenance.Poly) {
+		rel := db.Rel(pred)
+		if f, ok := rel.Get(t); ok {
+			f.Prov = f.Prov.Add(prov)
+			rel.facts[t.Key()] = f
+			return
+		}
+		rel.put(t, prov)
+	}
+	processed := 0
+	for len(ready) > 0 {
+		pred := ready[0]
+		ready = ready[1:]
+		processed++
+		for _, r := range rulesByHead[pred] {
+			if err := fireRule(r, db, nil, -1, opts, emit); err != nil {
+				return err
+			}
+		}
+		var next []string
+		for dep := range rdeps[pred] {
+			indeg[dep]--
+			if indeg[dep] == 0 {
+				next = append(next, dep)
+			}
+		}
+		sort.Strings(next)
+		ready = append(ready, next...)
+	}
+	if processed != len(idb) {
+		return fmt.Errorf("datalog: internal: exact evaluation left %d predicates unprocessed", len(idb)-processed)
+	}
+	return nil
+}
+
+// recursivePreds returns IDB predicates involved in dependency cycles.
+func recursivePreds(p *Program) []string {
+	idb := p.IDBPreds()
+	adj := map[string]map[string]bool{}
+	for _, r := range p.Rules {
+		for _, l := range r.Body {
+			if l.Builtin == nil && idb[l.Atom.Pred] {
+				if adj[r.Head.Pred] == nil {
+					adj[r.Head.Pred] = map[string]bool{}
+				}
+				adj[r.Head.Pred][l.Atom.Pred] = true
+			}
+		}
+	}
+	// A pred is recursive if it can reach itself.
+	var cyc []string
+	for start := range idb {
+		seen := map[string]bool{}
+		stack := []string{start}
+		for len(stack) > 0 {
+			cur := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for next := range adj[cur] {
+				if next == start {
+					cyc = append(cyc, start)
+					stack = nil
+					break
+				}
+				if !seen[next] {
+					seen[next] = true
+					stack = append(stack, next)
+				}
+			}
+		}
+	}
+	return cyc
+}
+
+// deltaFact pairs a tuple with the annotation portion that is new this
+// iteration and must still be propagated.
+type deltaFact struct {
+	tuple schema.Tuple
+	prov  provenance.Poly
+}
+
+// evalStratum runs semi-naive evaluation of one stratum to fixpoint.
+func evalStratum(rules []Rule, db *DB, opts Options, maxIter int) error {
+	// Round 0: naive firing of every rule over the current database.
+	delta := map[string]map[string]deltaFact{}
+	record := func(pred string, t schema.Tuple, p provenance.Poly) {
+		newPart, changed := merge(db.Rel(pred), t, p, opts)
+		if !changed {
+			return
+		}
+		m := delta[pred]
+		if m == nil {
+			m = map[string]deltaFact{}
+			delta[pred] = m
+		}
+		k := t.Key()
+		if df, ok := m[k]; ok {
+			df.prov = df.prov.Add(newPart)
+			if opts.Provenance && !opts.Exact {
+				df.prov = df.prov.Linearize()
+			}
+			m[k] = df
+		} else {
+			m[k] = deltaFact{tuple: t, prov: newPart}
+		}
+	}
+	for _, r := range rules {
+		if err := fireRule(r, db, nil, -1, opts, record); err != nil {
+			return err
+		}
+	}
+	// Semi-naive rounds: join each rule with the delta at one position.
+	for iter := 0; len(delta) > 0; iter++ {
+		if iter >= maxIter {
+			return fmt.Errorf("datalog: fixpoint not reached after %d iterations", maxIter)
+		}
+		prev := delta
+		delta = map[string]map[string]deltaFact{}
+		record = func(pred string, t schema.Tuple, p provenance.Poly) {
+			newPart, changed := merge(db.Rel(pred), t, p, opts)
+			if !changed {
+				return
+			}
+			m := delta[pred]
+			if m == nil {
+				m = map[string]deltaFact{}
+				delta[pred] = m
+			}
+			k := t.Key()
+			if df, ok := m[k]; ok {
+				df.prov = df.prov.Add(newPart)
+				if opts.Provenance && !opts.Exact {
+					df.prov = df.prov.Linearize()
+				}
+				m[k] = df
+			} else {
+				m[k] = deltaFact{tuple: t, prov: newPart}
+			}
+		}
+		for _, r := range rules {
+			for i, l := range r.Body {
+				if l.Builtin != nil || l.Negated {
+					continue
+				}
+				if dm, ok := prev[l.Atom.Pred]; ok && len(dm) > 0 {
+					if err := fireRule(r, db, dm, i, opts, record); err != nil {
+						return err
+					}
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// merge folds a derived annotation into the stored fact. It returns the
+// genuinely new annotation part and whether anything changed.
+func merge(rel *Rel, t schema.Tuple, p provenance.Poly, opts Options) (provenance.Poly, bool) {
+	if !opts.Provenance {
+		if rel.Contains(t) {
+			return provenance.Poly{}, false
+		}
+		rel.put(t, provenance.One())
+		return provenance.One(), true
+	}
+	if !opts.Exact {
+		p = p.Linearize()
+	}
+	existing, ok := rel.Get(t)
+	if !ok {
+		if !opts.Exact {
+			p = p.Truncate(opts.MaxMonomials)
+		}
+		rel.put(t, p)
+		return p, true
+	}
+	if opts.Exact {
+		// Exact mode runs on non-recursive programs where each derivation
+		// is enumerated exactly once: always accumulate.
+		rel.put(t, p)
+		return p, true
+	}
+	merged := existing.Prov.Add(p).Linearize().Truncate(opts.MaxMonomials)
+	if merged.Equal(existing.Prov) {
+		return provenance.Poly{}, false
+	}
+	// Isolate the monomials not already present (truncation only drops
+	// monomials, so merged != existing implies at least one new one).
+	have := map[string]bool{}
+	for _, m := range existing.Prov.Monomials() {
+		have[monoKey(m)] = true
+	}
+	var fresh []provenance.Monomial
+	for _, m := range merged.Monomials() {
+		if !have[monoKey(m)] {
+			fresh = append(fresh, m)
+		}
+	}
+	newPart := provenance.FromMonomials(fresh)
+	rel.set(t, merged)
+	return newPart, true
+}
+
+func monoKey(m provenance.Monomial) string { return m.Key() }
+
+// binding maps variable names to values during rule evaluation.
+type binding map[string]schema.Value
+
+// fireRule enumerates all satisfying assignments of the rule body and calls
+// emit for each resulting head fact. If deltaIdx >= 0, body literal
+// deltaIdx ranges over deltaExt (with delta annotations) instead of the
+// full extent.
+func fireRule(r Rule, db *DB, deltaExt map[string]deltaFact, deltaIdx int, opts Options,
+	emit func(string, schema.Tuple, provenance.Poly)) error {
+
+	// Order of evaluation: positive literals in order; negations and
+	// builtins are applied as soon as their variables are bound.
+	type litState struct {
+		lit  Literal
+		idx  int
+		done bool
+	}
+	lits := make([]*litState, len(r.Body))
+	for i := range r.Body {
+		lits[i] = &litState{lit: r.Body[i], idx: i}
+	}
+
+	var rec func(b binding, prov provenance.Poly) error
+	rec = func(b binding, prov provenance.Poly) error {
+		// Apply every pending filter whose variables are all bound.
+		undone := []*litState{}
+		for _, ls := range lits {
+			if ls.done {
+				continue
+			}
+			if ls.lit.Builtin != nil {
+				if l, okL := resolve(ls.lit.Builtin.Left, b); okL {
+					if rr, okR := resolve(ls.lit.Builtin.Right, b); okR {
+						if !compare(ls.lit.Builtin.Op, l, rr) {
+							return nil
+						}
+						continue // satisfied; do not re-add
+					}
+				}
+				undone = append(undone, ls)
+				continue
+			}
+			if ls.lit.Negated {
+				if vals, ok := resolveAtom(ls.lit.Atom, b); ok {
+					if db.Rel(ls.lit.Atom.Pred).Contains(vals) {
+						return nil
+					}
+					continue
+				}
+				undone = append(undone, ls)
+				continue
+			}
+			undone = append(undone, ls)
+		}
+		// Choose the next positive literal greedily by selectivity: the
+		// delta literal first (it is both mandatory and usually tiny),
+		// otherwise the literal with the fewest matching facts under the
+		// current bindings. This keeps e.g. the 3-way join of the split
+		// mapping from enumerating a cartesian product with an unbound
+		// dimension table.
+		var next *litState
+		bestCount := -1
+		for _, ls := range undone {
+			if ls.lit.Builtin != nil || ls.lit.Negated {
+				continue
+			}
+			if ls.idx == deltaIdx {
+				next = ls
+				break
+			}
+			var cols []int
+			var vals schema.Tuple
+			for i, tm := range ls.lit.Atom.Terms {
+				if v, ok := resolve(tm, b); ok {
+					cols = append(cols, i)
+					vals = append(vals, v)
+				}
+			}
+			n := db.Rel(ls.lit.Atom.Pred).lookupCount(cols, vals)
+			if bestCount == -1 || n < bestCount {
+				next, bestCount = ls, n
+			}
+		}
+		if next == nil {
+			if len(undone) > 0 {
+				// Only unbound negations/builtins remain: unsafe rule
+				// bodies are rejected by Validate, so this is internal.
+				return fmt.Errorf("datalog: rule %q: unbound filter literal", r.ID)
+			}
+			return emitHead(r, b, prov, db, opts, emit)
+		}
+		// Enumerate matches for next.
+		next.done = true
+		defer func() { next.done = false }()
+		atom := next.lit.Atom
+		var candidates []Fact
+		if next.idx == deltaIdx {
+			candidates = make([]Fact, 0, len(deltaExt))
+			for _, df := range deltaExt {
+				candidates = append(candidates, Fact{Tuple: df.tuple, Prov: df.prov})
+			}
+			candidates = filterMatches(atom, b, candidates)
+		} else {
+			candidates = indexedMatches(db.Rel(atom.Pred), atom, b)
+		}
+		for _, f := range candidates {
+			added, ok := extend(atom, f.Tuple, b)
+			if !ok {
+				for _, v := range added {
+					delete(b, v)
+				}
+				continue
+			}
+			np := prov
+			if opts.Provenance {
+				np = np.Mul(f.Prov)
+			}
+			if err := rec(b, np); err != nil {
+				return err
+			}
+			for _, v := range added {
+				delete(b, v)
+			}
+		}
+		return nil
+	}
+	return rec(binding{}, provenance.One())
+}
+
+// resolve returns the value of a term under the binding.
+func resolve(t Term, b binding) (schema.Value, bool) {
+	if !t.IsVar() {
+		return t.Value, true
+	}
+	v, ok := b[t.Name]
+	return v, ok
+}
+
+// resolveAtom grounds an atom completely, or reports failure.
+func resolveAtom(a Atom, b binding) (schema.Tuple, bool) {
+	out := make(schema.Tuple, len(a.Terms))
+	for i, t := range a.Terms {
+		v, ok := resolve(t, b)
+		if !ok {
+			return nil, false
+		}
+		out[i] = v
+	}
+	return out, true
+}
+
+// indexedMatches returns candidate facts for an atom using a hash index on
+// the bound positions.
+func indexedMatches(rel *Rel, a Atom, b binding) []Fact {
+	var cols []int
+	var vals schema.Tuple
+	for i, t := range a.Terms {
+		if v, ok := resolve(t, b); ok {
+			cols = append(cols, i)
+			vals = append(vals, v)
+		}
+	}
+	cand := rel.lookup(cols, vals)
+	// lookup guarantees the bound positions match; repeated variables in
+	// the atom (e.g. R(x,x)) still need the extend check, done by caller.
+	return cand
+}
+
+// filterMatches filters candidates by the bound positions of the atom.
+func filterMatches(a Atom, b binding, facts []Fact) []Fact {
+	out := facts[:0]
+	for _, f := range facts {
+		ok := true
+		for i, t := range a.Terms {
+			if v, bound := resolve(t, b); bound && !v.Equal(f.Tuple[i]) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// extend unifies the atom's terms with the tuple, mutating b in place. It
+// returns the variable names it added (for the caller to undo) and whether
+// unification succeeded.
+func extend(a Atom, tu schema.Tuple, b binding) (added []string, ok bool) {
+	if len(a.Terms) != len(tu) {
+		return nil, false
+	}
+	for i, t := range a.Terms {
+		if t.IsVar() {
+			if v, bound := b[t.Name]; bound {
+				if !v.Equal(tu[i]) {
+					return added, false
+				}
+			} else {
+				b[t.Name] = tu[i]
+				added = append(added, t.Name)
+			}
+		} else if !t.Value.Equal(tu[i]) {
+			return added, false
+		}
+	}
+	return added, true
+}
+
+// compare applies a builtin comparison to two values.
+func compare(op CmpOp, l, r schema.Value) bool {
+	switch op {
+	case OpEq:
+		return l.Equal(r)
+	case OpNe:
+		return !l.Equal(r)
+	case OpLt:
+		return l.Compare(r) < 0
+	case OpLe:
+		return l.Compare(r) <= 0
+	case OpGt:
+		return l.Compare(r) > 0
+	case OpGe:
+		return l.Compare(r) >= 0
+	default:
+		return false
+	}
+}
+
+// emitHead instantiates the rule head under the binding and emits the fact.
+func emitHead(r Rule, b binding, prov provenance.Poly, db *DB, opts Options,
+	emit func(string, schema.Tuple, provenance.Poly)) error {
+
+	out := make(schema.Tuple, len(r.Head.Terms))
+	for i, ht := range r.Head.Terms {
+		if ht.Skolem != nil {
+			args := make([]string, len(ht.Skolem.Args))
+			for j, at := range ht.Skolem.Args {
+				v, ok := resolve(at, b)
+				if !ok {
+					return fmt.Errorf("datalog: rule %q: unbound skolem argument %s", r.ID, at)
+				}
+				args[j] = v.Key()
+			}
+			out[i] = schema.LabeledNull(ht.Skolem.Fn + "(" + strings.Join(args, ",") + ")")
+			continue
+		}
+		v, ok := resolve(ht.Term, b)
+		if !ok {
+			return fmt.Errorf("datalog: rule %q: unbound head variable %s", r.ID, ht.Term)
+		}
+		out[i] = v
+	}
+	if opts.Provenance && r.ProvToken != "" {
+		prov = prov.Mul(provenance.NewVar(provenance.Var(r.ProvToken)))
+	}
+	if !opts.Provenance {
+		prov = provenance.One()
+	}
+	if opts.ChaseSubsumption && out.HasLabeledNull() && subsumedByExisting(db.Rel(r.Head.Pred), out) {
+		return nil
+	}
+	emit(r.Head.Pred, out, prov)
+	return nil
+}
+
+// subsumedByExisting reports whether some stored tuple is a homomorphic
+// image of t: equal at t's concrete positions, with a consistent
+// substitution for t's labeled nulls.
+func subsumedByExisting(rel *Rel, t schema.Tuple) bool {
+	var cols []int
+	var vals schema.Tuple
+	for i, v := range t {
+		if !v.IsLabeledNull() {
+			cols = append(cols, i)
+			vals = append(vals, v)
+		}
+	}
+	for _, f := range rel.lookup(cols, vals) {
+		if f.Tuple.Equal(t) {
+			continue // the tuple itself (or an identical copy) — not a subsumer
+		}
+		subst := map[string]schema.Value{}
+		ok := true
+		for i, v := range t {
+			if !v.IsLabeledNull() {
+				continue
+			}
+			if prev, seen := subst[v.Str()]; seen {
+				if !prev.Equal(f.Tuple[i]) {
+					ok = false
+					break
+				}
+			} else {
+				subst[v.Str()] = f.Tuple[i]
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}

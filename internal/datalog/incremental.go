@@ -1,0 +1,342 @@
+package datalog
+
+import (
+	"fmt"
+	"sort"
+
+	"orchestra/internal/provenance"
+	"orchestra/internal/schema"
+)
+
+// Change describes one fact affected by an incremental operation.
+type Change struct {
+	Pred  string
+	Tuple schema.Tuple
+	// Prov is the annotation delta: for insertions, the new provenance
+	// part; for deletions, the remaining provenance (zero if the fact was
+	// removed entirely).
+	Prov provenance.Poly
+	// Removed reports that the fact was deleted from the database.
+	Removed bool
+	// Fresh reports that the fact is entirely new (not just new
+	// provenance on an existing tuple).
+	Fresh bool
+}
+
+// Incremental maintains the fixpoint of a datalog program under base-fact
+// insertions and deletions. It is the machinery behind ORCHESTRA's
+// incremental update exchange [Green et al., VLDB 2007]: insertions
+// propagate with semi-naive evaluation seeded from the delta; deletions
+// use the provenance annotations to decide which derived tuples lost all
+// their derivations, avoiding full recomputation.
+//
+// Incremental evaluation always computes witness-set (B[X]) provenance —
+// deletion propagation is impossible without annotations.
+type Incremental struct {
+	prog    *Program
+	strata  [][]Rule
+	db      *DB
+	opts    Options
+	maxIter int
+	// tokenIndex maps a provenance variable to the set of facts whose
+	// annotation currently mentions it, as pred -> tuple keys.
+	tokenIndex map[provenance.Var]map[string]map[string]bool
+	dead       map[provenance.Var]bool
+}
+
+// NewIncremental computes the initial fixpoint over edb and returns the
+// maintained state. The input database is cloned, not aliased.
+func NewIncremental(p *Program, edb *DB, opts Options) (*Incremental, error) {
+	// Deletion propagation relies on provenance annotations, which do not
+	// record negative dependencies; tgd mapping programs are negation-free.
+	for _, r := range p.Rules {
+		for _, l := range r.Body {
+			if l.Negated {
+				return nil, fmt.Errorf("datalog: incremental maintenance requires a negation-free program (rule %s)", r.ID)
+			}
+		}
+	}
+	opts.Provenance = true
+	opts.Exact = false
+	res, err := Eval(p, edb, opts)
+	if err != nil {
+		return nil, err
+	}
+	strata, err := p.Stratify()
+	if err != nil {
+		return nil, err
+	}
+	maxIter := opts.MaxIterations
+	if maxIter <= 0 {
+		maxIter = DefaultMaxIterations
+	}
+	inc := &Incremental{
+		prog:       p,
+		strata:     strata,
+		db:         res,
+		opts: Options{
+			Provenance:       true,
+			ChaseSubsumption: opts.ChaseSubsumption,
+			MaxMonomials:     opts.MaxMonomials,
+		},
+		maxIter:    maxIter,
+		tokenIndex: map[provenance.Var]map[string]map[string]bool{},
+		dead:       map[provenance.Var]bool{},
+	}
+	for _, pred := range res.Preds() {
+		for _, f := range res.Rel(pred).Facts() {
+			inc.indexFact(pred, f.Tuple, f.Prov)
+		}
+	}
+	return inc, nil
+}
+
+// DB returns the maintained database (read-only by convention).
+func (inc *Incremental) DB() *DB { return inc.db }
+
+func (inc *Incremental) indexFact(pred string, t schema.Tuple, p provenance.Poly) {
+	k := t.Key()
+	for _, v := range p.Vars() {
+		preds := inc.tokenIndex[v]
+		if preds == nil {
+			preds = map[string]map[string]bool{}
+			inc.tokenIndex[v] = preds
+		}
+		keys := preds[pred]
+		if keys == nil {
+			keys = map[string]bool{}
+			preds[pred] = keys
+		}
+		keys[k] = true
+	}
+}
+
+// Insert adds base facts and propagates them through the program. It
+// returns every change to the database in deterministic order.
+func (inc *Incremental) Insert(facts []Fact2) ([]Change, error) {
+	var changes []Change
+	// Seed: merge the base facts, collecting genuine delta.
+	delta := map[string]map[string]deltaFact{}
+	opts := inc.opts
+	for _, bf := range facts {
+		newPart, changed := merge(inc.db.Rel(bf.Pred), bf.Tuple, bf.Prov, opts)
+		if !changed {
+			continue
+		}
+		inc.indexFact(bf.Pred, bf.Tuple, newPart)
+		m := delta[bf.Pred]
+		if m == nil {
+			m = map[string]deltaFact{}
+			delta[bf.Pred] = m
+		}
+		m[bf.Tuple.Key()] = deltaFact{tuple: bf.Tuple, prov: newPart}
+		changes = append(changes, Change{Pred: bf.Pred, Tuple: bf.Tuple, Prov: newPart, Fresh: true})
+	}
+	if len(delta) == 0 {
+		return nil, nil
+	}
+	// Propagate stratum by stratum; the delta from earlier strata feeds
+	// later ones.
+	for _, stratum := range inc.strata {
+		var err error
+		delta, err = inc.propagate(stratum, delta, &changes)
+		if err != nil {
+			return nil, err
+		}
+	}
+	sortChanges(changes)
+	return changes, nil
+}
+
+// Fact2 is a base fact targeted at a predicate (the name Fact is taken by
+// the annotated-tuple type).
+type Fact2 struct {
+	Pred  string
+	Tuple schema.Tuple
+	Prov  provenance.Poly
+}
+
+// propagate runs semi-naive rounds of one stratum starting from seed; it
+// returns the accumulated delta (seed plus everything newly derived) so
+// later strata can consume it, and appends derived changes to out.
+func (inc *Incremental) propagate(rules []Rule, seed map[string]map[string]deltaFact, out *[]Change) (map[string]map[string]deltaFact, error) {
+	opts := inc.opts
+	accum := map[string]map[string]deltaFact{}
+	copyInto(accum, seed)
+	cur := seed
+	for iter := 0; len(cur) > 0; iter++ {
+		if iter >= inc.maxIter {
+			return nil, fmt.Errorf("datalog: incremental fixpoint not reached after %d iterations", inc.maxIter)
+		}
+		next := map[string]map[string]deltaFact{}
+		record := func(pred string, t schema.Tuple, p provenance.Poly) {
+			_, had := inc.db.Rel(pred).Get(t)
+			newPart, changed := merge(inc.db.Rel(pred), t, p, opts)
+			if !changed {
+				return
+			}
+			inc.indexFact(pred, t, newPart)
+			m := next[pred]
+			if m == nil {
+				m = map[string]deltaFact{}
+				next[pred] = m
+			}
+			k := t.Key()
+			if df, ok := m[k]; ok {
+				df.prov = df.prov.Add(newPart).Linearize()
+				m[k] = df
+			} else {
+				m[k] = deltaFact{tuple: t, prov: newPart}
+			}
+			*out = append(*out, Change{Pred: pred, Tuple: t, Prov: newPart, Fresh: !had})
+		}
+		for _, r := range rules {
+			for i, l := range r.Body {
+				if l.Builtin != nil || l.Negated {
+					continue
+				}
+				if dm, ok := cur[l.Atom.Pred]; ok && len(dm) > 0 {
+					if err := fireRule(r, inc.db, dm, i, opts, record); err != nil {
+						return nil, err
+					}
+				}
+			}
+		}
+		copyInto(accum, next)
+		cur = next
+	}
+	return accum, nil
+}
+
+func copyInto(dst, src map[string]map[string]deltaFact) {
+	for pred, m := range src {
+		dm := dst[pred]
+		if dm == nil {
+			dm = map[string]deltaFact{}
+			dst[pred] = dm
+		}
+		for k, df := range m {
+			if prev, ok := dm[k]; ok {
+				prev.prov = prev.prov.Add(df.prov).Linearize()
+				dm[k] = prev
+			} else {
+				dm[k] = df
+			}
+		}
+	}
+}
+
+// DeleteBase removes base facts by killing their provenance tokens. Every
+// fact whose annotation mentions a killed token is re-examined: monomials
+// using dead tokens are dropped, and facts with no surviving derivation are
+// removed. The returned changes list removed facts (Removed=true) and facts
+// that survived with reduced provenance.
+//
+// The tokens killed are exactly the variables of the given facts' CURRENT
+// base annotations that look like update tokens owned by those facts; in
+// ORCHESTRA each published tuple carries a unique token, which the exchange
+// layer passes in.
+func (inc *Incremental) DeleteBase(tokens []provenance.Var) []Change {
+	touched := map[string]map[string]bool{} // pred -> keys
+	for _, tok := range tokens {
+		inc.dead[tok] = true
+		for pred, keys := range inc.tokenIndex[tok] {
+			tm := touched[pred]
+			if tm == nil {
+				tm = map[string]bool{}
+				touched[pred] = tm
+			}
+			for k := range keys {
+				tm[k] = true
+			}
+		}
+	}
+	alive := func(v provenance.Var) bool { return !inc.dead[v] }
+	var changes []Change
+	for pred, keys := range touched {
+		rel := inc.db.Rel(pred)
+		for k := range keys {
+			f, ok := rel.facts[k]
+			if !ok {
+				continue
+			}
+			rest := f.Prov.Restrict(alive)
+			if rest.Equal(f.Prov) {
+				continue
+			}
+			if rest.IsZero() {
+				delete(rel.facts, k)
+				rel.indexes = map[string]map[string][]string{} // deletions invalidate indexes
+				changes = append(changes, Change{Pred: pred, Tuple: f.Tuple, Removed: true})
+			} else {
+				f.Prov = rest
+				rel.facts[k] = f
+				changes = append(changes, Change{Pred: pred, Tuple: f.Tuple, Prov: rest})
+			}
+		}
+	}
+	sortChanges(changes)
+	return changes
+}
+
+// DependentCount returns how many facts currently mention the token in
+// their provenance — a cheap measure of the collateral damage of killing
+// it, used by the exchange layer's view-deletion heuristic.
+func (inc *Incremental) DependentCount(tok provenance.Var) int {
+	n := 0
+	for _, keys := range inc.tokenIndex[tok] {
+		n += len(keys)
+	}
+	return n
+}
+
+// Affected reports, without mutating the database, which facts would be
+// removed (Removed=true) or lose provenance if the given tokens were
+// killed. The exchange layer uses it to translate a peer's deletion of
+// *derived* data: the union database keeps the original publisher's tuples
+// (other peers may keep trusting them), while the deleting peer's candidate
+// transaction carries the would-be deletions.
+func (inc *Incremental) Affected(tokens []provenance.Var) []Change {
+	tmpDead := map[provenance.Var]bool{}
+	for _, tok := range tokens {
+		tmpDead[tok] = true
+	}
+	alive := func(v provenance.Var) bool { return !inc.dead[v] && !tmpDead[v] }
+	var changes []Change
+	seen := map[string]bool{}
+	for _, tok := range tokens {
+		for pred, keys := range inc.tokenIndex[tok] {
+			rel := inc.db.Rel(pred)
+			for k := range keys {
+				if seen[pred+"\x00"+k] {
+					continue
+				}
+				seen[pred+"\x00"+k] = true
+				f, ok := rel.facts[k]
+				if !ok {
+					continue
+				}
+				rest := f.Prov.Restrict(alive)
+				if rest.Equal(f.Prov) {
+					continue
+				}
+				if rest.IsZero() {
+					changes = append(changes, Change{Pred: pred, Tuple: f.Tuple, Removed: true})
+				} else {
+					changes = append(changes, Change{Pred: pred, Tuple: f.Tuple, Prov: rest})
+				}
+			}
+		}
+	}
+	sortChanges(changes)
+	return changes
+}
+
+func sortChanges(cs []Change) {
+	sort.Slice(cs, func(i, j int) bool {
+		if cs[i].Pred != cs[j].Pred {
+			return cs[i].Pred < cs[j].Pred
+		}
+		return cs[i].Tuple.Compare(cs[j].Tuple) < 0
+	})
+}

@@ -1,0 +1,205 @@
+package datalog
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"orchestra/internal/provenance"
+)
+
+func tok(i, j int) provenance.Var { return provenance.Var(fmt.Sprintf("e%d_%d", i, j)) }
+
+func TestIncrementalInsertMatchesBatch(t *testing.T) {
+	edges := [][2]string{{"a", "b"}, {"b", "c"}}
+	edb := NewDB()
+	for i, e := range edges {
+		edb.Add("E", edge(e[0], e[1]), provenance.NewVar(provenance.Var(fmt.Sprint("e", i))))
+	}
+	inc, err := NewIncremental(tcProgram(), edb, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inc.DB().Rel("T").Len() != 3 { // ab, bc, ac
+		t.Fatalf("initial T = %v", inc.DB().Rel("T").Facts())
+	}
+	// Insert c->d incrementally.
+	changes, err := inc.Insert([]Fact2{{Pred: "E", Tuple: edge("c", "d"), Prov: provenance.NewVar("e2")}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// New T facts: cd, bd, ad (+ base E change).
+	newT := 0
+	for _, c := range changes {
+		if c.Pred == "T" && c.Fresh {
+			newT++
+		}
+	}
+	if newT != 3 {
+		t.Errorf("incremental derived %d new T facts, want 3; changes=%v", newT, changes)
+	}
+	// Compare against batch evaluation from scratch.
+	edb.Add("E", edge("c", "d"), provenance.NewVar("e2"))
+	batch, err := Eval(tcProgram(), edb, Options{Provenance: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if batch.Rel("T").Len() != inc.DB().Rel("T").Len() {
+		t.Fatalf("incremental T=%d, batch T=%d", inc.DB().Rel("T").Len(), batch.Rel("T").Len())
+	}
+	for _, f := range batch.Rel("T").Facts() {
+		g, ok := inc.DB().Rel("T").Get(f.Tuple)
+		if !ok {
+			t.Errorf("missing %v", f.Tuple)
+			continue
+		}
+		if !g.Prov.Equal(f.Prov) {
+			t.Errorf("prov mismatch for %v: inc=%v batch=%v", f.Tuple, g.Prov, f.Prov)
+		}
+	}
+}
+
+func TestIncrementalInsertNoOp(t *testing.T) {
+	edb := NewDB()
+	edb.Add("E", edge("a", "b"), provenance.NewVar("e0"))
+	inc, err := NewIncremental(tcProgram(), edb, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Re-inserting the same fact with the same provenance changes nothing.
+	changes, err := inc.Insert([]Fact2{{Pred: "E", Tuple: edge("a", "b"), Prov: provenance.NewVar("e0")}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(changes) != 0 {
+		t.Errorf("no-op insert produced %v", changes)
+	}
+}
+
+func TestIncrementalDeleteBase(t *testing.T) {
+	// Diamond: a->b->d and a->c->d. Deleting edge b->d keeps T(a,d) alive
+	// through c; deleting c->d too removes it.
+	edb := NewDB()
+	type e struct {
+		from, to string
+		tok      provenance.Var
+	}
+	es := []e{{"a", "b", "ab"}, {"b", "d", "bd"}, {"a", "c", "ac"}, {"c", "d", "cd"}}
+	for _, x := range es {
+		edb.Add("E", edge(x.from, x.to), provenance.NewVar(x.tok))
+	}
+	inc, err := NewIncremental(tcProgram(), edb, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !inc.DB().Rel("T").Contains(edge("a", "d")) {
+		t.Fatal("T(a,d) missing")
+	}
+	// Kill bd.
+	changes := inc.DeleteBase([]provenance.Var{"bd"})
+	// T(b,d) must be removed; T(a,d) must survive with reduced provenance.
+	removedBD := false
+	for _, c := range changes {
+		if c.Pred == "T" && c.Tuple.Equal(edge("b", "d")) && c.Removed {
+			removedBD = true
+		}
+		if c.Pred == "T" && c.Tuple.Equal(edge("a", "d")) && c.Removed {
+			t.Error("T(a,d) wrongly removed")
+		}
+	}
+	if !removedBD {
+		t.Error("T(b,d) not removed")
+	}
+	if !inc.DB().Rel("T").Contains(edge("a", "d")) {
+		t.Error("T(a,d) lost")
+	}
+	// Kill cd: now T(a,d) must go.
+	inc.DeleteBase([]provenance.Var{"cd"})
+	if inc.DB().Rel("T").Contains(edge("a", "d")) {
+		t.Error("T(a,d) survived with no derivation")
+	}
+	// E(b,d) itself must be gone (its own token died).
+	if inc.DB().Rel("E").Contains(edge("b", "d")) {
+		t.Error("base fact E(b,d) survived token kill")
+	}
+}
+
+func TestIncrementalDeleteMatchesBatch(t *testing.T) {
+	// Random graphs: incremental delete must agree with recomputation.
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 10; trial++ {
+		n := 4 + rng.Intn(3)
+		var all [][2]int
+		edb := NewDB()
+		for i := 0; i < n; i++ {
+			for j := 0; j < n; j++ {
+				if i != j && rng.Float64() < 0.25 {
+					all = append(all, [2]int{i, j})
+					edb.Add("E", edge(fmt.Sprint("v", i), fmt.Sprint("v", j)), provenance.NewVar(tok(i, j)))
+				}
+			}
+		}
+		if len(all) == 0 {
+			continue
+		}
+		inc, err := NewIncremental(tcProgram(), edb, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Delete a random half of the edges incrementally.
+		kill := all[:len(all)/2]
+		var toks []provenance.Var
+		for _, k := range kill {
+			toks = append(toks, tok(k[0], k[1]))
+		}
+		inc.DeleteBase(toks)
+		// Recompute from the surviving edges.
+		edb2 := NewDB()
+		for _, k := range all[len(all)/2:] {
+			edb2.Add("E", edge(fmt.Sprint("v", k[0]), fmt.Sprint("v", k[1])), provenance.NewVar(tok(k[0], k[1])))
+		}
+		batch, err := Eval(tcProgram(), edb2, Options{Provenance: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, want := inc.DB().Rel("T").Len(), batch.Rel("T").Len(); got != want {
+			t.Fatalf("trial %d: incremental T=%d, batch T=%d", trial, got, want)
+		}
+		for _, f := range batch.Rel("T").Facts() {
+			if !inc.DB().Rel("T").Contains(f.Tuple) {
+				t.Fatalf("trial %d: missing %v", trial, f.Tuple)
+			}
+		}
+	}
+}
+
+func TestIncrementalRejectsNegation(t *testing.T) {
+	prog := &Program{Rules: []Rule{{
+		ID:   "n",
+		Head: NewHead("P", HV("x")),
+		Body: []Literal{Pos(NewAtom("A", V("x"))), Neg(NewAtom("B", V("x")))},
+	}}}
+	if _, err := NewIncremental(prog, NewDB(), Options{}); err == nil {
+		t.Error("negation accepted by incremental engine")
+	}
+}
+
+func TestIncrementalInsertThenDeleteRoundTrip(t *testing.T) {
+	edb := NewDB()
+	edb.Add("E", edge("a", "b"), provenance.NewVar("ab"))
+	inc, err := NewIncremental(tcProgram(), edb, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := inc.DB().Rel("T").Len()
+	if _, err := inc.Insert([]Fact2{{Pred: "E", Tuple: edge("b", "c"), Prov: provenance.NewVar("bc")}}); err != nil {
+		t.Fatal(err)
+	}
+	inc.DeleteBase([]provenance.Var{"bc"})
+	if inc.DB().Rel("T").Len() != before {
+		t.Errorf("T size %d after round trip, want %d", inc.DB().Rel("T").Len(), before)
+	}
+	if inc.DB().Rel("E").Contains(edge("b", "c")) {
+		t.Error("base edge survived")
+	}
+}

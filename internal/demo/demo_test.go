@@ -1,0 +1,56 @@
+package demo
+
+import (
+	"strings"
+	"testing"
+
+	"orchestra/internal/p2p"
+	"orchestra/internal/workload"
+)
+
+func TestAllScenariosRun(t *testing.T) {
+	want := map[int][]string{
+		1: {"joined into OPS", "split into O,P,S", "OPS(mouse, p53, ACGT)"},
+		2: {"accepted=[beijing:1]", "rejected=[dresden:1]", "dresden:1 is rejected"},
+		3: {"alaska:1 is pending", "alaska:1=accepted beijing:1=accepted"},
+		4: {"defers both", "rejected=[alaska:1]", "crete:1=accepted"},
+		5: {"surviving replica", "accepted=[beijing:1]"},
+	}
+	for n := 1; n <= Scenarios(); n++ {
+		var sb strings.Builder
+		if err := Run(&sb, n); err != nil {
+			t.Fatalf("scenario %d: %v", n, err)
+		}
+		out := sb.String()
+		for _, frag := range want[n] {
+			if !strings.Contains(out, frag) {
+				t.Errorf("scenario %d transcript missing %q:\n%s", n, frag, out)
+			}
+		}
+	}
+}
+
+func TestRunUnknownScenario(t *testing.T) {
+	var sb strings.Builder
+	if err := Run(&sb, 0); err == nil {
+		t.Error("scenario 0 accepted")
+	}
+	if err := Run(&sb, 99); err == nil {
+		t.Error("scenario 99 accepted")
+	}
+}
+
+func TestNewFigure2TrustShape(t *testing.T) {
+	peers, err := NewFigure2(p2p.NewMemoryStore())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(peers) != 4 {
+		t.Fatalf("peers = %d", len(peers))
+	}
+	for _, name := range []string{workload.Alaska, workload.Beijing, workload.Crete, workload.Dresden} {
+		if peers[name] == nil {
+			t.Errorf("missing peer %s", name)
+		}
+	}
+}

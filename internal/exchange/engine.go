@@ -1,0 +1,558 @@
+// Package exchange implements ORCHESTRA's update translation: propagating
+// published transactions through schema mappings into every peer's schema,
+// while maintaining provenance. It follows Green, Karvounarakis, Ives, and
+// Tannen, "Update Exchange with Mappings and Provenance" (VLDB 2007), the
+// paper the SIGMOD'07 demo cites as its translation machinery ([5]):
+//
+//   - Mappings compile to datalog rules (internal/mapping) evaluated over a
+//     global "union database" of all published data, with one provenance
+//     token per published tuple-level update.
+//   - Insertions propagate incrementally by semi-naive evaluation seeded
+//     with the new tuples.
+//   - Deletions propagate by killing the deleted tuples' tokens and testing
+//     which derived tuples lost every derivation — no re-derivation of the
+//     whole instance.
+//
+// The result of applying a transaction is the set of derived changes per
+// peer; the reconciliation layer groups them into candidate transactions.
+package exchange
+
+import (
+	"fmt"
+	"sort"
+
+	"orchestra/internal/datalog"
+	"orchestra/internal/mapping"
+	"orchestra/internal/provenance"
+	"orchestra/internal/schema"
+	"orchestra/internal/storage"
+	"orchestra/internal/updates"
+)
+
+// DefaultMaxMonomials bounds each tuple's witness set in the union
+// database. On dense or cyclic mapping graphs the number of alternative
+// derivation paths is combinatorial; ORCHESTRA's prototype avoided the
+// blowup by storing provenance one mapping-hop at a time, and bounded
+// witness sets are this implementation's equivalent compromise: the
+// shortest derivations — the ones trust conditions and deletion
+// propagation act on — are always retained. See DESIGN.md §4.
+const DefaultMaxMonomials = 8
+
+// Engine maintains the global union database and translates transactions.
+type Engine struct {
+	peers    map[string]*schema.Schema
+	mappings []*mapping.Mapping
+	prog     *datalog.Program
+	inc      *datalog.Incremental
+	// baseTokens maps (qualified pred, tuple key) to the tokens of the
+	// published inserts that created the tuple; deletes kill them.
+	baseTokens map[string][]provenance.Var
+	applied    map[updates.TxnID]bool
+	opts       datalog.Options
+}
+
+// NewEngine builds an engine for the given peers and mappings, starting
+// from an empty union database.
+func NewEngine(peers map[string]*schema.Schema, mappings []*mapping.Mapping) (*Engine, error) {
+	prog, err := mapping.Compile(mappings)
+	if err != nil {
+		return nil, err
+	}
+	opts := datalog.Options{
+		Provenance:       true,
+		ChaseSubsumption: true,
+		MaxMonomials:     DefaultMaxMonomials,
+	}
+	inc, err := datalog.NewIncremental(prog, datalog.NewDB(), opts)
+	if err != nil {
+		return nil, err
+	}
+	for peer, s := range peers {
+		if s == nil {
+			return nil, fmt.Errorf("exchange: peer %s has no schema", peer)
+		}
+	}
+	return &Engine{
+		peers:      peers,
+		mappings:   mappings,
+		prog:       prog,
+		inc:        inc,
+		baseTokens: map[string][]provenance.Var{},
+		applied:    map[updates.TxnID]bool{},
+		opts:       opts,
+	}, nil
+}
+
+// Result is the outcome of translating one transaction.
+type Result struct {
+	// PerPeer maps each peer to the net updates the transaction induces in
+	// that peer's schema (including the origin peer's own updates).
+	PerPeer map[string][]updates.Update
+	// ExtraDeps maps each peer to transactions (other than the applied one)
+	// whose published data contributed to a derived insert — the candidate
+	// transaction at that peer must also depend on them.
+	ExtraDeps map[string][]updates.TxnID
+}
+
+// Applied reports whether the transaction has already been fed in.
+func (e *Engine) Applied(id updates.TxnID) bool { return e.applied[id] }
+
+// UnionDB exposes the maintained union database (read-only by convention).
+func (e *Engine) UnionDB() *datalog.DB { return e.inc.DB() }
+
+// Apply feeds one published transaction into the union database,
+// propagates it through the mappings, and returns the per-peer net changes.
+// Transactions must be applied in a causal order (antecedents first); the
+// store guarantees this ordering.
+func (e *Engine) Apply(txn *updates.Transaction) (*Result, error) {
+	if e.applied[txn.ID] {
+		return nil, fmt.Errorf("exchange: transaction %s already applied", txn.ID)
+	}
+	origin := txn.ID.Peer
+	if _, ok := e.peers[origin]; !ok {
+		return nil, fmt.Errorf("exchange: unknown peer %s", origin)
+	}
+	var all []datalog.Change
+	depSet := map[updates.TxnID]bool{}
+	for i, u := range txn.Updates {
+		pred := mapping.Qualify(origin, u.Rel)
+		if e.peers[origin].Relation(u.Rel) == nil {
+			return nil, fmt.Errorf("exchange: peer %s has no relation %s", origin, u.Rel)
+		}
+		switch u.Op {
+		case updates.OpInsert:
+			cs, err := e.insert(pred, u.New, txn.Token(i))
+			if err != nil {
+				return nil, err
+			}
+			all = append(all, cs...)
+		case updates.OpDelete:
+			all = append(all, e.delete(pred, u.Old, txn.ID, depSet)...)
+		case updates.OpModify:
+			all = append(all, e.delete(pred, u.Old, txn.ID, depSet)...)
+			cs, err := e.insert(pred, u.New, txn.Token(i))
+			if err != nil {
+				return nil, err
+			}
+			all = append(all, cs...)
+		default:
+			return nil, fmt.Errorf("exchange: unknown op %v", u.Op)
+		}
+	}
+	e.applied[txn.ID] = true
+	return e.collate(txn, all, depSet)
+}
+
+func (e *Engine) insert(pred string, tu schema.Tuple, tok provenance.Var) ([]datalog.Change, error) {
+	cs, err := e.inc.Insert([]datalog.Fact2{{Pred: pred, Tuple: tu, Prov: provenance.NewVar(tok)}})
+	if err != nil {
+		return nil, err
+	}
+	k := pred + "/" + tu.Key()
+	e.baseTokens[k] = append(e.baseTokens[k], tok)
+	return cs, nil
+}
+
+// delete translates one deletion. Two cases, per DESIGN.md:
+//
+//   - The origin peer owns base tokens for the tuple (it published the
+//     insert itself): a true retraction. The tokens are killed in the
+//     union database and the loss propagates by derivability.
+//
+//   - The tuple is *derived* at the origin (e.g. Beijing deleting or
+//     modifying data it received from Alaska — demo scenario 3): the
+//     union database keeps the original publisher's data, because other
+//     peers may keep trusting it; the candidate transaction carries the
+//     would-be deletions, computed read-only from the tuple's supporting
+//     tokens, and gains dependencies on the supporting transactions.
+func (e *Engine) delete(pred string, tu schema.Tuple, self updates.TxnID, depSet map[updates.TxnID]bool) []datalog.Change {
+	k := pred + "/" + tu.Key()
+	if toks := e.baseTokens[k]; len(toks) > 0 {
+		delete(e.baseTokens, k)
+		return e.inc.DeleteBase(toks)
+	}
+	f, ok := e.inc.DB().Rel(pred).Get(tu)
+	if !ok {
+		return nil // deleting a tuple that does not exist: no-op
+	}
+	supports := e.minimalKillSet(f.Prov)
+	if len(supports) == 0 {
+		return nil
+	}
+	for _, v := range supports {
+		if id, isTok := updates.TokenTxn(v); isTok && id != self {
+			depSet[id] = true
+		}
+	}
+	return e.inc.Affected(supports)
+}
+
+// minimalKillSet chooses update tokens whose removal makes the polynomial
+// underivable. Deleting a derived tuple is the classic view-deletion
+// problem with multiple minimal solutions; we use a greedy hitting set over
+// the witness monomials, preferring the token with the least collateral
+// damage (fewest other facts depending on it). E.g. modifying a protein
+// sequence kills the S-tuple token, not the organism or protein rows.
+func (e *Engine) minimalKillSet(p provenance.Poly) []provenance.Var {
+	type mono struct {
+		toks []provenance.Var
+	}
+	var monos []mono
+	for _, m := range p.Monomials() {
+		var toks []provenance.Var
+		for _, vp := range m.Vars {
+			if _, isTok := updates.TokenTxn(vp.Var); isTok {
+				toks = append(toks, vp.Var)
+			}
+		}
+		if len(toks) == 0 {
+			return nil // a token-free derivation exists; the tuple cannot be killed
+		}
+		monos = append(monos, mono{toks: toks})
+	}
+	alive := func(i int, kill map[provenance.Var]bool) bool {
+		for _, t := range monos[i].toks {
+			if kill[t] {
+				return false
+			}
+		}
+		return true
+	}
+	kill := map[provenance.Var]bool{}
+	for {
+		remaining := 0
+		counts := map[provenance.Var]int{}
+		for i := range monos {
+			if !alive(i, kill) {
+				continue
+			}
+			remaining++
+			for _, t := range monos[i].toks {
+				counts[t]++
+			}
+		}
+		if remaining == 0 {
+			break
+		}
+		// Prefer tokens hitting more monomials; break ties by least
+		// collateral, then by most recently minted (latest transaction,
+		// highest update index) — the most specific contributor. For the
+		// Figure 2 join this picks the sequence row over the organism or
+		// protein rows when collateral counts tie.
+		var best provenance.Var
+		bestCollateral := -1
+		bestHits := 0
+		for t, hits := range counts {
+			collateral := e.inc.DependentCount(t)
+			better := bestCollateral == -1 || hits > bestHits ||
+				(hits == bestHits && (collateral < bestCollateral ||
+					(collateral == bestCollateral && tokenNewer(t, best))))
+			if better {
+				best, bestCollateral, bestHits = t, collateral, hits
+			}
+		}
+		kill[best] = true
+	}
+	out := make([]provenance.Var, 0, len(kill))
+	for t := range kill {
+		out = append(out, t)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// collate turns raw changes into per-peer net updates, pairing same-key
+// delete/insert into modifications and dropping provenance-only changes.
+func (e *Engine) collate(txn *updates.Transaction, changes []datalog.Change, depSet map[updates.TxnID]bool) (*Result, error) {
+	type slot struct {
+		pred     string
+		inserted *datalog.Change
+		removed  *datalog.Change
+	}
+	// Net effect per (pred, full tuple key): insertion cancelled by
+	// removal and vice versa.
+	net := map[string]*slot{}
+	order := []string{}
+	for i := range changes {
+		c := &changes[i]
+		if !c.Fresh && !c.Removed {
+			continue // provenance-only growth or shrink
+		}
+		k := c.Pred + "/" + c.Tuple.Key()
+		s, ok := net[k]
+		if !ok {
+			s = &slot{pred: c.Pred}
+			net[k] = s
+			order = append(order, k)
+		}
+		if c.Removed {
+			if s.inserted != nil {
+				s.inserted = nil // inserted then removed within this txn
+			} else {
+				s.removed = c
+			}
+		} else {
+			if s.removed != nil && s.removed.Tuple.Equal(c.Tuple) {
+				s.removed = nil // removed then re-inserted: no net change
+			} else {
+				s.inserted = c
+			}
+		}
+	}
+	sort.Strings(order)
+
+	res := &Result{PerPeer: map[string][]updates.Update{}, ExtraDeps: map[string][]updates.TxnID{}}
+	extra := map[string]map[updates.TxnID]bool{}
+	type keyed struct {
+		dels map[string]updates.Update // relation-key -> delete update
+		rel  *schema.Relation
+	}
+	// First pass: collect deletes per (peer, rel, key) so inserts can be
+	// paired into modifies.
+	pendingDel := map[string]map[string]schema.Tuple{} // peer.rel -> keyKey -> old tuple
+	for _, k := range order {
+		s := net[k]
+		if s.removed == nil {
+			continue
+		}
+		peer, rel, err := mapping.SplitQualified(s.pred)
+		if err != nil {
+			return nil, err
+		}
+		r := e.peers[peer].Relation(rel)
+		if r == nil {
+			continue // mapping wrote to a relation the peer doesn't declare
+		}
+		m := pendingDel[s.pred]
+		if m == nil {
+			m = map[string]schema.Tuple{}
+			pendingDel[s.pred] = m
+		}
+		m[r.KeyOf(s.removed.Tuple).Key()] = s.removed.Tuple
+	}
+	// Second pass: emit updates.
+	for _, k := range order {
+		s := net[k]
+		if s.inserted == nil {
+			continue
+		}
+		peer, rel, err := mapping.SplitQualified(s.pred)
+		if err != nil {
+			return nil, err
+		}
+		r := e.peers[peer].Relation(rel)
+		if r == nil {
+			continue
+		}
+		kk := r.KeyOf(s.inserted.Tuple).Key()
+		var u updates.Update
+		if old, ok := pendingDel[s.pred][kk]; ok {
+			u = updates.Modify(rel, old, s.inserted.Tuple)
+			delete(pendingDel[s.pred], kk)
+		} else {
+			u = updates.Insert(rel, s.inserted.Tuple)
+		}
+		u.Prov = s.inserted.Prov
+		res.PerPeer[peer] = append(res.PerPeer[peer], u)
+		// Extra dependencies: the candidate needs *one* derivation of the
+		// tuple to hold, so it depends on the transactions of the monomial
+		// with the fewest foreign contributors — not the union over all
+		// alternative derivations (which would turn genuine conflicts
+		// between independent publishers into false dependencies).
+		for _, id := range minimalDeps(s.inserted.Prov, txn.ID) {
+			if extra[peer] == nil {
+				extra[peer] = map[updates.TxnID]bool{}
+			}
+			extra[peer][id] = true
+		}
+	}
+	// Remaining unpaired deletes.
+	for pred, m := range pendingDel {
+		peer, rel, err := mapping.SplitQualified(pred)
+		if err != nil {
+			return nil, err
+		}
+		keys := make([]string, 0, len(m))
+		for kk := range m {
+			keys = append(keys, kk)
+		}
+		sort.Strings(keys)
+		for _, kk := range keys {
+			res.PerPeer[peer] = append(res.PerPeer[peer], updates.Delete(rel, m[kk]))
+		}
+	}
+	// Dependencies from foreign deletions apply to every peer that
+	// received updates from this transaction.
+	for peer := range res.PerPeer {
+		ids := extra[peer]
+		if ids == nil {
+			ids = map[updates.TxnID]bool{}
+			extra[peer] = ids
+		}
+		for id := range depSet {
+			ids[id] = true
+		}
+	}
+	for peer, ids := range extra {
+		out := make([]updates.TxnID, 0, len(ids))
+		for id := range ids {
+			out = append(out, id)
+		}
+		sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+		res.ExtraDeps[peer] = out
+	}
+	return res, nil
+}
+
+// tokenNewer orders update tokens by recency: later transaction first,
+// then higher update index, then lexicographic for non-update tokens.
+func tokenNewer(a, b provenance.Var) bool {
+	ida, ia := splitToken(a)
+	idb, ib := splitToken(b)
+	if ida.Peer == idb.Peer && ida.Seq != idb.Seq {
+		return ida.Seq > idb.Seq
+	}
+	if ida == idb {
+		return ia > ib
+	}
+	return a > b
+}
+
+// splitToken parses "peer:seq/idx" into the transaction id and update
+// index; idx is -1 for non-update tokens.
+func splitToken(v provenance.Var) (updates.TxnID, int) {
+	id, ok := updates.TokenTxn(v)
+	if !ok {
+		return updates.TxnID{}, -1
+	}
+	s := string(v)
+	idx := -1
+	for i := len(s) - 1; i >= 0; i-- {
+		if s[i] == '/' {
+			n := 0
+			for _, c := range s[i+1:] {
+				if c < '0' || c > '9' {
+					return id, -1
+				}
+				n = n*10 + int(c-'0')
+			}
+			idx = n
+			break
+		}
+	}
+	return id, idx
+}
+
+// minimalDeps returns the foreign transaction set of the monomial of p with
+// the fewest foreign contributors (ties broken deterministically).
+func minimalDeps(p provenance.Poly, self updates.TxnID) []updates.TxnID {
+	var best []updates.TxnID
+	found := false
+	for _, m := range p.Monomials() {
+		seen := map[updates.TxnID]bool{}
+		var ids []updates.TxnID
+		for _, vp := range m.Vars {
+			if id, ok := updates.TokenTxn(vp.Var); ok && id != self && !seen[id] {
+				seen[id] = true
+				ids = append(ids, id)
+			}
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i].Less(ids[j]) })
+		if !found || len(ids) < len(best) || (len(ids) == len(best) && lessIDs(ids, best)) {
+			best = ids
+			found = true
+		}
+	}
+	return best
+}
+
+func lessIDs(a, b []updates.TxnID) bool {
+	for i := range a {
+		if i >= len(b) {
+			return false
+		}
+		if a[i] != b[i] {
+			return a[i].Less(b[i])
+		}
+	}
+	return len(a) < len(b)
+}
+
+// MaterializePeer builds the storage instance a peer would hold if it
+// accepted exactly the transactions for which trusts returns true: a tuple
+// is present iff its provenance is derivable using only tokens of trusted
+// transactions (mapping tokens are always alive). This is the declarative
+// counterpart of incrementally applying accepted candidate updates, used
+// for cross-checking and for cold-start materialization.
+func (e *Engine) MaterializePeer(peer string, trusts func(updates.TxnID) bool) (*storage.Instance, error) {
+	s, ok := e.peers[peer]
+	if !ok {
+		return nil, fmt.Errorf("exchange: unknown peer %s", peer)
+	}
+	alive := func(v provenance.Var) bool {
+		id, isTok := updates.TokenTxn(v)
+		if !isTok {
+			return true // mapping token
+		}
+		return trusts(id)
+	}
+	inst := storage.NewInstance(s)
+	db := e.inc.DB()
+	for _, rel := range s.Relations() {
+		pred := mapping.Qualify(peer, rel.Name)
+		if !db.Has(pred) {
+			continue
+		}
+		for _, f := range db.Rel(pred).Facts() {
+			if !f.Prov.Derivable(alive) {
+				continue
+			}
+			if err := inst.Insert(rel.Name, f.Tuple, f.Prov.Restrict(alive)); err != nil {
+				// Key violations can occur when two trusted transactions
+				// disagree; materialization is first-writer-wins here, and
+				// reconciliation is responsible for not trusting
+				// conflicting transactions simultaneously.
+				var kv *storage.ErrKeyViolation
+				if asKeyViolation(err, &kv) {
+					continue
+				}
+				return nil, err
+			}
+		}
+	}
+	return inst, nil
+}
+
+func asKeyViolation(err error, target **storage.ErrKeyViolation) bool {
+	kv, ok := err.(*storage.ErrKeyViolation)
+	if ok {
+		*target = kv
+	}
+	return ok
+}
+
+// Recompute rebuilds the union database from scratch using the base facts
+// currently alive — the non-incremental baseline for benchmarking
+// incremental maintenance (experiment E2).
+func (e *Engine) Recompute() (*datalog.DB, error) {
+	edb := datalog.NewDB()
+	for k, toks := range e.baseTokens {
+		// k is pred + "/" + tupleKey
+		for i := 0; i < len(k); i++ {
+			if k[i] == '/' {
+				pred := k[:i]
+				tu, err := schema.ParseTupleKey(k[i+1:])
+				if err != nil {
+					return nil, err
+				}
+				p := provenance.Zero()
+				for _, t := range toks {
+					p = p.Add(provenance.NewVar(t))
+				}
+				edb.Add(pred, tu, p)
+				break
+			}
+		}
+	}
+	return datalog.Eval(e.prog, edb, e.opts)
+}

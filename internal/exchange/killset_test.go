@@ -1,0 +1,120 @@
+package exchange
+
+import (
+	"testing"
+
+	"orchestra/internal/updates"
+	"orchestra/internal/workload"
+)
+
+// The view-deletion heuristic: modifying data derived through a join must
+// retract the least-collateral source row, not every contributor.
+func TestForeignModifyKillsOnlySequenceRow(t *testing.T) {
+	e := fig2Engine(t)
+	// Alaska publishes two sequences sharing one organism and protein.
+	if _, err := e.Apply(txn(workload.Alaska, 1,
+		updates.Insert("O", workload.OTuple("mouse", 1)),
+		updates.Insert("P", workload.PTuple("p53", 10)),
+		updates.Insert("P", workload.PTuple("ins", 20)),
+		updates.Insert("S", workload.STuple(1, 10, "AAAA")),
+		updates.Insert("S", workload.STuple(1, 20, "BBBB")))); err != nil {
+		t.Fatal(err)
+	}
+	// Dresden modifies the OPS tuple for (mouse, p53) — derived data.
+	res, err := e.Apply(txn(workload.Dresden, 1,
+		updates.Modify("OPS",
+			workload.OPSTuple("mouse", "p53", "AAAA"),
+			workload.OPSTuple("mouse", "p53", "CCCC"))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Crete's candidate: the (mouse,p53) tuple modified; the (mouse,ins)
+	// tuple untouched — i.e. the kill set chose the S row, not O or P.
+	for _, u := range res.PerPeer[workload.Crete] {
+		if u.Op == updates.OpDelete || u.Op == updates.OpModify {
+			if u.Old != nil && u.Old.Equal(workload.OPSTuple("mouse", "ins", "BBBB")) {
+				t.Errorf("collateral deletion of unrelated OPS tuple: %v", u)
+			}
+		}
+	}
+	// Alaska's candidate deletes only the S row for (1,10).
+	for _, u := range res.PerPeer[workload.Alaska] {
+		if u.Rel == "O" && (u.Op == updates.OpDelete || u.Op == updates.OpModify) {
+			t.Errorf("organism row deleted: %v", u)
+		}
+		if u.Rel == "P" && (u.Op == updates.OpDelete || u.Op == updates.OpModify) {
+			t.Errorf("protein row deleted: %v", u)
+		}
+	}
+	// The candidate transaction gains a dependency on Alaska's publish.
+	found := false
+	for _, d := range res.ExtraDeps[workload.Crete] {
+		if d == (updates.TxnID{Peer: workload.Alaska, Seq: 1}) {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("missing dependency on supporting txn: %v", res.ExtraDeps[workload.Crete])
+	}
+}
+
+func TestDeleteOfNonexistentTupleIsNoop(t *testing.T) {
+	e := fig2Engine(t)
+	res, err := e.Apply(txn(workload.Alaska, 1,
+		updates.Delete("S", workload.STuple(9, 9, "NOPE"))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, us := range res.PerPeer {
+		total += len(us)
+	}
+	if total != 0 {
+		t.Errorf("phantom delete produced %v", res.PerPeer)
+	}
+}
+
+func TestReinsertAfterDelete(t *testing.T) {
+	e := fig2Engine(t)
+	if _, err := e.Apply(txn(workload.Alaska, 1,
+		updates.Insert("O", workload.OTuple("mouse", 1)))); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Apply(txn(workload.Alaska, 2,
+		updates.Delete("O", workload.OTuple("mouse", 1)))); err != nil {
+		t.Fatal(err)
+	}
+	// Re-insert the same tuple under a fresh token.
+	res, err := e.Apply(txn(workload.Alaska, 3,
+		updates.Insert("O", workload.OTuple("mouse", 1))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins := 0
+	for _, u := range res.PerPeer[workload.Beijing] {
+		if u.Op == updates.OpInsert && u.Rel == "O" {
+			ins++
+		}
+	}
+	if ins != 1 {
+		t.Errorf("beijing updates after re-insert = %v", res.PerPeer[workload.Beijing])
+	}
+}
+
+func TestInsertDeleteWithinOneTxnIsNoop(t *testing.T) {
+	e := fig2Engine(t)
+	res, err := e.Apply(txn(workload.Alaska, 1,
+		updates.Insert("O", workload.OTuple("mouse", 1)),
+		updates.Delete("O", workload.OTuple("mouse", 1))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for peer, us := range res.PerPeer {
+		if len(us) != 0 {
+			t.Errorf("%s got %v from a self-cancelling txn", peer, us)
+		}
+	}
+	if e.UnionDB().Rel("alaska.O").Contains(workload.OTuple("mouse", 1)) {
+		t.Error("cancelled tuple survives in union DB")
+	}
+}

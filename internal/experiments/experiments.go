@@ -1,0 +1,483 @@
+// Package experiments implements the quantitative experiment harness
+// E1–E7 described in DESIGN.md §2. The SIGMOD'07 demo paper itself has no
+// evaluation tables; these experiments regenerate the measurable content of
+// the companion papers it presents — update exchange with provenance
+// (VLDB'07) and transaction reconciliation (SIGMOD'06) — on the synthetic
+// workloads of internal/workload. cmd/orchestra-bench prints the tables;
+// bench_test.go exposes the same workloads as testing.B benchmarks.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+	"time"
+
+	"orchestra/internal/datalog"
+	"orchestra/internal/exchange"
+	"orchestra/internal/mapping"
+	"orchestra/internal/provenance"
+	"orchestra/internal/recon"
+	"orchestra/internal/schema"
+	"orchestra/internal/updates"
+	"orchestra/internal/workload"
+)
+
+// Table is one experiment's result table.
+type Table struct {
+	ID      string
+	Caption string
+	Header  []string
+	Rows    [][]string
+}
+
+// Fprint renders the table with aligned columns.
+func (t *Table) Fprint(w io.Writer) {
+	fmt.Fprintf(w, "%s: %s\n", t.ID, t.Caption)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+		}
+		fmt.Fprintln(w, "  "+strings.Join(parts, "  "))
+	}
+	line(t.Header)
+	for _, row := range t.Rows {
+		line(row)
+	}
+}
+
+func dur(d time.Duration) string {
+	switch {
+	case d < time.Millisecond:
+		return fmt.Sprintf("%.1fµs", float64(d.Nanoseconds())/1e3)
+	case d < time.Second:
+		return fmt.Sprintf("%.2fms", float64(d.Nanoseconds())/1e6)
+	default:
+		return fmt.Sprintf("%.3fs", d.Seconds())
+	}
+}
+
+// seedEngine builds an exchange engine for a topology and inserts the O/P
+// dimension rows needed so S streams join successfully.
+func seedEngine(topo *workload.Topology, origin string, keySpace int, maxPid int) (*exchange.Engine, uint64, error) {
+	eng, err := exchange.NewEngine(topo.Peers, topo.Mappings)
+	if err != nil {
+		return nil, 0, err
+	}
+	base := workload.OPBaseTxn(origin, 1, keySpace, maxPid)
+	if _, err := eng.Apply(base); err != nil {
+		return nil, 0, err
+	}
+	return eng, 2, nil
+}
+
+// ApplyStream pushes a transaction stream through an engine, returning the
+// total number of derived per-peer updates. Exported for reuse by the
+// testing.B benchmarks.
+func ApplyStream(eng *exchange.Engine, txns []*updates.Transaction) (int, error) {
+	derived := 0
+	for _, t := range txns {
+		res, err := eng.Apply(t)
+		if err != nil {
+			return 0, err
+		}
+		for _, us := range res.PerPeer {
+			derived += len(us)
+		}
+	}
+	return derived, nil
+}
+
+// BuildInsertWorkload prepares an engine over a join/split chain and an
+// insert stream of n transactions at its head peer. Exported for the
+// testing.B benchmarks.
+func BuildInsertWorkload(n, txnSize int) (*exchange.Engine, []*updates.Transaction, error) {
+	topo := workload.ChainJoinSplit(4)
+	origin := topo.Names[0]
+	keySpace := int(math.Ceil(math.Sqrt(float64(n * txnSize))))
+	maxPid := n*txnSize/keySpace + 2
+	eng, seq, err := seedEngine(topo, origin, keySpace, maxPid)
+	if err != nil {
+		return nil, nil, err
+	}
+	stream := workload.Stream(origin, seq, n, workload.StreamOpts{
+		TxnSize: txnSize, KeySpace: int64(keySpace), Seed: 42,
+	})
+	return eng, stream, nil
+}
+
+// E1InsertionScaling measures update-exchange translation time as the
+// number of published insertions grows (shape of VLDB'07's incremental
+// insertion experiment: near-linear in the delta size).
+func E1InsertionScaling(sizes []int) (*Table, error) {
+	t := &Table{
+		ID:      "E1",
+		Caption: "update-exchange translation time vs. published insertions (join/split chain of 4 peers)",
+		Header:  []string{"insertions", "txns", "time", "µs/insert", "derived-updates"},
+	}
+	const txnSize = 5
+	for _, n := range sizes {
+		eng, stream, err := BuildInsertWorkload(n, txnSize)
+		if err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		derived, err := ApplyStream(eng, stream)
+		if err != nil {
+			return nil, err
+		}
+		elapsed := time.Since(start)
+		inserts := n * txnSize
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprint(inserts), fmt.Sprint(n), dur(elapsed),
+			fmt.Sprintf("%.1f", float64(elapsed.Microseconds())/float64(inserts)),
+			fmt.Sprint(derived),
+		})
+	}
+	return t, nil
+}
+
+// BuildFig2Engine seeds a Figure 2 engine with base tuples at Alaska.
+// Exported for the testing.B benchmarks.
+func BuildFig2Engine(base int) (*exchange.Engine, uint64, error) {
+	eng, err := exchange.NewEngine(workload.Figure2Peers(), workload.Figure2Mappings())
+	if err != nil {
+		return nil, 0, err
+	}
+	keySpace := int(math.Ceil(math.Sqrt(float64(base))))
+	seed := workload.OPBaseTxn(workload.Alaska, 1, keySpace, base/keySpace+2)
+	if _, err := eng.Apply(seed); err != nil {
+		return nil, 0, err
+	}
+	stream := workload.Stream(workload.Alaska, 2, base, workload.StreamOpts{
+		TxnSize: 1, KeySpace: int64(keySpace), Seed: 7,
+	})
+	if _, err := ApplyStream(eng, stream); err != nil {
+		return nil, 0, err
+	}
+	return eng, uint64(base) + 2, nil
+}
+
+// E2IncrementalVsFull compares incremental propagation of a delta against
+// full recomputation of the union database (VLDB'07's headline result:
+// incremental wins for small deltas, converging as delta → instance size).
+func E2IncrementalVsFull(base int, fracs []float64) (*Table, error) {
+	t := &Table{
+		ID:      "E2",
+		Caption: fmt.Sprintf("incremental vs. full recomputation (Figure 2 CDSS, base %d S-tuples)", base),
+		Header:  []string{"delta", "delta/base", "incremental", "full-recompute", "speedup"},
+	}
+	for _, frac := range fracs {
+		d := int(float64(base) * frac)
+		if d < 1 {
+			d = 1
+		}
+		eng, seq, err := BuildFig2Engine(base)
+		if err != nil {
+			return nil, err
+		}
+		keySpace := int(math.Ceil(math.Sqrt(float64(base))))
+		delta := workload.Stream(workload.Alaska, seq, d, workload.StreamOpts{
+			TxnSize: 1, KeySpace: int64(keySpace), Seed: 99,
+		})
+		// Offset fresh keys so the delta does not collide with the base.
+		for _, txn := range delta {
+			for i := range txn.Updates {
+				u := &txn.Updates[i]
+				if u.New != nil {
+					u.New = schema.NewTuple(u.New[0], schema.Int(u.New[1].IntVal()+int64(base)+1000), u.New[2])
+				}
+			}
+		}
+		start := time.Now()
+		if _, err := ApplyStream(eng, delta); err != nil {
+			return nil, err
+		}
+		inc := time.Since(start)
+		start = time.Now()
+		if _, err := eng.Recompute(); err != nil {
+			return nil, err
+		}
+		full := time.Since(start)
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprint(d), fmt.Sprintf("%.1f%%", frac*100), dur(inc), dur(full),
+			fmt.Sprintf("%.1fx", float64(full)/float64(inc)),
+		})
+	}
+	return t, nil
+}
+
+// E3DeletionPropagation compares provenance-based deletion against full
+// re-derivation (the provenance-semirings payoff: the deletion test is a
+// polynomial restriction, not a recomputation).
+func E3DeletionPropagation(base int, fracs []float64) (*Table, error) {
+	t := &Table{
+		ID:      "E3",
+		Caption: fmt.Sprintf("deletion propagation: provenance test vs. re-derivation (base %d S-tuples)", base),
+		Header:  []string{"deletes", "frac", "provenance-delete", "re-derivation", "speedup"},
+	}
+	keySpace := int(math.Ceil(math.Sqrt(float64(base))))
+	for _, frac := range fracs {
+		d := int(float64(base) * frac)
+		if d < 1 {
+			d = 1
+		}
+		eng, seq, err := BuildFig2Engine(base)
+		if err != nil {
+			return nil, err
+		}
+		// Regenerate the same base stream to learn the inserted tuples.
+		baseStream := workload.Stream(workload.Alaska, 2, base, workload.StreamOpts{
+			TxnSize: 1, KeySpace: int64(keySpace), Seed: 7,
+		})
+		var delTxns []*updates.Transaction
+		for i := 0; i < d && i < len(baseStream); i++ {
+			ins := baseStream[i].Updates[0]
+			delTxns = append(delTxns, &updates.Transaction{
+				ID:      updates.TxnID{Peer: workload.Alaska, Seq: seq + uint64(i)},
+				Updates: []updates.Update{updates.Delete("S", ins.New)},
+			})
+		}
+		start := time.Now()
+		if _, err := ApplyStream(eng, delTxns); err != nil {
+			return nil, err
+		}
+		inc := time.Since(start)
+		start = time.Now()
+		if _, err := eng.Recompute(); err != nil {
+			return nil, err
+		}
+		full := time.Since(start)
+		t.Rows = append(t.Rows, []string{
+			fmt.Sprint(d), fmt.Sprintf("%.1f%%", frac*100), dur(inc), dur(full),
+			fmt.Sprintf("%.1fx", float64(full)/float64(inc)),
+		})
+	}
+	return t, nil
+}
+
+// BuildJoinEDB builds the acyclic join-mapping program and an EDB of n
+// S-tuples (with dimension rows). Exported for the testing.B benchmarks.
+func BuildJoinEDB(n int) (*datalog.Program, *datalog.DB, error) {
+	m := workload.JoinMapping("M_AC", "a", "c")
+	prog, err := mapping.Compile([]*mapping.Mapping{m})
+	if err != nil {
+		return nil, nil, err
+	}
+	keySpace := int(math.Ceil(math.Sqrt(float64(n))))
+	edb := datalog.NewDB()
+	for i := 0; i < keySpace; i++ {
+		edb.AddTuple("a.O", workload.OTuple(workload.Organism(i), int64(i)))
+	}
+	for i := 0; i <= n/keySpace+1; i++ {
+		edb.AddTuple("a.P", workload.PTuple(workload.Protein(i), int64(i)))
+	}
+	for i := 0; i < n; i++ {
+		oid := int64(i % keySpace)
+		pid := int64(i / keySpace)
+		edb.AddTuple("a.S", workload.STuple(oid, pid, workload.Sequence(oid, pid)))
+	}
+	return prog, edb, nil
+}
+
+// E4ProvenanceOverhead isolates the cost of provenance bookkeeping:
+// identical join workload evaluated with no provenance, witness-set B[X]
+// provenance, and exact N[X] provenance (the VLDB'07 claim: a modest
+// constant factor).
+func E4ProvenanceOverhead(n int) (*Table, error) {
+	t := &Table{
+		ID:      "E4",
+		Caption: fmt.Sprintf("provenance overhead ablation (3-way join of %d S-tuples)", n),
+		Header:  []string{"mode", "time", "facts", "slowdown-vs-none"},
+	}
+	prog, edb, err := BuildJoinEDB(n)
+	if err != nil {
+		return nil, err
+	}
+	modes := []struct {
+		name string
+		opts datalog.Options
+	}{
+		{"none", datalog.Options{}},
+		{"witness-B[X]", datalog.Options{Provenance: true}},
+		{"exact-N[X]", datalog.Options{Provenance: true, Exact: true}},
+	}
+	var baseline time.Duration
+	for i, m := range modes {
+		start := time.Now()
+		res, err := datalog.Eval(prog, edb, m.opts)
+		if err != nil {
+			return nil, err
+		}
+		elapsed := time.Since(start)
+		if i == 0 {
+			baseline = elapsed
+		}
+		t.Rows = append(t.Rows, []string{
+			m.name, dur(elapsed), fmt.Sprint(res.Size()),
+			fmt.Sprintf("%.2fx", float64(elapsed)/float64(baseline)),
+		})
+	}
+	return t, nil
+}
+
+// BuildReconWorkload prepares a reconciliation state and the interleaved
+// candidate stream for n transaction pairs at the given conflict rate.
+// Exported for the testing.B benchmarks.
+func BuildReconWorkload(n int, rate float64) (*recon.State, []*updates.Transaction) {
+	s1 := workload.Sigma1()
+	keyOf := func(rel string, tu schema.Tuple) schema.Tuple {
+		r := s1.Relation(rel)
+		if r == nil {
+			return tu
+		}
+		return r.KeyOf(tu)
+	}
+	st := recon.NewState(keyOf)
+	a, b := workload.ConflictingStreams("peerA", "peerB", n, rate, 5)
+	mixed := make([]*updates.Transaction, 0, 2*n)
+	for i := range a {
+		mixed = append(mixed, a[i], b[i])
+	}
+	return st, mixed
+}
+
+// E5Reconciliation measures reconciliation time against transaction count
+// and conflict rate (shape of SIGMOD'06: near-linear in transactions, with
+// a conflict-rate-dependent constant and deferred count).
+func E5Reconciliation(sizes []int, rates []float64) (*Table, error) {
+	t := &Table{
+		ID:      "E5",
+		Caption: "reconciliation time vs. transactions and conflict rate (two publishers)",
+		Header:  []string{"txns", "conflict-rate", "time", "µs/txn", "accepted", "deferred"},
+	}
+	for _, n := range sizes {
+		for _, rate := range rates {
+			st, mixed := BuildReconWorkload(n, rate)
+			start := time.Now()
+			out, err := st.Reconcile(recon.TrustAll(1), mixed)
+			if err != nil {
+				return nil, err
+			}
+			elapsed := time.Since(start)
+			t.Rows = append(t.Rows, []string{
+				fmt.Sprint(len(mixed)), fmt.Sprintf("%.0f%%", rate*100), dur(elapsed),
+				fmt.Sprintf("%.1f", float64(elapsed.Microseconds())/float64(len(mixed))),
+				fmt.Sprint(len(out.Accepted)), fmt.Sprint(len(out.Deferred)),
+			})
+		}
+	}
+	return t, nil
+}
+
+// E7WitnessBound ablates the bounded-witness-set design decision
+// (DESIGN.md §4.1/§6.1): the same mesh workload is translated under
+// different MaxMonomials bounds, including unbounded. Dense topologies are
+// where unbounded witness sets blow up combinatorially.
+func E7WitnessBound(peers, txns int, bounds []int) (*Table, error) {
+	t := &Table{
+		ID:      "E7",
+		Caption: fmt.Sprintf("witness-set bound ablation (%d-peer identity mesh, %d single-insert txns)", peers, txns),
+		Header:  []string{"max-monomials", "time", "max-witnesses/tuple", "derived-updates"},
+	}
+	for _, bound := range bounds {
+		topo := workload.Mesh(peers)
+		origin := topo.Names[0]
+		prog, err := mapping.Compile(topo.Mappings)
+		if err != nil {
+			return nil, err
+		}
+		opts := datalog.Options{Provenance: true, ChaseSubsumption: true, MaxMonomials: bound}
+		inc, err := datalog.NewIncremental(prog, datalog.NewDB(), opts)
+		if err != nil {
+			return nil, err
+		}
+		stream := workload.Stream(origin, 1, txns, workload.StreamOpts{TxnSize: 1, Seed: 11})
+		start := time.Now()
+		derived := 0
+		for _, txn := range stream {
+			for i, u := range txn.Updates {
+				cs, err := inc.Insert([]datalog.Fact2{{
+					Pred:  mapping.Qualify(origin, u.Rel),
+					Tuple: u.New,
+					Prov:  provenance.NewVar(txn.Token(i)),
+				}})
+				if err != nil {
+					return nil, err
+				}
+				derived += len(cs)
+			}
+		}
+		elapsed := time.Since(start)
+		maxW := 0
+		for _, pred := range inc.DB().Preds() {
+			for _, f := range inc.DB().Rel(pred).Facts() {
+				if n := f.Prov.NumMonomials(); n > maxW {
+					maxW = n
+				}
+			}
+		}
+		label := fmt.Sprint(bound)
+		if bound == 0 {
+			label = "unbounded"
+		}
+		t.Rows = append(t.Rows, []string{label, dur(elapsed), fmt.Sprint(maxW), fmt.Sprint(derived)})
+	}
+	return t, nil
+}
+
+// E6Topologies sweeps mapping topologies and peer counts, measuring
+// propagation cost of a fixed update stream (the CDSS scaling story of
+// Sections 1–2: mapping count, not peer count alone, drives cost).
+func E6Topologies(sizes []int, txns int) (*Table, error) {
+	t := &Table{
+		ID:      "E6",
+		Caption: fmt.Sprintf("topology sweep: translate %d single-insert txns from one peer", txns),
+		Header:  []string{"topology", "peers", "mappings", "time", "derived-updates"},
+	}
+	kinds := []struct {
+		name  string
+		build func(int) *workload.Topology
+	}{
+		{"chain", workload.Chain},
+		{"star", workload.Star},
+		{"mesh", workload.Mesh},
+	}
+	for _, k := range kinds {
+		for _, n := range sizes {
+			topo := k.build(n)
+			origin := topo.Names[0]
+			keySpace := int(math.Ceil(math.Sqrt(float64(txns))))
+			eng, seq, err := seedEngine(topo, origin, keySpace, txns/keySpace+2)
+			if err != nil {
+				return nil, err
+			}
+			stream := workload.Stream(origin, seq, txns, workload.StreamOpts{
+				TxnSize: 1, KeySpace: int64(keySpace), Seed: 3,
+			})
+			start := time.Now()
+			derived, err := ApplyStream(eng, stream)
+			if err != nil {
+				return nil, err
+			}
+			elapsed := time.Since(start)
+			t.Rows = append(t.Rows, []string{
+				k.name, fmt.Sprint(n), fmt.Sprint(len(topo.Mappings)), dur(elapsed), fmt.Sprint(derived),
+			})
+		}
+	}
+	return t, nil
+}

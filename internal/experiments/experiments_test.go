@@ -1,0 +1,131 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"orchestra/internal/recon"
+)
+
+// The experiment harness at tiny sizes: every experiment must run, produce
+// a table with the declared header width, and exhibit the coarse shape its
+// caption promises.
+
+func TestE1Shape(t *testing.T) {
+	tbl, err := E1InsertionScaling([]int{5, 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	for _, r := range tbl.Rows {
+		if len(r) != len(tbl.Header) {
+			t.Errorf("ragged row %v", r)
+		}
+	}
+	// More insertions must derive more updates.
+	if tbl.Rows[0][4] >= tbl.Rows[1][4] && len(tbl.Rows[0][4]) >= len(tbl.Rows[1][4]) {
+		t.Errorf("derived updates did not grow: %v vs %v", tbl.Rows[0], tbl.Rows[1])
+	}
+}
+
+func TestE2Shape(t *testing.T) {
+	tbl, err := E2IncrementalVsFull(100, []float64{0.01, 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 2 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	// The small-delta speedup must exceed the full-delta speedup.
+	s0 := parseSpeedup(t, tbl.Rows[0][4])
+	s1 := parseSpeedup(t, tbl.Rows[1][4])
+	if s0 <= s1 {
+		t.Errorf("speedup not decreasing: %.1f vs %.1f", s0, s1)
+	}
+}
+
+func TestE3Shape(t *testing.T) {
+	tbl, err := E3DeletionPropagation(100, []float64{0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := parseSpeedup(t, tbl.Rows[0][4]); s < 2 {
+		t.Errorf("provenance deletion should beat re-derivation, got %.1fx", s)
+	}
+}
+
+func TestE4Shape(t *testing.T) {
+	tbl, err := E4ProvenanceOverhead(500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	// All three modes derive the same number of facts.
+	if tbl.Rows[0][2] != tbl.Rows[1][2] || tbl.Rows[1][2] != tbl.Rows[2][2] {
+		t.Errorf("fact counts diverge: %v", tbl.Rows)
+	}
+}
+
+func TestE5Shape(t *testing.T) {
+	tbl, err := E5Reconciliation([]int{50}, []float64{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Zero conflicts: everything accepted, nothing deferred.
+	if tbl.Rows[0][4] != "100" || tbl.Rows[0][5] != "0" {
+		t.Errorf("rate-0 row = %v", tbl.Rows[0])
+	}
+	// Full conflicts: deferred outnumber accepted.
+	if tbl.Rows[1][5] == "0" {
+		t.Errorf("rate-1 row = %v", tbl.Rows[1])
+	}
+}
+
+func TestE6Shape(t *testing.T) {
+	tbl, err := E6Topologies([]int{2, 3}, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 6 { // 3 topologies × 2 sizes
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+}
+
+func TestTableFprint(t *testing.T) {
+	tbl := &Table{ID: "T", Caption: "cap", Header: []string{"a", "bb"},
+		Rows: [][]string{{"1", "2"}, {"333", "4"}}}
+	var sb strings.Builder
+	tbl.Fprint(&sb)
+	out := sb.String()
+	if !strings.Contains(out, "T: cap") || !strings.Contains(out, "333") {
+		t.Errorf("Fprint = %q", out)
+	}
+}
+
+func TestBuildReconWorkloadShape(t *testing.T) {
+	st, mixed := BuildReconWorkload(10, 1)
+	if len(mixed) != 20 {
+		t.Fatalf("mixed = %d", len(mixed))
+	}
+	out, err := st.Reconcile(recon.TrustAll(1), mixed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Deferred) == 0 {
+		t.Error("full-conflict workload deferred nothing")
+	}
+}
+
+func parseSpeedup(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(strings.TrimSuffix(s, "x"), 64)
+	if err != nil {
+		t.Fatalf("bad speedup %q: %v", s, err)
+	}
+	return v
+}

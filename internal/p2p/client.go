@@ -1,0 +1,195 @@
+package p2p
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"orchestra/internal/updates"
+)
+
+// Client implements Store over a TCP connection to one Server. A fresh
+// connection is dialed per request — reconciliation is infrequent and this
+// keeps intermittent-connectivity behavior honest (demo scenario 5: a
+// request either reaches a live replica or fails cleanly).
+type Client struct {
+	addr    string
+	timeout time.Duration
+}
+
+// NewClient creates a client for the server at addr.
+func NewClient(addr string) *Client {
+	return &Client{addr: addr, timeout: 5 * time.Second}
+}
+
+func (c *Client) roundTrip(req request) (response, error) {
+	conn, err := net.DialTimeout("tcp", c.addr, c.timeout)
+	if err != nil {
+		return response{}, fmt.Errorf("p2p: dial %s: %w", c.addr, err)
+	}
+	defer conn.Close()
+	_ = conn.SetDeadline(time.Now().Add(c.timeout))
+	enc := json.NewEncoder(conn)
+	if err := enc.Encode(req); err != nil {
+		return response{}, fmt.Errorf("p2p: send to %s: %w", c.addr, err)
+	}
+	var resp response
+	if err := json.NewDecoder(bufio.NewReader(conn)).Decode(&resp); err != nil {
+		return response{}, fmt.Errorf("p2p: recv from %s: %w", c.addr, err)
+	}
+	if resp.Error != "" {
+		return response{}, fmt.Errorf("p2p: server %s: %s", c.addr, resp.Error)
+	}
+	return resp, nil
+}
+
+// Publish implements Store.
+func (c *Client) Publish(txns []*updates.Transaction) (uint64, error) {
+	req := request{Op: "publish"}
+	for _, t := range txns {
+		req.Txns = append(req.Txns, EncodeTxn(t))
+	}
+	resp, err := c.roundTrip(req)
+	if err != nil {
+		return 0, err
+	}
+	// Mirror the server-side epoch assignment locally so the caller's
+	// transaction objects agree with the archive.
+	for _, t := range txns {
+		t.Epoch = resp.Epoch
+	}
+	return resp.Epoch, nil
+}
+
+// Since implements Store.
+func (c *Client) Since(since uint64) ([]*updates.Transaction, uint64, error) {
+	resp, err := c.roundTrip(request{Op: "since", Epoch: since})
+	if err != nil {
+		return nil, 0, err
+	}
+	var out []*updates.Transaction
+	for _, w := range resp.Txns {
+		t, err := DecodeTxn(w)
+		if err != nil {
+			return nil, 0, err
+		}
+		out = append(out, t)
+	}
+	return out, resp.Epoch, nil
+}
+
+// Epoch implements Store.
+func (c *Client) Epoch() (uint64, error) {
+	resp, err := c.roundTrip(request{Op: "epoch"})
+	if err != nil {
+		return 0, err
+	}
+	return resp.Epoch, nil
+}
+
+// ReplicatedStore fans a Store out over several replicas: publishes go to
+// every reachable replica (at least one must succeed), reads come from the
+// reachable replica with the highest epoch. With the archive replicated, a
+// publisher can go offline and other peers still retrieve its transactions.
+type ReplicatedStore struct {
+	mu       sync.Mutex
+	replicas []Store
+}
+
+// NewReplicatedStore wraps the given replicas.
+func NewReplicatedStore(replicas ...Store) *ReplicatedStore {
+	return &ReplicatedStore{replicas: replicas}
+}
+
+// Publish implements Store: best-effort to all replicas, error only if none
+// accepted. Epoch is the maximum assigned.
+func (r *ReplicatedStore) Publish(txns []*updates.Transaction) (uint64, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var best uint64
+	okCount := 0
+	var firstErr error
+	for _, rep := range r.replicas {
+		epoch, err := rep.Publish(txns)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		okCount++
+		if epoch > best {
+			best = epoch
+		}
+	}
+	if okCount == 0 {
+		return 0, fmt.Errorf("p2p: publish failed on all %d replicas: %v", len(r.replicas), firstErr)
+	}
+	return best, nil
+}
+
+// Since implements Store: reads from the reachable replica with the highest
+// epoch.
+func (r *ReplicatedStore) Since(since uint64) ([]*updates.Transaction, uint64, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var bestTxns []*updates.Transaction
+	var bestEpoch uint64
+	reachable := false
+	var firstErr error
+	for _, rep := range r.replicas {
+		txns, epoch, err := rep.Since(since)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		if !reachable || epoch > bestEpoch {
+			bestTxns, bestEpoch = txns, epoch
+		}
+		reachable = true
+	}
+	if !reachable {
+		return nil, 0, fmt.Errorf("p2p: all %d replicas unreachable: %v", len(r.replicas), firstErr)
+	}
+	return bestTxns, bestEpoch, nil
+}
+
+// Epoch implements Store.
+func (r *ReplicatedStore) Epoch() (uint64, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var best uint64
+	reachable := false
+	var firstErr error
+	for _, rep := range r.replicas {
+		epoch, err := rep.Epoch()
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		if epoch > best {
+			best = epoch
+		}
+		reachable = true
+	}
+	if !reachable {
+		return 0, fmt.Errorf("p2p: all %d replicas unreachable: %v", len(r.replicas), firstErr)
+	}
+	return best, nil
+}
+
+// AntiEntropy copies missing transactions between two memory stores so
+// replicas converge (used by the replica maintenance loop and tests).
+func AntiEntropy(a, b *MemoryStore) {
+	at, ae, _ := a.Since(0)
+	bt, be, _ := b.Since(0)
+	a.merge(bt, be)
+	b.merge(at, ae)
+}

@@ -1,0 +1,126 @@
+package p2p
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+
+	"orchestra/internal/updates"
+)
+
+// FileStore is a durable Store: an in-memory store backed by an append-only
+// JSON-lines log. The paper's architecture calls for the archive to survive
+// participants being "only intermittently connected"; FileStore makes it
+// survive the store process itself restarting. Each Publish appends one
+// record (fsynced) before acknowledging.
+type FileStore struct {
+	mu   sync.Mutex
+	mem  *MemoryStore
+	f    *os.File
+	path string
+}
+
+// logRecord is one published batch on disk.
+type logRecord struct {
+	Epoch uint64    `json:"epoch"`
+	Txns  []WireTxn `json:"txns"`
+}
+
+// OpenFileStore opens (or creates) a file-backed store, replaying any
+// existing log into memory.
+func OpenFileStore(path string) (*FileStore, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("p2p: open store log: %w", err)
+	}
+	mem := NewMemoryStore()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<26)
+	line := 0
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var rec logRecord
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("p2p: corrupt store log %s line %d: %v", path, line, err)
+		}
+		txns := make([]*updates.Transaction, 0, len(rec.Txns))
+		for _, w := range rec.Txns {
+			t, err := DecodeTxn(w)
+			if err != nil {
+				f.Close()
+				return nil, fmt.Errorf("p2p: corrupt store log %s line %d: %v", path, line, err)
+			}
+			t.Epoch = rec.Epoch
+			txns = append(txns, t)
+		}
+		mem.merge(txns, rec.Epoch)
+	}
+	if err := sc.Err(); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("p2p: read store log: %w", err)
+	}
+	// Position at end for appends.
+	if _, err := f.Seek(0, 2); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &FileStore{mem: mem, f: f, path: path}, nil
+}
+
+// Publish implements Store: the batch is durably appended before the
+// in-memory state is updated and the new epoch acknowledged.
+func (s *FileStore) Publish(txns []*updates.Transaction) (uint64, error) {
+	if len(txns) == 0 {
+		return s.Epoch()
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	epoch, err := s.mem.Publish(txns)
+	if err != nil {
+		return 0, err
+	}
+	rec := logRecord{Epoch: epoch}
+	for _, t := range txns {
+		rec.Txns = append(rec.Txns, EncodeTxn(t))
+	}
+	data, err := json.Marshal(rec)
+	if err != nil {
+		return 0, err
+	}
+	if _, err := s.f.Write(append(data, '\n')); err != nil {
+		return 0, fmt.Errorf("p2p: append store log: %w", err)
+	}
+	if err := s.f.Sync(); err != nil {
+		return 0, fmt.Errorf("p2p: sync store log: %w", err)
+	}
+	return epoch, nil
+}
+
+// Since implements Store.
+func (s *FileStore) Since(since uint64) ([]*updates.Transaction, uint64, error) {
+	return s.mem.Since(since)
+}
+
+// Epoch implements Store.
+func (s *FileStore) Epoch() (uint64, error) { return s.mem.Epoch() }
+
+// Len returns the number of archived transactions.
+func (s *FileStore) Len() int { return s.mem.Len() }
+
+// Close releases the log file.
+func (s *FileStore) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.f.Close()
+}
+
+var _ Store = (*FileStore)(nil)
+var _ Store = (*MemoryStore)(nil)
+var _ Store = (*Client)(nil)
+var _ Store = (*ReplicatedStore)(nil)

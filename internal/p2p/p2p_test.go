@@ -1,0 +1,273 @@
+package p2p
+
+import (
+	"strings"
+	"testing"
+
+	"orchestra/internal/schema"
+	"orchestra/internal/updates"
+)
+
+func tup(vs ...string) schema.Tuple {
+	out := make(schema.Tuple, len(vs))
+	for i, v := range vs {
+		out[i] = schema.String(v)
+	}
+	return out
+}
+
+func txn(peer string, seq uint64, us ...updates.Update) *updates.Transaction {
+	return &updates.Transaction{ID: updates.TxnID{Peer: peer, Seq: seq}, Updates: us}
+}
+
+func TestMemoryStorePublishSince(t *testing.T) {
+	s := NewMemoryStore()
+	e0, err := s.Epoch()
+	if err != nil || e0 != 0 {
+		t.Fatalf("initial epoch = %d, %v", e0, err)
+	}
+	t1 := txn("a", 1, updates.Insert("R", tup("x")))
+	t2 := txn("a", 2, updates.Insert("R", tup("y")))
+	e1, err := s.Publish([]*updates.Transaction{t1})
+	if err != nil || e1 != 1 {
+		t.Fatalf("publish 1: epoch=%d err=%v", e1, err)
+	}
+	e2, err := s.Publish([]*updates.Transaction{t2})
+	if err != nil || e2 != 2 {
+		t.Fatalf("publish 2: epoch=%d err=%v", e2, err)
+	}
+	if t1.Epoch != 1 || t2.Epoch != 2 {
+		t.Errorf("epochs not stamped: %d %d", t1.Epoch, t2.Epoch)
+	}
+	all, cur, err := s.Since(0)
+	if err != nil || len(all) != 2 || cur != 2 {
+		t.Fatalf("Since(0) = %v, %d, %v", all, cur, err)
+	}
+	tail, _, err := s.Since(1)
+	if err != nil || len(tail) != 1 || tail[0].ID != t2.ID {
+		t.Fatalf("Since(1) = %v, %v", tail, err)
+	}
+	none, _, err := s.Since(2)
+	if err != nil || len(none) != 0 {
+		t.Fatalf("Since(2) = %v", none)
+	}
+	if s.Len() != 2 {
+		t.Errorf("Len = %d", s.Len())
+	}
+}
+
+func TestMemoryStoreDuplicate(t *testing.T) {
+	s := NewMemoryStore()
+	t1 := txn("a", 1, updates.Insert("R", tup("x")))
+	if _, err := s.Publish([]*updates.Transaction{t1}); err != nil {
+		t.Fatal(err)
+	}
+	dup := txn("a", 1, updates.Insert("R", tup("z")))
+	if _, err := s.Publish([]*updates.Transaction{dup}); err == nil {
+		t.Error("duplicate publish accepted")
+	}
+	// Empty publish does not advance the epoch.
+	e, err := s.Publish(nil)
+	if err != nil || e != 1 {
+		t.Errorf("empty publish: epoch=%d err=%v", e, err)
+	}
+}
+
+func TestWireRoundTrip(t *testing.T) {
+	orig := &updates.Transaction{
+		ID:    updates.TxnID{Peer: "beijing", Seq: 7},
+		Epoch: 3,
+		Updates: []updates.Update{
+			updates.Insert("S", schema.NewTuple(schema.Int(1), schema.Int(2), schema.String("AC|GT"))),
+			updates.Delete("O", schema.NewTuple(schema.String("mouse"), schema.Int(1))),
+			updates.Modify("P", schema.NewTuple(schema.String("p53"), schema.Int(9)),
+				schema.NewTuple(schema.String("p53"), schema.Int(10))),
+		},
+		Deps: []updates.TxnID{{Peer: "alaska", Seq: 1}, {Peer: "crete", Seq: 2}},
+	}
+	got, err := DecodeTxn(EncodeTxn(orig))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.ID != orig.ID || got.Epoch != orig.Epoch || len(got.Updates) != 3 || len(got.Deps) != 2 {
+		t.Fatalf("round trip = %+v", got)
+	}
+	for i := range orig.Updates {
+		if got.Updates[i].Op != orig.Updates[i].Op {
+			t.Errorf("update %d op mismatch", i)
+		}
+		if orig.Updates[i].Old != nil && !got.Updates[i].Old.Equal(orig.Updates[i].Old) {
+			t.Errorf("update %d old mismatch", i)
+		}
+		if orig.Updates[i].New != nil && !got.Updates[i].New.Equal(orig.Updates[i].New) {
+			t.Errorf("update %d new mismatch", i)
+		}
+	}
+	if got.Deps[0] != orig.Deps[0] || got.Deps[1] != orig.Deps[1] {
+		t.Error("deps mismatch")
+	}
+	// Labeled nulls survive the wire too.
+	withNull := txn("crete", 1, updates.Insert("O",
+		schema.NewTuple(schema.String("fly"), schema.LabeledNull("sk_M_CA_oid(s:fly)"))))
+	got2, err := DecodeTxn(EncodeTxn(withNull))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got2.Updates[0].New[1].IsLabeledNull() {
+		t.Error("labeled null lost on the wire")
+	}
+	// Malformed wire data is rejected.
+	if _, err := DecodeTxn(WireTxn{Peer: "x", Updates: []WireUpdate{{Rel: "R", Op: 9}}}); err == nil {
+		t.Error("bad op accepted")
+	}
+	if _, err := DecodeTxn(WireTxn{Peer: "x", Updates: []WireUpdate{{Rel: "R", Op: 0, New: "zz"}}}); err == nil {
+		t.Error("bad tuple key accepted")
+	}
+	if _, err := DecodeTxn(WireTxn{Peer: "x", Deps: []string{"nocolon"}}); err == nil {
+		t.Error("bad dep accepted")
+	}
+}
+
+func TestServerClientEndToEnd(t *testing.T) {
+	srv, err := NewServer(NewMemoryStore(), "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	c := NewClient(srv.Addr())
+
+	t1 := txn("a", 1, updates.Insert("R", tup("x")))
+	epoch, err := c.Publish([]*updates.Transaction{t1})
+	if err != nil || epoch != 1 {
+		t.Fatalf("publish: %d %v", epoch, err)
+	}
+	if t1.Epoch != 1 {
+		t.Errorf("client did not stamp epoch: %d", t1.Epoch)
+	}
+	got, cur, err := c.Since(0)
+	if err != nil || len(got) != 1 || cur != 1 {
+		t.Fatalf("since: %v %d %v", got, cur, err)
+	}
+	if got[0].ID != t1.ID || !got[0].Updates[0].New.Equal(tup("x")) {
+		t.Errorf("got %+v", got[0])
+	}
+	e, err := c.Epoch()
+	if err != nil || e != 1 {
+		t.Errorf("epoch: %d %v", e, err)
+	}
+	// Duplicate publish over the wire errors.
+	if _, err := c.Publish([]*updates.Transaction{t1}); err == nil ||
+		!strings.Contains(err.Error(), "already published") {
+		t.Errorf("duplicate: %v", err)
+	}
+}
+
+func TestClientUnreachable(t *testing.T) {
+	c := NewClient("127.0.0.1:1") // nothing listens there
+	if _, err := c.Epoch(); err == nil {
+		t.Error("unreachable server produced no error")
+	}
+}
+
+// TestOfflinePublisherScenario is demo scenario 5 at the transport level:
+// Beijing publishes to the replicated store and goes offline; Alaska can
+// still retrieve Beijing's transactions from a surviving replica.
+func TestOfflinePublisherScenario(t *testing.T) {
+	srv1, err := NewServer(NewMemoryStore(), "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv2, err := NewServer(NewMemoryStore(), "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv2.Close()
+
+	beijing := NewReplicatedStore(NewClient(srv1.Addr()), NewClient(srv2.Addr()))
+	tb := txn("beijing", 1, updates.Insert("S", tup("seq1")))
+	if _, err := beijing.Publish([]*updates.Transaction{tb}); err != nil {
+		t.Fatal(err)
+	}
+	// Replica 1 dies; "Beijing goes offline" too (its client is gone).
+	srv1.Close()
+
+	alaska := NewReplicatedStore(NewClient(srv1.Addr()), NewClient(srv2.Addr()))
+	got, epoch, err := alaska.Since(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].ID != tb.ID || epoch != 1 {
+		t.Errorf("retrieved %v at epoch %d", got, epoch)
+	}
+}
+
+func TestReplicatedStoreAllDown(t *testing.T) {
+	r := NewReplicatedStore(NewClient("127.0.0.1:1"))
+	if _, err := r.Epoch(); err == nil {
+		t.Error("no error with all replicas down")
+	}
+	if _, _, err := r.Since(0); err == nil {
+		t.Error("no error with all replicas down")
+	}
+	if _, err := r.Publish([]*updates.Transaction{txn("a", 1)}); err == nil {
+		t.Error("no error with all replicas down")
+	}
+}
+
+func TestAntiEntropy(t *testing.T) {
+	a, b := NewMemoryStore(), NewMemoryStore()
+	ta := txn("a", 1, updates.Insert("R", tup("x")))
+	tb := txn("b", 1, updates.Insert("R", tup("y")))
+	if _, err := a.Publish([]*updates.Transaction{ta}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Publish([]*updates.Transaction{tb}); err != nil {
+		t.Fatal(err)
+	}
+	AntiEntropy(a, b)
+	at, ae, _ := a.Since(0)
+	bt, be, _ := b.Since(0)
+	if len(at) != 2 || len(bt) != 2 {
+		t.Errorf("after anti-entropy: a=%d b=%d", len(at), len(bt))
+	}
+	if ae != be {
+		t.Errorf("epochs diverge: %d vs %d", ae, be)
+	}
+	// Idempotent.
+	AntiEntropy(a, b)
+	at2, _, _ := a.Since(0)
+	if len(at2) != 2 {
+		t.Errorf("anti-entropy not idempotent: %d", len(at2))
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	srv, err := NewServer(NewMemoryStore(), "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	done := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		go func(g int) {
+			c := NewClient(srv.Addr())
+			for i := 0; i < 10; i++ {
+				tx := txn("peer", uint64(g*100+i), updates.Insert("R", tup("v")))
+				if _, err := c.Publish([]*updates.Transaction{tx}); err != nil {
+					done <- err
+					return
+				}
+			}
+			done <- nil
+		}(g)
+	}
+	for g := 0; g < 8; g++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	all, epoch, err := NewClient(srv.Addr()).Since(0)
+	if err != nil || len(all) != 80 || epoch != 80 {
+		t.Errorf("final: %d txns at epoch %d, err %v", len(all), epoch, err)
+	}
+}

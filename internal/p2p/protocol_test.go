@@ -1,0 +1,101 @@
+package p2p
+
+import (
+	"bufio"
+	"encoding/json"
+	"net"
+	"testing"
+	"time"
+)
+
+// rawRequest sends a raw line to the server and decodes one response.
+func rawRequest(t *testing.T, addr, line string) response {
+	t.Helper()
+	conn, err := net.DialTimeout("tcp", addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	_ = conn.SetDeadline(time.Now().Add(2 * time.Second))
+	if _, err := conn.Write([]byte(line + "\n")); err != nil {
+		t.Fatal(err)
+	}
+	var resp response
+	if err := json.NewDecoder(bufio.NewReader(conn)).Decode(&resp); err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func TestServerRejectsMalformedRequests(t *testing.T) {
+	srv, err := NewServer(NewMemoryStore(), "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	if resp := rawRequest(t, srv.Addr(), "{not json"); resp.Error == "" {
+		t.Error("malformed JSON accepted")
+	}
+	if resp := rawRequest(t, srv.Addr(), `{"op":"frobnicate"}`); resp.Error == "" {
+		t.Error("unknown op accepted")
+	}
+	if resp := rawRequest(t, srv.Addr(), `{"op":"publish","txns":[{"peer":"a","seq":1,"updates":[{"rel":"R","op":9}]}]}`); resp.Error == "" {
+		t.Error("bad wire txn accepted")
+	}
+	// The connection survives bad requests: a good request still works.
+	if resp := rawRequest(t, srv.Addr(), `{"op":"epoch"}`); !resp.OK {
+		t.Errorf("epoch after errors: %+v", resp)
+	}
+}
+
+func TestServerMultipleRequestsPerConnection(t *testing.T) {
+	srv, err := NewServer(NewMemoryStore(), "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	conn, err := net.DialTimeout("tcp", srv.Addr(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	_ = conn.SetDeadline(time.Now().Add(2 * time.Second))
+	r := bufio.NewReader(conn)
+	for i := 0; i < 5; i++ {
+		if _, err := conn.Write([]byte(`{"op":"epoch"}` + "\n")); err != nil {
+			t.Fatal(err)
+		}
+		var resp response
+		if err := json.NewDecoder(r).Decode(&resp); err != nil {
+			t.Fatal(err)
+		}
+		if !resp.OK {
+			t.Fatalf("request %d: %+v", i, resp)
+		}
+	}
+}
+
+func TestServerCloseDropsConnections(t *testing.T) {
+	srv, err := NewServer(NewMemoryStore(), "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, err := net.DialTimeout("tcp", srv.Addr(), time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_ = conn.SetDeadline(time.Now().Add(time.Second))
+	buf := make([]byte, 1)
+	if _, err := conn.Read(buf); err == nil {
+		t.Error("connection survived server close")
+	}
+	// New dials fail.
+	if _, err := net.DialTimeout("tcp", srv.Addr(), 200*time.Millisecond); err == nil {
+		t.Error("dial succeeded after close")
+	}
+}

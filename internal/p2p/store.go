@@ -1,0 +1,111 @@
+// Package p2p implements the CDSS's published-update store: the archive
+// (Figure 1 of the paper) that saves published transactions and makes them
+// available to every participant — including while the publisher is offline
+// (demo scenario 5). The paper stores published transactions in a
+// peer-to-peer distributed database "though one can also use other
+// methods"; this package provides an in-process store plus a replicated
+// TCP store that exercises the same code paths (durable publish, epoch
+// catch-up, fetch from any live replica).
+package p2p
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"orchestra/internal/updates"
+)
+
+// Store is the published-transaction archive. Each successful Publish
+// advances the logical clock (epoch); Since(e) returns every transaction
+// published after epoch e in causal order.
+type Store interface {
+	// Publish archives the transactions atomically, assigning them the
+	// next epoch, which is returned.
+	Publish(txns []*updates.Transaction) (uint64, error)
+	// Since returns transactions with epoch > since in publish order, plus
+	// the current epoch.
+	Since(since uint64) ([]*updates.Transaction, uint64, error)
+	// Epoch returns the current logical clock value.
+	Epoch() (uint64, error)
+}
+
+// MemoryStore is the in-process Store implementation; safe for concurrent
+// use.
+type MemoryStore struct {
+	mu    sync.RWMutex
+	epoch uint64
+	log   []*updates.Transaction
+	seen  map[updates.TxnID]bool
+}
+
+// NewMemoryStore creates an empty store at epoch 0.
+func NewMemoryStore() *MemoryStore {
+	return &MemoryStore{seen: map[updates.TxnID]bool{}}
+}
+
+// Publish archives transactions and advances the epoch.
+func (s *MemoryStore) Publish(txns []*updates.Transaction) (uint64, error) {
+	if len(txns) == 0 {
+		return s.Epoch()
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, t := range txns {
+		if s.seen[t.ID] {
+			return 0, fmt.Errorf("p2p: transaction %s already published", t.ID)
+		}
+	}
+	s.epoch++
+	for _, t := range txns {
+		t.Epoch = s.epoch
+		s.seen[t.ID] = true
+		s.log = append(s.log, t)
+	}
+	return s.epoch, nil
+}
+
+// Since returns transactions published after the given epoch.
+func (s *MemoryStore) Since(since uint64) ([]*updates.Transaction, uint64, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []*updates.Transaction
+	for _, t := range s.log {
+		if t.Epoch > since {
+			out = append(out, t)
+		}
+	}
+	return out, s.epoch, nil
+}
+
+// Epoch returns the current epoch.
+func (s *MemoryStore) Epoch() (uint64, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.epoch, nil
+}
+
+// Len returns the number of archived transactions.
+func (s *MemoryStore) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.log)
+}
+
+// merge folds remote transactions into the store during anti-entropy,
+// keeping the maximum epoch. Duplicates are skipped.
+func (s *MemoryStore) merge(txns []*updates.Transaction, epoch uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, t := range txns {
+		if s.seen[t.ID] {
+			continue
+		}
+		s.seen[t.ID] = true
+		s.log = append(s.log, t)
+	}
+	sort.SliceStable(s.log, func(i, j int) bool { return s.log[i].Epoch < s.log[j].Epoch })
+	if epoch > s.epoch {
+		s.epoch = epoch
+	}
+}

@@ -1,0 +1,101 @@
+package p2p
+
+import (
+	"fmt"
+
+	"orchestra/internal/schema"
+	"orchestra/internal/updates"
+)
+
+// Wire representations: transactions travel as JSON with tuples encoded by
+// their canonical injective keys (schema.Tuple.Key), which round-trip
+// exactly. Provenance does not travel — published transactions carry
+// original updates whose provenance (their own tokens) is re-minted
+// deterministically by the receiving side's exchange engine.
+
+// WireUpdate is the wire form of updates.Update.
+type WireUpdate struct {
+	Rel string `json:"rel"`
+	Op  uint8  `json:"op"`
+	Old string `json:"old,omitempty"`
+	New string `json:"new,omitempty"`
+}
+
+// WireTxn is the wire form of updates.Transaction.
+type WireTxn struct {
+	Peer    string       `json:"peer"`
+	Seq     uint64       `json:"seq"`
+	Epoch   uint64       `json:"epoch"`
+	Updates []WireUpdate `json:"updates"`
+	Deps    []string     `json:"deps,omitempty"`
+}
+
+// EncodeTxn converts a transaction to wire form.
+func EncodeTxn(t *updates.Transaction) WireTxn {
+	w := WireTxn{Peer: t.ID.Peer, Seq: t.ID.Seq, Epoch: t.Epoch}
+	for _, u := range t.Updates {
+		wu := WireUpdate{Rel: u.Rel, Op: uint8(u.Op)}
+		if u.Old != nil {
+			wu.Old = u.Old.Key()
+		}
+		if u.New != nil {
+			wu.New = u.New.Key()
+		}
+		w.Updates = append(w.Updates, wu)
+	}
+	for _, d := range t.Deps {
+		w.Deps = append(w.Deps, d.String())
+	}
+	return w
+}
+
+// DecodeTxn converts wire form back to a transaction.
+func DecodeTxn(w WireTxn) (*updates.Transaction, error) {
+	t := &updates.Transaction{
+		ID:    updates.TxnID{Peer: w.Peer, Seq: w.Seq},
+		Epoch: w.Epoch,
+	}
+	for _, wu := range w.Updates {
+		u := updates.Update{Rel: wu.Rel, Op: updates.Op(wu.Op)}
+		if wu.Op > uint8(updates.OpModify) {
+			return nil, fmt.Errorf("p2p: unknown op %d", wu.Op)
+		}
+		if wu.Old != "" {
+			tu, err := schema.ParseTupleKey(wu.Old)
+			if err != nil {
+				return nil, fmt.Errorf("p2p: bad old tuple: %v", err)
+			}
+			u.Old = tu
+		}
+		if wu.New != "" {
+			tu, err := schema.ParseTupleKey(wu.New)
+			if err != nil {
+				return nil, fmt.Errorf("p2p: bad new tuple: %v", err)
+			}
+			u.New = tu
+		}
+		t.Updates = append(t.Updates, u)
+	}
+	for _, d := range w.Deps {
+		id, err := updates.ParseTxnID(d)
+		if err != nil {
+			return nil, err
+		}
+		t.Deps = append(t.Deps, id)
+	}
+	return t, nil
+}
+
+// request and response are the TCP protocol frames (JSON, one per line).
+type request struct {
+	Op    string    `json:"op"` // "publish", "since", "epoch"
+	Epoch uint64    `json:"epoch,omitempty"`
+	Txns  []WireTxn `json:"txns,omitempty"`
+}
+
+type response struct {
+	OK    bool      `json:"ok"`
+	Error string    `json:"error,omitempty"`
+	Epoch uint64    `json:"epoch,omitempty"`
+	Txns  []WireTxn `json:"txns,omitempty"`
+}

@@ -1,0 +1,427 @@
+package provenance
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Var identifies a provenance token: in ORCHESTRA, one token is minted per
+// base (published) tuple, so a polynomial over Vars describes exactly which
+// combinations of published data derive a tuple.
+type Var string
+
+// VarPow is one factor x^k of a monomial.
+type VarPow struct {
+	Var Var
+	Pow int
+}
+
+// Monomial is coef · x1^k1 · ... · xn^kn with Vars sorted by name and all
+// powers ≥ 1. A Monomial with no vars is a constant.
+type Monomial struct {
+	Coef uint64
+	Vars []VarPow
+}
+
+// varKey returns the canonical key of the monomial's variable part. It is
+// on the hot path of polynomial normalization, so it avoids fmt.
+func (m Monomial) varKey() string {
+	n := 0
+	for _, vp := range m.Vars {
+		n += len(vp.Var) + 2
+	}
+	var b strings.Builder
+	b.Grow(n)
+	for _, vp := range m.Vars {
+		b.WriteString(string(vp.Var))
+		if vp.Pow != 1 {
+			b.WriteByte('^')
+			b.WriteString(strconv.Itoa(vp.Pow))
+		}
+		b.WriteByte(';')
+	}
+	return b.String()
+}
+
+// Key returns the canonical key of the monomial's variable part (ignoring
+// the coefficient); two monomials with the same Key merge under addition.
+func (m Monomial) Key() string { return m.varKey() }
+
+// Degree returns the total degree of the monomial.
+func (m Monomial) Degree() int {
+	d := 0
+	for _, vp := range m.Vars {
+		d += vp.Pow
+	}
+	return d
+}
+
+// String renders the monomial, e.g. "2·x·y^2".
+func (m Monomial) String() string {
+	if len(m.Vars) == 0 {
+		return fmt.Sprintf("%d", m.Coef)
+	}
+	parts := []string{}
+	if m.Coef != 1 {
+		parts = append(parts, fmt.Sprintf("%d", m.Coef))
+	}
+	for _, vp := range m.Vars {
+		if vp.Pow == 1 {
+			parts = append(parts, string(vp.Var))
+		} else {
+			parts = append(parts, fmt.Sprintf("%s^%d", vp.Var, vp.Pow))
+		}
+	}
+	return strings.Join(parts, "·")
+}
+
+// Poly is a provenance polynomial in N[X], kept in canonical form: monomials
+// sorted by variable key, no zero coefficients, variable lists sorted and
+// deduplicated. The zero polynomial is the empty monomial list. Poly values
+// are immutable; operations return new polynomials.
+type Poly struct {
+	monos []Monomial
+}
+
+// Zero returns the zero polynomial (no derivations).
+func Zero() Poly { return Poly{} }
+
+// One returns the constant polynomial 1.
+func One() Poly { return Const(1) }
+
+// Const returns the constant polynomial c.
+func Const(c uint64) Poly {
+	if c == 0 {
+		return Poly{}
+	}
+	return Poly{monos: []Monomial{{Coef: c}}}
+}
+
+// NewVar returns the polynomial consisting of the single variable x.
+func NewVar(x Var) Poly {
+	return Poly{monos: []Monomial{{Coef: 1, Vars: []VarPow{{Var: x, Pow: 1}}}}}
+}
+
+// IsZero reports whether p is the zero polynomial.
+func (p Poly) IsZero() bool { return len(p.monos) == 0 }
+
+// IsOne reports whether p is the constant 1.
+func (p Poly) IsOne() bool {
+	return len(p.monos) == 1 && p.monos[0].Coef == 1 && len(p.monos[0].Vars) == 0
+}
+
+// Monomials returns the canonical monomial list (shared; do not modify).
+func (p Poly) Monomials() []Monomial { return p.monos }
+
+// NumMonomials returns the number of monomials (distinct derivation shapes).
+func (p Poly) NumMonomials() int { return len(p.monos) }
+
+// Degree returns the maximum monomial degree, or 0 for constants/zero.
+func (p Poly) Degree() int {
+	d := 0
+	for _, m := range p.monos {
+		if md := m.Degree(); md > d {
+			d = md
+		}
+	}
+	return d
+}
+
+// Vars returns the sorted set of variables mentioned in p.
+func (p Poly) Vars() []Var {
+	set := map[Var]bool{}
+	for _, m := range p.monos {
+		for _, vp := range m.Vars {
+			set[vp.Var] = true
+		}
+	}
+	out := make([]Var, 0, len(set))
+	for v := range set {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// FromMonomials builds a polynomial from raw monomials, normalizing into
+// canonical form (merging duplicates, dropping zero coefficients).
+func FromMonomials(monos []Monomial) Poly { return normalize(monos) }
+
+// normalize sorts and merges a raw monomial list into canonical form.
+func normalize(monos []Monomial) Poly {
+	byKey := map[string]*Monomial{}
+	keys := []string{}
+	for _, m := range monos {
+		if m.Coef == 0 {
+			continue
+		}
+		k := m.varKey()
+		if existing, ok := byKey[k]; ok {
+			existing.Coef += m.Coef
+		} else {
+			cp := Monomial{Coef: m.Coef, Vars: append([]VarPow(nil), m.Vars...)}
+			byKey[k] = &cp
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	out := make([]Monomial, 0, len(keys))
+	for _, k := range keys {
+		if byKey[k].Coef != 0 {
+			out = append(out, *byKey[k])
+		}
+	}
+	return Poly{monos: out}
+}
+
+// Add returns p + q.
+func (p Poly) Add(q Poly) Poly {
+	if p.IsZero() {
+		return q
+	}
+	if q.IsZero() {
+		return p
+	}
+	all := make([]Monomial, 0, len(p.monos)+len(q.monos))
+	all = append(all, p.monos...)
+	all = append(all, q.monos...)
+	return normalize(all)
+}
+
+// mulMono multiplies two monomials.
+func mulMono(a, b Monomial) Monomial {
+	out := Monomial{Coef: a.Coef * b.Coef}
+	i, j := 0, 0
+	for i < len(a.Vars) && j < len(b.Vars) {
+		switch {
+		case a.Vars[i].Var < b.Vars[j].Var:
+			out.Vars = append(out.Vars, a.Vars[i])
+			i++
+		case a.Vars[i].Var > b.Vars[j].Var:
+			out.Vars = append(out.Vars, b.Vars[j])
+			j++
+		default:
+			out.Vars = append(out.Vars, VarPow{Var: a.Vars[i].Var, Pow: a.Vars[i].Pow + b.Vars[j].Pow})
+			i++
+			j++
+		}
+	}
+	out.Vars = append(out.Vars, a.Vars[i:]...)
+	out.Vars = append(out.Vars, b.Vars[j:]...)
+	return out
+}
+
+// Mul returns p · q.
+func (p Poly) Mul(q Poly) Poly {
+	if p.IsZero() || q.IsZero() {
+		return Poly{}
+	}
+	if p.IsOne() {
+		return q
+	}
+	if q.IsOne() {
+		return p
+	}
+	all := make([]Monomial, 0, len(p.monos)*len(q.monos))
+	for _, a := range p.monos {
+		for _, b := range q.monos {
+			all = append(all, mulMono(a, b))
+		}
+	}
+	return normalize(all)
+}
+
+// Equal reports canonical equality of two polynomials.
+func (p Poly) Equal(q Poly) bool {
+	if len(p.monos) != len(q.monos) {
+		return false
+	}
+	for i := range p.monos {
+		a, b := p.monos[i], q.monos[i]
+		if a.Coef != b.Coef || len(a.Vars) != len(b.Vars) {
+			return false
+		}
+		for j := range a.Vars {
+			if a.Vars[j] != b.Vars[j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// String renders the polynomial, e.g. "x·y + 2·z".
+func (p Poly) String() string {
+	if p.IsZero() {
+		return "0"
+	}
+	parts := make([]string, len(p.monos))
+	for i, m := range p.monos {
+		parts[i] = m.String()
+	}
+	return strings.Join(parts, " + ")
+}
+
+// Eval evaluates p under the semiring homomorphism determined by assign:
+// each variable x is replaced by assign(x) and +/· are interpreted in s.
+// This is the "factorization" property of N[X]: a single polynomial answers
+// trust, derivability, counting, and cost queries.
+func Eval[T any](p Poly, s Semiring[T], assign func(Var) T) T {
+	acc := s.Zero()
+	for _, m := range p.monos {
+		// Interpret the coefficient as a c-fold sum of 1.
+		term := s.Zero()
+		for c := uint64(0); c < m.Coef; c++ {
+			term = s.Add(term, s.One())
+		}
+		for _, vp := range m.Vars {
+			v := assign(vp.Var)
+			for k := 0; k < vp.Pow; k++ {
+				term = s.Mul(term, v)
+			}
+		}
+		acc = s.Add(acc, term)
+	}
+	return acc
+}
+
+// Derivable reports whether p is still derivable when exactly the variables
+// in alive are present (all others deleted). It is Eval under the boolean
+// semiring with the characteristic assignment of alive, and is the test
+// that drives provenance-based deletion propagation in update exchange.
+func (p Poly) Derivable(alive func(Var) bool) bool {
+	for _, m := range p.monos {
+		ok := true
+		for _, vp := range m.Vars {
+			if !alive(vp.Var) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}
+
+// Restrict returns p with all monomials mentioning a dead variable removed —
+// the polynomial of the instance after deleting those base tuples.
+func (p Poly) Restrict(alive func(Var) bool) Poly {
+	out := make([]Monomial, 0, len(p.monos))
+	for _, m := range p.monos {
+		ok := true
+		for _, vp := range m.Vars {
+			if !alive(vp.Var) {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out = append(out, m)
+		}
+	}
+	if len(out) == len(p.monos) {
+		return p
+	}
+	return Poly{monos: out}
+}
+
+// Linearize maps p from N[X] onto the B[X] "witness set" quotient: every
+// coefficient becomes 1 and every variable power becomes 1, then duplicate
+// monomials merge. The result enumerates the distinct sets of base tuples
+// that each support a derivation. Evaluation under any semiring with
+// idempotent + and · (boolean, trust, security) is unchanged by
+// linearization, which is why the datalog engine can use it to obtain a
+// finite fixpoint for recursive mapping programs (see internal/datalog).
+func (p Poly) Linearize() Poly {
+	if p.IsZero() {
+		return p
+	}
+	out := make([]Monomial, 0, len(p.monos))
+	changed := false
+	for _, m := range p.monos {
+		nm := Monomial{Coef: 1, Vars: make([]VarPow, len(m.Vars))}
+		if m.Coef != 1 {
+			changed = true
+		}
+		for i, vp := range m.Vars {
+			if vp.Pow != 1 {
+				changed = true
+			}
+			nm.Vars[i] = VarPow{Var: vp.Var, Pow: 1}
+		}
+		out = append(out, nm)
+	}
+	if !changed {
+		return p
+	}
+	q := normalize(out)
+	// normalize may have merged duplicates, re-cap coefficients at 1.
+	for i := range q.monos {
+		q.monos[i].Coef = 1
+	}
+	return q
+}
+
+// Truncate returns p with at most k monomials, keeping those with the
+// lowest degree (shortest derivations) and breaking ties canonically. The
+// datalog engine uses it to bound witness-set growth on dense mapping
+// graphs, where the number of alternative derivation paths — and hence
+// monomials — can grow combinatorially. Short derivations are the ones
+// trust conditions and deletion propagation care about; see DESIGN.md §4.
+func (p Poly) Truncate(k int) Poly {
+	if k <= 0 || len(p.monos) <= k {
+		return p
+	}
+	idx := make([]int, len(p.monos))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		da, db := p.monos[idx[a]].Degree(), p.monos[idx[b]].Degree()
+		if da != db {
+			return da < db
+		}
+		return idx[a] < idx[b] // canonical order as tiebreak
+	})
+	keep := idx[:k]
+	sort.Ints(keep)
+	out := make([]Monomial, 0, k)
+	for _, i := range keep {
+		out = append(out, p.monos[i])
+	}
+	return Poly{monos: out}
+}
+
+// Subsumes reports whether every monomial of q is present in p (ignoring
+// coefficients and powers after linearization). It is the ≤ test of the
+// B[X] lattice used by the fixpoint convergence check.
+func (p Poly) Subsumes(q Poly) bool {
+	lp, lq := p.Linearize(), q.Linearize()
+	have := map[string]bool{}
+	for _, m := range lp.monos {
+		have[m.varKey()] = true
+	}
+	for _, m := range lq.monos {
+		if !have[m.varKey()] {
+			return false
+		}
+	}
+	return true
+}
+
+// polySemiring makes Poly itself a Semiring[Poly] — N[X] is the free
+// commutative semiring, so datalog evaluation can run directly over it.
+type polySemiring struct{}
+
+func (polySemiring) Zero() Poly         { return Zero() }
+func (polySemiring) One() Poly          { return One() }
+func (polySemiring) Add(a, b Poly) Poly { return a.Add(b) }
+func (polySemiring) Mul(a, b Poly) Poly { return a.Mul(b) }
+func (polySemiring) Eq(a, b Poly) bool  { return a.Equal(b) }
+
+// PolySemiring returns N[X] as a Semiring[Poly].
+func PolySemiring() Semiring[Poly] { return polySemiring{} }

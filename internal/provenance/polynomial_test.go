@@ -1,0 +1,240 @@
+package provenance
+
+import (
+	"testing"
+)
+
+func v(name string) Poly { return NewVar(Var(name)) }
+
+func TestPolyBasics(t *testing.T) {
+	if !Zero().IsZero() {
+		t.Error("Zero not zero")
+	}
+	if !One().IsOne() {
+		t.Error("One not one")
+	}
+	if !Const(0).IsZero() {
+		t.Error("Const(0) not zero")
+	}
+	x := v("x")
+	if x.IsZero() || x.IsOne() {
+		t.Error("variable misclassified")
+	}
+	if x.String() != "x" {
+		t.Errorf("x renders as %q", x.String())
+	}
+}
+
+func TestPolyAddMul(t *testing.T) {
+	x, y := v("x"), v("y")
+	// (x + y)·(x + y) = x^2 + 2xy + y^2
+	sq := x.Add(y).Mul(x.Add(y))
+	want := x.Mul(x).Add(Const(2).Mul(x).Mul(y)).Add(y.Mul(y))
+	if !sq.Equal(want) {
+		t.Errorf("(x+y)^2 = %v, want %v", sq, want)
+	}
+	if sq.Degree() != 2 {
+		t.Errorf("degree = %d", sq.Degree())
+	}
+	if sq.NumMonomials() != 3 {
+		t.Errorf("monomials = %d", sq.NumMonomials())
+	}
+}
+
+func TestPolyCanonicalForm(t *testing.T) {
+	x, y := v("x"), v("y")
+	a := x.Mul(y)
+	b := y.Mul(x)
+	if !a.Equal(b) {
+		t.Error("xy != yx: canonical form broken")
+	}
+	// x + x = 2x, represented once.
+	two := x.Add(x)
+	if two.NumMonomials() != 1 || two.Monomials()[0].Coef != 2 {
+		t.Errorf("x+x = %v", two)
+	}
+	// Addition/multiplication with zero/one shortcuts.
+	if !x.Add(Zero()).Equal(x) || !Zero().Add(x).Equal(x) {
+		t.Error("zero addition identity broken")
+	}
+	if !x.Mul(One()).Equal(x) || !One().Mul(x).Equal(x) {
+		t.Error("one multiplication identity broken")
+	}
+	if !x.Mul(Zero()).IsZero() {
+		t.Error("zero annihilation broken")
+	}
+}
+
+func TestPolyVars(t *testing.T) {
+	p := v("b").Mul(v("a")).Add(v("c"))
+	vars := p.Vars()
+	if len(vars) != 3 || vars[0] != "a" || vars[1] != "b" || vars[2] != "c" {
+		t.Errorf("Vars = %v", vars)
+	}
+}
+
+func TestEvalHomomorphism(t *testing.T) {
+	// p = x·y + 2·z. Under counting with x=3,y=4,z=5: 3·4 + 2·5 = 22.
+	p := v("x").Mul(v("y")).Add(Const(2).Mul(v("z")))
+	assignN := func(x Var) uint64 {
+		switch x {
+		case "x":
+			return 3
+		case "y":
+			return 4
+		default:
+			return 5
+		}
+	}
+	if got := Eval[uint64](p, CountSemiring{}, assignN); got != 22 {
+		t.Errorf("count eval = %d, want 22", got)
+	}
+	// Under boolean with z=false: x·y still derives it.
+	assignB := func(x Var) bool { return x != "z" }
+	if !Eval[bool](p, BoolSemiring{}, assignB) {
+		t.Error("bool eval should be true via x·y")
+	}
+	// With y also false, nothing derives it.
+	assignB2 := func(x Var) bool { return x == "x" }
+	if Eval[bool](p, BoolSemiring{}, assignB2) {
+		t.Error("bool eval should be false")
+	}
+	// Under trust with x=0.9, y=0.4, z=0.7: max(min(.9,.4), .7) = 0.7.
+	assignT := func(x Var) float64 {
+		switch x {
+		case "x":
+			return 0.9
+		case "y":
+			return 0.4
+		default:
+			return 0.7
+		}
+	}
+	if got := Eval[float64](p, TrustSemiring{}, assignT); got != 0.7 {
+		t.Errorf("trust eval = %v, want 0.7", got)
+	}
+	// Under tropical with x=1,y=2,z=4: min(1+2, 0+4+4)... coefficient 2 in
+	// tropical is min over two copies = identity for the sum, so 2·z means
+	// z added twice? No: coefficient c folds c copies via Add (min), which
+	// for c≥1 is just the term itself. min(3, 4) = 3.
+	assignTr := func(x Var) int64 {
+		switch x {
+		case "x":
+			return 1
+		case "y":
+			return 2
+		default:
+			return 4
+		}
+	}
+	if got := Eval[int64](p, TropicalSemiring{}, assignTr); got != 3 {
+		t.Errorf("tropical eval = %d, want 3", got)
+	}
+}
+
+// Property: Eval is a semiring homomorphism — it commutes with Add and Mul.
+func TestQuickEvalCommutes(t *testing.T) {
+	var seed uint64 = 99
+	next := func() uint64 { seed = seed*6364136223846793005 + 1442695040888963407; return seed }
+	names := []Var{"a", "b", "c", "d"}
+	randPoly := func() Poly {
+		p := Zero()
+		terms := int(next()%3) + 1
+		for i := 0; i < terms; i++ {
+			m := Const(next()%3 + 1)
+			factors := int(next() % 3)
+			for j := 0; j < factors; j++ {
+				m = m.Mul(NewVar(names[next()%4]))
+			}
+			p = p.Add(m)
+		}
+		return p
+	}
+	s := CountSemiring{}
+	for i := 0; i < 300; i++ {
+		p, q := randPoly(), randPoly()
+		assign := map[Var]uint64{}
+		for _, n := range names {
+			assign[n] = next() % 5
+		}
+		get := func(x Var) uint64 { return assign[x] }
+		sum := Eval[uint64](p.Add(q), s, get)
+		if sum != Eval[uint64](p, s, get)+Eval[uint64](q, s, get) {
+			t.Fatalf("Eval(p+q) != Eval(p)+Eval(q) for p=%v q=%v", p, q)
+		}
+		prod := Eval[uint64](p.Mul(q), s, get)
+		if prod != Eval[uint64](p, s, get)*Eval[uint64](q, s, get) {
+			t.Fatalf("Eval(p·q) != Eval(p)·Eval(q) for p=%v q=%v", p, q)
+		}
+	}
+}
+
+func TestDerivableAndRestrict(t *testing.T) {
+	// p = x·y + z
+	p := v("x").Mul(v("y")).Add(v("z"))
+	all := func(Var) bool { return true }
+	if !p.Derivable(all) {
+		t.Error("derivable with all vars")
+	}
+	noZ := func(x Var) bool { return x != "z" }
+	if !p.Derivable(noZ) {
+		t.Error("still derivable via x·y")
+	}
+	onlyZ := func(x Var) bool { return x == "z" }
+	if !p.Derivable(onlyZ) {
+		t.Error("still derivable via z")
+	}
+	onlyX := func(x Var) bool { return x == "x" }
+	if p.Derivable(onlyX) {
+		t.Error("not derivable with only x")
+	}
+	r := p.Restrict(noZ)
+	if !r.Equal(v("x").Mul(v("y"))) {
+		t.Errorf("Restrict = %v", r)
+	}
+	// Restrict with everything alive returns p unchanged (same value).
+	if !p.Restrict(all).Equal(p) {
+		t.Error("Restrict(all) changed p")
+	}
+	if !p.Restrict(func(Var) bool { return false }).IsZero() {
+		t.Error("Restrict(none) should be zero")
+	}
+	// Constants are always derivable.
+	if !One().Derivable(func(Var) bool { return false }) {
+		t.Error("constant 1 must be derivable")
+	}
+	if Zero().Derivable(all) {
+		t.Error("zero is never derivable")
+	}
+}
+
+func TestPolySemiringLaws(t *testing.T) {
+	s := PolySemiring()
+	var seed uint64 = 7
+	next := func() uint64 { seed = seed*2862933555777941757 + 3037000493; return seed }
+	names := []Var{"x", "y", "z"}
+	gen := func() Poly {
+		p := Zero()
+		for i := uint64(0); i < next()%3+1; i++ {
+			m := Const(next()%2 + 1)
+			for j := uint64(0); j < next()%2+1; j++ {
+				m = m.Mul(NewVar(names[next()%3]))
+			}
+			p = p.Add(m)
+		}
+		return p
+	}
+	checkSemiringLaws[Poly](t, "N[X]", s, gen)
+}
+
+func TestPolyString(t *testing.T) {
+	p := Const(2).Mul(v("x")).Mul(v("x")).Add(v("y")).Add(One())
+	got := p.String()
+	// Canonical order: constant monomial key "" sorts first.
+	if got != "1 + 2·x^2 + y" {
+		t.Errorf("String() = %q", got)
+	}
+	if Zero().String() != "0" {
+		t.Errorf("Zero renders as %q", Zero().String())
+	}
+}

@@ -1,0 +1,126 @@
+package provenance
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// checkSemiringLaws verifies the commutative-semiring axioms on sampled
+// elements of any semiring.
+func checkSemiringLaws[T any](t *testing.T, name string, s Semiring[T], gen func() T) {
+	t.Helper()
+	f := func() bool {
+		a, b, c := gen(), gen(), gen()
+		// Associativity and commutativity of +.
+		if !s.Eq(s.Add(s.Add(a, b), c), s.Add(a, s.Add(b, c))) {
+			return false
+		}
+		if !s.Eq(s.Add(a, b), s.Add(b, a)) {
+			return false
+		}
+		// Identity and annihilator.
+		if !s.Eq(s.Add(a, s.Zero()), a) {
+			return false
+		}
+		if !s.Eq(s.Mul(a, s.One()), a) {
+			return false
+		}
+		if !s.Eq(s.Mul(a, s.Zero()), s.Zero()) {
+			return false
+		}
+		// Associativity and commutativity of ·.
+		if !s.Eq(s.Mul(s.Mul(a, b), c), s.Mul(a, s.Mul(b, c))) {
+			return false
+		}
+		if !s.Eq(s.Mul(a, b), s.Mul(b, a)) {
+			return false
+		}
+		// Distributivity.
+		return s.Eq(s.Mul(a, s.Add(b, c)), s.Add(s.Mul(a, b), s.Mul(a, c)))
+	}
+	for i := 0; i < 200; i++ {
+		if !f() {
+			t.Fatalf("%s: semiring law violated", name)
+		}
+	}
+}
+
+func TestSemiringLaws(t *testing.T) {
+	var seed uint64 = 12345
+	next := func() uint64 { seed = seed*6364136223846793005 + 1442695040888963407; return seed }
+
+	checkSemiringLaws[bool](t, "bool", BoolSemiring{}, func() bool { return next()%2 == 0 })
+	checkSemiringLaws[uint64](t, "count", CountSemiring{}, func() uint64 { return next() % 100 })
+	checkSemiringLaws[int64](t, "tropical", TropicalSemiring{}, func() int64 {
+		v := int64(next() % 1000)
+		if v > 990 {
+			return TropicalInf
+		}
+		return v
+	})
+	checkSemiringLaws[float64](t, "trust", TrustSemiring{}, func() float64 { return float64(next()%101) / 100 })
+	checkSemiringLaws[int8](t, "security", SecuritySemiring{}, func() int8 { return int8(next() % 5) })
+}
+
+func TestTropicalSaturation(t *testing.T) {
+	s := TropicalSemiring{}
+	if s.Mul(TropicalInf, TropicalInf) != TropicalInf {
+		t.Error("∞+∞ must saturate at ∞")
+	}
+	if s.Mul(TropicalInf, 5) != TropicalInf {
+		t.Error("∞+5 must be ∞")
+	}
+	if s.Add(TropicalInf, 5) != 5 {
+		t.Error("min(∞,5) must be 5")
+	}
+}
+
+func TestSecurityLevels(t *testing.T) {
+	s := SecuritySemiring{}
+	// A joint derivation using a Secret and a Public tuple needs Secret.
+	if s.Mul(Public, Secret) != Secret {
+		t.Error("joint clearance wrong")
+	}
+	// An alternative Public derivation makes the data Public.
+	if s.Add(Secret, Public) != Public {
+		t.Error("alternative clearance wrong")
+	}
+	if s.Add(s.Zero(), TopSecret) != TopSecret {
+		t.Error("Unusable must be additive identity")
+	}
+}
+
+func TestTrustSemiringWeakestLink(t *testing.T) {
+	s := TrustSemiring{}
+	// Conjunction of 0.9-trusted and 0.3-trusted inputs is 0.3-trusted.
+	if got := s.Mul(0.9, 0.3); got != 0.3 {
+		t.Errorf("Mul(0.9,0.3) = %v", got)
+	}
+	// Best of two alternative derivations.
+	if got := s.Add(0.3, 0.7); got != 0.7 {
+		t.Errorf("Add(0.3,0.7) = %v", got)
+	}
+}
+
+// Property-based law checks via testing/quick for the two semirings whose
+// carrier types quick can generate directly.
+func TestQuickBoolDistributivity(t *testing.T) {
+	s := BoolSemiring{}
+	f := func(a, b, c bool) bool {
+		return s.Mul(a, s.Add(b, c)) == s.Add(s.Mul(a, b), s.Mul(a, c))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickCountDistributivity(t *testing.T) {
+	s := CountSemiring{}
+	f := func(a, b, c uint32) bool {
+		A, B, C := uint64(a), uint64(b), uint64(c)
+		return s.Mul(A, s.Add(B, C)) == s.Add(s.Mul(A, B), s.Mul(A, C))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

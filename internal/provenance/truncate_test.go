@@ -1,0 +1,106 @@
+package provenance
+
+import (
+	"testing"
+)
+
+func TestTruncateKeepsLowestDegree(t *testing.T) {
+	x, y, z := v("x"), v("y"), v("z")
+	// p = x + y·z + x·y·z : degrees 1, 2, 3.
+	p := x.Add(y.Mul(z)).Add(x.Mul(y).Mul(z))
+	q := p.Truncate(2)
+	if q.NumMonomials() != 2 {
+		t.Fatalf("truncated to %d monomials", q.NumMonomials())
+	}
+	if q.Degree() != 2 {
+		t.Errorf("kept degree %d; want the two shortest derivations", q.Degree())
+	}
+	// The shortest derivation always survives.
+	if !q.Subsumes(x) {
+		t.Errorf("lost the degree-1 witness: %v", q)
+	}
+}
+
+func TestTruncateNoOpCases(t *testing.T) {
+	p := v("x").Add(v("y"))
+	if !p.Truncate(0).Equal(p) {
+		t.Error("k=0 must mean unbounded")
+	}
+	if !p.Truncate(5).Equal(p) {
+		t.Error("k larger than size must be a no-op")
+	}
+	if !Zero().Truncate(3).Equal(Zero()) {
+		t.Error("zero truncation broken")
+	}
+}
+
+func TestTruncatePreservesDerivabilityOfKept(t *testing.T) {
+	// Truncation may drop alternative witnesses but never invents
+	// derivability: Derivable(truncated) implies Derivable(full).
+	x, y, z, w := v("x"), v("y"), v("z"), v("w")
+	p := x.Mul(y).Add(z.Mul(w)).Add(x.Mul(w))
+	q := p.Truncate(2)
+	checks := [][]Var{{"x", "y"}, {"z", "w"}, {"x", "w"}, {"x"}, {}}
+	for _, aliveSet := range checks {
+		aliveMap := map[Var]bool{}
+		for _, a := range aliveSet {
+			aliveMap[a] = true
+		}
+		alive := func(v Var) bool { return aliveMap[v] }
+		if q.Derivable(alive) && !p.Derivable(alive) {
+			t.Errorf("truncation invented derivability under %v", aliveSet)
+		}
+	}
+}
+
+func TestMonomialKey(t *testing.T) {
+	x := v("x").Mul(v("x")).Mul(v("y"))
+	m := x.Monomials()[0]
+	if m.Key() != "x^2;y;" {
+		t.Errorf("Key = %q", m.Key())
+	}
+	lin := x.Linearize().Monomials()[0]
+	if lin.Key() != "x;y;" {
+		t.Errorf("linearized Key = %q", lin.Key())
+	}
+}
+
+func TestSubsumes(t *testing.T) {
+	x, y := v("x"), v("y")
+	p := x.Add(x.Mul(y))
+	if !p.Subsumes(x) {
+		t.Error("p must subsume its own monomial")
+	}
+	if p.Subsumes(y) {
+		t.Error("p must not subsume an absent monomial")
+	}
+	// Subsumption works modulo linearization (powers collapse).
+	if !p.Subsumes(x.Mul(x)) {
+		t.Error("x² must be subsumed by p containing x")
+	}
+	if !Zero().Subsumes(Zero()) {
+		t.Error("zero subsumes zero")
+	}
+	if Zero().Subsumes(x) {
+		t.Error("zero subsumes nothing else")
+	}
+}
+
+func TestLinearize(t *testing.T) {
+	x, y := v("x"), v("y")
+	p := Const(3).Mul(x).Mul(x).Add(Const(2).Mul(y))
+	l := p.Linearize()
+	want := x.Add(y)
+	if !l.Equal(want) {
+		t.Errorf("Linearize = %v, want %v", l, want)
+	}
+	// Linearizing an already-linear polynomial returns it unchanged.
+	if !want.Linearize().Equal(want) {
+		t.Error("idempotence broken")
+	}
+	// Powers collapsing can merge monomials: x²y + xy² -> xy.
+	p2 := x.Mul(x).Mul(y).Add(x.Mul(y).Mul(y))
+	if got := p2.Linearize(); got.NumMonomials() != 1 {
+		t.Errorf("merge after linearize = %v", got)
+	}
+}

@@ -1,0 +1,164 @@
+package repl
+
+import (
+	"strings"
+	"testing"
+
+	"orchestra/internal/core"
+	"orchestra/internal/p2p"
+	"orchestra/internal/recon"
+	"orchestra/internal/workload"
+)
+
+// twoNodeSetup builds Alaska and Dresden REPLs over a shared store.
+func twoNodeSetup(t *testing.T) (alaska, dresden *REPL, outA, outD *strings.Builder) {
+	t.Helper()
+	sys, err := core.NewSystem(workload.Figure2Peers(), workload.Figure2Mappings())
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := p2p.NewMemoryStore()
+	pa, err := core.NewPeer(workload.Alaska, sys, store, recon.TrustAll(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pd, err := core.NewPeer(workload.Dresden, sys, store, recon.TrustAll(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	outA, outD = &strings.Builder{}, &strings.Builder{}
+	return New(pa, outA), New(pd, outD), outA, outD
+}
+
+func TestEndToEndSession(t *testing.T) {
+	alaska, dresden, outA, outD := twoNodeSetup(t)
+	scriptA := `
+# a grouped transaction
+begin
+insert O mouse 1
+insert P p53 10
+insert S 1 10 ACGT
+commit
+publish
+dump O
+quit
+`
+	if err := alaska.Run(strings.NewReader(scriptA)); err != nil {
+		t.Fatal(err)
+	}
+	a := outA.String()
+	for _, frag := range []string{"transaction started", "queued", "committed alaska:1", "published; store epoch 1", "(mouse, 1)"} {
+		if !strings.Contains(a, frag) {
+			t.Errorf("alaska transcript missing %q:\n%s", frag, a)
+		}
+	}
+	scriptD := `
+reconcile
+dump OPS
+query q(seq) :- OPS("mouse", "p53", seq)
+explain OPS mouse p53 ACGT
+status alaska:1
+epoch
+`
+	if err := dresden.Run(strings.NewReader(scriptD)); err != nil {
+		t.Fatal(err)
+	}
+	d := outD.String()
+	for _, frag := range []string{
+		"accepted [alaska:1]",
+		"OPS(org string, prot string, seq string) (1 tuples)",
+		"(ACGT)",
+		"1 answer(s)",
+		"derivation 1: txns=[alaska:1]",
+		"alaska:1: accepted",
+	} {
+		if !strings.Contains(d, frag) {
+			t.Errorf("dresden transcript missing %q:\n%s", frag, d)
+		}
+	}
+}
+
+func TestModifyAndDelete(t *testing.T) {
+	alaska, _, outA, _ := twoNodeSetup(t)
+	script := `
+insert O mouse 1
+modify O mouse 1 -> rat 1
+dump O
+delete O rat 1
+dump O
+`
+	if err := alaska.Run(strings.NewReader(script)); err != nil {
+		t.Fatal(err)
+	}
+	out := outA.String()
+	if !strings.Contains(out, "(rat, 1)") {
+		t.Errorf("modify lost:\n%s", out)
+	}
+	if !strings.Contains(out, "(0 tuples)") {
+		t.Errorf("delete lost:\n%s", out)
+	}
+}
+
+func TestErrorsDoNotStopLoop(t *testing.T) {
+	alaska, _, outA, _ := twoNodeSetup(t)
+	script := `
+bogus command
+insert NOPE 1
+insert O notanint x
+insert O mouse 1
+`
+	if err := alaska.Run(strings.NewReader(script)); err != nil {
+		t.Fatal(err)
+	}
+	out := outA.String()
+	if strings.Count(out, "error:") != 3 {
+		t.Errorf("expected 3 errors:\n%s", out)
+	}
+	if !strings.Contains(out, "committed alaska:1") {
+		t.Errorf("later command did not run:\n%s", out)
+	}
+}
+
+func TestTxnDiscipline(t *testing.T) {
+	alaska, _, outA, _ := twoNodeSetup(t)
+	script := `
+commit
+abort
+begin
+begin
+abort
+`
+	if err := alaska.Run(strings.NewReader(script)); err != nil {
+		t.Fatal(err)
+	}
+	out := outA.String()
+	if strings.Count(out, "error:") != 3 { // commit w/o begin, abort w/o begin, double begin
+		t.Errorf("txn discipline errors = %d:\n%s", strings.Count(out, "error:"), out)
+	}
+	if !strings.Contains(out, "aborted") {
+		t.Errorf("abort lost:\n%s", out)
+	}
+}
+
+func TestResolveAndStatusCommands(t *testing.T) {
+	alaska, _, outA, _ := twoNodeSetup(t)
+	script := `
+resolve notatxnid
+resolve ghost:1
+status ghost:1
+help
+`
+	if err := alaska.Run(strings.NewReader(script)); err != nil {
+		t.Fatal(err)
+	}
+	out := outA.String()
+	if strings.Count(out, "error:") != 2 {
+		t.Errorf("errors = %d:\n%s", strings.Count(out, "error:"), out)
+	}
+	if !strings.Contains(out, "ghost:1: unknown") {
+		t.Errorf("status output missing:\n%s", out)
+	}
+	if !strings.Contains(out, "commands:") {
+		t.Errorf("help missing:\n%s", out)
+	}
+}

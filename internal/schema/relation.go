@@ -1,0 +1,167 @@
+package schema
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Attribute describes one column of a relation.
+type Attribute struct {
+	Name string
+	Type Kind
+}
+
+// Relation describes a named relation: its attributes and primary key.
+// The key columns are used to detect conflicting updates (two updates that
+// assign different non-key values to the same key conflict) and to drive
+// index construction in the storage engine.
+type Relation struct {
+	Name  string
+	Attrs []Attribute
+	// Key lists the positions of the primary-key columns. If empty, the
+	// whole tuple is the key (pure set semantics).
+	Key []int
+}
+
+// NewRelation builds a relation; keyCols name the primary-key attributes.
+func NewRelation(name string, attrs []Attribute, keyCols ...string) (*Relation, error) {
+	r := &Relation{Name: name, Attrs: attrs}
+	seen := map[string]bool{}
+	for _, a := range attrs {
+		if a.Name == "" {
+			return nil, fmt.Errorf("schema: relation %s has unnamed attribute", name)
+		}
+		if seen[a.Name] {
+			return nil, fmt.Errorf("schema: relation %s has duplicate attribute %s", name, a.Name)
+		}
+		seen[a.Name] = true
+	}
+	for _, kc := range keyCols {
+		pos := r.AttrIndex(kc)
+		if pos < 0 {
+			return nil, fmt.Errorf("schema: relation %s: key column %s not found", name, kc)
+		}
+		r.Key = append(r.Key, pos)
+	}
+	return r, nil
+}
+
+// MustRelation is NewRelation that panics on error; for static schemas.
+func MustRelation(name string, attrs []Attribute, keyCols ...string) *Relation {
+	r, err := NewRelation(name, attrs, keyCols...)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// Arity returns the number of attributes.
+func (r *Relation) Arity() int { return len(r.Attrs) }
+
+// AttrIndex returns the position of the named attribute, or -1.
+func (r *Relation) AttrIndex(name string) int {
+	for i, a := range r.Attrs {
+		if a.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// KeyColumns returns the key positions; if no explicit key was declared,
+// every column is a key column.
+func (r *Relation) KeyColumns() []int {
+	if len(r.Key) > 0 {
+		return r.Key
+	}
+	all := make([]int, len(r.Attrs))
+	for i := range all {
+		all[i] = i
+	}
+	return all
+}
+
+// KeyOf projects the tuple onto the relation's key columns.
+func (r *Relation) KeyOf(t Tuple) Tuple { return t.Project(r.KeyColumns()) }
+
+// Validate checks that a tuple conforms to the relation: correct arity and
+// compatible types (labeled nulls are accepted in any column).
+func (r *Relation) Validate(t Tuple) error {
+	if len(t) != len(r.Attrs) {
+		return fmt.Errorf("schema: relation %s expects arity %d, got %d", r.Name, len(r.Attrs), len(t))
+	}
+	for i, v := range t {
+		if v.IsNull() {
+			return fmt.Errorf("schema: relation %s column %s: null value", r.Name, r.Attrs[i].Name)
+		}
+		if v.IsLabeledNull() {
+			continue
+		}
+		if v.Kind() != r.Attrs[i].Type {
+			return fmt.Errorf("schema: relation %s column %s: expected %s, got %s",
+				r.Name, r.Attrs[i].Name, r.Attrs[i].Type, v.Kind())
+		}
+	}
+	return nil
+}
+
+// String renders the relation signature, e.g. O(org string, oid int).
+func (r *Relation) String() string {
+	parts := make([]string, len(r.Attrs))
+	for i, a := range r.Attrs {
+		parts[i] = a.Name + " " + a.Type.String()
+	}
+	return r.Name + "(" + strings.Join(parts, ", ") + ")"
+}
+
+// Schema is a named collection of relations — one peer's local schema.
+type Schema struct {
+	Name      string
+	relations map[string]*Relation
+}
+
+// NewSchema creates an empty schema.
+func NewSchema(name string) *Schema {
+	return &Schema{Name: name, relations: map[string]*Relation{}}
+}
+
+// AddRelation registers a relation; it is an error to register the same
+// name twice.
+func (s *Schema) AddRelation(r *Relation) error {
+	if _, ok := s.relations[r.Name]; ok {
+		return fmt.Errorf("schema: %s already has relation %s", s.Name, r.Name)
+	}
+	s.relations[r.Name] = r
+	return nil
+}
+
+// MustAddRelation is AddRelation that panics on error.
+func (s *Schema) MustAddRelation(r *Relation) {
+	if err := s.AddRelation(r); err != nil {
+		panic(err)
+	}
+}
+
+// Relation looks up a relation by name, or nil.
+func (s *Schema) Relation(name string) *Relation { return s.relations[name] }
+
+// Relations returns all relations sorted by name.
+func (s *Schema) Relations() []*Relation {
+	out := make([]*Relation, 0, len(s.relations))
+	for _, r := range s.relations {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// String renders the schema as Name{R1(...), R2(...)}.
+func (s *Schema) String() string {
+	rels := s.Relations()
+	parts := make([]string, len(rels))
+	for i, r := range rels {
+		parts[i] = r.String()
+	}
+	return s.Name + "{" + strings.Join(parts, "; ") + "}"
+}

@@ -1,0 +1,129 @@
+package schema
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Tuple is an ordered list of values conforming to some relation's arity.
+// Tuples are treated as immutable once constructed; callers that need to
+// modify a tuple should Clone it first.
+type Tuple []Value
+
+// NewTuple builds a tuple from values.
+func NewTuple(vs ...Value) Tuple { return Tuple(vs) }
+
+// Clone returns a deep copy of the tuple.
+func (t Tuple) Clone() Tuple {
+	c := make(Tuple, len(t))
+	copy(c, t)
+	return c
+}
+
+// Equal reports component-wise equality.
+func (t Tuple) Equal(o Tuple) bool {
+	if len(t) != len(o) {
+		return false
+	}
+	for i := range t {
+		if !t[i].Equal(o[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Compare orders tuples lexicographically by Value.Compare.
+func (t Tuple) Compare(o Tuple) int {
+	n := len(t)
+	if len(o) < n {
+		n = len(o)
+	}
+	for i := 0; i < n; i++ {
+		if c := t[i].Compare(o[i]); c != 0 {
+			return c
+		}
+	}
+	switch {
+	case len(t) < len(o):
+		return -1
+	case len(t) > len(o):
+		return 1
+	}
+	return 0
+}
+
+// Key returns a canonical injective encoding of the whole tuple, usable as
+// a map key. Component keys are length-prefixed so that no two distinct
+// tuples collide.
+func (t Tuple) Key() string {
+	// Hot path for storage and joins: avoid fmt.
+	keys := make([]string, len(t))
+	n := 0
+	for i, v := range t {
+		keys[i] = v.Key()
+		n += len(keys[i]) + 4
+	}
+	var b strings.Builder
+	b.Grow(n)
+	for _, k := range keys {
+		b.WriteString(strconv.Itoa(len(k)))
+		b.WriteByte('|')
+		b.WriteString(k)
+	}
+	return b.String()
+}
+
+// Project returns the subtuple at the given column positions.
+func (t Tuple) Project(cols []int) Tuple {
+	p := make(Tuple, len(cols))
+	for i, c := range cols {
+		p[i] = t[c]
+	}
+	return p
+}
+
+// HasLabeledNull reports whether any component is a labeled null.
+func (t Tuple) HasLabeledNull() bool {
+	for _, v := range t {
+		if v.IsLabeledNull() {
+			return true
+		}
+	}
+	return false
+}
+
+// String renders the tuple as (v1, v2, ...).
+func (t Tuple) String() string {
+	parts := make([]string, len(t))
+	for i, v := range t {
+		parts[i] = v.String()
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}
+
+// ParseTupleKey decodes a canonical tuple key produced by Tuple.Key.
+func ParseTupleKey(key string) (Tuple, error) {
+	var t Tuple
+	for len(key) > 0 {
+		bar := strings.IndexByte(key, '|')
+		if bar < 0 {
+			return nil, fmt.Errorf("schema: malformed tuple key %q", key)
+		}
+		var n int
+		if _, err := fmt.Sscanf(key[:bar], "%d", &n); err != nil {
+			return nil, fmt.Errorf("schema: malformed tuple key length %q: %v", key[:bar], err)
+		}
+		if bar+1+n > len(key) {
+			return nil, fmt.Errorf("schema: truncated tuple key %q", key)
+		}
+		v, err := ParseValue(key[bar+1 : bar+1+n])
+		if err != nil {
+			return nil, err
+		}
+		t = append(t, v)
+		key = key[bar+1+n:]
+	}
+	return t, nil
+}

@@ -1,0 +1,174 @@
+package storage
+
+import (
+	"fmt"
+	"sync"
+
+	"orchestra/internal/provenance"
+	"orchestra/internal/schema"
+)
+
+// Instance is a database instance over one schema: one table per relation.
+// An Instance is safe for concurrent use; a coarse RW mutex suffices at the
+// scales a single CDSS peer handles between update exchanges.
+type Instance struct {
+	mu     sync.RWMutex
+	schema *schema.Schema
+	tables map[string]*Table
+}
+
+// NewInstance creates an empty instance with one table per relation.
+func NewInstance(s *schema.Schema) *Instance {
+	inst := &Instance{schema: s, tables: map[string]*Table{}}
+	for _, r := range s.Relations() {
+		inst.tables[r.Name] = NewTable(r)
+	}
+	return inst
+}
+
+// Schema returns the instance's schema.
+func (in *Instance) Schema() *schema.Schema { return in.schema }
+
+// Table returns the table for a relation name, or nil.
+func (in *Instance) Table(name string) *Table {
+	in.mu.RLock()
+	defer in.mu.RUnlock()
+	return in.tables[name]
+}
+
+// Insert adds a tuple to the named relation.
+func (in *Instance) Insert(rel string, tu schema.Tuple, prov provenance.Poly) error {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	t, ok := in.tables[rel]
+	if !ok {
+		return fmt.Errorf("storage: unknown relation %s", rel)
+	}
+	return t.Insert(tu, prov)
+}
+
+// Upsert inserts or key-replaces a tuple in the named relation.
+func (in *Instance) Upsert(rel string, tu schema.Tuple, prov provenance.Poly) (*schema.Tuple, error) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	t, ok := in.tables[rel]
+	if !ok {
+		return nil, fmt.Errorf("storage: unknown relation %s", rel)
+	}
+	return t.Upsert(tu, prov)
+}
+
+// Delete removes a tuple from the named relation.
+func (in *Instance) Delete(rel string, tu schema.Tuple) (bool, error) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	t, ok := in.tables[rel]
+	if !ok {
+		return false, fmt.Errorf("storage: unknown relation %s", rel)
+	}
+	return t.Delete(tu), nil
+}
+
+// Contains reports whether the named relation holds the exact tuple.
+func (in *Instance) Contains(rel string, tu schema.Tuple) bool {
+	in.mu.RLock()
+	defer in.mu.RUnlock()
+	t, ok := in.tables[rel]
+	return ok && t.Contains(tu)
+}
+
+// Size returns the total number of tuples across all relations.
+func (in *Instance) Size() int {
+	in.mu.RLock()
+	defer in.mu.RUnlock()
+	n := 0
+	for _, t := range in.tables {
+		n += t.Len()
+	}
+	return n
+}
+
+// Clone returns a deep copy — the mechanism behind the CDSS "public
+// snapshot": the published view is a clone that later local edits do not
+// touch.
+func (in *Instance) Clone() *Instance {
+	in.mu.RLock()
+	defer in.mu.RUnlock()
+	c := &Instance{schema: in.schema, tables: map[string]*Table{}}
+	for name, t := range in.tables {
+		c.tables[name] = t.Clone()
+	}
+	return c
+}
+
+// Delta is the difference between two instances over the same schema,
+// expressed as tuples to insert and tuples to delete per relation.
+type Delta struct {
+	Inserts map[string][]schema.Tuple
+	Deletes map[string][]schema.Tuple
+}
+
+// Empty reports whether the delta contains no changes.
+func (d Delta) Empty() bool {
+	for _, ts := range d.Inserts {
+		if len(ts) > 0 {
+			return false
+		}
+	}
+	for _, ts := range d.Deletes {
+		if len(ts) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Count returns the total number of changed tuples.
+func (d Delta) Count() int {
+	n := 0
+	for _, ts := range d.Inserts {
+		n += len(ts)
+	}
+	for _, ts := range d.Deletes {
+		n += len(ts)
+	}
+	return n
+}
+
+// Diff computes the delta that transforms base into in: tuples present in
+// in but not base are inserts; tuples present in base but not in are
+// deletes. Both instances must share a schema.
+func (in *Instance) Diff(base *Instance) (Delta, error) {
+	if in.schema != base.schema && in.schema.Name != base.schema.Name {
+		return Delta{}, fmt.Errorf("storage: diff across schemas %s and %s", in.schema.Name, base.schema.Name)
+	}
+	in.mu.RLock()
+	defer in.mu.RUnlock()
+	base.mu.RLock()
+	defer base.mu.RUnlock()
+
+	d := Delta{Inserts: map[string][]schema.Tuple{}, Deletes: map[string][]schema.Tuple{}}
+	for name, t := range in.tables {
+		bt := base.tables[name]
+		for _, row := range t.Rows() {
+			if bt == nil || !bt.Contains(row.Tuple) {
+				d.Inserts[name] = append(d.Inserts[name], row.Tuple)
+			}
+		}
+		if bt != nil {
+			for _, row := range bt.Rows() {
+				if !t.Contains(row.Tuple) {
+					d.Deletes[name] = append(d.Deletes[name], row.Tuple)
+				}
+			}
+		}
+	}
+	return d, nil
+}
+
+// Equal reports whether two instances hold exactly the same tuples
+// (ignoring provenance).
+func (in *Instance) Equal(o *Instance) bool {
+	d, err := in.Diff(o)
+	return err == nil && d.Empty()
+}

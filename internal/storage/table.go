@@ -1,0 +1,274 @@
+// Package storage provides the in-memory relational storage engine that
+// backs each CDSS peer's local database instance. It supports set-semantics
+// tables with primary-key enforcement, hash secondary indexes, per-tuple
+// provenance annotations, deep snapshots (the "public snapshot" the CDSS
+// exposes after publishing), and instance diffing (to derive the update
+// stream from local edits).
+//
+// The full ORCHESTRA prototype sat on an RDBMS; this embedded engine is the
+// laptop-scale substitute documented in DESIGN.md. It preserves the
+// semantics update exchange needs: set semantics, keys, and indexed lookup.
+package storage
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"orchestra/internal/provenance"
+	"orchestra/internal/schema"
+)
+
+// Row is a stored tuple together with its provenance annotation. Base
+// tuples (locally inserted) carry a single provenance token; tuples derived
+// by update exchange carry the polynomial computed by the mapping rules.
+type Row struct {
+	Tuple schema.Tuple
+	Prov  provenance.Poly
+}
+
+// Table stores the extent of one relation. It enforces the relation's
+// primary key: two distinct tuples with the same key cannot coexist.
+// Table methods are not safe for concurrent mutation; Instance provides
+// the locking.
+type Table struct {
+	rel *schema.Relation
+	// rows maps full-tuple key -> row.
+	rows map[string]Row
+	// pk maps key-columns key -> full-tuple key.
+	pk map[string]string
+	// indexes maps a canonical column-set name to a hash index.
+	indexes map[string]*hashIndex
+}
+
+// hashIndex maps the key of a column projection to the set of full-tuple
+// keys having that projection.
+type hashIndex struct {
+	cols    []int
+	buckets map[string]map[string]struct{}
+}
+
+func indexName(cols []int) string {
+	parts := make([]string, len(cols))
+	for i, c := range cols {
+		parts[i] = fmt.Sprint(c)
+	}
+	return strings.Join(parts, ",")
+}
+
+// NewTable creates an empty table for the relation.
+func NewTable(rel *schema.Relation) *Table {
+	return &Table{
+		rel:     rel,
+		rows:    map[string]Row{},
+		pk:      map[string]string{},
+		indexes: map[string]*hashIndex{},
+	}
+}
+
+// Relation returns the table's relation descriptor.
+func (t *Table) Relation() *schema.Relation { return t.rel }
+
+// Len returns the number of stored tuples.
+func (t *Table) Len() int { return len(t.rows) }
+
+// ErrKeyViolation is returned by Insert when a different tuple with the
+// same primary key already exists.
+type ErrKeyViolation struct {
+	Relation string
+	Key      schema.Tuple
+	Existing schema.Tuple
+	New      schema.Tuple
+}
+
+// Error implements error.
+func (e *ErrKeyViolation) Error() string {
+	return fmt.Sprintf("storage: key violation in %s: key %v held by %v, attempted %v",
+		e.Relation, e.Key, e.Existing, e.New)
+}
+
+// Insert adds a tuple with provenance. Inserting an identical tuple merges
+// provenance by addition (alternative derivations). Inserting a different
+// tuple with an existing key returns *ErrKeyViolation.
+func (t *Table) Insert(tu schema.Tuple, prov provenance.Poly) error {
+	if err := t.rel.Validate(tu); err != nil {
+		return err
+	}
+	fk := tu.Key()
+	if existing, ok := t.rows[fk]; ok {
+		existing.Prov = existing.Prov.Add(prov)
+		t.rows[fk] = existing
+		return nil
+	}
+	kk := t.rel.KeyOf(tu).Key()
+	if prevFK, ok := t.pk[kk]; ok {
+		prev := t.rows[prevFK]
+		return &ErrKeyViolation{Relation: t.rel.Name, Key: t.rel.KeyOf(tu), Existing: prev.Tuple, New: tu}
+	}
+	t.rows[fk] = Row{Tuple: tu.Clone(), Prov: prov}
+	t.pk[kk] = fk
+	for _, idx := range t.indexes {
+		idx.add(tu, fk)
+	}
+	return nil
+}
+
+// Upsert inserts the tuple, replacing any existing tuple with the same
+// primary key. It returns the replaced tuple, if any.
+func (t *Table) Upsert(tu schema.Tuple, prov provenance.Poly) (replaced *schema.Tuple, err error) {
+	if err := t.rel.Validate(tu); err != nil {
+		return nil, err
+	}
+	kk := t.rel.KeyOf(tu).Key()
+	if prevFK, ok := t.pk[kk]; ok {
+		prev := t.rows[prevFK].Tuple
+		if prev.Equal(tu) {
+			r := t.rows[prevFK]
+			r.Prov = r.Prov.Add(prov)
+			t.rows[prevFK] = r
+			return nil, nil
+		}
+		t.deleteByFullKey(prevFK)
+		if err := t.Insert(tu, prov); err != nil {
+			return nil, err
+		}
+		return &prev, nil
+	}
+	return nil, t.Insert(tu, prov)
+}
+
+// Delete removes the exact tuple. It reports whether the tuple was present.
+func (t *Table) Delete(tu schema.Tuple) bool {
+	fk := tu.Key()
+	if _, ok := t.rows[fk]; !ok {
+		return false
+	}
+	t.deleteByFullKey(fk)
+	return true
+}
+
+func (t *Table) deleteByFullKey(fk string) {
+	row, ok := t.rows[fk]
+	if !ok {
+		return
+	}
+	delete(t.rows, fk)
+	delete(t.pk, t.rel.KeyOf(row.Tuple).Key())
+	for _, idx := range t.indexes {
+		idx.remove(row.Tuple, fk)
+	}
+}
+
+// Contains reports whether the exact tuple is stored.
+func (t *Table) Contains(tu schema.Tuple) bool {
+	_, ok := t.rows[tu.Key()]
+	return ok
+}
+
+// Get returns the row for the exact tuple.
+func (t *Table) Get(tu schema.Tuple) (Row, bool) {
+	r, ok := t.rows[tu.Key()]
+	return r, ok
+}
+
+// GetByKey returns the row whose primary key matches, if any.
+func (t *Table) GetByKey(key schema.Tuple) (Row, bool) {
+	fk, ok := t.pk[key.Key()]
+	if !ok {
+		return Row{}, false
+	}
+	return t.rows[fk], true
+}
+
+// SetProvenance replaces the provenance annotation of an existing tuple.
+func (t *Table) SetProvenance(tu schema.Tuple, prov provenance.Poly) bool {
+	fk := tu.Key()
+	r, ok := t.rows[fk]
+	if !ok {
+		return false
+	}
+	r.Prov = prov
+	t.rows[fk] = r
+	return true
+}
+
+// CreateIndex builds (or returns) a hash index on the given columns.
+func (t *Table) CreateIndex(cols []int) {
+	name := indexName(cols)
+	if _, ok := t.indexes[name]; ok {
+		return
+	}
+	idx := &hashIndex{cols: append([]int(nil), cols...), buckets: map[string]map[string]struct{}{}}
+	for fk, row := range t.rows {
+		idx.add(row.Tuple, fk)
+	}
+	t.indexes[name] = idx
+}
+
+// LookupIndex returns rows whose projection on cols equals vals. If no
+// index exists on cols one is created on first use.
+func (t *Table) LookupIndex(cols []int, vals schema.Tuple) []Row {
+	name := indexName(cols)
+	idx, ok := t.indexes[name]
+	if !ok {
+		t.CreateIndex(cols)
+		idx = t.indexes[name]
+	}
+	bucket := idx.buckets[vals.Key()]
+	out := make([]Row, 0, len(bucket))
+	for fk := range bucket {
+		out = append(out, t.rows[fk])
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Tuple.Compare(out[j].Tuple) < 0 })
+	return out
+}
+
+func (ix *hashIndex) add(tu schema.Tuple, fk string) {
+	k := tu.Project(ix.cols).Key()
+	b, ok := ix.buckets[k]
+	if !ok {
+		b = map[string]struct{}{}
+		ix.buckets[k] = b
+	}
+	b[fk] = struct{}{}
+}
+
+func (ix *hashIndex) remove(tu schema.Tuple, fk string) {
+	k := tu.Project(ix.cols).Key()
+	if b, ok := ix.buckets[k]; ok {
+		delete(b, fk)
+		if len(b) == 0 {
+			delete(ix.buckets, k)
+		}
+	}
+}
+
+// Scan calls fn for every row in unspecified order; returning false stops
+// the scan early.
+func (t *Table) Scan(fn func(Row) bool) {
+	for _, row := range t.rows {
+		if !fn(row) {
+			return
+		}
+	}
+}
+
+// Rows returns all rows sorted by tuple order (deterministic).
+func (t *Table) Rows() []Row {
+	out := make([]Row, 0, len(t.rows))
+	for _, r := range t.rows {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Tuple.Compare(out[j].Tuple) < 0 })
+	return out
+}
+
+// Clone returns a deep copy of the table (indexes are rebuilt lazily).
+func (t *Table) Clone() *Table {
+	c := NewTable(t.rel)
+	for fk, row := range t.rows {
+		c.rows[fk] = Row{Tuple: row.Tuple.Clone(), Prov: row.Prov}
+		c.pk[t.rel.KeyOf(row.Tuple).Key()] = fk
+	}
+	return c
+}

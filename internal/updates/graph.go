@@ -1,0 +1,218 @@
+package updates
+
+import (
+	"fmt"
+	"sort"
+
+	"orchestra/internal/schema"
+)
+
+// Graph is a transaction dependency graph: edges run from a transaction to
+// the antecedents it depends on. It supports the closures reconciliation
+// needs: the antecedent set that must be co-applied with a candidate, and
+// the dependent set that must be co-rejected with a rejected transaction.
+type Graph struct {
+	txns  map[TxnID]*Transaction
+	deps  map[TxnID][]TxnID // txn -> antecedents
+	rdeps map[TxnID][]TxnID // txn -> dependents
+}
+
+// NewGraph creates an empty dependency graph.
+func NewGraph() *Graph {
+	return &Graph{
+		txns:  map[TxnID]*Transaction{},
+		deps:  map[TxnID][]TxnID{},
+		rdeps: map[TxnID][]TxnID{},
+	}
+}
+
+// Add inserts a transaction and its dependency edges. Dependencies on
+// transactions not (yet) in the graph are recorded; HasAll reports whether
+// they are resolvable.
+func (g *Graph) Add(t *Transaction) error {
+	if _, ok := g.txns[t.ID]; ok {
+		return fmt.Errorf("updates: duplicate transaction %s", t.ID)
+	}
+	g.txns[t.ID] = t
+	for _, d := range t.Deps {
+		g.deps[t.ID] = append(g.deps[t.ID], d)
+		g.rdeps[d] = append(g.rdeps[d], t.ID)
+	}
+	return nil
+}
+
+// Get returns a transaction by id.
+func (g *Graph) Get(id TxnID) (*Transaction, bool) {
+	t, ok := g.txns[id]
+	return t, ok
+}
+
+// Len returns the number of transactions.
+func (g *Graph) Len() int { return len(g.txns) }
+
+// IDs returns all transaction ids in deterministic order.
+func (g *Graph) IDs() []TxnID {
+	out := make([]TxnID, 0, len(g.txns))
+	for id := range g.txns {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}
+
+// Antecedents returns the direct dependencies of id.
+func (g *Graph) Antecedents(id TxnID) []TxnID { return g.deps[id] }
+
+// Dependents returns the direct dependents of id.
+func (g *Graph) Dependents(id TxnID) []TxnID { return g.rdeps[id] }
+
+// AntecedentClosure returns every transaction transitively required by id,
+// excluding id itself, in deterministic order. Missing antecedents (ids not
+// in the graph) are included in the missing list.
+func (g *Graph) AntecedentClosure(id TxnID) (closure []TxnID, missing []TxnID) {
+	seen := map[TxnID]bool{id: true}
+	stack := append([]TxnID(nil), g.deps[id]...)
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if seen[cur] {
+			continue
+		}
+		seen[cur] = true
+		if _, ok := g.txns[cur]; !ok {
+			missing = append(missing, cur)
+			continue
+		}
+		closure = append(closure, cur)
+		stack = append(stack, g.deps[cur]...)
+	}
+	sort.Slice(closure, func(i, j int) bool { return closure[i].Less(closure[j]) })
+	sort.Slice(missing, func(i, j int) bool { return missing[i].Less(missing[j]) })
+	return closure, missing
+}
+
+// DependentClosure returns every transaction that transitively depends on
+// id, excluding id itself — the set that must be rejected (or deferred)
+// along with it.
+func (g *Graph) DependentClosure(id TxnID) []TxnID {
+	seen := map[TxnID]bool{id: true}
+	var out []TxnID
+	stack := append([]TxnID(nil), g.rdeps[id]...)
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if seen[cur] {
+			continue
+		}
+		seen[cur] = true
+		out = append(out, cur)
+		stack = append(stack, g.rdeps[cur]...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Less(out[j]) })
+	return out
+}
+
+// TopoOrder returns the transactions in an order where every antecedent
+// precedes its dependents. Ties are broken by TxnID for determinism. It
+// returns an error if the dependency relation is cyclic (which cannot occur
+// for causally-generated transactions but can for corrupted input).
+func (g *Graph) TopoOrder() ([]*Transaction, error) {
+	indeg := map[TxnID]int{}
+	for id := range g.txns {
+		indeg[id] = 0
+	}
+	for id, ds := range g.deps {
+		if _, ok := g.txns[id]; !ok {
+			continue
+		}
+		for _, d := range ds {
+			if _, ok := g.txns[d]; ok {
+				indeg[id]++
+			}
+		}
+	}
+	var ready []TxnID
+	for id, n := range indeg {
+		if n == 0 {
+			ready = append(ready, id)
+		}
+	}
+	sort.Slice(ready, func(i, j int) bool { return ready[i].Less(ready[j]) })
+	var out []*Transaction
+	for len(ready) > 0 {
+		cur := ready[0]
+		ready = ready[1:]
+		out = append(out, g.txns[cur])
+		var next []TxnID
+		for _, dep := range g.rdeps[cur] {
+			if _, ok := g.txns[dep]; !ok {
+				continue
+			}
+			indeg[dep]--
+			if indeg[dep] == 0 {
+				next = append(next, dep)
+			}
+		}
+		sort.Slice(next, func(i, j int) bool { return next[i].Less(next[j]) })
+		ready = append(ready, next...)
+	}
+	if len(out) != len(g.txns) {
+		return nil, fmt.Errorf("updates: dependency graph is cyclic")
+	}
+	return out, nil
+}
+
+// Tracker derives dependency edges for freshly created transactions: it
+// remembers, per (relation, key), which transaction last wrote it, so a new
+// transaction touching that key depends on the previous writer. This is how
+// a peer computes the Deps list when publishing the diff of its local
+// instance.
+type Tracker struct {
+	keyOf      func(rel string, tu schema.Tuple) schema.Tuple
+	lastWriter map[string]TxnID
+}
+
+// NewTracker creates a tracker using keyOf to project tuples onto keys.
+func NewTracker(keyOf func(string, schema.Tuple) schema.Tuple) *Tracker {
+	return &Tracker{keyOf: keyOf, lastWriter: map[string]TxnID{}}
+}
+
+// Record computes the dependencies of t from previously recorded writers,
+// sets t.Deps, and records t's own writes. Self-dependencies are skipped.
+func (tr *Tracker) Record(t *Transaction) {
+	depSet := map[TxnID]bool{}
+	for _, u := range t.Updates {
+		// Reads/overwrites: deletes and modifies depend on the writer of
+		// the old tuple; inserts depend on a previous writer of the same
+		// key if any (e.g. re-insert after delete).
+		var probe schema.Tuple
+		if u.Old != nil {
+			probe = u.Old
+		} else {
+			probe = u.New
+		}
+		k := u.Rel + "/" + tr.keyOf(u.Rel, probe).Key()
+		if w, ok := tr.lastWriter[k]; ok && w != t.ID {
+			depSet[w] = true
+		}
+	}
+	t.Deps = t.Deps[:0]
+	for d := range depSet {
+		t.Deps = append(t.Deps, d)
+	}
+	sort.Slice(t.Deps, func(i, j int) bool { return t.Deps[i].Less(t.Deps[j]) })
+	for _, u := range t.Updates {
+		k := u.Rel + "/" + tr.keyOf(u.Rel, u.Target()).Key()
+		tr.lastWriter[k] = t.ID
+	}
+}
+
+// RecordWrites registers t's writes as the latest for their keys without
+// recomputing t.Deps — used for foreign transactions applied during
+// reconciliation, whose dependencies were already fixed by their origin.
+func (tr *Tracker) RecordWrites(t *Transaction) {
+	for _, u := range t.Updates {
+		k := u.Rel + "/" + tr.keyOf(u.Rel, u.Target()).Key()
+		tr.lastWriter[k] = t.ID
+	}
+}

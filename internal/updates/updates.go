@@ -1,0 +1,219 @@
+// Package updates defines the CDSS's basic unit of information transfer:
+// tuple-level updates grouped into transactions, together with the logical
+// clock (epochs) and the transaction dependency graph. As Section 2 of the
+// ORCHESTRA paper describes, the CDSS propagates, translates, and detects
+// conflicts among *transactions*, not bare tuples, and data dependencies
+// between transactions (one modifies a tuple inserted by another) induce a
+// dependency graph that reconciliation must respect.
+package updates
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"orchestra/internal/provenance"
+	"orchestra/internal/schema"
+)
+
+// Op is the kind of a tuple-level update.
+type Op uint8
+
+const (
+	// OpInsert adds a new tuple.
+	OpInsert Op = iota
+	// OpDelete removes an existing tuple.
+	OpDelete
+	// OpModify replaces an existing tuple (same primary key) with a new one.
+	OpModify
+)
+
+// String renders the op.
+func (o Op) String() string {
+	switch o {
+	case OpInsert:
+		return "+"
+	case OpDelete:
+		return "-"
+	case OpModify:
+		return "±"
+	default:
+		return "?"
+	}
+}
+
+// Update is one tuple-level change against a relation. Old is set for
+// deletes and modifies; New is set for inserts and modifies.
+type Update struct {
+	Rel  string
+	Op   Op
+	Old  schema.Tuple
+	New  schema.Tuple
+	// Prov carries the provenance polynomial attached during update
+	// translation; for freshly published local updates it is the update's
+	// own token.
+	Prov provenance.Poly
+}
+
+// Insert constructs an insertion update.
+func Insert(rel string, t schema.Tuple) Update { return Update{Rel: rel, Op: OpInsert, New: t} }
+
+// Delete constructs a deletion update.
+func Delete(rel string, t schema.Tuple) Update { return Update{Rel: rel, Op: OpDelete, Old: t} }
+
+// Modify constructs a modification update.
+func Modify(rel string, old, new schema.Tuple) Update {
+	return Update{Rel: rel, Op: OpModify, Old: old, New: new}
+}
+
+// Target returns the tuple the update writes (New for insert/modify, Old
+// for delete).
+func (u Update) Target() schema.Tuple {
+	if u.Op == OpDelete {
+		return u.Old
+	}
+	return u.New
+}
+
+// String renders the update.
+func (u Update) String() string {
+	switch u.Op {
+	case OpInsert:
+		return fmt.Sprintf("+%s%s", u.Rel, u.New)
+	case OpDelete:
+		return fmt.Sprintf("-%s%s", u.Rel, u.Old)
+	default:
+		return fmt.Sprintf("±%s%s→%s", u.Rel, u.Old, u.New)
+	}
+}
+
+// TxnID identifies a transaction globally: the publishing peer plus a
+// per-peer sequence number.
+type TxnID struct {
+	Peer string
+	Seq  uint64
+}
+
+// String renders the id as peer:seq.
+func (id TxnID) String() string { return fmt.Sprintf("%s:%d", id.Peer, id.Seq) }
+
+// ParseTxnID parses peer:seq.
+func ParseTxnID(s string) (TxnID, error) {
+	i := strings.LastIndexByte(s, ':')
+	if i < 0 {
+		return TxnID{}, fmt.Errorf("updates: malformed txn id %q", s)
+	}
+	var seq uint64
+	if _, err := fmt.Sscanf(s[i+1:], "%d", &seq); err != nil {
+		return TxnID{}, fmt.Errorf("updates: malformed txn id %q: %v", s, err)
+	}
+	return TxnID{Peer: s[:i], Seq: seq}, nil
+}
+
+// Less orders transaction ids (peer, then seq) for determinism.
+func (id TxnID) Less(o TxnID) bool {
+	if id.Peer != o.Peer {
+		return id.Peer < o.Peer
+	}
+	return id.Seq < o.Seq
+}
+
+// Transaction is an atomic group of updates published by one peer at one
+// epoch, with explicit antecedent dependencies.
+type Transaction struct {
+	ID      TxnID
+	Epoch   uint64
+	Updates []Update
+	// Deps lists antecedent transactions whose effects this transaction
+	// reads or overwrites; it can only be applied if they are applied.
+	Deps []TxnID
+}
+
+// Token mints the provenance token for the i-th update of the transaction.
+// One token per published tuple-level update is the granularity at which
+// ORCHESTRA traces provenance and assigns trust.
+func (t *Transaction) Token(i int) provenance.Var {
+	return provenance.Var(fmt.Sprintf("%s:%d/%d", t.ID.Peer, t.ID.Seq, i))
+}
+
+// TokenTxn recovers the transaction id encoded in a provenance token, or
+// false if the token is not an update token.
+func TokenTxn(v provenance.Var) (TxnID, bool) {
+	s := string(v)
+	slash := strings.LastIndexByte(s, '/')
+	if slash < 0 {
+		return TxnID{}, false
+	}
+	id, err := ParseTxnID(s[:slash])
+	if err != nil {
+		return TxnID{}, false
+	}
+	return id, true
+}
+
+// String renders the transaction.
+func (t *Transaction) String() string {
+	parts := make([]string, len(t.Updates))
+	for i, u := range t.Updates {
+		parts[i] = u.String()
+	}
+	return fmt.Sprintf("txn %s@%d {%s}", t.ID, t.Epoch, strings.Join(parts, "; "))
+}
+
+// WriteSet returns the (relation, key) pairs the transaction writes, using
+// the relation's primary key columns as supplied by keyOf.
+func (t *Transaction) WriteSet(keyOf func(rel string, tu schema.Tuple) schema.Tuple) []string {
+	seen := map[string]bool{}
+	var out []string
+	add := func(rel string, tu schema.Tuple) {
+		if tu == nil {
+			return
+		}
+		k := rel + "/" + keyOf(rel, tu).Key()
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, k)
+		}
+	}
+	for _, u := range t.Updates {
+		add(u.Rel, u.Old)
+		add(u.Rel, u.New)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Conflicts reports whether two transactions write overlapping keys with
+// incompatible values: both write the same (relation, key) and at least one
+// of the writes differs. Following Taylor & Ives, two transactions that
+// perform the identical write do not conflict.
+func Conflicts(a, b *Transaction, keyOf func(string, schema.Tuple) schema.Tuple) bool {
+	type write struct {
+		del bool
+		tup string
+	}
+	aw := map[string]write{}
+	for _, u := range a.Updates {
+		k := u.Rel + "/" + keyOf(u.Rel, u.Target()).Key()
+		w := write{del: u.Op == OpDelete}
+		if !w.del {
+			w.tup = u.New.Key()
+		}
+		aw[k] = w
+	}
+	for _, u := range b.Updates {
+		k := u.Rel + "/" + keyOf(u.Rel, u.Target()).Key()
+		w, ok := aw[k]
+		if !ok {
+			continue
+		}
+		bd := u.Op == OpDelete
+		if w.del != bd {
+			return true
+		}
+		if !w.del && w.tup != u.New.Key() {
+			return true
+		}
+	}
+	return false
+}

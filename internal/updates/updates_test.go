@@ -1,0 +1,257 @@
+package updates
+
+import (
+	"testing"
+
+	"orchestra/internal/schema"
+)
+
+func tup(vs ...int64) schema.Tuple {
+	out := make(schema.Tuple, len(vs))
+	for i, v := range vs {
+		out[i] = schema.Int(v)
+	}
+	return out
+}
+
+// keyFirst projects every tuple onto its first column (the "key").
+func keyFirst(rel string, tu schema.Tuple) schema.Tuple { return tu.Project([]int{0}) }
+
+func TestUpdateConstructors(t *testing.T) {
+	ins := Insert("R", tup(1, 2))
+	if ins.Op != OpInsert || !ins.Target().Equal(tup(1, 2)) || ins.Old != nil {
+		t.Errorf("Insert = %v", ins)
+	}
+	del := Delete("R", tup(1, 2))
+	if del.Op != OpDelete || !del.Target().Equal(tup(1, 2)) || del.New != nil {
+		t.Errorf("Delete = %v", del)
+	}
+	mod := Modify("R", tup(1, 2), tup(1, 3))
+	if mod.Op != OpModify || !mod.Target().Equal(tup(1, 3)) {
+		t.Errorf("Modify = %v", mod)
+	}
+	for _, u := range []Update{ins, del, mod} {
+		if u.String() == "" {
+			t.Error("empty render")
+		}
+	}
+	if OpInsert.String() != "+" || OpDelete.String() != "-" || OpModify.String() != "±" {
+		t.Error("op rendering wrong")
+	}
+}
+
+func TestTxnIDRoundTrip(t *testing.T) {
+	ids := []TxnID{{Peer: "alaska", Seq: 0}, {Peer: "a:b", Seq: 42}, {Peer: "x", Seq: 1 << 60}}
+	for _, id := range ids {
+		got, err := ParseTxnID(id.String())
+		if err != nil {
+			t.Fatalf("ParseTxnID(%q): %v", id.String(), err)
+		}
+		if got != id {
+			t.Errorf("round trip %v -> %v", id, got)
+		}
+	}
+	for _, bad := range []string{"", "nope", "x:y"} {
+		if _, err := ParseTxnID(bad); err == nil {
+			t.Errorf("ParseTxnID(%q) accepted", bad)
+		}
+	}
+	if !(TxnID{Peer: "a", Seq: 2}).Less(TxnID{Peer: "b", Seq: 1}) {
+		t.Error("peer order wrong")
+	}
+	if !(TxnID{Peer: "a", Seq: 1}).Less(TxnID{Peer: "a", Seq: 2}) {
+		t.Error("seq order wrong")
+	}
+}
+
+func TestTokenRoundTrip(t *testing.T) {
+	txn := &Transaction{ID: TxnID{Peer: "beijing", Seq: 7}}
+	tok := txn.Token(3)
+	id, ok := TokenTxn(tok)
+	if !ok || id != txn.ID {
+		t.Errorf("TokenTxn(%q) = %v, %v", tok, id, ok)
+	}
+	if _, ok := TokenTxn("M_ac"); ok {
+		t.Error("mapping token misparsed as update token")
+	}
+}
+
+func TestConflicts(t *testing.T) {
+	mk := func(id uint64, us ...Update) *Transaction {
+		return &Transaction{ID: TxnID{Peer: "p", Seq: id}, Updates: us}
+	}
+	// Same key, different values: conflict.
+	a := mk(1, Insert("R", tup(1, 10)))
+	b := mk(2, Insert("R", tup(1, 20)))
+	if !Conflicts(a, b, keyFirst) {
+		t.Error("divergent writes must conflict")
+	}
+	// Same key, identical write: no conflict.
+	c := mk(3, Insert("R", tup(1, 10)))
+	if Conflicts(a, c, keyFirst) {
+		t.Error("identical writes must not conflict")
+	}
+	// Different keys: no conflict.
+	d := mk(4, Insert("R", tup(2, 10)))
+	if Conflicts(a, d, keyFirst) {
+		t.Error("disjoint writes must not conflict")
+	}
+	// Insert vs delete of same key: conflict.
+	e := mk(5, Delete("R", tup(1, 10)))
+	if !Conflicts(a, e, keyFirst) {
+		t.Error("insert vs delete must conflict")
+	}
+	// Modify vs modify to different values: conflict.
+	f := mk(6, Modify("R", tup(1, 10), tup(1, 30)))
+	g := mk(7, Modify("R", tup(1, 10), tup(1, 40)))
+	if !Conflicts(f, g, keyFirst) {
+		t.Error("divergent modifies must conflict")
+	}
+	// Same relation name matters.
+	h := mk(8, Insert("Q", tup(1, 99)))
+	if Conflicts(a, h, keyFirst) {
+		t.Error("different relations must not conflict")
+	}
+}
+
+func TestWriteSet(t *testing.T) {
+	txn := &Transaction{ID: TxnID{Peer: "p", Seq: 1}, Updates: []Update{
+		Insert("R", tup(1, 10)),
+		Modify("R", tup(2, 20), tup(2, 25)),
+		Insert("Q", tup(1, 1)),
+	}}
+	ws := txn.WriteSet(keyFirst)
+	if len(ws) != 3 {
+		t.Errorf("WriteSet = %v", ws)
+	}
+}
+
+func TestGraphClosures(t *testing.T) {
+	g := NewGraph()
+	id := func(n uint64) TxnID { return TxnID{Peer: "p", Seq: n} }
+	//   1 <- 2 <- 3
+	//        ^
+	//        4
+	add := func(n uint64, deps ...uint64) {
+		t1 := &Transaction{ID: id(n)}
+		for _, d := range deps {
+			t1.Deps = append(t1.Deps, id(d))
+		}
+		if err := g.Add(t1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	add(1)
+	add(2, 1)
+	add(3, 2)
+	add(4, 2)
+	if g.Len() != 4 {
+		t.Errorf("Len = %d", g.Len())
+	}
+	if err := g.Add(&Transaction{ID: id(1)}); err == nil {
+		t.Error("duplicate add accepted")
+	}
+	cl, missing := g.AntecedentClosure(id(3))
+	if len(cl) != 2 || cl[0] != id(1) || cl[1] != id(2) || len(missing) != 0 {
+		t.Errorf("antecedents of 3 = %v missing %v", cl, missing)
+	}
+	dep := g.DependentClosure(id(1))
+	if len(dep) != 3 {
+		t.Errorf("dependents of 1 = %v", dep)
+	}
+	dep = g.DependentClosure(id(3))
+	if len(dep) != 0 {
+		t.Errorf("dependents of 3 = %v", dep)
+	}
+	// Missing antecedent surfaces in missing list.
+	add(5, 99)
+	_, missing = g.AntecedentClosure(id(5))
+	if len(missing) != 1 || missing[0] != id(99) {
+		t.Errorf("missing = %v", missing)
+	}
+}
+
+func TestGraphTopoOrder(t *testing.T) {
+	g := NewGraph()
+	id := func(p string, n uint64) TxnID { return TxnID{Peer: p, Seq: n} }
+	txns := []*Transaction{
+		{ID: id("b", 1), Deps: []TxnID{id("a", 1)}},
+		{ID: id("a", 1)},
+		{ID: id("c", 1), Deps: []TxnID{id("b", 1), id("a", 1)}},
+	}
+	for _, txn := range txns {
+		if err := g.Add(txn); err != nil {
+			t.Fatal(err)
+		}
+	}
+	order, err := g.TopoOrder()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pos := map[TxnID]int{}
+	for i, txn := range order {
+		pos[txn.ID] = i
+	}
+	if !(pos[id("a", 1)] < pos[id("b", 1)] && pos[id("b", 1)] < pos[id("c", 1)]) {
+		t.Errorf("order = %v", order)
+	}
+}
+
+func TestGraphTopoOrderCycle(t *testing.T) {
+	g := NewGraph()
+	a := TxnID{Peer: "p", Seq: 1}
+	b := TxnID{Peer: "p", Seq: 2}
+	if err := g.Add(&Transaction{ID: a, Deps: []TxnID{b}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Add(&Transaction{ID: b, Deps: []TxnID{a}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.TopoOrder(); err == nil {
+		t.Error("cyclic graph accepted")
+	}
+}
+
+func TestTrackerDependencies(t *testing.T) {
+	tr := NewTracker(keyFirst)
+	t1 := &Transaction{ID: TxnID{Peer: "alaska", Seq: 1}, Updates: []Update{Insert("R", tup(1, 10))}}
+	tr.Record(t1)
+	if len(t1.Deps) != 0 {
+		t.Errorf("t1 deps = %v", t1.Deps)
+	}
+	// t2 modifies the tuple t1 inserted: depends on t1.
+	t2 := &Transaction{ID: TxnID{Peer: "beijing", Seq: 1}, Updates: []Update{Modify("R", tup(1, 10), tup(1, 11))}}
+	tr.Record(t2)
+	if len(t2.Deps) != 1 || t2.Deps[0] != t1.ID {
+		t.Errorf("t2 deps = %v", t2.Deps)
+	}
+	// t3 deletes it: depends on t2 (the last writer), not t1.
+	t3 := &Transaction{ID: TxnID{Peer: "crete", Seq: 1}, Updates: []Update{Delete("R", tup(1, 11))}}
+	tr.Record(t3)
+	if len(t3.Deps) != 1 || t3.Deps[0] != t2.ID {
+		t.Errorf("t3 deps = %v", t3.Deps)
+	}
+	// Unrelated key: no deps.
+	t4 := &Transaction{ID: TxnID{Peer: "dresden", Seq: 1}, Updates: []Update{Insert("R", tup(9, 9))}}
+	tr.Record(t4)
+	if len(t4.Deps) != 0 {
+		t.Errorf("t4 deps = %v", t4.Deps)
+	}
+	// Multi-update transaction picks up deps from each touched key, once.
+	t5 := &Transaction{ID: TxnID{Peer: "e", Seq: 1}, Updates: []Update{
+		Modify("R", tup(9, 9), tup(9, 10)),
+		Insert("R", tup(1, 50)), // key 1's last writer is t3
+	}}
+	tr.Record(t5)
+	if len(t5.Deps) != 2 {
+		t.Errorf("t5 deps = %v", t5.Deps)
+	}
+}
+
+func TestTransactionString(t *testing.T) {
+	txn := &Transaction{ID: TxnID{Peer: "p", Seq: 1}, Epoch: 3,
+		Updates: []Update{Insert("R", tup(1))}}
+	if txn.String() == "" {
+		t.Error("empty render")
+	}
+}

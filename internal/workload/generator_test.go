@@ -1,0 +1,150 @@
+package workload
+
+import (
+	"testing"
+
+	"orchestra/internal/mapping"
+	"orchestra/internal/updates"
+)
+
+func TestFigure2Fixture(t *testing.T) {
+	peers := Figure2Peers()
+	if len(peers) != 4 {
+		t.Fatalf("peers = %v", peers)
+	}
+	if peers[Alaska].Relation("O") == nil || peers[Crete].Relation("OPS") == nil {
+		t.Error("schemas wrong")
+	}
+	ms := Figure2Mappings()
+	// 3 relations × 2 directions (A↔B) + 1 × 2 (C↔D) + join + split = 10.
+	if len(ms) != 10 {
+		t.Errorf("mappings = %d", len(ms))
+	}
+	if _, err := mapping.Compile(ms); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTopologies(t *testing.T) {
+	cases := []struct {
+		name     string
+		topo     *Topology
+		peers    int
+		mappings int
+	}{
+		{"chain4", Chain(4), 4, 3 * 3 * 2},  // 3 links × 3 relations × 2 dirs
+		{"star4", Star(4), 4, 3 * 3 * 2},    // 3 spokes × 3 relations × 2 dirs
+		{"mesh4", Mesh(4), 4, 12 * 3},       // 12 ordered pairs × 3 relations
+		{"cjs4", ChainJoinSplit(4), 4, 3 * 2}, // 3 links × (join + split)
+	}
+	for _, c := range cases {
+		if len(c.topo.Names) != c.peers || len(c.topo.Peers) != c.peers {
+			t.Errorf("%s: peers = %d", c.name, len(c.topo.Peers))
+		}
+		if len(c.topo.Mappings) != c.mappings {
+			t.Errorf("%s: mappings = %d, want %d", c.name, len(c.topo.Mappings), c.mappings)
+		}
+		if _, err := mapping.Compile(c.topo.Mappings); err != nil {
+			t.Errorf("%s: compile: %v", c.name, err)
+		}
+	}
+}
+
+func TestStreamDeterministicAndDeps(t *testing.T) {
+	opts := StreamOpts{TxnSize: 3, KeySpace: 100, ModifyFrac: 0.5, Seed: 7}
+	a := Stream("p", 1, 50, opts)
+	b := Stream("p", 1, 50, opts)
+	if len(a) != 50 || len(b) != 50 {
+		t.Fatal("wrong length")
+	}
+	for i := range a {
+		if a[i].String() != b[i].String() {
+			t.Fatalf("stream not deterministic at %d", i)
+		}
+	}
+	// Modifies must depend on prior writers.
+	deps := 0
+	mods := 0
+	for _, txn := range a {
+		deps += len(txn.Deps)
+		for _, u := range txn.Updates {
+			if u.Op == updates.OpModify {
+				mods++
+			}
+		}
+	}
+	if mods == 0 || deps == 0 {
+		t.Errorf("mods=%d deps=%d; generator not exercising modifies", mods, deps)
+	}
+	// All inserts have unique keys.
+	seen := map[string]bool{}
+	for _, txn := range a {
+		for _, u := range txn.Updates {
+			if u.Op == updates.OpInsert {
+				k := u.New.Project([]int{0, 1}).Key()
+				if seen[k] {
+					t.Fatalf("duplicate insert key %s", k)
+				}
+				seen[k] = true
+			}
+		}
+	}
+}
+
+func TestConflictingStreams(t *testing.T) {
+	a, b := ConflictingStreams("x", "y", 200, 0.3, 1)
+	if len(a) != 200 || len(b) != 200 {
+		t.Fatal("wrong length")
+	}
+	conflicts := 0
+	for i := range a {
+		ka := a[i].Updates[0].New.Project([]int{0, 1}).Key()
+		kb := b[i].Updates[0].New.Project([]int{0, 1}).Key()
+		if ka == kb {
+			conflicts++
+		}
+	}
+	if conflicts < 30 || conflicts > 100 {
+		t.Errorf("conflicts = %d out of 200 at rate 0.3", conflicts)
+	}
+	// Rate 0 yields none; rate 1 yields all.
+	a0, b0 := ConflictingStreams("x", "y", 50, 0, 2)
+	for i := range a0 {
+		if a0[i].Updates[0].New.Project([]int{0, 1}).Key() == b0[i].Updates[0].New.Project([]int{0, 1}).Key() {
+			t.Fatal("conflict at rate 0")
+		}
+	}
+	a1, b1 := ConflictingStreams("x", "y", 50, 1, 3)
+	for i := range a1 {
+		if a1[i].Updates[0].New.Project([]int{0, 1}).Key() != b1[i].Updates[0].New.Project([]int{0, 1}).Key() {
+			t.Fatal("no conflict at rate 1")
+		}
+	}
+}
+
+func TestGeneratorHelpers(t *testing.T) {
+	if Organism(0) != "mouse" || Organism(100) == "" {
+		t.Error("Organism wrong")
+	}
+	if Organism(3) == Organism(11) {
+		t.Error("Organism collision in wrapped range")
+	}
+	if Protein(0) != "p53" || Protein(99) == "" {
+		t.Error("Protein wrong")
+	}
+	s := Sequence(1, 2)
+	if len(s) != 12 || s != Sequence(1, 2) {
+		t.Errorf("Sequence = %q", s)
+	}
+	for _, c := range s {
+		switch c {
+		case 'A', 'C', 'G', 'T':
+		default:
+			t.Fatalf("bad base %c", c)
+		}
+	}
+	txn := OPBaseTxn("p", 1, 5, 7)
+	if len(txn.Updates) != 12 {
+		t.Errorf("OPBase updates = %d", len(txn.Updates))
+	}
+}

@@ -1,0 +1,180 @@
+package orchestra_test
+
+// Micro-benchmarks for the individual substrates, complementing the E1–E7
+// experiment benchmarks: storage writes and indexed lookups, provenance
+// polynomial arithmetic, datalog fixpoints, wire codec, and trust-policy
+// evaluation.
+
+import (
+	"fmt"
+	"testing"
+
+	"orchestra/internal/datalog"
+	"orchestra/internal/p2p"
+	"orchestra/internal/provenance"
+	"orchestra/internal/recon"
+	"orchestra/internal/schema"
+	"orchestra/internal/storage"
+	"orchestra/internal/updates"
+	"orchestra/internal/workload"
+)
+
+func BenchmarkStorageInsert(b *testing.B) {
+	tbl := storage.NewTable(workload.Sigma1().Relation("S"))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		k := int64(i)
+		if err := tbl.Insert(workload.STuple(k, k, "ACGT"), provenance.One()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkStorageIndexedLookup(b *testing.B) {
+	tbl := storage.NewTable(workload.Sigma1().Relation("S"))
+	for i := int64(0); i < 10000; i++ {
+		if err := tbl.Insert(workload.STuple(i%100, i, "ACGT"), provenance.One()); err != nil {
+			b.Fatal(err)
+		}
+	}
+	tbl.CreateIndex([]int{0})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows := tbl.LookupIndex([]int{0}, schema.NewTuple(schema.Int(int64(i%100))))
+		if len(rows) != 100 {
+			b.Fatalf("rows = %d", len(rows))
+		}
+	}
+}
+
+func BenchmarkInstanceDiff(b *testing.B) {
+	base := storage.NewInstance(workload.Sigma1())
+	cur := storage.NewInstance(workload.Sigma1())
+	for i := int64(0); i < 5000; i++ {
+		if err := base.Insert("S", workload.STuple(i, i, "A"), provenance.One()); err != nil {
+			b.Fatal(err)
+		}
+		tu := workload.STuple(i, i, "A")
+		if i%10 == 0 {
+			tu = workload.STuple(i, i, "B") // 10% modified
+		}
+		if err := cur.Insert("S", tu, provenance.One()); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d, err := cur.Diff(base)
+		if err != nil || d.Count() != 1000 {
+			b.Fatalf("diff = %d, %v", d.Count(), err)
+		}
+	}
+}
+
+func BenchmarkPolyMul(b *testing.B) {
+	mk := func(n int, prefix string) provenance.Poly {
+		p := provenance.Zero()
+		for i := 0; i < n; i++ {
+			p = p.Add(provenance.NewVar(provenance.Var(fmt.Sprint(prefix, i))))
+		}
+		return p
+	}
+	p8, q8 := mk(8, "x"), mk(8, "y")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = p8.Mul(q8)
+	}
+}
+
+func BenchmarkPolyEvalTrust(b *testing.B) {
+	p := provenance.Zero()
+	for i := 0; i < 8; i++ {
+		m := provenance.NewVar(provenance.Var(fmt.Sprint("a", i))).
+			Mul(provenance.NewVar(provenance.Var(fmt.Sprint("b", i))))
+		p = p.Add(m)
+	}
+	assign := func(v provenance.Var) float64 { return 0.5 + float64(len(v)%2)*0.25 }
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = provenance.Eval[float64](p, provenance.TrustSemiring{}, assign)
+	}
+}
+
+func BenchmarkDatalogTransitiveClosure(b *testing.B) {
+	prog := &datalog.Program{Rules: []datalog.Rule{
+		{ID: "tc1", Head: datalog.NewHead("T", datalog.HV("x"), datalog.HV("y")),
+			Body: []datalog.Literal{datalog.Pos(datalog.NewAtom("E", datalog.V("x"), datalog.V("y")))}},
+		{ID: "tc2", Head: datalog.NewHead("T", datalog.HV("x"), datalog.HV("z")),
+			Body: []datalog.Literal{
+				datalog.Pos(datalog.NewAtom("T", datalog.V("x"), datalog.V("y"))),
+				datalog.Pos(datalog.NewAtom("E", datalog.V("y"), datalog.V("z")))}},
+	}}
+	edb := datalog.NewDB()
+	for i := 0; i < 60; i++ {
+		edb.AddTuple("E", schema.NewTuple(schema.Int(int64(i)), schema.Int(int64(i+1))))
+	}
+	b.Run("set-semantics", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := datalog.Eval(prog, edb, datalog.Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("witness-provenance", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := datalog.Eval(prog, edb, datalog.Options{Provenance: true, MaxMonomials: 8}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func BenchmarkWireCodec(b *testing.B) {
+	txn := &updates.Transaction{
+		ID:    updates.TxnID{Peer: "alaska", Seq: 42},
+		Epoch: 7,
+		Updates: []updates.Update{
+			updates.Insert("S", workload.STuple(1, 10, "ACGTACGTACGT")),
+			updates.Modify("S", workload.STuple(2, 20, "AAAA"), workload.STuple(2, 20, "TTTT")),
+			updates.Delete("O", workload.OTuple("mouse", 1)),
+		},
+		Deps: []updates.TxnID{{Peer: "beijing", Seq: 1}},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w := p2p.EncodeTxn(txn)
+		if _, err := p2p.DecodeTxn(w); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTrustPolicyEvaluation(b *testing.B) {
+	pol := &recon.Policy{Conditions: []recon.Condition{
+		recon.FromPeer("beijing", 2),
+		recon.FromPeer("dresden", 1),
+		recon.OnRelation("OPS", 3),
+		recon.DerivedFromPeer("alaska", 2),
+	}, Default: recon.Distrusted}
+	u := updates.Insert("OPS", workload.OPSTuple("mouse", "p53", "ACGT"))
+	u.Prov = provenance.NewVar("alaska:1/0").Mul(provenance.NewVar("M_AC"))
+	txn := &updates.Transaction{
+		ID:      updates.TxnID{Peer: "beijing", Seq: 1},
+		Updates: []updates.Update{u, u, u},
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// Max matching condition is OnRelation("OPS", 3).
+		if pol.PriorityOf(txn) != 3 {
+			b.Fatal("priority wrong")
+		}
+	}
+}
+
+func BenchmarkTupleKey(b *testing.B) {
+	tu := workload.STuple(123456, 789012, "ACGTACGTACGTACGT")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = tu.Key()
+	}
+}
