@@ -1,0 +1,47 @@
+GO ?= go
+
+.PHONY: build test race vet fmt fmt-check bench bench-smoke bench-baseline ci
+
+## build: compile every package
+build:
+	$(GO) build ./...
+
+## test: the tier-1 gate — build plus the full test suite
+test: build
+	$(GO) test ./...
+
+## race: full test suite under the race detector (exercises the parallel
+## stratum executor; see internal/datalog)
+race:
+	$(GO) test -race ./...
+
+## vet: static analysis
+vet:
+	$(GO) vet ./...
+
+## fmt: rewrite all files with gofmt
+fmt:
+	gofmt -w .
+
+## fmt-check: fail if any file needs gofmt (mirrors the CI step)
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+## bench: full benchmark run with allocation profiles
+bench:
+	$(GO) test -bench=. -benchmem -run '^$$' .
+
+## bench-smoke: every benchmark executes exactly once — keeps bench_test.go
+## and micro_bench_test.go compiling and running in CI
+bench-smoke:
+	$(GO) test -bench=. -benchtime=1x -run '^$$' .
+
+## bench-baseline: regenerate the committed BENCH_baseline.json snapshot
+bench-baseline:
+	./scripts/bench_baseline.sh > BENCH_baseline.json
+	@echo wrote BENCH_baseline.json
+
+## ci: everything the CI workflow runs, in one command
+ci: build vet fmt-check race bench-smoke

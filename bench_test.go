@@ -18,6 +18,7 @@ import (
 	"orchestra/internal/experiments"
 	"orchestra/internal/p2p"
 	"orchestra/internal/recon"
+	"orchestra/internal/schema"
 	"orchestra/internal/updates"
 	"orchestra/internal/workload"
 
@@ -144,6 +145,105 @@ func BenchmarkE4ProvenanceOverhead(b *testing.B) {
 		b.Run(m.name, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				if _, err := datalog.Eval(prog, edb, m.opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkJoinOrderPlanner isolates the greedy join-order planner on the
+// 3-way mapping join (the E4 workload): default greedy ordering vs.
+// NoReorder (atoms joined in written order), with and without provenance.
+func BenchmarkJoinOrderPlanner(b *testing.B) {
+	const n = 2000
+	prog, edb, err := experiments.BuildJoinEDB(n)
+	if err != nil {
+		b.Fatal(err)
+	}
+	modes := []struct {
+		name string
+		opts datalog.Options
+	}{
+		{"greedy", datalog.Options{}},
+		{"noreorder", datalog.Options{NoReorder: true}},
+		{"greedy-witness", datalog.Options{Provenance: true}},
+		{"noreorder-witness", datalog.Options{Provenance: true, NoReorder: true}},
+	}
+	for _, m := range modes {
+		b.Run(m.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := datalog.Eval(prog, edb, m.opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkJoinOrderSelectiveConstant is the pattern the greedy planner
+// exists for: a badly-written rule whose most selective atom — a constant
+// pattern on the protein dimension — appears last. Written order scans the
+// whole fact table; greedy starts from the constant.
+func BenchmarkJoinOrderSelectiveConstant(b *testing.B) {
+	const n = 2000
+	_, edb, err := experiments.BuildJoinEDB(n)
+	if err != nil {
+		b.Fatal(err)
+	}
+	prog := &datalog.Program{Rules: []datalog.Rule{{
+		ID:   "sel",
+		Head: datalog.NewHead("Hits", datalog.HV("onm"), datalog.HV("seq")),
+		Body: []datalog.Literal{
+			datalog.Pos(datalog.NewAtom("a.S", datalog.V("oid"), datalog.V("pid"), datalog.V("seq"))),
+			datalog.Pos(datalog.NewAtom("a.O", datalog.V("onm"), datalog.V("oid"))),
+			datalog.Pos(datalog.NewAtom("a.P", datalog.C(schema.String(workload.Protein(3))), datalog.V("pid"))),
+		},
+	}}}
+	for _, m := range []struct {
+		name string
+		opts datalog.Options
+	}{
+		{"greedy", datalog.Options{}},
+		{"noreorder", datalog.Options{NoReorder: true}},
+	} {
+		b.Run(m.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := datalog.Eval(prog, edb, m.opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkParallelStratum measures the bounded worker pool on a stratum of
+// independent join rules — the update-exchange shape where many mapping
+// rules fire over the same round.
+func BenchmarkParallelStratum(b *testing.B) {
+	const rules, rows = 8, 1500
+	prog := &datalog.Program{}
+	edb := datalog.NewDB()
+	for r := 0; r < rules; r++ {
+		ra, rb, rh := fmt.Sprintf("A%d", r), fmt.Sprintf("B%d", r), fmt.Sprintf("H%d", r)
+		prog.Rules = append(prog.Rules, datalog.Rule{
+			ID:   fmt.Sprintf("j%d", r),
+			Head: datalog.NewHead(rh, datalog.HV("x"), datalog.HV("z")),
+			Body: []datalog.Literal{
+				datalog.Pos(datalog.NewAtom(ra, datalog.V("x"), datalog.V("y"))),
+				datalog.Pos(datalog.NewAtom(rb, datalog.V("y"), datalog.V("z"))),
+			},
+		})
+		for i := int64(0); i < rows; i++ {
+			edb.AddTuple(ra, schema.NewTuple(schema.Int(i), schema.Int(i%97)))
+			edb.AddTuple(rb, schema.NewTuple(schema.Int(i%97), schema.Int(i)))
+		}
+	}
+	for _, par := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", par), func(b *testing.B) {
+			opts := datalog.Options{Parallelism: par}
+			for i := 0; i < b.N; i++ {
+				if _, err := datalog.Eval(prog, edb, opts); err != nil {
 					b.Fatal(err)
 				}
 			}

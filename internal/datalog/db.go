@@ -13,15 +13,17 @@ type Fact struct {
 	Prov  provenance.Poly
 }
 
-// Rel is the annotated extent of one predicate.
+// Rel is the annotated extent of one predicate. Facts are stored once, by
+// pointer, and shared with the hash-index layer (index.go), so a provenance
+// update is a single in-place write.
 type Rel struct {
-	facts   map[string]Fact
-	indexes map[string]map[string][]string // colset -> valueKey -> tuple keys
+	facts map[string]*Fact
+	idx   relIndex // see index.go
 }
 
 // NewRel creates an empty extent.
 func NewRel() *Rel {
-	return &Rel{facts: map[string]Fact{}, indexes: map[string]map[string][]string{}}
+	return &Rel{facts: map[string]*Fact{}}
 }
 
 // Len returns the number of facts.
@@ -29,8 +31,10 @@ func (r *Rel) Len() int { return len(r.facts) }
 
 // Get returns the fact for the tuple, if present.
 func (r *Rel) Get(t schema.Tuple) (Fact, bool) {
-	f, ok := r.facts[t.Key()]
-	return f, ok
+	if f := r.facts[t.Key()]; f != nil {
+		return *f, true
+	}
+	return Fact{}, false
 }
 
 // Contains reports tuple membership.
@@ -39,112 +43,50 @@ func (r *Rel) Contains(t schema.Tuple) bool {
 	return ok
 }
 
-// put inserts or merges a fact; it reports whether the extent changed and
-// invalidates indexes on genuine insertion.
+// containsKey reports membership by pre-encoded tuple key.
+func (r *Rel) containsKey(key []byte) bool {
+	_, ok := r.facts[string(key)]
+	return ok
+}
+
+// put inserts or merges a fact; it reports whether the extent changed.
 func (r *Rel) put(t schema.Tuple, p provenance.Poly) bool {
-	k := t.Key()
-	if f, ok := r.facts[k]; ok {
+	return r.putKeyed(t.Key(), t, p)
+}
+
+// putKeyed is put with the tuple key already computed. Genuine insertions
+// are folded incrementally into every maintained index.
+func (r *Rel) putKeyed(k string, t schema.Tuple, p provenance.Poly) bool {
+	if f := r.facts[k]; f != nil {
 		if f.Prov.Subsumes(p) {
 			return false
 		}
 		f.Prov = f.Prov.Add(p)
-		r.facts[k] = f
 		return true
 	}
-	r.facts[k] = Fact{Tuple: t, Prov: p}
-	// New tuple: incrementally update existing indexes.
-	for colKey, idx := range r.indexes {
-		cols := decodeCols(colKey)
-		vk := t.Project(cols).Key()
-		idx[vk] = append(idx[vk], k)
-	}
+	f := &Fact{Tuple: t, Prov: p}
+	r.facts[k] = f
+	r.indexInsert(f)
 	return true
 }
 
-// set replaces the annotation of an existing fact (internal; indexes track
-// tuples, not annotations, so none are touched).
-func (r *Rel) set(t schema.Tuple, p provenance.Poly) {
-	k := t.Key()
-	if f, ok := r.facts[k]; ok {
-		f.Prov = p
-		r.facts[k] = f
+// remove deletes the fact stored under key k, keeping indexes in sync.
+func (r *Rel) remove(k string) {
+	f, ok := r.facts[k]
+	if !ok {
+		return
 	}
+	delete(r.facts, k)
+	r.indexRemove(f)
 }
 
 // Facts returns all facts in deterministic (tuple) order.
 func (r *Rel) Facts() []Fact {
 	out := make([]Fact, 0, len(r.facts))
 	for _, f := range r.facts {
-		out = append(out, f)
+		out = append(out, *f)
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Tuple.Compare(out[j].Tuple) < 0 })
-	return out
-}
-
-func encodeCols(cols []int) string {
-	b := make([]byte, 0, len(cols)*2)
-	for _, c := range cols {
-		// Arities are tiny; one byte per column is plenty.
-		b = append(b, byte(c), ';')
-	}
-	return string(b)
-}
-
-func decodeCols(key string) []int {
-	cols := make([]int, 0, len(key)/2)
-	for i := 0; i+1 < len(key); i += 2 {
-		cols = append(cols, int(key[i]))
-	}
-	return cols
-}
-
-// lookupCount returns the number of facts whose projection on cols equals
-// vals without materializing them — the cardinality estimate the join
-// orderer uses.
-func (r *Rel) lookupCount(cols []int, vals schema.Tuple) int {
-	if len(cols) == 0 {
-		return len(r.facts)
-	}
-	colKey := encodeCols(cols)
-	idx, ok := r.indexes[colKey]
-	if !ok {
-		idx = map[string][]string{}
-		for k, f := range r.facts {
-			vk := f.Tuple.Project(cols).Key()
-			idx[vk] = append(idx[vk], k)
-		}
-		r.indexes[colKey] = idx
-	}
-	return len(idx[vals.Key()])
-}
-
-// lookup returns the facts whose projection on cols equals vals, building a
-// hash index on first use. With no bound columns it returns all facts.
-func (r *Rel) lookup(cols []int, vals schema.Tuple) []Fact {
-	if len(cols) == 0 {
-		out := make([]Fact, 0, len(r.facts))
-		for _, f := range r.facts {
-			out = append(out, f)
-		}
-		return out
-	}
-	colKey := encodeCols(cols)
-	idx, ok := r.indexes[colKey]
-	if !ok {
-		idx = map[string][]string{}
-		for k, f := range r.facts {
-			vk := f.Tuple.Project(cols).Key()
-			idx[vk] = append(idx[vk], k)
-		}
-		r.indexes[colKey] = idx
-	}
-	keys := idx[vals.Key()]
-	out := make([]Fact, 0, len(keys))
-	for _, k := range keys {
-		if f, ok := r.facts[k]; ok {
-			out = append(out, f)
-		}
-	}
 	return out
 }
 
@@ -207,7 +149,8 @@ func (db *DB) Clone() *DB {
 	for p, r := range db.rels {
 		nr := NewRel()
 		for k, f := range r.facts {
-			nr.facts[k] = f
+			cp := *f
+			nr.facts[k] = &cp
 		}
 		c.rels[p] = nr
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"orchestra/internal/provenance"
 	"orchestra/internal/schema"
@@ -35,6 +36,18 @@ type Options struct {
 	// C→A split — from echoing Skolem-padded variants of data the target
 	// already has in concrete form.
 	ChaseSubsumption bool
+	// Parallelism bounds the worker pool that fires independent rules (and
+	// delta positions, in semi-naive rounds) of one stratum concurrently.
+	// 0 or 1 evaluates sequentially. Workers probe a frozen database and
+	// buffer their head facts; the coordinator then merges the buffers in
+	// deterministic job order, so fixpoints and provenance polynomials do
+	// not depend on goroutine scheduling.
+	Parallelism int
+	// NoReorder disables the greedy join-order planner: positive body atoms
+	// are joined strictly in their written order (negations and comparisons
+	// still float to the earliest point where their variables are bound —
+	// an unbound filter cannot run at all).
+	NoReorder bool
 }
 
 // DefaultMaxIterations is the fixpoint iteration bound when unspecified.
@@ -51,12 +64,14 @@ func Eval(p *Program, edb *DB, opts Options) (*DB, error) {
 		return nil, err
 	}
 	result := edb.Clone()
+	ensurePreds(p, result)
+	pl := newPlanner(opts.NoReorder)
 	if opts.Exact && opts.Provenance {
 		if cyc := recursivePreds(p); len(cyc) > 0 {
 			return nil, fmt.Errorf("datalog: exact provenance requires a non-recursive program; recursive predicates: %s",
 				strings.Join(cyc, ", "))
 		}
-		if err := evalExact(p, result, opts); err != nil {
+		if err := evalExact(p, result, pl, opts); err != nil {
 			return nil, err
 		}
 		return result, nil
@@ -66,17 +81,30 @@ func Eval(p *Program, edb *DB, opts Options) (*DB, error) {
 		maxIter = DefaultMaxIterations
 	}
 	for _, stratum := range strata {
-		if err := evalStratum(stratum, result, opts, maxIter); err != nil {
+		if err := evalStratum(stratum, result, pl, opts, maxIter); err != nil {
 			return nil, err
 		}
 	}
 	return result, nil
 }
 
+// ensurePreds materializes an extent for every predicate the program can
+// touch, so that parallel firings never create map entries concurrently.
+func ensurePreds(p *Program, db *DB) {
+	for _, r := range p.Rules {
+		db.Rel(r.Head.Pred)
+		for _, l := range r.Body {
+			if l.Builtin == nil {
+				db.Rel(l.Atom.Pred)
+			}
+		}
+	}
+}
+
 // evalExact evaluates a non-recursive program with exact N[X] provenance:
 // predicates are processed in dependency order and every rule fires exactly
 // once over complete extents, so each derivation is counted exactly once.
-func evalExact(p *Program, db *DB, opts Options) error {
+func evalExact(p *Program, db *DB, pl *planner, opts Options) error {
 	idb := p.IDBPreds()
 	// Kahn topological sort of IDB predicates by body dependencies.
 	deps := map[string]map[string]bool{}  // head -> IDB body preds
@@ -110,12 +138,12 @@ func evalExact(p *Program, db *DB, opts Options) error {
 	}
 	emit := func(pred string, t schema.Tuple, prov provenance.Poly) {
 		rel := db.Rel(pred)
-		if f, ok := rel.Get(t); ok {
+		k := t.Key()
+		if f := rel.facts[k]; f != nil {
 			f.Prov = f.Prov.Add(prov)
-			rel.facts[t.Key()] = f
 			return
 		}
-		rel.put(t, prov)
+		rel.putKeyed(k, t, prov)
 	}
 	processed := 0
 	for len(ready) > 0 {
@@ -123,7 +151,7 @@ func evalExact(p *Program, db *DB, opts Options) error {
 		ready = ready[1:]
 		processed++
 		for _, r := range rulesByHead[pred] {
-			if err := fireRule(r, db, nil, -1, opts, emit); err != nil {
+			if err := fireRule(r, pl.planFor(r, -1, db), db, nil, opts, emit); err != nil {
 				return err
 			}
 		}
@@ -188,35 +216,38 @@ type deltaFact struct {
 	prov  provenance.Poly
 }
 
-// evalStratum runs semi-naive evaluation of one stratum to fixpoint.
-func evalStratum(rules []Rule, db *DB, opts Options, maxIter int) error {
-	// Round 0: naive firing of every rule over the current database.
-	delta := map[string]map[string]deltaFact{}
-	record := func(pred string, t schema.Tuple, p provenance.Poly) {
-		newPart, changed := merge(db.Rel(pred), t, p, opts)
-		if !changed {
-			return
-		}
-		m := delta[pred]
+// absorbInto returns the post-merge callback for one round: it accumulates
+// each merge's genuinely new annotation part in delta.
+func absorbInto(delta map[string]map[string]deltaFact, opts Options) func(mergeResult) {
+	return func(mr mergeResult) {
+		m := delta[mr.pred]
 		if m == nil {
 			m = map[string]deltaFact{}
-			delta[pred] = m
+			delta[mr.pred] = m
 		}
-		k := t.Key()
-		if df, ok := m[k]; ok {
-			df.prov = df.prov.Add(newPart)
+		if df, ok := m[mr.key]; ok {
+			df.prov = df.prov.Add(mr.newPart)
 			if opts.Provenance && !opts.Exact {
 				df.prov = df.prov.Linearize()
 			}
-			m[k] = df
+			m[mr.key] = df
 		} else {
-			m[k] = deltaFact{tuple: t, prov: newPart}
+			m[mr.key] = deltaFact{tuple: mr.tuple, prov: mr.newPart}
 		}
 	}
-	for _, r := range rules {
-		if err := fireRule(r, db, nil, -1, opts, record); err != nil {
-			return err
-		}
+}
+
+// evalStratum runs semi-naive evaluation of one stratum to fixpoint.
+func evalStratum(rules []Rule, db *DB, pl *planner, opts Options, maxIter int) error {
+	plans := pl.plansFor(rules, db)
+	// Round 0: naive firing of every rule over the current database.
+	delta := map[string]map[string]deltaFact{}
+	jobs := make([]job, 0, len(rules))
+	for ri, r := range rules {
+		jobs = append(jobs, job{rule: r, pln: plans[ri].full})
+	}
+	if err := runRound(jobs, db, opts, absorbInto(delta, opts)); err != nil {
+		return err
 	}
 	// Semi-naive rounds: join each rule with the delta at one position.
 	for iter := 0; len(delta) > 0; iter++ {
@@ -225,73 +256,204 @@ func evalStratum(rules []Rule, db *DB, opts Options, maxIter int) error {
 		}
 		prev := delta
 		delta = map[string]map[string]deltaFact{}
-		record = func(pred string, t schema.Tuple, p provenance.Poly) {
-			newPart, changed := merge(db.Rel(pred), t, p, opts)
-			if !changed {
-				return
-			}
-			m := delta[pred]
-			if m == nil {
-				m = map[string]deltaFact{}
-				delta[pred] = m
-			}
-			k := t.Key()
-			if df, ok := m[k]; ok {
-				df.prov = df.prov.Add(newPart)
-				if opts.Provenance && !opts.Exact {
-					df.prov = df.prov.Linearize()
-				}
-				m[k] = df
-			} else {
-				m[k] = deltaFact{tuple: t, prov: newPart}
-			}
-		}
-		for _, r := range rules {
+		jobs = jobs[:0]
+		for ri, r := range rules {
 			for i, l := range r.Body {
 				if l.Builtin != nil || l.Negated {
 					continue
 				}
 				if dm, ok := prev[l.Atom.Pred]; ok && len(dm) > 0 {
-					if err := fireRule(r, db, dm, i, opts, record); err != nil {
-						return err
-					}
+					jobs = append(jobs, job{rule: r, pln: plans[ri].delta[i], deltaExt: dm})
 				}
 			}
+		}
+		if err := runRound(jobs, db, opts, absorbInto(delta, opts)); err != nil {
+			return err
 		}
 	}
 	return nil
 }
 
-// merge folds a derived annotation into the stored fact. It returns the
-// genuinely new annotation part and whether anything changed.
-func merge(rel *Rel, t schema.Tuple, p provenance.Poly, opts Options) (provenance.Poly, bool) {
-	if !opts.Provenance {
-		if rel.Contains(t) {
-			return provenance.Poly{}, false
+// job is one rule firing scheduled within a stratum round: a rule, its
+// compiled plan, and (for semi-naive rounds) the delta extent substituted at
+// the plan's delta position.
+type job struct {
+	rule     Rule
+	pln      *plan
+	deltaExt map[string]deltaFact
+}
+
+// emission is one buffered head fact produced by a parallel firing.
+type emission struct {
+	pred  string
+	tuple schema.Tuple
+	prov  provenance.Poly
+}
+
+// runRound fires the round's jobs, folds the emitted head facts into their
+// relations, and reports each effective change through absorb (in a
+// deterministic order, on the coordinator goroutine).
+//
+// Sequentially (Parallelism <= 1) each firing merges eagerly, so a later
+// rule sees facts merged by an earlier rule in the same round — the seed
+// engine's behavior, preserved exactly. With Parallelism > 1 the round runs
+// in three phases:
+//
+//  1. Probe: jobs enumerate joins against a frozen database concurrently on
+//     a bounded worker pool, buffering their emissions. Relations are only
+//     read; the per-relation lock (relIndex.mu) guards lazy index builds.
+//  2. Merge: emissions are grouped by head relation in (job, emission)
+//     order, and the groups are merged concurrently — one goroutine per
+//     relation, so every relation sees its merges in deterministic order
+//     under its own merge lock and no two goroutines touch the same state.
+//  3. Absorb: the coordinator walks the groups in first-appearance order
+//     and feeds each change to absorb, which does the (shared, unlocked)
+//     delta and change-log bookkeeping.
+//
+// The resulting fixpoint and provenance polynomials are therefore
+// independent of goroutine scheduling. Facts a parallel round withholds
+// from its sibling jobs are still in the round's delta, so the semi-naive
+// loop derives everything the eager schedule would — at worst one round
+// later.
+func runRound(jobs []job, db *DB, opts Options, absorb func(mergeResult)) error {
+	if len(jobs) == 0 {
+		return nil
+	}
+	workers := opts.Parallelism
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	if workers <= 1 {
+		emit := func(pred string, t schema.Tuple, p provenance.Poly) {
+			k, newPart, changed, fresh := merge(db.Rel(pred), t, p, opts)
+			if changed {
+				absorb(mergeResult{pred: pred, key: k, tuple: t, newPart: newPart, fresh: fresh})
+			}
 		}
-		rel.put(t, provenance.One())
-		return provenance.One(), true
+		for _, j := range jobs {
+			if err := fireRule(j.rule, j.pln, db, j.deltaExt, opts, emit); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	// Phase 1: probe.
+	buffers := make([][]emission, len(jobs))
+	errs := make([]error, len(jobs))
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for i := range jobs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			j := jobs[i]
+			errs[i] = fireRule(j.rule, j.pln, db, j.deltaExt, opts, func(pred string, t schema.Tuple, p provenance.Poly) {
+				buffers[i] = append(buffers[i], emission{pred: pred, tuple: t, prov: p})
+			})
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	// Phase 2: group by head relation and merge, one goroutine per relation.
+	type predGroup struct {
+		rel       *Rel
+		emissions []emission
+		results   []mergeResult
+	}
+	groups := map[string]*predGroup{}
+	var order []*predGroup
+	for _, buf := range buffers {
+		for _, e := range buf {
+			g := groups[e.pred]
+			if g == nil {
+				g = &predGroup{rel: db.Rel(e.pred)}
+				groups[e.pred] = g
+				order = append(order, g)
+			}
+			g.emissions = append(g.emissions, e)
+		}
+	}
+	mergeSem := make(chan struct{}, workers)
+	for _, g := range order {
+		wg.Add(1)
+		go func(g *predGroup) {
+			defer wg.Done()
+			mergeSem <- struct{}{}
+			defer func() { <-mergeSem }()
+			for _, e := range g.emissions {
+				// Re-run the chase redundancy check against the merged
+				// state: the emit-time check saw only the frozen pre-round
+				// database, so a subsumer merged earlier this round (always
+				// into this same relation) would be missed.
+				if opts.ChaseSubsumption && e.tuple.HasLabeledNull() && subsumedByExisting(g.rel, e.tuple) {
+					continue
+				}
+				k, newPart, changed, fresh := merge(g.rel, e.tuple, e.prov, opts)
+				if changed {
+					g.results = append(g.results, mergeResult{pred: e.pred, key: k, tuple: e.tuple, newPart: newPart, fresh: fresh})
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	// Phase 3: absorb on the coordinator, in deterministic group order.
+	for _, g := range order {
+		for _, mr := range g.results {
+			absorb(mr)
+		}
+	}
+	return nil
+}
+
+// mergeResult describes the outcome of folding one derived fact into its
+// relation: the genuinely new annotation part, and whether the tuple itself
+// was absent before the merge.
+type mergeResult struct {
+	pred    string
+	key     string
+	tuple   schema.Tuple
+	newPart provenance.Poly
+	fresh   bool
+}
+
+// merge folds a derived annotation into the stored fact. It returns the
+// tuple's key, the genuinely new annotation part, whether anything changed,
+// and whether the tuple was absent before.
+func merge(rel *Rel, t schema.Tuple, p provenance.Poly, opts Options) (string, provenance.Poly, bool, bool) {
+	k := t.Key()
+	if !opts.Provenance {
+		if _, ok := rel.facts[k]; ok {
+			return k, provenance.Poly{}, false, false
+		}
+		rel.putKeyed(k, t, provenance.One())
+		return k, provenance.One(), true, true
 	}
 	if !opts.Exact {
 		p = p.Linearize()
 	}
-	existing, ok := rel.Get(t)
-	if !ok {
+	existing := rel.facts[k]
+	if existing == nil {
 		if !opts.Exact {
 			p = p.Truncate(opts.MaxMonomials)
 		}
-		rel.put(t, p)
-		return p, true
+		rel.putKeyed(k, t, p)
+		return k, p, true, true
 	}
 	if opts.Exact {
 		// Exact mode runs on non-recursive programs where each derivation
 		// is enumerated exactly once: always accumulate.
-		rel.put(t, p)
-		return p, true
+		rel.putKeyed(k, t, p)
+		return k, p, true, false
 	}
 	merged := existing.Prov.Add(p).Linearize().Truncate(opts.MaxMonomials)
 	if merged.Equal(existing.Prov) {
-		return provenance.Poly{}, false
+		return k, provenance.Poly{}, false, false
 	}
 	// Isolate the monomials not already present (truncation only drops
 	// monomials, so merged != existing implies at least one new one).
@@ -306,220 +468,121 @@ func merge(rel *Rel, t schema.Tuple, p provenance.Poly, opts Options) (provenanc
 		}
 	}
 	newPart := provenance.FromMonomials(fresh)
-	rel.set(t, merged)
-	return newPart, true
+	existing.Prov = merged
+	return k, newPart, true, false
 }
 
 func monoKey(m provenance.Monomial) string { return m.Key() }
 
-// binding maps variable names to values during rule evaluation.
-type binding map[string]schema.Value
-
-// fireRule enumerates all satisfying assignments of the rule body and calls
-// emit for each resulting head fact. If deltaIdx >= 0, body literal
-// deltaIdx ranges over deltaExt (with delta annotations) instead of the
-// full extent.
-func fireRule(r Rule, db *DB, deltaExt map[string]deltaFact, deltaIdx int, opts Options,
+// fireRule enumerates all satisfying assignments of the rule body in the
+// compiled plan's order and calls emit for each resulting head fact. If the
+// plan's delta position is set, that body literal ranges over deltaExt (with
+// delta annotations) instead of the full extent. Enumeration terminates
+// early the moment any step's candidate set is empty.
+//
+// Variable bindings live in a flat slot environment; which slots a step
+// binds or checks was decided at plan time, so no undo bookkeeping is
+// needed — a slot is always rewritten before any deeper step reads it.
+func fireRule(r Rule, pln *plan, db *DB, deltaExt map[string]deltaFact, opts Options,
 	emit func(string, schema.Tuple, provenance.Poly)) error {
 
-	// Order of evaluation: positive literals in order; negations and
-	// builtins are applied as soon as their variables are bound.
-	type litState struct {
-		lit  Literal
-		idx  int
-		done bool
-	}
-	lits := make([]*litState, len(r.Body))
-	for i := range r.Body {
-		lits[i] = &litState{lit: r.Body[i], idx: i}
-	}
-
-	var rec func(b binding, prov provenance.Poly) error
-	rec = func(b binding, prov provenance.Poly) error {
-		// Apply every pending filter whose variables are all bound.
-		undone := []*litState{}
-		for _, ls := range lits {
-			if ls.done {
-				continue
+	env := make([]schema.Value, pln.nslots)
+	var keyBuf []byte
+	steps := pln.steps
+	var rec func(depth int, prov provenance.Poly) error
+	rec = func(depth int, prov provenance.Poly) error {
+		if depth == len(steps) {
+			return emitHead(r, pln, env, prov, db, opts, emit)
+		}
+		st := &steps[depth]
+		if st.unbound {
+			// The planner floats filters to where their variables are
+			// bound; Validate rejects bodies where they never bind.
+			return fmt.Errorf("datalog: rule %q: unbound filter literal", r.ID)
+		}
+		switch st.kind {
+		case stepCmp:
+			if !compare(st.op, st.left.value(env), st.right.value(env)) {
+				return nil
 			}
-			if ls.lit.Builtin != nil {
-				if l, okL := resolve(ls.lit.Builtin.Left, b); okL {
-					if rr, okR := resolve(ls.lit.Builtin.Right, b); okR {
-						if !compare(ls.lit.Builtin.Op, l, rr) {
-							return nil
-						}
-						continue // satisfied; do not re-add
-					}
-				}
-				undone = append(undone, ls)
-				continue
+			return rec(depth+1, prov)
+		case stepNeg:
+			keyBuf = keyBuf[:0]
+			for _, pt := range st.negTerms {
+				keyBuf = appendProjKey(keyBuf, pt.value(env))
 			}
-			if ls.lit.Negated {
-				if vals, ok := resolveAtom(ls.lit.Atom, b); ok {
-					if db.Rel(ls.lit.Atom.Pred).Contains(vals) {
-						return nil
-					}
+			if db.Rel(st.pred).containsKey(keyBuf) {
+				return nil
+			}
+			return rec(depth+1, prov)
+		}
+		arity := len(st.lit.Atom.Terms)
+		if st.isDelta {
+			for _, df := range deltaExt {
+				if len(df.tuple) != arity || !matchDelta(st, df.tuple, env) {
 					continue
 				}
-				undone = append(undone, ls)
-				continue
-			}
-			undone = append(undone, ls)
-		}
-		// Choose the next positive literal greedily by selectivity: the
-		// delta literal first (it is both mandatory and usually tiny),
-		// otherwise the literal with the fewest matching facts under the
-		// current bindings. This keeps e.g. the 3-way join of the split
-		// mapping from enumerating a cartesian product with an unbound
-		// dimension table.
-		var next *litState
-		bestCount := -1
-		for _, ls := range undone {
-			if ls.lit.Builtin != nil || ls.lit.Negated {
-				continue
-			}
-			if ls.idx == deltaIdx {
-				next = ls
-				break
-			}
-			var cols []int
-			var vals schema.Tuple
-			for i, tm := range ls.lit.Atom.Terms {
-				if v, ok := resolve(tm, b); ok {
-					cols = append(cols, i)
-					vals = append(vals, v)
+				np := prov
+				if opts.Provenance {
+					np = np.Mul(df.prov)
+				}
+				if err := rec(depth+1, np); err != nil {
+					return err
 				}
 			}
-			n := db.Rel(ls.lit.Atom.Pred).lookupCount(cols, vals)
-			if bestCount == -1 || n < bestCount {
-				next, bestCount = ls, n
-			}
+			return nil
 		}
-		if next == nil {
-			if len(undone) > 0 {
-				// Only unbound negations/builtins remain: unsafe rule
-				// bodies are rejected by Validate, so this is internal.
-				return fmt.Errorf("datalog: rule %q: unbound filter literal", r.ID)
-			}
-			return emitHead(r, b, prov, db, opts, emit)
+		keyBuf = keyBuf[:0]
+		for _, pt := range st.probes {
+			keyBuf = appendProjKey(keyBuf, pt.value(env))
 		}
-		// Enumerate matches for next.
-		next.done = true
-		defer func() { next.done = false }()
-		atom := next.lit.Atom
-		var candidates []Fact
-		if next.idx == deltaIdx {
-			candidates = make([]Fact, 0, len(deltaExt))
-			for _, df := range deltaExt {
-				candidates = append(candidates, Fact{Tuple: df.tuple, Prov: df.prov})
-			}
-			candidates = filterMatches(atom, b, candidates)
-		} else {
-			candidates = indexedMatches(db.Rel(atom.Pred), atom, b)
-		}
-		for _, f := range candidates {
-			added, ok := extend(atom, f.Tuple, b)
-			if !ok {
-				for _, v := range added {
-					delete(b, v)
-				}
+		bucket := db.Rel(st.pred).lookupBucket(st.colKey, st.boundCols, keyBuf)
+	cand:
+		for _, f := range bucket {
+			if len(f.Tuple) != arity {
 				continue
+			}
+			for _, a := range st.actions {
+				if a.check {
+					if !env[a.slot].Equal(f.Tuple[a.col]) {
+						continue cand
+					}
+				} else {
+					env[a.slot] = f.Tuple[a.col]
+				}
 			}
 			np := prov
 			if opts.Provenance {
 				np = np.Mul(f.Prov)
 			}
-			if err := rec(b, np); err != nil {
+			if err := rec(depth+1, np); err != nil {
 				return err
-			}
-			for _, v := range added {
-				delete(b, v)
 			}
 		}
 		return nil
 	}
-	return rec(binding{}, provenance.One())
+	return rec(0, provenance.One())
 }
 
-// resolve returns the value of a term under the binding.
-func resolve(t Term, b binding) (schema.Value, bool) {
-	if !t.IsVar() {
-		return t.Value, true
-	}
-	v, ok := b[t.Name]
-	return v, ok
-}
-
-// resolveAtom grounds an atom completely, or reports failure.
-func resolveAtom(a Atom, b binding) (schema.Tuple, bool) {
-	out := make(schema.Tuple, len(a.Terms))
-	for i, t := range a.Terms {
-		v, ok := resolve(t, b)
-		if !ok {
-			return nil, false
-		}
-		out[i] = v
-	}
-	return out, true
-}
-
-// indexedMatches returns candidate facts for an atom using a hash index on
-// the bound positions.
-func indexedMatches(rel *Rel, a Atom, b binding) []Fact {
-	var cols []int
-	var vals schema.Tuple
-	for i, t := range a.Terms {
-		if v, ok := resolve(t, b); ok {
-			cols = append(cols, i)
-			vals = append(vals, v)
+// matchDelta checks a delta candidate against the step's probe columns
+// (which the hash index would otherwise guarantee) and applies its
+// bind/check actions.
+func matchDelta(st *planStep, tu schema.Tuple, env []schema.Value) bool {
+	for i, c := range st.boundCols {
+		if !st.probes[i].value(env).Equal(tu[c]) {
+			return false
 		}
 	}
-	cand := rel.lookup(cols, vals)
-	// lookup guarantees the bound positions match; repeated variables in
-	// the atom (e.g. R(x,x)) still need the extend check, done by caller.
-	return cand
-}
-
-// filterMatches filters candidates by the bound positions of the atom.
-func filterMatches(a Atom, b binding, facts []Fact) []Fact {
-	out := facts[:0]
-	for _, f := range facts {
-		ok := true
-		for i, t := range a.Terms {
-			if v, bound := resolve(t, b); bound && !v.Equal(f.Tuple[i]) {
-				ok = false
-				break
+	for _, a := range st.actions {
+		if a.check {
+			if !env[a.slot].Equal(tu[a.col]) {
+				return false
 			}
-		}
-		if ok {
-			out = append(out, f)
-		}
-	}
-	return out
-}
-
-// extend unifies the atom's terms with the tuple, mutating b in place. It
-// returns the variable names it added (for the caller to undo) and whether
-// unification succeeded.
-func extend(a Atom, tu schema.Tuple, b binding) (added []string, ok bool) {
-	if len(a.Terms) != len(tu) {
-		return nil, false
-	}
-	for i, t := range a.Terms {
-		if t.IsVar() {
-			if v, bound := b[t.Name]; bound {
-				if !v.Equal(tu[i]) {
-					return added, false
-				}
-			} else {
-				b[t.Name] = tu[i]
-				added = append(added, t.Name)
-			}
-		} else if !t.Value.Equal(tu[i]) {
-			return added, false
+		} else {
+			env[a.slot] = tu[a.col]
 		}
 	}
-	return added, true
+	return true
 }
 
 // compare applies a builtin comparison to two values.
@@ -542,29 +605,25 @@ func compare(op CmpOp, l, r schema.Value) bool {
 	}
 }
 
-// emitHead instantiates the rule head under the binding and emits the fact.
-func emitHead(r Rule, b binding, prov provenance.Poly, db *DB, opts Options,
+// emitHead instantiates the compiled rule head over the slot environment
+// and emits the fact.
+func emitHead(r Rule, pln *plan, env []schema.Value, prov provenance.Poly, db *DB, opts Options,
 	emit func(string, schema.Tuple, provenance.Poly)) error {
 
-	out := make(schema.Tuple, len(r.Head.Terms))
-	for i, ht := range r.Head.Terms {
-		if ht.Skolem != nil {
-			args := make([]string, len(ht.Skolem.Args))
-			for j, at := range ht.Skolem.Args {
-				v, ok := resolve(at, b)
-				if !ok {
-					return fmt.Errorf("datalog: rule %q: unbound skolem argument %s", r.ID, at)
-				}
-				args[j] = v.Key()
+	if pln.headErr != nil {
+		return pln.headErr
+	}
+	out := make(schema.Tuple, len(pln.head))
+	for i, ha := range pln.head {
+		if ha.skolem != nil {
+			args := make([]string, len(ha.args))
+			for j, at := range ha.args {
+				args[j] = at.value(env).Key()
 			}
-			out[i] = schema.LabeledNull(ht.Skolem.Fn + "(" + strings.Join(args, ",") + ")")
+			out[i] = schema.LabeledNull(ha.skolem.Fn + "(" + strings.Join(args, ",") + ")")
 			continue
 		}
-		v, ok := resolve(ht.Term, b)
-		if !ok {
-			return fmt.Errorf("datalog: rule %q: unbound head variable %s", r.ID, ht.Term)
-		}
-		out[i] = v
+		out[i] = ha.term.value(env)
 	}
 	if opts.Provenance && r.ProvToken != "" {
 		prov = prov.Mul(provenance.NewVar(provenance.Var(r.ProvToken)))

@@ -36,6 +36,8 @@ type Incremental struct {
 	prog    *Program
 	strata  [][]Rule
 	db      *DB
+	pl      *planner
+	planTab [][]rulePlans // resolved plans, aligned with strata
 	opts    Options
 	maxIter int
 	// tokenIndex maps a provenance variable to the set of facts whose
@@ -70,18 +72,26 @@ func NewIncremental(p *Program, edb *DB, opts Options) (*Incremental, error) {
 	if maxIter <= 0 {
 		maxIter = DefaultMaxIterations
 	}
+	ensurePreds(p, res)
 	inc := &Incremental{
-		prog:       p,
-		strata:     strata,
-		db:         res,
+		prog:   p,
+		strata: strata,
+		db:     res,
+		pl:     newPlanner(opts.NoReorder),
 		opts: Options{
 			Provenance:       true,
 			ChaseSubsumption: opts.ChaseSubsumption,
 			MaxMonomials:     opts.MaxMonomials,
+			Parallelism:      opts.Parallelism,
+			NoReorder:        opts.NoReorder,
 		},
 		maxIter:    maxIter,
 		tokenIndex: map[provenance.Var]map[string]map[string]bool{},
 		dead:       map[provenance.Var]bool{},
+	}
+	inc.planTab = make([][]rulePlans, len(strata))
+	for si, stratum := range strata {
+		inc.planTab[si] = inc.pl.plansFor(stratum, res)
 	}
 	for _, pred := range res.Preds() {
 		for _, f := range res.Rel(pred).Facts() {
@@ -119,7 +129,7 @@ func (inc *Incremental) Insert(facts []Fact2) ([]Change, error) {
 	delta := map[string]map[string]deltaFact{}
 	opts := inc.opts
 	for _, bf := range facts {
-		newPart, changed := merge(inc.db.Rel(bf.Pred), bf.Tuple, bf.Prov, opts)
+		k, newPart, changed, _ := merge(inc.db.Rel(bf.Pred), bf.Tuple, bf.Prov, opts)
 		if !changed {
 			continue
 		}
@@ -129,7 +139,7 @@ func (inc *Incremental) Insert(facts []Fact2) ([]Change, error) {
 			m = map[string]deltaFact{}
 			delta[bf.Pred] = m
 		}
-		m[bf.Tuple.Key()] = deltaFact{tuple: bf.Tuple, prov: newPart}
+		m[k] = deltaFact{tuple: bf.Tuple, prov: newPart}
 		changes = append(changes, Change{Pred: bf.Pred, Tuple: bf.Tuple, Prov: newPart, Fresh: true})
 	}
 	if len(delta) == 0 {
@@ -137,9 +147,9 @@ func (inc *Incremental) Insert(facts []Fact2) ([]Change, error) {
 	}
 	// Propagate stratum by stratum; the delta from earlier strata feeds
 	// later ones.
-	for _, stratum := range inc.strata {
+	for si, stratum := range inc.strata {
 		var err error
-		delta, err = inc.propagate(stratum, delta, &changes)
+		delta, err = inc.propagate(stratum, inc.planTab[si], delta, &changes)
 		if err != nil {
 			return nil, err
 		}
@@ -159,7 +169,7 @@ type Fact2 struct {
 // propagate runs semi-naive rounds of one stratum starting from seed; it
 // returns the accumulated delta (seed plus everything newly derived) so
 // later strata can consume it, and appends derived changes to out.
-func (inc *Incremental) propagate(rules []Rule, seed map[string]map[string]deltaFact, out *[]Change) (map[string]map[string]deltaFact, error) {
+func (inc *Incremental) propagate(rules []Rule, plans []rulePlans, seed map[string]map[string]deltaFact, out *[]Change) (map[string]map[string]deltaFact, error) {
 	opts := inc.opts
 	accum := map[string]map[string]deltaFact{}
 	copyInto(accum, seed)
@@ -169,38 +179,34 @@ func (inc *Incremental) propagate(rules []Rule, seed map[string]map[string]delta
 			return nil, fmt.Errorf("datalog: incremental fixpoint not reached after %d iterations", inc.maxIter)
 		}
 		next := map[string]map[string]deltaFact{}
-		record := func(pred string, t schema.Tuple, p provenance.Poly) {
-			_, had := inc.db.Rel(pred).Get(t)
-			newPart, changed := merge(inc.db.Rel(pred), t, p, opts)
-			if !changed {
-				return
-			}
-			inc.indexFact(pred, t, newPart)
-			m := next[pred]
+		absorb := func(mr mergeResult) {
+			inc.indexFact(mr.pred, mr.tuple, mr.newPart)
+			m := next[mr.pred]
 			if m == nil {
 				m = map[string]deltaFact{}
-				next[pred] = m
+				next[mr.pred] = m
 			}
-			k := t.Key()
-			if df, ok := m[k]; ok {
-				df.prov = df.prov.Add(newPart).Linearize()
-				m[k] = df
+			if df, ok := m[mr.key]; ok {
+				df.prov = df.prov.Add(mr.newPart).Linearize()
+				m[mr.key] = df
 			} else {
-				m[k] = deltaFact{tuple: t, prov: newPart}
+				m[mr.key] = deltaFact{tuple: mr.tuple, prov: mr.newPart}
 			}
-			*out = append(*out, Change{Pred: pred, Tuple: t, Prov: newPart, Fresh: !had})
+			*out = append(*out, Change{Pred: mr.pred, Tuple: mr.tuple, Prov: mr.newPart, Fresh: mr.fresh})
 		}
-		for _, r := range rules {
+		var jobs []job
+		for ri, r := range rules {
 			for i, l := range r.Body {
 				if l.Builtin != nil || l.Negated {
 					continue
 				}
 				if dm, ok := cur[l.Atom.Pred]; ok && len(dm) > 0 {
-					if err := fireRule(r, inc.db, dm, i, opts, record); err != nil {
-						return nil, err
-					}
+					jobs = append(jobs, job{rule: r, pln: plans[ri].delta[i], deltaExt: dm})
 				}
 			}
+		}
+		if err := runRound(jobs, inc.db, opts, absorb); err != nil {
+			return nil, err
 		}
 		copyInto(accum, next)
 		cur = next
@@ -265,12 +271,10 @@ func (inc *Incremental) DeleteBase(tokens []provenance.Var) []Change {
 				continue
 			}
 			if rest.IsZero() {
-				delete(rel.facts, k)
-				rel.indexes = map[string]map[string][]string{} // deletions invalidate indexes
+				rel.remove(k) // maintains the hash indexes incrementally
 				changes = append(changes, Change{Pred: pred, Tuple: f.Tuple, Removed: true})
 			} else {
-				f.Prov = rest
-				rel.facts[k] = f
+				f.Prov = rest // facts are stored by pointer; in-place update
 				changes = append(changes, Change{Pred: pred, Tuple: f.Tuple, Prov: rest})
 			}
 		}

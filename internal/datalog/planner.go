@@ -1,0 +1,443 @@
+package datalog
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+
+	"orchestra/internal/schema"
+)
+
+// The planner compiles each rule body into a plan: an ordered list of steps
+// with every variable lowered to an integer slot in a flat environment, so
+// that firing a rule never touches a string-keyed binding map. Ordering is
+// the statistics-free greedy strategy that wins for pattern-based datalog
+// workloads: selectivity is visible in the pattern syntax (constants and
+// already-bound variables), so no cardinality estimation is needed beyond
+// whole-relation sizes for tie-breaking.
+
+// termMode says where a compiled term's value comes from at runtime.
+type termMode uint8
+
+const (
+	termConst termMode = iota // a constant from the rule text
+	termSlot                  // a variable slot bound by an earlier step
+)
+
+// planTerm is a compiled term: a constant or a reference to a bound slot.
+type planTerm struct {
+	mode termMode
+	slot int
+	val  schema.Value
+}
+
+func (pt planTerm) value(env []schema.Value) schema.Value {
+	if pt.mode == termSlot {
+		return env[pt.slot]
+	}
+	return pt.val
+}
+
+// scanAction handles one non-probed column of a scanned atom: bind the
+// candidate's value into a fresh slot, or (for a variable repeated within
+// the same atom) check it against the slot bound a column earlier.
+type scanAction struct {
+	col   int
+	slot  int
+	check bool
+}
+
+// stepKind discriminates compiled plan steps.
+type stepKind uint8
+
+const (
+	stepScan stepKind = iota // enumerate a positive atom's extent
+	stepNeg                  // negated atom: fail if the ground tuple exists
+	stepCmp                  // builtin comparison over bound terms
+)
+
+// planStep is one scheduled, compiled body literal.
+type planStep struct {
+	kind    stepKind
+	lit     Literal // original literal, for rendering and errors
+	bodyIdx int     // position in the original rule body
+
+	// stepScan:
+	pred      string
+	isDelta   bool
+	boundCols []int      // columns probed through the hash index
+	colKey    string     // encodeCols(boundCols), precomputed
+	probes    []planTerm // value sources for boundCols, aligned
+	actions   []scanAction
+
+	// stepNeg:
+	negTerms []planTerm
+
+	// stepCmp:
+	op          CmpOp
+	left, right planTerm
+
+	// unbound marks a filter whose variables never bind — rejected by
+	// Validate, but fireRule may be handed unvalidated rules.
+	unbound bool
+}
+
+// headAction builds one column of the head tuple from the environment.
+type headAction struct {
+	skolem *Skolem // non-nil: Skolem application over args
+	args   []planTerm
+	term   planTerm
+}
+
+// plan is the compiled evaluation order for one rule, specialized to the
+// body position substituted with the delta extent in a semi-naive round
+// (deltaIdx == -1 for naive/full firings).
+type plan struct {
+	steps    []planStep
+	deltaIdx int
+	nslots   int
+	head     []headAction
+	headErr  error // unbound head variable (unvalidated rules only)
+}
+
+// String renders the plan's literal order, for tests and debugging.
+func (p *plan) String() string {
+	parts := make([]string, len(p.steps))
+	for i, s := range p.steps {
+		parts[i] = s.lit.String()
+	}
+	return strings.Join(parts, ", ")
+}
+
+// order returns the body indexes in scheduled order.
+func (p *plan) order() []int {
+	out := make([]int, len(p.steps))
+	for i, s := range p.steps {
+		out[i] = s.bodyIdx
+	}
+	return out
+}
+
+// planner computes and caches plans. One planner serves one evaluation (an
+// Eval call, or the lifetime of an Incremental); plans are cached per
+// (rule shape, delta position), so each shape is compiled exactly once per
+// evaluation rather than re-ordered at every binding during every firing.
+// Relation cardinalities for tie-breaking are sampled when the shape is
+// first planned.
+type planner struct {
+	noReorder bool
+	mu        sync.Mutex
+	plans     map[string]*plan
+}
+
+func newPlanner(noReorder bool) *planner {
+	return &planner{noReorder: noReorder, plans: map[string]*plan{}}
+}
+
+// planFor returns the cached plan for (rule, delta position), building it on
+// first use. The cache key is an injective structural encoding — the display
+// rendering (Rule.String) conflates e.g. the variable x with the string
+// constant "x" and Int(1) with Float(1), which would make semantically
+// different rules share one compiled plan.
+func (pl *planner) planFor(r Rule, deltaIdx int, db *DB) *plan {
+	key := string(appendRuleKey(nil, r)) + "\x00" + strconv.Itoa(deltaIdx)
+	pl.mu.Lock()
+	p, ok := pl.plans[key]
+	pl.mu.Unlock()
+	if ok {
+		return p
+	}
+	p = buildPlan(r, deltaIdx, db, pl.noReorder)
+	pl.mu.Lock()
+	pl.plans[key] = p
+	pl.mu.Unlock()
+	return p
+}
+
+// appendLP appends a length-prefixed string, keeping concatenations of
+// arbitrary names unambiguous.
+func appendLP(b []byte, s string) []byte {
+	b = strconv.AppendInt(b, int64(len(s)), 10)
+	b = append(b, ':')
+	return append(b, s...)
+}
+
+// appendTermKey appends an injective encoding of a term: variables and
+// constants are tagged, and constant values use schema.Value.Key (which
+// distinguishes kinds).
+func appendTermKey(b []byte, t Term) []byte {
+	if t.IsVar() {
+		b = append(b, 'v')
+		return appendLP(b, t.Name)
+	}
+	b = append(b, 'c')
+	return appendLP(b, t.Value.Key())
+}
+
+// appendRuleKey appends an injective structural encoding of the rule (ID
+// included, since plans bake the ID into their defensive error messages).
+func appendRuleKey(b []byte, r Rule) []byte {
+	b = appendLP(b, r.ID)
+	b = appendLP(b, r.Head.Pred)
+	for _, ht := range r.Head.Terms {
+		if ht.Skolem != nil {
+			b = append(b, 'k')
+			b = appendLP(b, ht.Skolem.Fn)
+			for _, a := range ht.Skolem.Args {
+				b = appendTermKey(b, a)
+			}
+			b = append(b, ';')
+			continue
+		}
+		b = appendTermKey(b, ht.Term)
+	}
+	for _, l := range r.Body {
+		switch {
+		case l.Builtin != nil:
+			b = append(b, 'b', byte('0'+l.Builtin.Op))
+			b = appendTermKey(b, l.Builtin.Left)
+			b = appendTermKey(b, l.Builtin.Right)
+		case l.Negated:
+			b = append(b, 'n')
+			b = appendLP(b, l.Atom.Pred)
+			for _, t := range l.Atom.Terms {
+				b = appendTermKey(b, t)
+			}
+		default:
+			b = append(b, 'p')
+			b = appendLP(b, l.Atom.Pred)
+			for _, t := range l.Atom.Terms {
+				b = appendTermKey(b, t)
+			}
+		}
+	}
+	return b
+}
+
+// rulePlans holds one rule's resolved plans: the full (naive) plan and one
+// delta-specialized plan per positive body position.
+type rulePlans struct {
+	full  *plan
+	delta []*plan // indexed by body position; nil for filter literals
+}
+
+// plansFor resolves plans for a whole rule set up front, so per-round job
+// construction indexes a table instead of re-encoding each rule's (
+// structural) cache key once per rule per round.
+func (pl *planner) plansFor(rules []Rule, db *DB) []rulePlans {
+	out := make([]rulePlans, len(rules))
+	for i, r := range rules {
+		out[i].full = pl.planFor(r, -1, db)
+		out[i].delta = make([]*plan, len(r.Body))
+		for j, l := range r.Body {
+			if l.Builtin == nil && !l.Negated {
+				out[i].delta[j] = pl.planFor(r, j, db)
+			}
+		}
+	}
+	return out
+}
+
+// buildPlan orders one rule body greedily and compiles it to slots:
+//
+//   - The delta literal (when present) always scans first — it is both
+//     mandatory and usually tiny.
+//   - Among the remaining positive atoms, prefer fully-bound atoms (they
+//     are O(1) existence probes), then the atom sharing the most bound
+//     terms — constants plus variables bound by earlier steps — with the
+//     current binding set, breaking ties by current relation cardinality
+//     and finally by body position.
+//   - Negations and comparisons float to the earliest step at which their
+//     variables are all bound; they never scan, only filter, so running
+//     them early prunes the enumeration without changing its result.
+//
+// With noReorder, positive atoms keep their written order (filters still
+// float — an unbound filter cannot run at all). Early termination on empty
+// intermediates needs no planning: enumeration stops the moment any step
+// has no candidates.
+func buildPlan(r Rule, deltaIdx int, db *DB, noReorder bool) *plan {
+	p := &plan{deltaIdx: deltaIdx, steps: make([]planStep, 0, len(r.Body))}
+	var positives, filters []int
+	for i, l := range r.Body {
+		if l.Builtin == nil && !l.Negated {
+			positives = append(positives, i)
+		} else {
+			filters = append(filters, i)
+		}
+	}
+	slots := map[string]int{} // bound variable -> slot
+	newSlot := func(name string) int {
+		s := p.nslots
+		p.nslots++
+		slots[name] = s
+		return s
+	}
+	compileTerm := func(t Term) (planTerm, bool) {
+		if !t.IsVar() {
+			return planTerm{mode: termConst, val: t.Value}, true
+		}
+		if s, ok := slots[t.Name]; ok {
+			return planTerm{mode: termSlot, slot: s}, true
+		}
+		return planTerm{}, false
+	}
+	placed := make([]bool, len(r.Body))
+	filterReady := func(l Literal) bool {
+		if l.Builtin != nil {
+			_, okL := compileTerm(l.Builtin.Left)
+			_, okR := compileTerm(l.Builtin.Right)
+			return okL && okR
+		}
+		for _, t := range l.Atom.Terms {
+			if _, ok := compileTerm(t); !ok {
+				return false
+			}
+		}
+		return true
+	}
+	compileFilter := func(fi int) planStep {
+		l := r.Body[fi]
+		st := planStep{lit: l, bodyIdx: fi}
+		if l.Builtin != nil {
+			st.kind = stepCmp
+			st.op = l.Builtin.Op
+			var okL, okR bool
+			st.left, okL = compileTerm(l.Builtin.Left)
+			st.right, okR = compileTerm(l.Builtin.Right)
+			st.unbound = !okL || !okR
+			return st
+		}
+		st.kind = stepNeg
+		st.pred = l.Atom.Pred
+		st.negTerms = make([]planTerm, len(l.Atom.Terms))
+		for i, t := range l.Atom.Terms {
+			var ok bool
+			st.negTerms[i], ok = compileTerm(t)
+			if !ok {
+				st.unbound = true
+			}
+		}
+		return st
+	}
+	sweepFilters := func() {
+		for _, fi := range filters {
+			if !placed[fi] && filterReady(r.Body[fi]) {
+				placed[fi] = true
+				p.steps = append(p.steps, compileFilter(fi))
+			}
+		}
+	}
+	compileScan := func(bi int, isDelta bool) planStep {
+		a := r.Body[bi].Atom
+		st := planStep{kind: stepScan, lit: r.Body[bi], bodyIdx: bi, pred: a.Pred, isDelta: isDelta}
+		newInAtom := map[string]bool{}
+		for col, t := range a.Terms {
+			switch {
+			case !t.IsVar():
+				st.boundCols = append(st.boundCols, col)
+				st.probes = append(st.probes, planTerm{mode: termConst, val: t.Value})
+			case newInAtom[t.Name]:
+				// Repeated within this atom: the first occurrence binds the
+				// slot during the same candidate, so this one only checks.
+				st.actions = append(st.actions, scanAction{col: col, slot: slots[t.Name], check: true})
+			default:
+				if s, ok := slots[t.Name]; ok {
+					st.boundCols = append(st.boundCols, col)
+					st.probes = append(st.probes, planTerm{mode: termSlot, slot: s})
+				} else {
+					newInAtom[t.Name] = true
+					st.actions = append(st.actions, scanAction{col: col, slot: newSlot(t.Name)})
+				}
+			}
+		}
+		st.colKey = encodeCols(st.boundCols)
+		return st
+	}
+	take := func(bi int, isDelta bool) {
+		placed[bi] = true
+		p.steps = append(p.steps, compileScan(bi, isDelta))
+		sweepFilters()
+	}
+	sweepFilters() // constant-only filters run before any scan
+	remaining := append([]int(nil), positives...)
+	removeIdx := func(s []int, v int) []int {
+		for i, x := range s {
+			if x == v {
+				return append(s[:i], s[i+1:]...)
+			}
+		}
+		return s
+	}
+	if deltaIdx >= 0 {
+		take(deltaIdx, true)
+		remaining = removeIdx(remaining, deltaIdx)
+	}
+	if noReorder {
+		for _, bi := range remaining {
+			take(bi, false)
+		}
+	} else {
+		for len(remaining) > 0 {
+			best, bestFull, bestBound, bestCard := -1, false, -1, -1
+			for _, bi := range remaining {
+				a := r.Body[bi].Atom
+				nb := 0
+				for _, t := range a.Terms {
+					if !t.IsVar() {
+						nb++
+					} else if _, ok := slots[t.Name]; ok {
+						nb++
+					}
+				}
+				full := nb == len(a.Terms)
+				card := db.Rel(a.Pred).Len()
+				better := false
+				switch {
+				case best == -1:
+					better = true
+				case full != bestFull:
+					better = full
+				case nb != bestBound:
+					better = nb > bestBound
+				case card != bestCard:
+					better = card < bestCard
+				}
+				if better {
+					best, bestFull, bestBound, bestCard = bi, full, nb, card
+				}
+			}
+			take(best, false)
+			remaining = removeIdx(remaining, best)
+		}
+	}
+	// Defensive: filters whose variables never bind (rejected by Validate,
+	// but fireRule may be handed unvalidated rules) run last and fail there.
+	for _, fi := range filters {
+		if !placed[fi] {
+			p.steps = append(p.steps, compileFilter(fi))
+		}
+	}
+	// Compile the head.
+	p.head = make([]headAction, len(r.Head.Terms))
+	for i, ht := range r.Head.Terms {
+		if ht.Skolem != nil {
+			ha := headAction{skolem: ht.Skolem, args: make([]planTerm, len(ht.Skolem.Args))}
+			for j, at := range ht.Skolem.Args {
+				var ok bool
+				ha.args[j], ok = compileTerm(at)
+				if !ok && p.headErr == nil {
+					p.headErr = fmt.Errorf("datalog: rule %q: unbound skolem argument %s", r.ID, at)
+				}
+			}
+			p.head[i] = ha
+			continue
+		}
+		pt, ok := compileTerm(ht.Term)
+		if !ok && p.headErr == nil {
+			p.headErr = fmt.Errorf("datalog: rule %q: unbound head variable %s", r.ID, ht.Term)
+		}
+		p.head[i] = headAction{term: pt}
+	}
+	return p
+}

@@ -51,9 +51,27 @@ type Engine struct {
 	opts       datalog.Options
 }
 
+// Config tunes the datalog evaluation behind the engine's provenance-aware
+// translation. The zero value is the default configuration.
+type Config struct {
+	// Parallelism bounds the worker pool used to fire independent mapping
+	// rules (and delta positions) within a stratum round of the maintained
+	// fixpoint. 0 or 1 evaluates sequentially.
+	Parallelism int
+	// NoReorder disables the greedy join-order planner, joining mapping rule
+	// bodies strictly in compiled order — the pre-planner behavior, kept as
+	// an escape hatch and for A/B benchmarking.
+	NoReorder bool
+}
+
 // NewEngine builds an engine for the given peers and mappings, starting
 // from an empty union database.
 func NewEngine(peers map[string]*schema.Schema, mappings []*mapping.Mapping) (*Engine, error) {
+	return NewEngineWith(peers, mappings, Config{})
+}
+
+// NewEngineWith builds an engine with explicit evaluation tuning.
+func NewEngineWith(peers map[string]*schema.Schema, mappings []*mapping.Mapping, cfg Config) (*Engine, error) {
 	prog, err := mapping.Compile(mappings)
 	if err != nil {
 		return nil, err
@@ -62,6 +80,8 @@ func NewEngine(peers map[string]*schema.Schema, mappings []*mapping.Mapping) (*E
 		Provenance:       true,
 		ChaseSubsumption: true,
 		MaxMonomials:     DefaultMaxMonomials,
+		Parallelism:      cfg.Parallelism,
+		NoReorder:        cfg.NoReorder,
 	}
 	inc, err := datalog.NewIncremental(prog, datalog.NewDB(), opts)
 	if err != nil {

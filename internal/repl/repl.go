@@ -343,4 +343,3 @@ func (r *REPL) dump(args []string) error {
 	}
 	return nil
 }
-

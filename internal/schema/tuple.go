@@ -59,20 +59,29 @@ func (t Tuple) Compare(o Tuple) int {
 // tuples collide.
 func (t Tuple) Key() string {
 	// Hot path for storage and joins: avoid fmt.
-	keys := make([]string, len(t))
-	n := 0
-	for i, v := range t {
-		keys[i] = v.Key()
-		n += len(keys[i]) + 4
+	return string(t.AppendKeyTo(make([]byte, 0, 16*len(t))))
+}
+
+// AppendKeyTo appends the tuple's canonical Key encoding to b and returns
+// the extended slice — the allocation-free form of Key for hot paths. The
+// encoding is identical to Key: length-prefixed component keys.
+func (t Tuple) AppendKeyTo(b []byte) []byte {
+	for _, v := range t {
+		b = AppendComponentKeyTo(b, v)
 	}
-	var b strings.Builder
-	b.Grow(n)
-	for _, k := range keys {
-		b.WriteString(strconv.Itoa(len(k)))
-		b.WriteByte('|')
-		b.WriteString(k)
-	}
-	return b.String()
+	return b
+}
+
+// AppendComponentKeyTo appends one length-prefixed component of a tuple
+// key — the unit Tuple.AppendKeyTo and ParseTupleKey are built from. It is
+// exported so index layers can assemble projection keys (and whole-tuple
+// membership keys) with the identical encoding, rather than duplicating it.
+func AppendComponentKeyTo(b []byte, v Value) []byte {
+	var scratch [48]byte
+	vk := v.AppendKeyTo(scratch[:0])
+	b = strconv.AppendInt(b, int64(len(vk)), 10)
+	b = append(b, '|')
+	return append(b, vk...)
 }
 
 // Project returns the subtuple at the given column positions.

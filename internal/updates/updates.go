@@ -45,10 +45,10 @@ func (o Op) String() string {
 // Update is one tuple-level change against a relation. Old is set for
 // deletes and modifies; New is set for inserts and modifies.
 type Update struct {
-	Rel  string
-	Op   Op
-	Old  schema.Tuple
-	New  schema.Tuple
+	Rel string
+	Op  Op
+	Old schema.Tuple
+	New schema.Tuple
 	// Prov carries the provenance polynomial attached during update
 	// translation; for freshly published local updates it is the update's
 	// own token.

@@ -32,9 +32,9 @@ func TestTopologies(t *testing.T) {
 		peers    int
 		mappings int
 	}{
-		{"chain4", Chain(4), 4, 3 * 3 * 2},  // 3 links × 3 relations × 2 dirs
-		{"star4", Star(4), 4, 3 * 3 * 2},    // 3 spokes × 3 relations × 2 dirs
-		{"mesh4", Mesh(4), 4, 12 * 3},       // 12 ordered pairs × 3 relations
+		{"chain4", Chain(4), 4, 3 * 3 * 2},    // 3 links × 3 relations × 2 dirs
+		{"star4", Star(4), 4, 3 * 3 * 2},      // 3 spokes × 3 relations × 2 dirs
+		{"mesh4", Mesh(4), 4, 12 * 3},         // 12 ordered pairs × 3 relations
 		{"cjs4", ChainJoinSplit(4), 4, 3 * 2}, // 3 links × (join + split)
 	}
 	for _, c := range cases {

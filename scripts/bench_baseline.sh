@@ -1,0 +1,24 @@
+#!/bin/sh
+# Regenerates BENCH_baseline.json: a 1-iteration smoke snapshot of every
+# benchmark, committed so CI (and humans) can spot benchmarks that stop
+# compiling or wildly regress. Numbers from -benchtime=1x are noisy by
+# design — treat them as order-of-magnitude references, not measurements.
+set -e
+
+out="$(go test -bench=. -benchtime=1x -run '^$' .)"
+
+printf '{\n'
+printf '  "note": "1-iteration smoke snapshot; regenerate with make bench-baseline; compare only against runs on the toolchain recorded in the go field",\n'
+printf '  "go": "%s",\n' "$(go version | awk '{print $3}')"
+printf '  "ns_per_op": {\n'
+printf '%s\n' "$out" | awk '
+  / ns\/op/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    if (n++) printf ",\n"
+    printf "    \"%s\": %s", name, $3
+  }
+  END { printf "\n" }
+'
+printf '  }\n'
+printf '}\n'
