@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fmt fmt-check bench bench-smoke bench-baseline ci
+.PHONY: build test race vet fmt fmt-check bench bench-smoke bench-baseline bench-compare ci
 
 ## build: compile every package
 build:
@@ -42,6 +42,11 @@ bench-smoke:
 bench-baseline:
 	./scripts/bench_baseline.sh > BENCH_baseline.json
 	@echo wrote BENCH_baseline.json
+
+## bench-compare: diff a fresh benchmark run against BENCH_baseline.json
+## (tunable: TOLERANCE=6.0 BENCHTIME=1x)
+bench-compare:
+	./scripts/bench_compare.sh
 
 ## ci: everything the CI workflow runs, in one command
 ci: build vet fmt-check race bench-smoke

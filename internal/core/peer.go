@@ -203,7 +203,10 @@ func (p *Peer) Publish() (uint64, error) {
 		return 0, err
 	}
 	p.unpublished = nil
-	p.published = p.local.Clone()
+	// O(#relations) copy-on-write snapshot: tables are only copied if later
+	// local edits touch them, so publishing is cheap even for large
+	// instances.
+	p.published = p.local.Snapshot()
 	return epoch, nil
 }
 

@@ -2,6 +2,7 @@ package datalog
 
 import (
 	"sort"
+	"sync/atomic"
 
 	"orchestra/internal/provenance"
 	"orchestra/internal/schema"
@@ -16,9 +17,20 @@ type Fact struct {
 // Rel is the annotated extent of one predicate. Facts are stored once, by
 // pointer, and shared with the hash-index layer (index.go), so a provenance
 // update is a single in-place write.
+//
+// A Rel captured by DB.Snapshot is marked shared: every DB holding it must
+// copy-on-write (DB.MutableRel) before its next mutation, because both the
+// facts map and the *Fact structs it points to are reachable from the frozen
+// view. Read paths (Get, Contains, lookup, Facts) never need the copy; lazy
+// index builds are semantically read-only and stay safe on a shared Rel.
 type Rel struct {
 	facts map[string]*Fact
 	idx   relIndex // see index.go
+	// shared marks the extent as reachable from a snapshot. Once set it is
+	// never cleared: each holder clones on its first subsequent mutation.
+	// Atomic so that concurrent evaluations over one shared EDB — each
+	// snapshotting it at entry — stay race-free.
+	shared atomic.Bool
 }
 
 // NewRel creates an empty extent.
@@ -61,10 +73,12 @@ func (r *Rel) putKeyed(k string, t schema.Tuple, p provenance.Poly) bool {
 		if f.Prov.Subsumes(p) {
 			return false
 		}
-		f.Prov = f.Prov.Add(p)
+		// Stored annotations are interned (hash-consed): equal polynomials
+		// across the database share one allocation and compare by pointer.
+		f.Prov = f.Prov.Add(p).Intern()
 		return true
 	}
-	f := &Fact{Tuple: t, Prov: p}
+	f := &Fact{Tuple: t, Prov: p.Intern()}
 	r.facts[k] = f
 	r.indexInsert(f)
 	return true
@@ -98,7 +112,9 @@ type DB struct {
 // NewDB creates an empty database.
 func NewDB() *DB { return &DB{rels: map[string]*Rel{}} }
 
-// Rel returns the extent for pred, creating it if needed.
+// Rel returns the extent for pred, creating it if needed. The returned
+// extent may be shared with a snapshot: callers must treat it as read-only
+// and obtain mutable extents through MutableRel.
 func (db *DB) Rel(pred string) *Rel {
 	r, ok := db.rels[pred]
 	if !ok {
@@ -106,6 +122,37 @@ func (db *DB) Rel(pred string) *Rel {
 		db.rels[pred] = r
 	}
 	return r
+}
+
+// MutableRel returns an extent for pred that is exclusively owned by db,
+// copy-on-write-cloning it first if it is shared with a snapshot. All
+// mutation paths (put, remove, in-place provenance writes) must go through
+// it; with no snapshot outstanding it is a map lookup and a flag test.
+func (db *DB) MutableRel(pred string) *Rel {
+	r, ok := db.rels[pred]
+	if !ok {
+		r = NewRel()
+		db.rels[pred] = r
+		return r
+	}
+	if r.shared.Load() {
+		r = r.cowClone()
+		db.rels[pred] = r
+	}
+	return r
+}
+
+// cowClone deep-copies the extent's facts (the *Fact structs are mutated in
+// place by provenance merges, so they cannot be shared across the COW
+// boundary). Indexes are not copied — the clone rebuilds them lazily on
+// first probe, while the frozen side keeps its own.
+func (r *Rel) cowClone() *Rel {
+	nr := NewRel()
+	for k, f := range r.facts {
+		cp := *f
+		nr.facts[k] = &cp
+	}
+	return nr
 }
 
 // Has reports whether the predicate has a (possibly empty) extent.
@@ -126,12 +173,12 @@ func (db *DB) Preds() []string {
 
 // Add inserts a fact.
 func (db *DB) Add(pred string, t schema.Tuple, p provenance.Poly) bool {
-	return db.Rel(pred).put(t, p)
+	return db.MutableRel(pred).put(t, p)
 }
 
 // AddTuple inserts a fact annotated 1 (used for plain set-semantics EDBs).
 func (db *DB) AddTuple(pred string, t schema.Tuple) bool {
-	return db.Rel(pred).put(t, provenance.One())
+	return db.MutableRel(pred).put(t, provenance.One())
 }
 
 // Size returns the total number of facts.
@@ -143,16 +190,32 @@ func (db *DB) Size() int {
 	return n
 }
 
-// Clone deep-copies the database (indexes are not copied).
+// Snapshot returns an O(#preds) frozen view of the database: the snapshot
+// shares every extent with db, and both sides mark the extents shared so
+// the first mutation of each extent — on either side — clones it first
+// (copy-on-write, see MutableRel). Extents that are never mutated are never
+// copied, which is what makes snapshot-based evaluation cheap: Eval only
+// pays for the head relations it actually derives into.
+//
+// The snapshot observes none of db's later changes and vice versa, exactly
+// like the deep Clone it replaces, provided all mutations go through the DB
+// API (Add, MutableRel, and the evaluator's merge paths).
+func (db *DB) Snapshot() *DB {
+	c := &DB{rels: make(map[string]*Rel, len(db.rels))}
+	for p, r := range db.rels {
+		r.shared.Store(true)
+		c.rels[p] = r
+	}
+	return c
+}
+
+// Clone deep-copies the database eagerly (indexes are not copied). Most
+// callers want Snapshot instead; Clone remains for tests and for callers
+// that need a guaranteed-private copy regardless of mutation patterns.
 func (db *DB) Clone() *DB {
 	c := NewDB()
 	for p, r := range db.rels {
-		nr := NewRel()
-		for k, f := range r.facts {
-			cp := *f
-			nr.facts[k] = &cp
-		}
-		c.rels[p] = nr
+		c.rels[p] = r.cowClone()
 	}
 	return c
 }

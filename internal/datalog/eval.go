@@ -2,6 +2,7 @@ package datalog
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
@@ -38,10 +39,13 @@ type Options struct {
 	ChaseSubsumption bool
 	// Parallelism bounds the worker pool that fires independent rules (and
 	// delta positions, in semi-naive rounds) of one stratum concurrently.
-	// 0 or 1 evaluates sequentially. Workers probe a frozen database and
-	// buffer their head facts; the coordinator then merges the buffers in
-	// deterministic job order, so fixpoints and provenance polynomials do
-	// not depend on goroutine scheduling.
+	// 0 (the zero value) means automatic: runtime.NumCPU() workers. 1
+	// evaluates sequentially, as does any negative value (the explicit
+	// escape hatch now that 0 auto-detects). Workers probe a frozen
+	// database and buffer their head facts; the coordinator then merges the
+	// buffers in deterministic job order, so fixpoints and provenance
+	// polynomials do not depend on goroutine scheduling — results are
+	// byte-identical at every setting.
 	Parallelism int
 	// NoReorder disables the greedy join-order planner: positive body atoms
 	// are joined strictly in their written order (negations and comparisons
@@ -53,6 +57,21 @@ type Options struct {
 // DefaultMaxIterations is the fixpoint iteration bound when unspecified.
 const DefaultMaxIterations = 100000
 
+// EffectiveParallelism resolves Options.Parallelism to a concrete worker
+// count: 0 (unset) auto-detects runtime.NumCPU(), negative values force
+// sequential evaluation, and positive values are taken as-is. runRound is
+// the single choke point that applies it.
+func EffectiveParallelism(n int) int {
+	switch {
+	case n == 0:
+		return runtime.NumCPU()
+	case n < 0:
+		return 1
+	default:
+		return n
+	}
+}
+
 // Eval evaluates the program over the EDB and returns a database containing
 // both EDB and derived facts. The input database is not modified.
 func Eval(p *Program, edb *DB, opts Options) (*DB, error) {
@@ -63,7 +82,10 @@ func Eval(p *Program, edb *DB, opts Options) (*DB, error) {
 	if err != nil {
 		return nil, err
 	}
-	result := edb.Clone()
+	// An O(#preds) copy-on-write snapshot replaces the old deep clone: the
+	// caller's EDB is untouched, and only relations evaluation actually
+	// mutates (head predicates) are ever copied.
+	result := edb.Snapshot()
 	ensurePreds(p, result)
 	pl := newPlanner(opts.NoReorder)
 	if opts.Exact && opts.Provenance {
@@ -137,10 +159,10 @@ func evalExact(p *Program, db *DB, pl *planner, opts Options) error {
 		rulesByHead[r.Head.Pred] = append(rulesByHead[r.Head.Pred], r)
 	}
 	emit := func(pred string, t schema.Tuple, prov provenance.Poly) {
-		rel := db.Rel(pred)
+		rel := db.MutableRel(pred)
 		k := t.Key()
 		if f := rel.facts[k]; f != nil {
-			f.Prov = f.Prov.Add(prov)
+			f.Prov = f.Prov.Add(prov).Intern()
 			return
 		}
 		rel.putKeyed(k, t, prov)
@@ -319,13 +341,13 @@ func runRound(jobs []job, db *DB, opts Options, absorb func(mergeResult)) error 
 	if len(jobs) == 0 {
 		return nil
 	}
-	workers := opts.Parallelism
+	workers := EffectiveParallelism(opts.Parallelism)
 	if workers > len(jobs) {
 		workers = len(jobs)
 	}
 	if workers <= 1 {
 		emit := func(pred string, t schema.Tuple, p provenance.Poly) {
-			k, newPart, changed, fresh := merge(db.Rel(pred), t, p, opts)
+			k, newPart, changed, fresh := merge(db.MutableRel(pred), t, p, opts)
 			if changed {
 				absorb(mergeResult{pred: pred, key: k, tuple: t, newPart: newPart, fresh: fresh})
 			}
@@ -372,7 +394,11 @@ func runRound(jobs []job, db *DB, opts Options, absorb func(mergeResult)) error 
 		for _, e := range buf {
 			g := groups[e.pred]
 			if g == nil {
-				g = &predGroup{rel: db.Rel(e.pred)}
+				// Resolve the mutable (COW-cloned if snapshot-shared) extent
+				// on the coordinator, before the merge goroutines start: a
+				// clone swaps the db.rels map entry, which must not race
+				// with sibling groups.
+				g = &predGroup{rel: db.MutableRel(e.pred)}
 				groups[e.pred] = g
 				order = append(order, g)
 			}
@@ -451,28 +477,39 @@ func merge(rel *Rel, t schema.Tuple, p provenance.Poly, opts Options) (string, p
 		rel.putKeyed(k, t, p)
 		return k, p, true, false
 	}
+	// Fast path: a re-derivation whose witnesses are already stored changes
+	// nothing. The containment walk over cached keys avoids the
+	// Add/Linearize/Truncate allocation chain that dominates convergence
+	// rounds.
+	if existing.Prov.Subsumes(p) {
+		return k, provenance.Poly{}, false, false
+	}
 	merged := existing.Prov.Add(p).Linearize().Truncate(opts.MaxMonomials)
 	if merged.Equal(existing.Prov) {
 		return k, provenance.Poly{}, false, false
 	}
 	// Isolate the monomials not already present (truncation only drops
-	// monomials, so merged != existing implies at least one new one).
-	have := map[string]bool{}
-	for _, m := range existing.Prov.Monomials() {
-		have[monoKey(m)] = true
-	}
+	// monomials, so merged != existing implies at least one new one). Both
+	// polynomials are canonical, so their cached key lists are sorted and a
+	// two-pointer walk finds the difference without building a map.
+	exKeys := existing.Prov.Keys()
+	mKeys, mMonos := merged.Keys(), merged.Monomials()
 	var fresh []provenance.Monomial
-	for _, m := range merged.Monomials() {
-		if !have[monoKey(m)] {
-			fresh = append(fresh, m)
+	i := 0
+	for j, key := range mKeys {
+		for i < len(exKeys) && exKeys[i] < key {
+			i++
 		}
+		if i < len(exKeys) && exKeys[i] == key {
+			i++
+			continue
+		}
+		fresh = append(fresh, mMonos[j])
 	}
 	newPart := provenance.FromMonomials(fresh)
-	existing.Prov = merged
+	existing.Prov = merged.Intern()
 	return k, newPart, true, false
 }
-
-func monoKey(m provenance.Monomial) string { return m.Key() }
 
 // fireRule enumerates all satisfying assignments of the rule body in the
 // compiled plan's order and calls emit for each resulting head fact. If the
@@ -625,8 +662,8 @@ func emitHead(r Rule, pln *plan, env []schema.Value, prov provenance.Poly, db *D
 		}
 		out[i] = ha.term.value(env)
 	}
-	if opts.Provenance && r.ProvToken != "" {
-		prov = prov.Mul(provenance.NewVar(provenance.Var(r.ProvToken)))
+	if opts.Provenance && !pln.tokProv.IsZero() {
+		prov = prov.Mul(pln.tokProv)
 	}
 	if !opts.Provenance {
 		prov = provenance.One()

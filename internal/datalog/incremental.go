@@ -12,6 +12,10 @@ import (
 type Change struct {
 	Pred  string
 	Tuple schema.Tuple
+	// Key is Tuple.Key(), carried from the merge that produced the change
+	// so downstream consumers (e.g. exchange collation) need not re-encode
+	// the tuple.
+	Key string
 	// Prov is the annotation delta: for insertions, the new provenance
 	// part; for deletions, the remaining provenance (zero if the fact was
 	// removed entirely).
@@ -41,13 +45,29 @@ type Incremental struct {
 	opts    Options
 	maxIter int
 	// tokenIndex maps a provenance variable to the set of facts whose
-	// annotation currently mentions it, as pred -> tuple keys.
+	// annotation currently mentions it, as pred -> tuple keys. It is built
+	// lazily: insertions append to tokenLog (a flat, duplicate-tolerant
+	// record of token occurrences), and the deletion-side consumers fold
+	// the log into the maps on demand. Insert-heavy streams — the common
+	// update-exchange shape — therefore never pay the nested-map
+	// maintenance or its GC scan load.
 	tokenIndex map[provenance.Var]map[string]map[string]bool
+	tokenLog   []tokenEntry
 	dead       map[provenance.Var]bool
 }
 
+// tokenEntry records that the fact stored under key in pred mentioned the
+// token at some point; duplicates are harmless (folding is idempotent).
+type tokenEntry struct {
+	v    provenance.Var
+	pred string
+	key  string
+}
+
 // NewIncremental computes the initial fixpoint over edb and returns the
-// maintained state. The input database is cloned, not aliased.
+// maintained state. The input database is captured by copy-on-write
+// snapshot, never mutated: extents the maintained fixpoint later touches
+// are cloned lazily, on first write.
 func NewIncremental(p *Program, edb *DB, opts Options) (*Incremental, error) {
 	// Deletion propagation relies on provenance annotations, which do not
 	// record negative dependencies; tgd mapping programs are negation-free.
@@ -95,7 +115,7 @@ func NewIncremental(p *Program, edb *DB, opts Options) (*Incremental, error) {
 	}
 	for _, pred := range res.Preds() {
 		for _, f := range res.Rel(pred).Facts() {
-			inc.indexFact(pred, f.Tuple, f.Prov)
+			inc.indexFact(pred, f.Tuple.Key(), f.Prov)
 		}
 	}
 	return inc, nil
@@ -104,21 +124,48 @@ func NewIncremental(p *Program, edb *DB, opts Options) (*Incremental, error) {
 // DB returns the maintained database (read-only by convention).
 func (inc *Incremental) DB() *DB { return inc.db }
 
-func (inc *Incremental) indexFact(pred string, t schema.Tuple, p provenance.Poly) {
-	k := t.Key()
-	for _, v := range p.Vars() {
-		preds := inc.tokenIndex[v]
+// indexFact records, for every token mentioned in p, that the fact stored
+// under key k in pred currently depends on it. k must be t.Key() of the
+// stored tuple; callers on the hot path already have it.
+// tokenLogFoldThreshold bounds the pending occurrence log: beyond this many
+// entries the log folds into the deduplicated maps even without a
+// deletion-side consumer, so insert-only streams cannot grow it without
+// bound (occurrences repeat on every re-derivation; the maps store each
+// (token, pred, key) once).
+const tokenLogFoldThreshold = 1 << 18
+
+func (inc *Incremental) indexFact(pred, k string, p provenance.Poly) {
+	// Append raw variable occurrences; foldTokenLog dedups into the nested
+	// maps when a deletion-side consumer needs them or the log grows large.
+	for _, m := range p.Monomials() {
+		for _, vp := range m.Vars {
+			inc.tokenLog = append(inc.tokenLog, tokenEntry{v: vp.Var, pred: pred, key: k})
+		}
+	}
+	if len(inc.tokenLog) >= tokenLogFoldThreshold {
+		inc.foldTokenLog()
+	}
+}
+
+// foldTokenLog drains the pending occurrence log into tokenIndex.
+func (inc *Incremental) foldTokenLog() {
+	if len(inc.tokenLog) == 0 {
+		return
+	}
+	for _, e := range inc.tokenLog {
+		preds := inc.tokenIndex[e.v]
 		if preds == nil {
 			preds = map[string]map[string]bool{}
-			inc.tokenIndex[v] = preds
+			inc.tokenIndex[e.v] = preds
 		}
-		keys := preds[pred]
+		keys := preds[e.pred]
 		if keys == nil {
 			keys = map[string]bool{}
-			preds[pred] = keys
+			preds[e.pred] = keys
 		}
-		keys[k] = true
+		keys[e.key] = true
 	}
+	inc.tokenLog = inc.tokenLog[:0]
 }
 
 // Insert adds base facts and propagates them through the program. It
@@ -129,18 +176,25 @@ func (inc *Incremental) Insert(facts []Fact2) ([]Change, error) {
 	delta := map[string]map[string]deltaFact{}
 	opts := inc.opts
 	for _, bf := range facts {
-		k, newPart, changed, _ := merge(inc.db.Rel(bf.Pred), bf.Tuple, bf.Prov, opts)
+		k, newPart, changed, _ := merge(inc.db.MutableRel(bf.Pred), bf.Tuple, bf.Prov, opts)
 		if !changed {
 			continue
 		}
-		inc.indexFact(bf.Pred, bf.Tuple, newPart)
+		inc.indexFact(bf.Pred, k, newPart)
 		m := delta[bf.Pred]
 		if m == nil {
 			m = map[string]deltaFact{}
 			delta[bf.Pred] = m
 		}
-		m[k] = deltaFact{tuple: bf.Tuple, prov: newPart}
-		changes = append(changes, Change{Pred: bf.Pred, Tuple: bf.Tuple, Prov: newPart, Fresh: true})
+		// The same tuple can appear more than once in a batch (distinct
+		// tokens): accumulate its delta annotation, never overwrite it.
+		if df, ok := m[k]; ok {
+			df.prov = df.prov.Add(newPart).Linearize()
+			m[k] = df
+		} else {
+			m[k] = deltaFact{tuple: bf.Tuple, prov: newPart}
+		}
+		changes = append(changes, Change{Pred: bf.Pred, Tuple: bf.Tuple, Key: k, Prov: newPart, Fresh: true})
 	}
 	if len(delta) == 0 {
 		return nil, nil
@@ -171,8 +225,11 @@ type Fact2 struct {
 // later strata can consume it, and appends derived changes to out.
 func (inc *Incremental) propagate(rules []Rule, plans []rulePlans, seed map[string]map[string]deltaFact, out *[]Change) (map[string]map[string]deltaFact, error) {
 	opts := inc.opts
-	accum := map[string]map[string]deltaFact{}
-	copyInto(accum, seed)
+	// The caller hands over ownership of seed (Insert rebinds its delta to
+	// the return value), so the accumulator aliases it instead of copying:
+	// per-round results merge into the seed maps after the round has
+	// finished reading them.
+	accum := seed
 	cur := seed
 	for iter := 0; len(cur) > 0; iter++ {
 		if iter >= inc.maxIter {
@@ -180,7 +237,7 @@ func (inc *Incremental) propagate(rules []Rule, plans []rulePlans, seed map[stri
 		}
 		next := map[string]map[string]deltaFact{}
 		absorb := func(mr mergeResult) {
-			inc.indexFact(mr.pred, mr.tuple, mr.newPart)
+			inc.indexFact(mr.pred, mr.key, mr.newPart)
 			m := next[mr.pred]
 			if m == nil {
 				m = map[string]deltaFact{}
@@ -192,7 +249,7 @@ func (inc *Incremental) propagate(rules []Rule, plans []rulePlans, seed map[stri
 			} else {
 				m[mr.key] = deltaFact{tuple: mr.tuple, prov: mr.newPart}
 			}
-			*out = append(*out, Change{Pred: mr.pred, Tuple: mr.tuple, Prov: mr.newPart, Fresh: mr.fresh})
+			*out = append(*out, Change{Pred: mr.pred, Tuple: mr.tuple, Key: mr.key, Prov: mr.newPart, Fresh: mr.fresh})
 		}
 		var jobs []job
 		for ri, r := range rules {
@@ -243,6 +300,7 @@ func copyInto(dst, src map[string]map[string]deltaFact) {
 // ORCHESTRA each published tuple carries a unique token, which the exchange
 // layer passes in.
 func (inc *Incremental) DeleteBase(tokens []provenance.Var) []Change {
+	inc.foldTokenLog()
 	touched := map[string]map[string]bool{} // pred -> keys
 	for _, tok := range tokens {
 		inc.dead[tok] = true
@@ -260,7 +318,7 @@ func (inc *Incremental) DeleteBase(tokens []provenance.Var) []Change {
 	alive := func(v provenance.Var) bool { return !inc.dead[v] }
 	var changes []Change
 	for pred, keys := range touched {
-		rel := inc.db.Rel(pred)
+		rel := inc.db.MutableRel(pred)
 		for k := range keys {
 			f, ok := rel.facts[k]
 			if !ok {
@@ -272,10 +330,10 @@ func (inc *Incremental) DeleteBase(tokens []provenance.Var) []Change {
 			}
 			if rest.IsZero() {
 				rel.remove(k) // maintains the hash indexes incrementally
-				changes = append(changes, Change{Pred: pred, Tuple: f.Tuple, Removed: true})
+				changes = append(changes, Change{Pred: pred, Tuple: f.Tuple, Key: k, Removed: true})
 			} else {
-				f.Prov = rest // facts are stored by pointer; in-place update
-				changes = append(changes, Change{Pred: pred, Tuple: f.Tuple, Prov: rest})
+				f.Prov = rest.Intern() // facts are stored by pointer; in-place update
+				changes = append(changes, Change{Pred: pred, Tuple: f.Tuple, Key: k, Prov: rest})
 			}
 		}
 	}
@@ -287,6 +345,7 @@ func (inc *Incremental) DeleteBase(tokens []provenance.Var) []Change {
 // their provenance — a cheap measure of the collateral damage of killing
 // it, used by the exchange layer's view-deletion heuristic.
 func (inc *Incremental) DependentCount(tok provenance.Var) int {
+	inc.foldTokenLog()
 	n := 0
 	for _, keys := range inc.tokenIndex[tok] {
 		n += len(keys)
@@ -301,6 +360,7 @@ func (inc *Incremental) DependentCount(tok provenance.Var) int {
 // (other peers may keep trusting them), while the deleting peer's candidate
 // transaction carries the would-be deletions.
 func (inc *Incremental) Affected(tokens []provenance.Var) []Change {
+	inc.foldTokenLog()
 	tmpDead := map[provenance.Var]bool{}
 	for _, tok := range tokens {
 		tmpDead[tok] = true
@@ -325,9 +385,9 @@ func (inc *Incremental) Affected(tokens []provenance.Var) []Change {
 					continue
 				}
 				if rest.IsZero() {
-					changes = append(changes, Change{Pred: pred, Tuple: f.Tuple, Removed: true})
+					changes = append(changes, Change{Pred: pred, Tuple: f.Tuple, Key: k, Removed: true})
 				} else {
-					changes = append(changes, Change{Pred: pred, Tuple: f.Tuple, Prov: rest})
+					changes = append(changes, Change{Pred: pred, Tuple: f.Tuple, Key: k, Prov: rest})
 				}
 			}
 		}

@@ -1,0 +1,26 @@
+package datalog
+
+import (
+	"runtime"
+	"testing"
+)
+
+// TestEffectiveParallelism pins the Options.Parallelism override path:
+// 0 (unset) auto-detects the CPU count, explicit positive values are taken
+// as-is, and negative values force sequential evaluation.
+func TestEffectiveParallelism(t *testing.T) {
+	if got, want := EffectiveParallelism(0), runtime.NumCPU(); got != want {
+		t.Errorf("EffectiveParallelism(0) = %d, want runtime.NumCPU() = %d", got, want)
+	}
+	if got := EffectiveParallelism(1); got != 1 {
+		t.Errorf("EffectiveParallelism(1) = %d, want 1", got)
+	}
+	if got := EffectiveParallelism(7); got != 7 {
+		t.Errorf("EffectiveParallelism(7) = %d, want 7", got)
+	}
+	for _, n := range []int{-1, -8} {
+		if got := EffectiveParallelism(n); got != 1 {
+			t.Errorf("EffectiveParallelism(%d) = %d, want 1 (forced sequential)", n, got)
+		}
+	}
+}

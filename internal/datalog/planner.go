@@ -6,6 +6,7 @@ import (
 	"strings"
 	"sync"
 
+	"orchestra/internal/provenance"
 	"orchestra/internal/schema"
 )
 
@@ -99,6 +100,10 @@ type plan struct {
 	nslots   int
 	head     []headAction
 	headErr  error // unbound head variable (unvalidated rules only)
+	// tokProv is the rule's provenance-token polynomial (zero if the rule
+	// has none), built once at plan time so emitting a head fact does not
+	// re-derive the canonical single-variable polynomial per emission.
+	tokProv provenance.Poly
 }
 
 // String renders the plan's literal order, for tests and debugging.
@@ -258,6 +263,9 @@ func (pl *planner) plansFor(rules []Rule, db *DB) []rulePlans {
 // has no candidates.
 func buildPlan(r Rule, deltaIdx int, db *DB, noReorder bool) *plan {
 	p := &plan{deltaIdx: deltaIdx, steps: make([]planStep, 0, len(r.Body))}
+	if r.ProvToken != "" {
+		p.tokProv = provenance.NewVar(provenance.Var(r.ProvToken))
+	}
 	var positives, filters []int
 	for i, l := range r.Body {
 		if l.Builtin == nil && !l.Negated {

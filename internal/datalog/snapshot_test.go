@@ -1,0 +1,232 @@
+package datalog
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+
+	"orchestra/internal/provenance"
+	"orchestra/internal/schema"
+)
+
+// fingerprint renders the complete observable state of a database —
+// predicates, tuples in canonical order, and provenance strings — so
+// aliasing bugs that leak through any path (facts map, *Fact in-place
+// provenance writes, index buckets) show up as a diff.
+func fingerprint(db *DB) string {
+	var b strings.Builder
+	for _, pred := range db.Preds() {
+		b.WriteString(pred)
+		b.WriteString(":\n")
+		for _, f := range db.Rel(pred).Facts() {
+			fmt.Fprintf(&b, "  %v @ %s\n", f.Tuple, f.Prov)
+		}
+	}
+	return b.String()
+}
+
+func randTuple(rng *rand.Rand, space int64) schema.Tuple {
+	return schema.NewTuple(schema.Int(rng.Int63n(space)), schema.Int(rng.Int63n(space)))
+}
+
+// TestSnapshotIsolationProperty drives randomized mutation scripts against
+// a database with a live snapshot and asserts, after every step, that the
+// frozen view still fingerprints exactly as it did at snapshot time. The
+// mutations deliberately cover the two in-place-write hazards: provenance
+// merges on existing tuples (putKeyed writes through the shared *Fact
+// pointer) and index maintenance (indexInsert/indexRemove rewrite shared
+// buckets).
+func TestSnapshotIsolationProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	preds := []string{"A", "B", "C"}
+	for round := 0; round < 20; round++ {
+		db := NewDB()
+		for i := 0; i < 30; i++ {
+			pred := preds[rng.Intn(len(preds))]
+			db.Add(pred, randTuple(rng, 10), provenance.NewVar(provenance.Var(fmt.Sprintf("x%d", i))))
+		}
+		// Build an index on the soon-to-be-frozen extents so the snapshot
+		// side holds live bucket state.
+		for _, pred := range preds {
+			db.Rel(pred).lookup([]int{0}, schema.NewTuple(schema.Int(3)))
+		}
+		snap := db.Snapshot()
+		want := fingerprint(snap)
+		wantBucket := fmt.Sprint(factTuples(snap.Rel("A").lookup([]int{0}, schema.NewTuple(schema.Int(3)))))
+
+		for step := 0; step < 40; step++ {
+			pred := preds[rng.Intn(len(preds))]
+			tu := randTuple(rng, 10)
+			switch rng.Intn(3) {
+			case 0: // fresh or merging insert (in-place provenance write)
+				db.Add(pred, tu, provenance.NewVar(provenance.Var(fmt.Sprintf("m%d_%d", round, step))))
+			case 1: // provenance merge via the evaluator's merge path
+				merge(db.MutableRel(pred), tu,
+					provenance.NewVar(provenance.Var(fmt.Sprintf("e%d_%d", round, step))),
+					Options{Provenance: true})
+			case 2: // deletion (index removal path)
+				r := db.MutableRel(pred)
+				for k := range r.facts {
+					r.remove(k)
+					break
+				}
+			}
+			if got := fingerprint(snap); got != want {
+				t.Fatalf("round %d step %d: mutation leaked into snapshot:\nwant:\n%s\ngot:\n%s", round, step, want, got)
+			}
+		}
+		// Index probes on the frozen side must still see the frozen facts.
+		if got := fmt.Sprint(factTuples(snap.Rel("A").lookup([]int{0}, schema.NewTuple(schema.Int(3))))); got != wantBucket {
+			t.Fatalf("round %d: snapshot index bucket changed: want %s, got %s", round, wantBucket, got)
+		}
+	}
+}
+
+// TestSnapshotReverseIsolation checks the other direction: mutating the
+// snapshot (it is a first-class DB) must never leak into the original.
+func TestSnapshotReverseIsolation(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	db := NewDB()
+	for i := 0; i < 25; i++ {
+		db.Add("A", randTuple(rng, 8), provenance.NewVar(provenance.Var(fmt.Sprintf("x%d", i))))
+	}
+	want := fingerprint(db)
+	snap := db.Snapshot()
+	for step := 0; step < 30; step++ {
+		tu := randTuple(rng, 8)
+		snap.Add("A", tu, provenance.NewVar(provenance.Var(fmt.Sprintf("s%d", step))))
+		if step%5 == 0 {
+			r := snap.MutableRel("A")
+			for k := range r.facts {
+				r.remove(k)
+				break
+			}
+		}
+		if got := fingerprint(db); got != want {
+			t.Fatalf("step %d: snapshot mutation leaked into original:\nwant:\n%s\ngot:\n%s", step, want, got)
+		}
+	}
+}
+
+// TestSnapshotIncrementalIsolation freezes the maintained database of an
+// Incremental engine mid-stream and asserts that further incremental
+// insertions and token-kill deletions — which mutate facts in place and
+// maintain hash indexes incrementally — never alter the frozen view.
+func TestSnapshotIncrementalIsolation(t *testing.T) {
+	prog := &Program{Rules: []Rule{
+		{ID: "tc1", Head: NewHead("T", HV("x"), HV("y")),
+			Body: []Literal{Pos(NewAtom("E", V("x"), V("y")))}},
+		{ID: "tc2", Head: NewHead("T", HV("x"), HV("z")),
+			Body: []Literal{
+				Pos(NewAtom("T", V("x"), V("y"))),
+				Pos(NewAtom("E", V("y"), V("z")))}},
+	}}
+	edb := NewDB()
+	var toks []provenance.Var
+	for i := 0; i < 10; i++ {
+		v := provenance.Var(fmt.Sprintf("e%d", i))
+		toks = append(toks, v)
+		edb.Add("E", schema.NewTuple(schema.Int(int64(i)), schema.Int(int64(i+1))), provenance.NewVar(v))
+	}
+	inc, err := NewIncremental(prog, edb, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := inc.DB().Snapshot()
+	want := fingerprint(snap)
+
+	var newToks []provenance.Var
+	for i := 10; i < 16; i++ {
+		v := provenance.Var(fmt.Sprintf("e%d", i))
+		newToks = append(newToks, v)
+		if _, err := inc.Insert([]Fact2{{Pred: "E",
+			Tuple: schema.NewTuple(schema.Int(int64(i)), schema.Int(int64(i+1))),
+			Prov:  provenance.NewVar(v)}}); err != nil {
+			t.Fatal(err)
+		}
+		if got := fingerprint(snap); got != want {
+			t.Fatalf("insert %d leaked into snapshot", i)
+		}
+	}
+	inc.DeleteBase(append(newToks, toks[0], toks[5]))
+	if got := fingerprint(snap); got != want {
+		t.Fatalf("DeleteBase leaked into snapshot:\nwant:\n%s\ngot:\n%s", want, got)
+	}
+	// And the engine kept working: the maintained db differs from the frozen
+	// view (sanity that the test would catch a false sharing).
+	if fingerprint(inc.DB()) == want {
+		t.Fatal("maintained database unchanged after insert+delete stream")
+	}
+}
+
+// TestSnapshotEvalByteIdentical asserts the acceptance property directly:
+// evaluating over a snapshot-captured EDB yields byte-identical relations
+// and provenance to evaluating over an eager deep clone, and leaves the
+// caller's EDB untouched.
+//
+// The workload is a chain with a few shortcut edges: every tuple has a
+// handful of alternative derivations, but witness sets stay below the
+// truncation bound. (When truncation actually drops monomials, which
+// same-degree witnesses survive depends on fact enumeration order — map
+// order — so no two independent evaluations are byte-comparable; that is
+// pre-existing engine semantics, independent of snapshots, and the reason
+// the incremental-vs-recompute tests compare like against like.)
+func TestSnapshotEvalByteIdentical(t *testing.T) {
+	prog := &Program{Rules: []Rule{
+		{ID: "j", Head: NewHead("J", HV("x"), HV("z")),
+			Body: []Literal{
+				Pos(NewAtom("A", V("x"), V("y"))),
+				Pos(NewAtom("B", V("y"), V("z")))}},
+		{ID: "tc", Head: NewHead("T", HV("x"), HV("z")),
+			Body: []Literal{
+				Pos(NewAtom("T", V("x"), V("y"))),
+				Pos(NewAtom("J", V("y"), V("z")))}},
+		{ID: "seed", Head: NewHead("T", HV("x"), HV("y")),
+			Body: []Literal{Pos(NewAtom("J", V("x"), V("y")))}},
+	}}
+	for _, opts := range []Options{
+		{},
+		{Provenance: true},
+		{Provenance: true, MaxMonomials: 8},
+	} {
+		edb := NewDB()
+		node := func(i int) schema.Value { return schema.Int(int64(i)) }
+		for i := 0; i < 14; i++ {
+			edb.Add("A", schema.NewTuple(node(i), node(i+1)), provenance.NewVar(provenance.Var(fmt.Sprintf("a%d", i))))
+			edb.Add("B", schema.NewTuple(node(i), node(i+1)), provenance.NewVar(provenance.Var(fmt.Sprintf("b%d", i))))
+		}
+		// Shortcuts create alternative derivations without blowing up the
+		// witness count.
+		edb.Add("A", schema.NewTuple(node(0), node(2)), provenance.NewVar("ashort"))
+		edb.Add("B", schema.NewTuple(node(5), node(7)), provenance.NewVar("bshort"))
+		before := fingerprint(edb)
+		// Snapshot-based evaluation (Eval's internal path).
+		got, err := Eval(prog, edb, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Deep-copy evaluation: the pre-COW semantics, reproduced by
+		// evaluating over an eagerly cloned EDB.
+		want, err := Eval(prog, edb.Clone(), opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fingerprint(got) != fingerprint(want) {
+			t.Fatalf("opts %+v: snapshot-based eval differs from deep-copy eval", opts)
+		}
+		if fingerprint(edb) != before {
+			t.Fatalf("opts %+v: Eval mutated the caller's EDB", opts)
+		}
+	}
+}
+
+func factTuples(fs []*Fact) []schema.Tuple {
+	out := make([]schema.Tuple, 0, len(fs))
+	for _, f := range fs {
+		out = append(out, f.Tuple)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
+	return out
+}

@@ -49,6 +49,10 @@ type Engine struct {
 	baseTokens map[string][]provenance.Var
 	applied    map[updates.TxnID]bool
 	opts       datalog.Options
+	// unionSnap memoizes the frozen view handed out by UnionDB between
+	// mutations, so polling after every Apply freezes each extent at most
+	// once per mutation epoch.
+	unionSnap *datalog.DB
 }
 
 // Config tunes the datalog evaluation behind the engine's provenance-aware
@@ -56,7 +60,9 @@ type Engine struct {
 type Config struct {
 	// Parallelism bounds the worker pool used to fire independent mapping
 	// rules (and delta positions) within a stratum round of the maintained
-	// fixpoint. 0 or 1 evaluates sequentially.
+	// fixpoint. 0 (unset) means automatic — runtime.NumCPU() workers; 1 or
+	// any negative value evaluates sequentially. Results are byte-identical
+	// at every setting (see datalog.Options.Parallelism).
 	Parallelism int
 	// NoReorder disables the greedy join-order planner, joining mapping rule
 	// bodies strictly in compiled order — the pre-planner behavior, kept as
@@ -117,8 +123,19 @@ type Result struct {
 // Applied reports whether the transaction has already been fed in.
 func (e *Engine) Applied(id updates.TxnID) bool { return e.applied[id] }
 
-// UnionDB exposes the maintained union database (read-only by convention).
-func (e *Engine) UnionDB() *datalog.DB { return e.inc.DB() }
+// UnionDB exposes the maintained union database as an O(#preds)
+// copy-on-write snapshot: the returned view is frozen — later transactions
+// applied to the engine do not show through it, and mutating it cannot
+// corrupt the engine's incremental state. Callers that previously relied on
+// the returned database tracking the engine live should re-call UnionDB
+// after each Apply. The snapshot is memoized until the next Apply, so
+// polling is cheap.
+func (e *Engine) UnionDB() *datalog.DB {
+	if e.unionSnap == nil {
+		e.unionSnap = e.inc.DB().Snapshot()
+	}
+	return e.unionSnap
+}
 
 // Apply feeds one published transaction into the union database,
 // propagates it through the mappings, and returns the per-peer net changes.
@@ -132,8 +149,26 @@ func (e *Engine) Apply(txn *updates.Transaction) (*Result, error) {
 	if _, ok := e.peers[origin]; !ok {
 		return nil, fmt.Errorf("exchange: unknown peer %s", origin)
 	}
+	e.unionSnap = nil // the memoized UnionDB view goes stale on mutation
 	var all []datalog.Change
 	depSet := map[updates.TxnID]bool{}
+	// Consecutive insertions batch into one semi-naive propagation: a run
+	// of inserts seeds a single fixpoint instead of cascading per tuple.
+	// Runs break at deletions (and the delete half of a modification),
+	// which must observe the database state left by the preceding inserts.
+	var pend []pendingInsert
+	flush := func() error {
+		if len(pend) == 0 {
+			return nil
+		}
+		cs, err := e.insertBatch(pend)
+		pend = pend[:0]
+		if err != nil {
+			return err
+		}
+		all = append(all, cs...)
+		return nil
+	}
 	for i, u := range txn.Updates {
 		pred := mapping.Qualify(origin, u.Rel)
 		if e.peers[origin].Relation(u.Rel) == nil {
@@ -141,35 +176,50 @@ func (e *Engine) Apply(txn *updates.Transaction) (*Result, error) {
 		}
 		switch u.Op {
 		case updates.OpInsert:
-			cs, err := e.insert(pred, u.New, txn.Token(i))
-			if err != nil {
+			pend = append(pend, pendingInsert{pred: pred, tuple: u.New, tok: txn.Token(i)})
+		case updates.OpDelete:
+			if err := flush(); err != nil {
 				return nil, err
 			}
-			all = append(all, cs...)
-		case updates.OpDelete:
 			all = append(all, e.delete(pred, u.Old, txn.ID, depSet)...)
 		case updates.OpModify:
-			all = append(all, e.delete(pred, u.Old, txn.ID, depSet)...)
-			cs, err := e.insert(pred, u.New, txn.Token(i))
-			if err != nil {
+			if err := flush(); err != nil {
 				return nil, err
 			}
-			all = append(all, cs...)
+			all = append(all, e.delete(pred, u.Old, txn.ID, depSet)...)
+			pend = append(pend, pendingInsert{pred: pred, tuple: u.New, tok: txn.Token(i)})
 		default:
 			return nil, fmt.Errorf("exchange: unknown op %v", u.Op)
 		}
+	}
+	if err := flush(); err != nil {
+		return nil, err
 	}
 	e.applied[txn.ID] = true
 	return e.collate(txn, all, depSet)
 }
 
-func (e *Engine) insert(pred string, tu schema.Tuple, tok provenance.Var) ([]datalog.Change, error) {
-	cs, err := e.inc.Insert([]datalog.Fact2{{Pred: pred, Tuple: tu, Prov: provenance.NewVar(tok)}})
+// pendingInsert is one insertion awaiting batched propagation.
+type pendingInsert struct {
+	pred  string
+	tuple schema.Tuple
+	tok   provenance.Var
+}
+
+// insertBatch feeds a run of insertions through one incremental fixpoint.
+func (e *Engine) insertBatch(pend []pendingInsert) ([]datalog.Change, error) {
+	facts := make([]datalog.Fact2, len(pend))
+	for i, p := range pend {
+		facts[i] = datalog.Fact2{Pred: p.pred, Tuple: p.tuple, Prov: provenance.NewVar(p.tok)}
+	}
+	cs, err := e.inc.Insert(facts)
 	if err != nil {
 		return nil, err
 	}
-	k := pred + "/" + tu.Key()
-	e.baseTokens[k] = append(e.baseTokens[k], tok)
+	for _, p := range pend {
+		k := p.pred + "/" + p.tuple.Key()
+		e.baseTokens[k] = append(e.baseTokens[k], p.tok)
+	}
 	return cs, nil
 }
 
@@ -298,7 +348,11 @@ func (e *Engine) collate(txn *updates.Transaction, changes []datalog.Change, dep
 		if !c.Fresh && !c.Removed {
 			continue // provenance-only growth or shrink
 		}
-		k := c.Pred + "/" + c.Tuple.Key()
+		tk := c.Key
+		if tk == "" {
+			tk = c.Tuple.Key()
+		}
+		k := c.Pred + "/" + tk
 		s, ok := net[k]
 		if !ok {
 			s = &slot{pred: c.Pred}
@@ -364,12 +418,17 @@ func (e *Engine) collate(txn *updates.Transaction, changes []datalog.Change, dep
 		if r == nil {
 			continue
 		}
-		kk := r.KeyOf(s.inserted.Tuple).Key()
 		var u updates.Update
-		if old, ok := pendingDel[s.pred][kk]; ok {
-			u = updates.Modify(rel, old, s.inserted.Tuple)
-			delete(pendingDel[s.pred], kk)
-		} else {
+		matched := false
+		if len(pendingDel) > 0 { // key projection only needed when deletes can pair
+			kk := r.KeyOf(s.inserted.Tuple).Key()
+			if old, ok := pendingDel[s.pred][kk]; ok {
+				u = updates.Modify(rel, old, s.inserted.Tuple)
+				delete(pendingDel[s.pred], kk)
+				matched = true
+			}
+		}
+		if !matched {
 			u = updates.Insert(rel, s.inserted.Tuple)
 		}
 		u.Prov = s.inserted.Prov
@@ -468,18 +527,28 @@ func splitToken(v provenance.Var) (updates.TxnID, int) {
 func minimalDeps(p provenance.Poly, self updates.TxnID) []updates.TxnID {
 	var best []updates.TxnID
 	found := false
+	var ids []updates.TxnID // reused across monomials; winners are copied out
 	for _, m := range p.Monomials() {
-		seen := map[updates.TxnID]bool{}
-		var ids []updates.TxnID
+		ids = ids[:0]
 		for _, vp := range m.Vars {
-			if id, ok := updates.TokenTxn(vp.Var); ok && id != self && !seen[id] {
-				seen[id] = true
+			id, ok := updates.TokenTxn(vp.Var)
+			if !ok || id == self {
+				continue
+			}
+			dup := false
+			for _, e := range ids {
+				if e == id {
+					dup = true
+					break
+				}
+			}
+			if !dup {
 				ids = append(ids, id)
 			}
 		}
 		sort.Slice(ids, func(i, j int) bool { return ids[i].Less(ids[j]) })
 		if !found || len(ids) < len(best) || (len(ids) == len(best) && lessIDs(ids, best)) {
-			best = ids
+			best = append(best[:0], ids...)
 			found = true
 		}
 	}

@@ -64,6 +64,29 @@ func TestParallelEngineMatchesSequential(t *testing.T) {
 	requireUnionDBsEqual(t, seq.UnionDB(), par.UnionDB())
 }
 
+// TestParallelismOverridePath pins the Config.Parallelism resolution: an
+// unset config (0 → automatic, runtime.NumCPU() workers) and an explicitly
+// forced-sequential config (negative) must produce byte-identical union
+// databases and per-peer results on the same script.
+func TestParallelismOverridePath(t *testing.T) {
+	auto, err := NewEngineWith(workload.Figure2Peers(), workload.Figure2Mappings(), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	forced, err := NewEngineWith(workload.Figure2Peers(), workload.Figure2Mappings(), Config{Parallelism: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	autoRes := applyScript(t, auto)
+	forcedRes := applyScript(t, forced)
+	for i := range autoRes {
+		if got, want := fmt.Sprint(autoRes[i].PerPeer), fmt.Sprint(forcedRes[i].PerPeer); got != want {
+			t.Errorf("txn %d: per-peer updates differ:\nauto:       %s\nsequential: %s", i, got, want)
+		}
+	}
+	requireUnionDBsEqual(t, forced.UnionDB(), auto.UnionDB())
+}
+
 // TestNoReorderEngineMatchesPlanned does the same for the planner knob.
 func TestNoReorderEngineMatchesPlanned(t *testing.T) {
 	planned := fig2Engine(t)

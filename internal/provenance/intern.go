@@ -1,0 +1,149 @@
+package provenance
+
+import (
+	"sync/atomic"
+)
+
+// polyNode is the canonical (hash-consed) representation behind a Poly: the
+// sorted monomial list, the cached variable key of each monomial, and a
+// precomputed structural hash. Nodes are immutable after construction; the
+// cached linearization is the only field written later, through an atomic
+// pointer. Canonical polynomials that recur share one node through the
+// intern cache below, making equality on them a pointer comparison.
+type polyNode struct {
+	monos []Monomial
+	keys  []string // varKey per monomial, aligned with monos
+	hash  uint64
+	// lin caches the node of Linearize(p); nil until first computed. A node
+	// that is its own linearization stores itself.
+	lin atomic.Pointer[polyNode]
+}
+
+// The intern cache is a fixed-size, direct-mapped, lock-free table of
+// canonical nodes indexed by structural hash. Interning is *approximate by
+// design*: a recurring polynomial almost always finds its slot occupied by
+// an equal node and shares that one allocation, while a hash-slot conflict
+// simply evicts the older resident. This bounds the cache's memory and GC
+// root set — a strong exhaustive table would pin every polynomial ever
+// built, and a weak table pays per-node registration costs that dwarf the
+// arithmetic on transient values. Correctness never depends on sharing:
+// Equal falls back to a hash-guarded structural comparison when two equal
+// polynomials missed each other in the cache.
+//
+// internSlots must be a power of two.
+const internSlots = 1 << 15
+
+var internCache [internSlots]atomic.Pointer[polyNode]
+
+// fnv-1a over the canonical monomial list: coefficient bytes then varKey.
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+func hashMonos(monos []Monomial, keys []string) uint64 {
+	h := uint64(fnvOffset)
+	for i, m := range monos {
+		c := m.Coef
+		for b := 0; b < 8; b++ {
+			h ^= c & 0xff
+			h *= fnvPrime
+			c >>= 8
+		}
+		k := keys[i]
+		for j := 0; j < len(k); j++ {
+			h ^= uint64(k[j])
+			h *= fnvPrime
+		}
+	}
+	return h
+}
+
+// sameMonos reports structural equality of two canonical monomial lists.
+// Keys alone are not decisive (a pathological variable name can collide
+// with a power suffix), so variable lists are compared directly.
+func sameMonos(a, b []Monomial) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Coef != b[i].Coef || len(a[i].Vars) != len(b[i].Vars) {
+			return false
+		}
+		for j := range a[i].Vars {
+			if a[i].Vars[j] != b[i].Vars[j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// newNode returns the canonical polynomial for an already-canonical monomial
+// list (sorted by varKey, duplicates merged, no zero coefficients),
+// consulting the intern cache: if an equal node is resident it is shared
+// and the caller's slices are discarded; otherwise a new node is built and
+// published to its slot. The caller hands over ownership of both slices.
+// An empty list is the zero polynomial (nil node).
+func newNode(monos []Monomial, keys []string) Poly {
+	if len(monos) == 0 {
+		return Poly{}
+	}
+	h := hashMonos(monos, keys)
+	slot := &internCache[h&(internSlots-1)]
+	if n := slot.Load(); n != nil && n.hash == h && sameMonos(n.monos, monos) {
+		return Poly{n: n}
+	}
+	n := &polyNode{monos: monos, keys: keys, hash: h}
+	slot.Store(n)
+	return Poly{n: n}
+}
+
+// Intern re-canonicalizes p against the intern cache: if an equal node is
+// resident, that shared allocation is returned; otherwise p installs its
+// own node and is returned unchanged. Construction already interns, so this
+// is only useful to re-converge values built concurrently on different
+// goroutines before storing them long-term. Idempotent and lock-free.
+func (p Poly) Intern() Poly {
+	if p.n == nil {
+		return p
+	}
+	slot := &internCache[p.n.hash&(internSlots-1)]
+	if n := slot.Load(); n != nil {
+		if n == p.n {
+			return p
+		}
+		if n.hash == p.n.hash && sameMonos(n.monos, p.n.monos) {
+			return Poly{n: n}
+		}
+	}
+	slot.Store(p.n)
+	return p
+}
+
+// InternTableSize returns the number of resident interned polynomials — an
+// observability hook for tests and memory diagnostics.
+func InternTableSize() int {
+	n := 0
+	for i := range internCache {
+		if internCache[i].Load() != nil {
+			n++
+		}
+	}
+	return n
+}
+
+// monoSorter sorts a raw monomial list and its aligned keys by key; it is
+// the canonical order of Poly (identical to the sort.Strings order the
+// map-based normalizer used).
+type monoSorter struct {
+	monos []Monomial
+	keys  []string
+}
+
+func (s *monoSorter) Len() int           { return len(s.monos) }
+func (s *monoSorter) Less(i, j int) bool { return s.keys[i] < s.keys[j] }
+func (s *monoSorter) Swap(i, j int) {
+	s.monos[i], s.monos[j] = s.monos[j], s.monos[i]
+	s.keys[i], s.keys[j] = s.keys[j], s.keys[i]
+}

@@ -1,0 +1,86 @@
+package provenance
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestInternSharing pins the hash-consing contract: rebuilding the same
+// polynomial yields the same shared node (pointer-equal), and Equal takes
+// the pointer fast path.
+func TestInternSharing(t *testing.T) {
+	mk := func() Poly {
+		p := Zero()
+		for i := 0; i < 5; i++ {
+			p = p.Add(NewVar(Var(fmt.Sprint("x", i))).Mul(NewVar(Var(fmt.Sprint("y", i)))))
+		}
+		return p
+	}
+	p, q := mk(), mk()
+	if p.n != q.n {
+		t.Errorf("rebuilt polynomial did not share the interned node")
+	}
+	if !p.Equal(q) {
+		t.Errorf("Equal(p, q) = false for identical polynomials")
+	}
+	if One().n != Const(1).n {
+		t.Errorf("One and Const(1) are not the shared singleton")
+	}
+}
+
+// TestEqualStructuralFallback verifies that equality does not depend on
+// cache residency: two structurally equal nodes built outside the cache
+// (simulating a slot eviction between their constructions) still compare
+// equal through the hash-guarded structural path.
+func TestEqualStructuralFallback(t *testing.T) {
+	m := Monomial{Coef: 2, Vars: []VarPow{{Var: "a", Pow: 1}, {Var: "b", Pow: 3}}}
+	a := Poly{n: &polyNode{monos: []Monomial{m}, keys: []string{m.varKey()}, hash: hashMonos([]Monomial{m}, []string{m.varKey()})}}
+	b := Poly{n: &polyNode{monos: []Monomial{m}, keys: []string{m.varKey()}, hash: a.n.hash}}
+	if a.n == b.n {
+		t.Fatal("test needs two distinct nodes")
+	}
+	if !a.Equal(b) {
+		t.Errorf("structurally equal polynomials with distinct nodes compare unequal")
+	}
+	c := NewVar("a")
+	if a.Equal(c) {
+		t.Errorf("distinct polynomials compare equal")
+	}
+}
+
+// TestInternEviction exercises the direct-mapped eviction path: flooding
+// the cache with distinct polynomials must never corrupt previously built
+// values, only reduce sharing.
+func TestInternEviction(t *testing.T) {
+	keep := NewVar("keeper").Mul(NewVar("kept"))
+	want := keep.String()
+	for i := 0; i < 3*internSlots/2; i++ {
+		_ = NewVar(Var(fmt.Sprint("flood", i)))
+	}
+	if keep.String() != want {
+		t.Errorf("interned value changed under eviction pressure: %s != %s", keep.String(), want)
+	}
+	rebuilt := NewVar("keeper").Mul(NewVar("kept"))
+	if !keep.Equal(rebuilt) {
+		t.Errorf("rebuilt polynomial unequal after eviction")
+	}
+	if InternTableSize() == 0 {
+		t.Errorf("intern table empty after flood")
+	}
+}
+
+// TestInternedLinearizeCache checks the memoized linearization is shared
+// and correct across aliased nodes.
+func TestInternedLinearizeCache(t *testing.T) {
+	p := NewVar("x").Mul(NewVar("x")).Add(Const(3))
+	l1, l2 := p.Linearize(), p.Linearize()
+	if l1.n != l2.n {
+		t.Errorf("linearization not memoized")
+	}
+	if l1.String() != "1 + x" {
+		t.Errorf("Linearize = %s, want 1 + x", l1)
+	}
+	if l1.Linearize().n != l1.n {
+		t.Errorf("linearized polynomial is not its own quotient")
+	}
+}

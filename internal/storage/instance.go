@@ -29,18 +29,34 @@ func NewInstance(s *schema.Schema) *Instance {
 // Schema returns the instance's schema.
 func (in *Instance) Schema() *schema.Schema { return in.schema }
 
-// Table returns the table for a relation name, or nil.
+// Table returns the table for a relation name, or nil. The returned table
+// may be shared with a snapshot: callers must treat it as read-only and
+// mutate only through the Instance methods, which copy-on-write as needed.
 func (in *Instance) Table(name string) *Table {
 	in.mu.RLock()
 	defer in.mu.RUnlock()
 	return in.tables[name]
 }
 
+// mutable returns the exclusively owned table for rel, copy-on-write-cloning
+// it first if a snapshot shares it. Callers must hold in.mu for writing.
+func (in *Instance) mutable(rel string) (*Table, bool) {
+	t, ok := in.tables[rel]
+	if !ok {
+		return nil, false
+	}
+	if t.shared.Load() {
+		t = t.cowClone()
+		in.tables[rel] = t
+	}
+	return t, true
+}
+
 // Insert adds a tuple to the named relation.
 func (in *Instance) Insert(rel string, tu schema.Tuple, prov provenance.Poly) error {
 	in.mu.Lock()
 	defer in.mu.Unlock()
-	t, ok := in.tables[rel]
+	t, ok := in.mutable(rel)
 	if !ok {
 		return fmt.Errorf("storage: unknown relation %s", rel)
 	}
@@ -51,7 +67,7 @@ func (in *Instance) Insert(rel string, tu schema.Tuple, prov provenance.Poly) er
 func (in *Instance) Upsert(rel string, tu schema.Tuple, prov provenance.Poly) (*schema.Tuple, error) {
 	in.mu.Lock()
 	defer in.mu.Unlock()
-	t, ok := in.tables[rel]
+	t, ok := in.mutable(rel)
 	if !ok {
 		return nil, fmt.Errorf("storage: unknown relation %s", rel)
 	}
@@ -62,7 +78,7 @@ func (in *Instance) Upsert(rel string, tu schema.Tuple, prov provenance.Poly) (*
 func (in *Instance) Delete(rel string, tu schema.Tuple) (bool, error) {
 	in.mu.Lock()
 	defer in.mu.Unlock()
-	t, ok := in.tables[rel]
+	t, ok := in.mutable(rel)
 	if !ok {
 		return false, fmt.Errorf("storage: unknown relation %s", rel)
 	}
@@ -88,9 +104,24 @@ func (in *Instance) Size() int {
 	return n
 }
 
-// Clone returns a deep copy — the mechanism behind the CDSS "public
-// snapshot": the published view is a clone that later local edits do not
-// touch.
+// Snapshot returns an O(#relations) copy-on-write frozen view — the
+// mechanism behind the CDSS "public snapshot": the published view shares
+// every table with the live instance, and the first post-snapshot mutation
+// of a table (on either side) clones it, so later local edits never show
+// through the snapshot. Tables that are never edited are never copied.
+func (in *Instance) Snapshot() *Instance {
+	in.mu.RLock() // shared flags are atomic; only the map iteration needs the lock
+	defer in.mu.RUnlock()
+	c := &Instance{schema: in.schema, tables: make(map[string]*Table, len(in.tables))}
+	for name, t := range in.tables {
+		t.shared.Store(true)
+		c.tables[name] = t
+	}
+	return c
+}
+
+// Clone returns an eager deep copy. Most callers want Snapshot instead;
+// Clone remains for tests and callers that need a guaranteed-private copy.
 func (in *Instance) Clone() *Instance {
 	in.mu.RLock()
 	defer in.mu.RUnlock()

@@ -14,6 +14,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"orchestra/internal/provenance"
 	"orchestra/internal/schema"
@@ -39,6 +41,16 @@ type Table struct {
 	pk map[string]string
 	// indexes maps a canonical column-set name to a hash index.
 	indexes map[string]*hashIndex
+	// shared marks the table as captured by an Instance.Snapshot: the next
+	// mutation (on any holder) must copy-on-write first. Never cleared once
+	// set; Instance.mutable performs the clone. Atomic because snapshots of
+	// two instances sharing this table synchronize on different mutexes.
+	shared atomic.Bool
+	// idxMu guards the indexes map: lazy index creation (LookupIndex) can
+	// run on a snapshot-shared table, concurrently from the instances that
+	// share it, while row mutations always happen on an exclusively owned
+	// table under its instance's lock.
+	idxMu sync.Mutex
 }
 
 // hashIndex maps the key of a column projection to the set of full-tuple
@@ -96,7 +108,7 @@ func (t *Table) Insert(tu schema.Tuple, prov provenance.Poly) error {
 	}
 	fk := tu.Key()
 	if existing, ok := t.rows[fk]; ok {
-		existing.Prov = existing.Prov.Add(prov)
+		existing.Prov = existing.Prov.Add(prov).Intern()
 		t.rows[fk] = existing
 		return nil
 	}
@@ -105,11 +117,15 @@ func (t *Table) Insert(tu schema.Tuple, prov provenance.Poly) error {
 		prev := t.rows[prevFK]
 		return &ErrKeyViolation{Relation: t.rel.Name, Key: t.rel.KeyOf(tu), Existing: prev.Tuple, New: tu}
 	}
-	t.rows[fk] = Row{Tuple: tu.Clone(), Prov: prov}
+	// Stored annotations are interned so identical provenance across rows,
+	// tables, and snapshots shares one allocation.
+	t.rows[fk] = Row{Tuple: tu.Clone(), Prov: prov.Intern()}
 	t.pk[kk] = fk
+	t.idxMu.Lock()
 	for _, idx := range t.indexes {
 		idx.add(tu, fk)
 	}
+	t.idxMu.Unlock()
 	return nil
 }
 
@@ -124,7 +140,7 @@ func (t *Table) Upsert(tu schema.Tuple, prov provenance.Poly) (replaced *schema.
 		prev := t.rows[prevFK].Tuple
 		if prev.Equal(tu) {
 			r := t.rows[prevFK]
-			r.Prov = r.Prov.Add(prov)
+			r.Prov = r.Prov.Add(prov).Intern()
 			t.rows[prevFK] = r
 			return nil, nil
 		}
@@ -154,9 +170,11 @@ func (t *Table) deleteByFullKey(fk string) {
 	}
 	delete(t.rows, fk)
 	delete(t.pk, t.rel.KeyOf(row.Tuple).Key())
+	t.idxMu.Lock()
 	for _, idx := range t.indexes {
 		idx.remove(row.Tuple, fk)
 	}
+	t.idxMu.Unlock()
 }
 
 // Contains reports whether the exact tuple is stored.
@@ -187,38 +205,47 @@ func (t *Table) SetProvenance(tu schema.Tuple, prov provenance.Poly) bool {
 	if !ok {
 		return false
 	}
-	r.Prov = prov
+	r.Prov = prov.Intern()
 	t.rows[fk] = r
 	return true
 }
 
 // CreateIndex builds (or returns) a hash index on the given columns.
 func (t *Table) CreateIndex(cols []int) {
+	t.idxMu.Lock()
+	defer t.idxMu.Unlock()
+	t.createIndexLocked(cols)
+}
+
+func (t *Table) createIndexLocked(cols []int) *hashIndex {
 	name := indexName(cols)
-	if _, ok := t.indexes[name]; ok {
-		return
+	if idx, ok := t.indexes[name]; ok {
+		return idx
 	}
 	idx := &hashIndex{cols: append([]int(nil), cols...), buckets: map[string]map[string]struct{}{}}
 	for fk, row := range t.rows {
 		idx.add(row.Tuple, fk)
 	}
 	t.indexes[name] = idx
+	return idx
 }
 
 // LookupIndex returns rows whose projection on cols equals vals. If no
-// index exists on cols one is created on first use.
+// index exists on cols one is created on first use — safe even when the
+// table is snapshot-shared between instances (idxMu serializes the lazy
+// build; rows on a shared table are immutable by the COW contract).
 func (t *Table) LookupIndex(cols []int, vals schema.Tuple) []Row {
-	name := indexName(cols)
-	idx, ok := t.indexes[name]
+	t.idxMu.Lock()
+	idx, ok := t.indexes[indexName(cols)]
 	if !ok {
-		t.CreateIndex(cols)
-		idx = t.indexes[name]
+		idx = t.createIndexLocked(cols)
 	}
 	bucket := idx.buckets[vals.Key()]
 	out := make([]Row, 0, len(bucket))
 	for fk := range bucket {
 		out = append(out, t.rows[fk])
 	}
+	t.idxMu.Unlock()
 	sort.Slice(out, func(i, j int) bool { return out[i].Tuple.Compare(out[j].Tuple) < 0 })
 	return out
 }
@@ -269,6 +296,22 @@ func (t *Table) Clone() *Table {
 	for fk, row := range t.rows {
 		c.rows[fk] = Row{Tuple: row.Tuple.Clone(), Prov: row.Prov}
 		c.pk[t.rel.KeyOf(row.Tuple).Key()] = fk
+	}
+	return c
+}
+
+// cowClone copies the table's row and key maps for copy-on-write after a
+// snapshot. Stored tuples are immutable once inserted (Insert defensively
+// clones its input and mutations replace whole rows), so the tuple slices
+// and provenance values are shared with the frozen side; only the maps are
+// rebuilt. Indexes are dropped and rebuilt lazily on the next lookup.
+func (t *Table) cowClone() *Table {
+	c := NewTable(t.rel)
+	for fk, row := range t.rows {
+		c.rows[fk] = row
+	}
+	for kk, fk := range t.pk {
+		c.pk[kk] = fk
 	}
 	return c
 }

@@ -86,6 +86,82 @@ func BenchmarkPolyMul(b *testing.B) {
 	}
 }
 
+// BenchmarkPolyIntern measures the hash-consing cache: rebuilding a
+// recurring polynomial should hit the cache and share one allocation, and
+// equality/subsumption on shared values should be pointer-fast.
+func BenchmarkPolyIntern(b *testing.B) {
+	mk := func() provenance.Poly {
+		p := provenance.Zero()
+		for i := 0; i < 8; i++ {
+			m := provenance.NewVar(provenance.Var(fmt.Sprint("a", i))).
+				Mul(provenance.NewVar(provenance.Var(fmt.Sprint("b", i))))
+			p = p.Add(m)
+		}
+		return p
+	}
+	b.Run("rebuild-shared", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = mk()
+		}
+	})
+	p, q := mk(), mk()
+	b.Run("equal-interned", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if !p.Equal(q) {
+				b.Fatal("equal polynomials compare unequal")
+			}
+		}
+	})
+	b.Run("subsumes", func(b *testing.B) {
+		small := provenance.NewVar("a3").Mul(provenance.NewVar("b3"))
+		for i := 0; i < b.N; i++ {
+			if !p.Subsumes(small) {
+				b.Fatal("subsumption failed")
+			}
+		}
+	})
+}
+
+// BenchmarkDBSnapshot compares the O(#preds) copy-on-write snapshot with
+// the eager deep clone on a populated database, and prices the first
+// post-snapshot write (which copy-on-write-clones one extent).
+func BenchmarkDBSnapshot(b *testing.B) {
+	build := func() *datalog.DB {
+		db := datalog.NewDB()
+		for p := 0; p < 8; p++ {
+			pred := fmt.Sprint("R", p)
+			for i := int64(0); i < 2000; i++ {
+				db.Add(pred, schema.NewTuple(schema.Int(i), schema.Int(i%97)),
+					provenance.NewVar(provenance.Var(fmt.Sprint("t", p, "_", i))))
+			}
+		}
+		return db
+	}
+	b.Run("snapshot", func(b *testing.B) {
+		db := build()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_ = db.Snapshot()
+		}
+	})
+	b.Run("clone", func(b *testing.B) {
+		db := build()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_ = db.Clone()
+		}
+	})
+	b.Run("snapshot-first-write", func(b *testing.B) {
+		db := build()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			_ = db.Snapshot()
+			// The write lands on a shared extent and pays one COW clone.
+			db.Add("R0", schema.NewTuple(schema.Int(int64(i)+1000000), schema.Int(0)), provenance.One())
+		}
+	})
+}
+
 func BenchmarkPolyEvalTrust(b *testing.B) {
 	p := provenance.Zero()
 	for i := 0; i < 8; i++ {

@@ -11,6 +11,8 @@ printf '{\n'
 printf '  "note": "1-iteration smoke snapshot; regenerate with make bench-baseline; compare only against runs on the toolchain recorded in the go field",\n'
 printf '  "go": "%s",\n' "$(go version | awk '{print $3}')"
 printf '  "ns_per_op": {\n'
+# NOTE: the ns/op line parsing in the awk below must stay in sync with
+# the parsing in scripts/bench_compare.sh (same name munging).
 printf '%s\n' "$out" | awk '
   / ns\/op/ {
     name = $1

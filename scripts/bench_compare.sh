@@ -1,0 +1,83 @@
+#!/bin/sh
+# Compares a fresh benchmark run against the committed BENCH_baseline.json.
+#
+#   ./scripts/bench_compare.sh            # default tolerance
+#   TOLERANCE=2.5 ./scripts/bench_compare.sh
+#   BENCHTIME=100x ./scripts/bench_compare.sh
+#
+# A benchmark FAILS the comparison when its fresh ns/op exceeds
+# baseline * TOLERANCE, or when it exists in the baseline but not in the
+# fresh run (deleted/renamed benchmarks must be accompanied by a baseline
+# refresh: make bench-baseline). New benchmarks absent from the baseline
+# are reported but do not fail.
+#
+# The default tolerance is deliberately loose (6x): the baseline is a
+# 1-iteration smoke snapshot — a single GC pause inside a sub-microsecond
+# benchmark can alone exceed small multiples, and several experiment benchmarks accumulate
+# database state so their ns/op depends on the iteration count (see
+# DESIGN.md §6). This gate catches order-of-magnitude regressions and
+# benchmarks that stop compiling, not single-digit-percent drift — use
+# matched -benchtime=Nx runs for real measurements.
+set -e
+
+baseline="${BASELINE:-BENCH_baseline.json}"
+tolerance="${TOLERANCE:-6.0}"
+benchtime="${BENCHTIME:-1x}"
+
+if [ ! -f "$baseline" ]; then
+    echo "bench_compare: baseline $baseline not found" >&2
+    exit 1
+fi
+
+fresh="$(go test -bench=. -benchtime="$benchtime" -run '^$' .)"
+
+# NOTE: the ns/op line parsing in the awk below must stay in sync with
+# the parsing in scripts/bench_baseline.sh (same name munging).
+printf '%s\n' "$fresh" | awk -v tol="$tolerance" -v basefile="$baseline" '
+BEGIN {
+    # Parse the baseline: lines of the form   "Name": 1234,
+    while ((getline line < basefile) > 0) {
+        if (line !~ /":[[:space:]]*[0-9]/) continue
+        if (line ~ /"go":/ || line ~ /"note":/) continue
+        name = line
+        sub(/^[[:space:]]*"/, "", name)
+        sub(/".*$/, "", name)
+        val = line
+        sub(/^[^:]*:[[:space:]]*/, "", val)
+        sub(/[,[:space:]]*$/, "", val)
+        base[name] = val + 0
+    }
+    close(basefile)
+}
+/ ns\/op/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    cur[name] = $3 + 0
+}
+END {
+    fails = 0
+    news = 0
+    for (name in cur) {
+        if (!(name in base)) {
+            printf "NEW       %-55s %12.0f ns/op (absent from baseline; refresh with make bench-baseline)\n", name, cur[name]
+            news++
+            continue
+        }
+        ratio = base[name] > 0 ? cur[name] / base[name] : 0
+        if (ratio > tol) {
+            printf "REGRESSED %-55s %12.0f ns/op vs baseline %.0f (%.2fx > %.2fx tolerance)\n", name, cur[name], base[name], ratio, tol
+            fails++
+        } else {
+            printf "ok        %-55s %12.0f ns/op vs baseline %.0f (%.2fx)\n", name, cur[name], base[name], ratio
+        }
+    }
+    for (name in base) {
+        if (!(name in cur)) {
+            printf "MISSING   %-55s baseline %.0f ns/op but absent from fresh run\n", name, base[name]
+            fails++
+        }
+    }
+    printf "bench_compare: %d compared, %d new, %d failing (tolerance %.2fx)\n", length(cur) - news, news, fails, tol
+    exit fails > 0 ? 1 : 0
+}
+'
