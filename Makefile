@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fmt fmt-check bench bench-smoke bench-baseline bench-compare ci
+.PHONY: build test race vet fmt fmt-check bench bench-smoke bench-baseline bench-compare examples-check ci
 
 ## build: compile every package
 build:
@@ -48,5 +48,12 @@ bench-baseline:
 bench-compare:
 	./scripts/bench_compare.sh
 
+## examples-check: build every example and golden-check quickstart's output,
+## so API drift that breaks user-facing examples fails the gate
+examples-check:
+	$(GO) build ./examples/...
+	$(GO) run ./examples/quickstart | diff -u examples/quickstart/golden.txt -
+	@echo examples OK
+
 ## ci: everything the CI workflow runs, in one command
-ci: build vet fmt-check race bench-smoke
+ci: build vet fmt-check race bench-smoke examples-check

@@ -11,6 +11,7 @@ package orchestra_test
 // the larger sweeps.
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -49,7 +50,7 @@ func BenchmarkE1UpdateExchangeInsertions(b *testing.B) {
 			key++
 		}
 		seq++
-		if _, err := eng.Apply(txn); err != nil {
+		if _, err := eng.Apply(context.Background(), txn); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -89,7 +90,7 @@ func BenchmarkE2IncrementalVsFull(b *testing.B) {
 		}
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			if _, err := eng.Recompute(); err != nil {
+			if _, err := eng.Recompute(context.Background()); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -111,7 +112,7 @@ func BenchmarkE3DeletionPropagation(b *testing.B) {
 			Updates: []updates.Update{updates.Insert("S", tu)}}
 		seq++
 		b.StopTimer()
-		if _, err := eng.Apply(ins); err != nil {
+		if _, err := eng.Apply(context.Background(), ins); err != nil {
 			b.Fatal(err)
 		}
 		b.StartTimer()
@@ -119,7 +120,7 @@ func BenchmarkE3DeletionPropagation(b *testing.B) {
 			Updates: []updates.Update{updates.Delete("S", tu)}}
 		seq++
 		key++
-		if _, err := eng.Apply(del); err != nil {
+		if _, err := eng.Apply(context.Background(), del); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -306,11 +307,11 @@ func BenchmarkE6Topologies(b *testing.B) {
 					if _, err := tx.Commit(); err != nil {
 						b.Fatal(err)
 					}
-					if _, err := origin.Publish(); err != nil {
+					if _, err := origin.Publish(context.Background()); err != nil {
 						b.Fatal(err)
 					}
 					b.StartTimer()
-					if _, err := sink.Reconcile(); err != nil {
+					if _, err := sink.Reconcile(context.Background()); err != nil {
 						b.Fatal(err)
 					}
 				}
@@ -363,10 +364,10 @@ func BenchmarkPublishReconcileRoundTrip(b *testing.B) {
 		if _, err := tx.Commit(); err != nil {
 			b.Fatal(err)
 		}
-		if _, err := alaska.Publish(); err != nil {
+		if _, err := alaska.Publish(context.Background()); err != nil {
 			b.Fatal(err)
 		}
-		if _, err := dresden.Reconcile(); err != nil {
+		if _, err := dresden.Reconcile(context.Background()); err != nil {
 			b.Fatal(err)
 		}
 	}

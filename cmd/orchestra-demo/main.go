@@ -15,7 +15,7 @@ import (
 	"log"
 	"os"
 
-	"orchestra/internal/demo"
+	"orchestra"
 )
 
 func main() {
@@ -24,7 +24,7 @@ func main() {
 
 	run := func(n int) {
 		fmt.Printf("=== Demonstration scenario %d ===\n", n)
-		if err := demo.Run(os.Stdout, n); err != nil {
+		if err := orchestra.RunDemoScenario(os.Stdout, n); err != nil {
 			log.Fatalf("scenario %d: %v", n, err)
 		}
 		fmt.Println()
@@ -33,7 +33,7 @@ func main() {
 		run(*scenario)
 		return
 	}
-	for n := 1; n <= demo.Scenarios(); n++ {
+	for n := 1; n <= orchestra.DemoScenarios(); n++ {
 		run(n)
 	}
 }

@@ -1,4 +1,5 @@
-// Command orchestra runs CDSS nodes and update-store replicas.
+// Command orchestra runs CDSS nodes and update-store replicas, built
+// entirely on the public orchestra SDK.
 //
 // Usage:
 //
@@ -18,10 +19,7 @@ import (
 	"os/signal"
 	"strings"
 
-	"orchestra/internal/config"
-	"orchestra/internal/core"
-	"orchestra/internal/p2p"
-	"orchestra/internal/repl"
+	"orchestra"
 )
 
 func main() {
@@ -42,29 +40,30 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		cfg, err := config.Parse(f)
+		sch, err := orchestra.ParseSchema(f)
 		f.Close()
 		if err != nil {
 			log.Fatal(err)
 		}
-		sys, err := cfg.System()
+		opts := []orchestra.Option{}
+		if *storeAddrs != "" {
+			var replicas []orchestra.Store
+			for _, a := range strings.Split(*storeAddrs, ",") {
+				replicas = append(replicas, orchestra.DialStore(strings.TrimSpace(a)))
+			}
+			opts = append(opts, orchestra.WithStore(orchestra.NewReplicatedStore(replicas...)))
+		}
+		sys, err := orchestra.Open(sch, opts...)
 		if err != nil {
 			log.Fatal(err)
 		}
-		var store p2p.Store = p2p.NewMemoryStore()
-		if *storeAddrs != "" {
-			var replicas []p2p.Store
-			for _, a := range strings.Split(*storeAddrs, ",") {
-				replicas = append(replicas, p2p.NewClient(strings.TrimSpace(a)))
-			}
-			store = p2p.NewReplicatedStore(replicas...)
-		}
-		peer, err := core.NewPeer(*peerName, sys, store, cfg.Policy(*peerName))
+		defer sys.Close()
+		peer, err := sys.Peer(*peerName)
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("orchestra node %q ready (type help)\n", *peerName)
-		if err := repl.New(peer, os.Stdout).Run(os.Stdin); err != nil {
+		if err := peer.RunREPL(os.Stdin, os.Stdout); err != nil {
 			log.Fatal(err)
 		}
 	case "serve":
@@ -72,16 +71,16 @@ func main() {
 		addr := fs.String("addr", "127.0.0.1:7070", "listen address")
 		logPath := fs.String("log", "", "durable append-only log file (empty = in-memory)")
 		_ = fs.Parse(os.Args[2:])
-		var store p2p.Store = p2p.NewMemoryStore()
+		var store orchestra.Store = orchestra.NewMemoryStore()
 		if *logPath != "" {
-			fstore, err := p2p.OpenFileStore(*logPath)
+			fstore, err := orchestra.OpenFileStore(*logPath)
 			if err != nil {
 				log.Fatal(err)
 			}
 			defer fstore.Close()
 			store = fstore
 		}
-		srv, err := p2p.NewServer(store, *addr)
+		srv, err := orchestra.NewStoreServer(store, *addr)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -95,7 +94,7 @@ func main() {
 		fs := flag.NewFlagSet("epoch", flag.ExitOnError)
 		addr := fs.String("addr", "127.0.0.1:7070", "store address")
 		_ = fs.Parse(os.Args[2:])
-		epoch, err := p2p.NewClient(*addr).Epoch()
+		epoch, err := orchestra.DialStore(*addr).Epoch()
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -105,7 +104,7 @@ func main() {
 		addr := fs.String("addr", "127.0.0.1:7070", "store address")
 		since := fs.Uint64("since", 0, "only transactions after this epoch")
 		_ = fs.Parse(os.Args[2:])
-		txns, epoch, err := p2p.NewClient(*addr).Since(*since)
+		txns, epoch, err := orchestra.DialStore(*addr).Since(*since)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -113,7 +112,7 @@ func main() {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
 		for _, t := range txns {
-			if err := enc.Encode(p2p.EncodeTxn(t)); err != nil {
+			if err := enc.Encode(orchestra.EncodeTxn(t)); err != nil {
 				log.Fatal(err)
 			}
 		}

@@ -5,8 +5,28 @@
 // semirings (PODS 2007), and reconciliation with disagreement (SIGMOD
 // 2006).
 //
-// The public entry point is internal/core (the Peer lifecycle); see README
-// for a tour, DESIGN.md for the system inventory and experiment index, and
-// EXPERIMENTS.md for paper-vs-measured results. The benchmarks in
-// bench_test.go regenerate the experiment tables E1–E7.
+// This package is the public SDK — the one supported way to drive the
+// system. Describe a confederation with NewSchema (or ParseSchema for the
+// textual format), open it with Open, and drive peers through the handles
+// System.Peer returns:
+//
+//	sys, _ := orchestra.Open(sch, orchestra.WithParallelism(4))
+//	defer sys.Close()
+//	alice, _ := sys.Peer("alice")
+//	id, _ := alice.Begin().Insert("Gene", tuple).Commit()
+//	alice.Publish(ctx)
+//	bob, _ := sys.Peer("bob")
+//	bob.Reconcile(ctx) // bob receives alice's data translated into his schema
+//
+// Every operation that can run a translation fixpoint takes a
+// context.Context and honors cancellation and deadlines cooperatively.
+// Errors at the public boundary wrap the typed sentinels ErrKeyViolation,
+// ErrUnknownRelation, ErrUnknownPeer, ErrTxnFinished, ErrConflictPending
+// for errors.Is dispatch. Peer.Subscribe streams collated insert/delete/
+// modify changes as epochs publish, so consumers maintain downstream views
+// incrementally.
+//
+// See README for a tour, DESIGN.md for the system inventory and experiment
+// index, and EXPERIMENTS.md for paper-vs-measured results. The benchmarks
+// in bench_test.go regenerate the experiment tables E1–E7.
 package orchestra

@@ -1,0 +1,89 @@
+package orchestra
+
+import (
+	"errors"
+
+	"orchestra/internal/core"
+	"orchestra/internal/exchange"
+	"orchestra/internal/p2p"
+	"orchestra/internal/recon"
+	"orchestra/internal/storage"
+)
+
+// The public error taxonomy. Every error returned by this package wraps one
+// of these sentinels when it matches, so callers dispatch with errors.Is
+// regardless of which internal layer produced the failure; the original
+// error (including detail types such as the key-violation record, reachable
+// via errors.As) stays on the chain.
+var (
+	// ErrKeyViolation reports a write that would store two distinct tuples
+	// under one primary key: a local insert colliding with stored data, or
+	// a store-level violation surfaced during materialization.
+	ErrKeyViolation = errors.New("orchestra: key violation")
+	// ErrUnknownRelation reports a relation name the peer's schema does not
+	// declare.
+	ErrUnknownRelation = errors.New("orchestra: unknown relation")
+	// ErrUnknownPeer reports a peer name the confederation does not declare.
+	ErrUnknownPeer = errors.New("orchestra: unknown peer")
+	// ErrTxnFinished reports use of a transaction after Commit or Abort.
+	ErrTxnFinished = errors.New("orchestra: transaction already finished")
+	// ErrConflictPending reports work blocked on a conflict that awaits
+	// manual resolution: a strict reconcile that deferred transactions, or
+	// a Resolve whose winner is not actually deferred.
+	ErrConflictPending = errors.New("orchestra: conflict pending resolution")
+	// ErrClosed reports use of a System after Close.
+	ErrClosed = errors.New("orchestra: system closed")
+)
+
+// KeyViolation is the detail record behind ErrKeyViolation, reachable with
+// errors.As.
+type KeyViolation = storage.ErrKeyViolation
+
+// taggedError glues a public sentinel onto an internal error without losing
+// either: errors.Is sees the sentinel, errors.As (and Is against internal
+// sentinels) sees the wrapped chain.
+type taggedError struct {
+	sentinel error
+	err      error
+}
+
+func (e *taggedError) Error() string   { return e.err.Error() }
+func (e *taggedError) Unwrap() []error { return []error{e.sentinel, e.err} }
+
+// sentinelFor maps an internal error chain to its public sentinel, or nil.
+func sentinelFor(err error) error {
+	var kv *storage.ErrKeyViolation
+	switch {
+	case errors.As(err, &kv):
+		return ErrKeyViolation
+	case errors.Is(err, storage.ErrUnknownRelation),
+		errors.Is(err, core.ErrUnknownRelation),
+		errors.Is(err, exchange.ErrUnknownRelation):
+		return ErrUnknownRelation
+	case errors.Is(err, core.ErrUnknownPeer),
+		errors.Is(err, exchange.ErrUnknownPeer):
+		return ErrUnknownPeer
+	case errors.Is(err, core.ErrTxnFinished):
+		return ErrTxnFinished
+	case errors.Is(err, recon.ErrNotDeferred):
+		return ErrConflictPending
+	case errors.Is(err, p2p.ErrAlreadyPublished),
+		errors.Is(err, exchange.ErrAlreadyApplied),
+		errors.Is(err, recon.ErrAlreadyReconciled):
+		return nil // internal invariants; no public sentinel (yet)
+	}
+	return nil
+}
+
+// wrapErr translates an internal error for the public boundary. Context
+// errors pass through untouched so errors.Is(err, context.DeadlineExceeded)
+// holds without unwrapping ceremony.
+func wrapErr(err error) error {
+	if err == nil {
+		return nil
+	}
+	if s := sentinelFor(err); s != nil {
+		return &taggedError{sentinel: s, err: err}
+	}
+	return err
+}

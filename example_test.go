@@ -1,0 +1,110 @@
+package orchestra_test
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"orchestra"
+)
+
+// exampleSchema declares a two-peer confederation sharing one relation.
+func exampleSchema() *orchestra.Schema {
+	genes := orchestra.NewPeerSchema("genes")
+	genes.MustAddRelation(orchestra.MustRelation("Gene",
+		[]orchestra.Attribute{
+			{Name: "name", Type: orchestra.KindString},
+			{Name: "chromosome", Type: orchestra.KindInt},
+		}, "name"))
+	return orchestra.NewSchema().
+		Peer("alice", genes).
+		Peer("bob", genes).
+		Identity("M_ab", "alice", "bob").
+		Identity("M_ba", "bob", "alice")
+}
+
+func ExampleOpen() {
+	sys, err := orchestra.Open(exampleSchema(), orchestra.WithParallelism(-1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sys.Close()
+
+	alice, err := sys.Peer("alice")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(alice.Name())
+	// Output: alice
+}
+
+func ExamplePeer_Publish() {
+	ctx := context.Background()
+	sys, err := orchestra.Open(exampleSchema())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sys.Close()
+	alice, _ := sys.Peer("alice")
+	bob, _ := sys.Peer("bob")
+
+	// Alice edits locally and publishes; Bob reconciles and receives the
+	// tuple translated through the mappings.
+	brca1 := orchestra.NewTuple(orchestra.String("BRCA1"), orchestra.Int(17))
+	if _, err := alice.Begin().Insert("Gene", brca1).Commit(); err != nil {
+		log.Fatal(err)
+	}
+	epoch, err := alice.Publish(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	report, err := bob.Reconcile(ctx)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rows, _ := bob.Rows("Gene")
+	fmt.Printf("epoch %d: bob accepted %d txn(s), holds %v\n", epoch, len(report.Accepted), rows)
+	// Output: epoch 1: bob accepted 1 txn(s), holds [(BRCA1, 17)]
+}
+
+func ExamplePeer_Subscribe() {
+	ctx := context.Background()
+	sys, err := orchestra.Open(exampleSchema())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sys.Close()
+	alice, _ := sys.Peer("alice")
+	bob, _ := sys.Peer("bob")
+
+	// Bob subscribes before anything publishes; the feed is consumed after
+	// the explicit Reconcile below (WithoutAutoReconcile keeps delivery
+	// deterministic for this example — drop it to have epochs pushed).
+	subCtx, cancel := context.WithCancel(ctx)
+	feed := bob.Subscribe(subCtx, orchestra.WithoutAutoReconcile())
+
+	if _, err := alice.Begin().
+		Insert("Gene", orchestra.NewTuple(orchestra.String("BRCA1"), orchestra.Int(17))).
+		Insert("Gene", orchestra.NewTuple(orchestra.String("TP53"), orchestra.Int(17))).
+		Commit(); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := alice.Publish(ctx); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := bob.Reconcile(ctx); err != nil {
+		log.Fatal(err)
+	}
+	cancel() // end the stream once the epoch is in
+
+	for change, err := range feed {
+		if err != nil {
+			break // context.Canceled: the feed is drained
+		}
+		fmt.Printf("epoch %d %s %s%v\n", change.Epoch, change.Op, change.Rel, change.New)
+	}
+	// Changes within a transaction arrive in canonical tuple-key order.
+	// Output:
+	// epoch 1 + Gene(TP53, 17)
+	// epoch 1 + Gene(BRCA1, 17)
+}

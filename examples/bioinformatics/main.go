@@ -1,294 +1,162 @@
 // Command bioinformatics runs the paper's Figure 2 CDSS — the Universities
 // of Alaska, Beijing, Crete, and Dresden sharing protein reference
-// sequences across two schemas — through all five demonstration scenarios
-// of Section 4, printing each peer's state transitions along the way.
+// sequences across two schemas — through the public orchestra SDK. The
+// confederation is declared in the textual configuration format (schemas,
+// join/split tgd mappings, and Crete's trust policy), then driven through
+// Open/Publish/Reconcile: the join mapping assembles Alaska's O,P,S rows
+// into Dresden's OPS view, the split mapping invents labeled nulls going
+// the other way, and Crete settles a conflict by trusting Beijing over
+// Dresden. Explain shows the provenance that decision was based on.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"orchestra/internal/core"
-	"orchestra/internal/p2p"
-	"orchestra/internal/recon"
-	"orchestra/internal/workload"
+	"orchestra"
 )
 
+const figure2 = `
+# The Figure 2 bioinformatics confederation (SIGMOD 2007).
+peer alaska {
+    relation O(org string, oid int) key(oid)
+    relation P(prot string, pid int) key(pid)
+    relation S(oid int, pid int, seq string) key(oid, pid)
+}
+peer beijing like alaska
+peer crete {
+    relation OPS(org string, prot string, seq string) key(org, prot)
+}
+peer dresden like crete
+
+mapping identity M_AB alaska beijing
+mapping identity M_BA beijing alaska
+mapping identity M_CD crete dresden
+mapping identity M_DC dresden crete
+mapping M_AC = crete.OPS(org, prot, seq) :-
+    alaska.O(org, oid), alaska.P(prot, pid), alaska.S(oid, pid, seq).
+mapping M_CA = alaska.O(org, oid), alaska.P(prot, pid), alaska.S(oid, pid, seq) :-
+    crete.OPS(org, prot, seq).
+
+# Crete prefers Beijing's data (priority 2) over Dresden's (priority 1)
+# and distrusts everything else.
+trust crete {
+    peer beijing 2
+    peer dresden 1
+    default 0
+}
+`
+
 func main() {
-	for i := 1; i <= 5; i++ {
-		fmt.Printf("=== Demonstration scenario %d ===\n", i)
-		if err := runScenario(i); err != nil {
-			log.Fatalf("scenario %d: %v", i, err)
-		}
-		fmt.Println()
-	}
-}
+	ctx := context.Background()
 
-// cdss builds a fresh Figure 2 confederation. Trust: Alaska, Beijing and
-// Dresden trust all equally; Crete trusts only Beijing (2) and Dresden (1).
-func cdss() (map[string]*core.Peer, error) {
-	sys, err := core.NewSystem(workload.Figure2Peers(), workload.Figure2Mappings())
+	sch, err := orchestra.ParseSchemaString(figure2)
 	if err != nil {
-		return nil, err
+		log.Fatal(err)
 	}
-	store := p2p.NewMemoryStore()
-	policies := map[string]*recon.Policy{
-		workload.Alaska:  recon.TrustAll(1),
-		workload.Beijing: recon.TrustAll(1),
-		workload.Dresden: recon.TrustAll(1),
-		workload.Crete: {Conditions: []recon.Condition{
-			recon.FromPeer(workload.Beijing, 2),
-			recon.FromPeer(workload.Dresden, 1),
-		}, Default: recon.Distrusted},
-	}
-	peers := map[string]*core.Peer{}
-	for name, pol := range policies {
-		p, err := core.NewPeer(name, sys, store, pol)
-		if err != nil {
-			return nil, err
-		}
-		peers[name] = p
-	}
-	return peers, nil
-}
-
-func dump(p *core.Peer) {
-	fmt.Printf("  %s:\n", p.Name())
-	for _, rel := range p.Instance().Schema().Relations() {
-		tbl := p.Instance().Table(rel.Name)
-		if tbl.Len() == 0 {
-			continue
-		}
-		for _, r := range tbl.Rows() {
-			fmt.Printf("    %s%s\n", rel.Name, r.Tuple)
-		}
-	}
-}
-
-func runScenario(n int) error {
-	peers, err := cdss()
+	sys, err := orchestra.Open(sch)
 	if err != nil {
-		return err
+		log.Fatal(err)
 	}
-	alaska, beijing := peers[workload.Alaska], peers[workload.Beijing]
-	crete, dresden := peers[workload.Crete], peers[workload.Dresden]
+	defer sys.Close()
 
-	switch n {
-	case 1:
-		fmt.Println("Alaska inserts O(mouse,1), P(p53,10), S(1,10,ACGT) and publishes.")
-		if _, err := alaska.NewTransaction().
-			Insert("O", workload.OTuple("mouse", 1)).
-			Insert("P", workload.PTuple("p53", 10)).
-			Insert("S", workload.STuple(1, 10, "ACGT")).Commit(); err != nil {
-			return err
+	mk := func(name string) *orchestra.Peer {
+		p, err := sys.Peer(name)
+		if err != nil {
+			log.Fatal(err)
 		}
-		if _, err := alaska.Publish(); err != nil {
-			return err
-		}
-		if _, err := dresden.Reconcile(); err != nil {
-			return err
-		}
-		fmt.Println("Dresden reconciles; the three Σ1 tuples arrive joined into OPS:")
-		dump(dresden)
-		fmt.Println("Dresden inserts OPS(fly,myc,GGGG); Alaska receives it split into O,P,S:")
-		if _, err := dresden.NewTransaction().
-			Insert("OPS", workload.OPSTuple("fly", "myc", "GGGG")).Commit(); err != nil {
-			return err
-		}
-		if _, err := dresden.Publish(); err != nil {
-			return err
-		}
-		if _, err := alaska.Reconcile(); err != nil {
-			return err
-		}
-		dump(alaska)
+		return p
+	}
+	alaska, beijing := mk("alaska"), mk("beijing")
+	crete, dresden := mk("crete"), mk("dresden")
 
-	case 2:
-		fmt.Println("Beijing publishes S(1,10,AAAA) (with O,P); Dresden publishes the")
-		fmt.Println("conflicting OPS(mouse,p53,CCCC). Crete prefers Beijing.")
-		if _, err := beijing.NewTransaction().
-			Insert("O", workload.OTuple("mouse", 1)).
-			Insert("P", workload.PTuple("p53", 10)).
-			Insert("S", workload.STuple(1, 10, "AAAA")).Commit(); err != nil {
-			return err
-		}
-		if _, err := beijing.Publish(); err != nil {
-			return err
-		}
-		dTxn, err := dresden.NewTransaction().
-			Insert("OPS", workload.OPSTuple("mouse", "p53", "CCCC")).Commit()
-		if err != nil {
-			return err
-		}
-		if _, err := dresden.Publish(); err != nil {
-			return err
-		}
-		r, err := crete.Reconcile()
-		if err != nil {
-			return err
-		}
-		fmt.Printf("Crete reconciles: accepted=%v rejected=%v\n", r.Accepted, r.Rejected)
-		dump(crete)
-		fmt.Println("Dresden publishes a dependent follow-up; Crete rejects it too.")
-		if _, err := dresden.NewTransaction().
-			Modify("OPS", workload.OPSTuple("mouse", "p53", "CCCC"),
-				workload.OPSTuple("mouse", "p53", "TTTT")).Commit(); err != nil {
-			return err
-		}
-		if _, err := dresden.Publish(); err != nil {
-			return err
-		}
-		r, err = crete.Reconcile()
-		if err != nil {
-			return err
-		}
-		fmt.Printf("Crete reconciles again: rejected=%v (dresden txn %s stays %s)\n",
-			r.Rejected, dTxn.ID, crete.Status(dTxn.ID))
+	o := func(org string, oid int64) orchestra.Tuple {
+		return orchestra.NewTuple(orchestra.String(org), orchestra.Int(oid))
+	}
+	p := func(prot string, pid int64) orchestra.Tuple {
+		return orchestra.NewTuple(orchestra.String(prot), orchestra.Int(pid))
+	}
+	s := func(oid, pid int64, seq string) orchestra.Tuple {
+		return orchestra.NewTuple(orchestra.Int(oid), orchestra.Int(pid), orchestra.String(seq))
+	}
+	ops := func(org, prot, seq string) orchestra.Tuple {
+		return orchestra.NewTuple(orchestra.String(org), orchestra.String(prot), orchestra.String(seq))
+	}
 
-	case 3:
-		fmt.Println("Alaska publishes three data points in one transaction; Crete does")
-		fmt.Println("not trust Alaska, so nothing applies.")
-		aTxn, err := alaska.NewTransaction().
-			Insert("O", workload.OTuple("rat", 2)).
-			Insert("P", workload.PTuple("ins", 20)).
-			Insert("S", workload.STuple(2, 20, "AAAA")).Commit()
-		if err != nil {
-			return err
-		}
-		if _, err := alaska.Publish(); err != nil {
-			return err
-		}
-		if _, err := crete.Reconcile(); err != nil {
-			return err
-		}
-		fmt.Printf("Crete's view of alaska:1: %s\n", crete.Status(aTxn.ID))
-		fmt.Println("Beijing reconciles and modifies one tuple; Crete now accepts both")
-		fmt.Println("Beijing's transaction and the untrusted antecedent from Alaska.")
-		if _, err := beijing.Reconcile(); err != nil {
-			return err
-		}
-		bTxn, err := beijing.NewTransaction().
-			Modify("S", workload.STuple(2, 20, "AAAA"), workload.STuple(2, 20, "TTTT")).Commit()
-		if err != nil {
-			return err
-		}
-		if _, err := beijing.Publish(); err != nil {
-			return err
-		}
-		if _, err := crete.Reconcile(); err != nil {
-			return err
-		}
-		fmt.Printf("Crete: alaska:1=%s beijing:1=%s (deps of beijing txn: %v)\n",
-			crete.Status(aTxn.ID), crete.Status(bTxn.ID), bTxn.Deps)
-		dump(crete)
+	fmt.Println("== Join: Alaska publishes O,P,S; Dresden sees them assembled into OPS ==")
+	if _, err := alaska.Begin().
+		Insert("O", o("mouse", 1)).
+		Insert("P", p("p53", 10)).
+		Insert("S", s(1, 10, "ACGT")).Commit(); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := alaska.Publish(ctx); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := dresden.Reconcile(ctx); err != nil {
+		log.Fatal(err)
+	}
+	dump(dresden)
 
-	case 4:
-		fmt.Println("Beijing and Alaska publish conflicting updates; Dresden defers both.")
-		bTxn, err := beijing.NewTransaction().
-			Insert("O", workload.OTuple("fly", 3)).
-			Insert("P", workload.PTuple("tnf", 30)).
-			Insert("S", workload.STuple(3, 30, "XXXX")).Commit()
-		if err != nil {
-			return err
-		}
-		if _, err := beijing.Publish(); err != nil {
-			return err
-		}
-		aTxn, err := alaska.NewTransaction().
-			Insert("O", workload.OTuple("fly", 3)).
-			Insert("P", workload.PTuple("tnf", 30)).
-			Insert("S", workload.STuple(3, 30, "YYYY")).Commit()
-		if err != nil {
-			return err
-		}
-		if _, err := alaska.Publish(); err != nil {
-			return err
-		}
-		r, err := dresden.Reconcile()
-		if err != nil {
-			return err
-		}
-		fmt.Printf("Dresden: deferred=%v\n", r.Deferred)
-		fmt.Println("Crete accepts Beijing's update and publishes a modification of it.")
-		if _, err := crete.Reconcile(); err != nil {
-			return err
-		}
-		cTxn, err := crete.NewTransaction().
-			Modify("OPS", workload.OPSTuple("fly", "tnf", "XXXX"),
-				workload.OPSTuple("fly", "tnf", "ZZZZ")).Commit()
-		if err != nil {
-			return err
-		}
-		if _, err := crete.Publish(); err != nil {
-			return err
-		}
-		r, err = dresden.Reconcile()
-		if err != nil {
-			return err
-		}
-		fmt.Printf("Dresden defers Crete's dependent update: deferred=%v\n", r.Deferred)
-		fmt.Println("Dresden's administrator resolves in favor of Beijing:")
-		rr, err := dresden.Resolve(bTxn.ID)
-		if err != nil {
-			return err
-		}
-		fmt.Printf("  accepted=%v rejected=%v\n", rr.Accepted, rr.Rejected)
-		fmt.Printf("  beijing=%s alaska=%s crete=%s\n",
-			dresden.Status(bTxn.ID), dresden.Status(aTxn.ID), dresden.Status(cTxn.ID))
-		dump(dresden)
-
-	case 5:
-		fmt.Println("Beijing publishes updates to a replicated TCP store, then goes")
-		fmt.Println("offline; Alaska still retrieves them from a surviving replica.")
-		return scenario5()
+	fmt.Println("== Split: Dresden publishes OPS; Alaska receives O,P,S with invented ids ==")
+	if _, err := dresden.Begin().Insert("OPS", ops("fly", "myc", "GGGG")).Commit(); err != nil {
+		log.Fatal(err)
 	}
-	return nil
-}
-
-// scenario5 uses real TCP store replicas so "offline" is meaningful.
-func scenario5() error {
-	srv1, err := p2p.NewServer(p2p.NewMemoryStore(), "127.0.0.1:0")
-	if err != nil {
-		return err
+	if _, err := dresden.Publish(ctx); err != nil {
+		log.Fatal(err)
 	}
-	srv2, err := p2p.NewServer(p2p.NewMemoryStore(), "127.0.0.1:0")
-	if err != nil {
-		return err
+	if _, err := alaska.Reconcile(ctx); err != nil {
+		log.Fatal(err)
 	}
-	defer srv2.Close()
-	sys, err := core.NewSystem(workload.Figure2Peers(), workload.Figure2Mappings())
-	if err != nil {
-		return err
-	}
-	mk := func(name string) (*core.Peer, error) {
-		st := p2p.NewReplicatedStore(p2p.NewClient(srv1.Addr()), p2p.NewClient(srv2.Addr()))
-		return core.NewPeer(name, sys, st, recon.TrustAll(1))
-	}
-	beijing, err := mk(workload.Beijing)
-	if err != nil {
-		return err
-	}
-	alaska, err := mk(workload.Alaska)
-	if err != nil {
-		return err
-	}
-	if _, err := beijing.NewTransaction().
-		Insert("O", workload.OTuple("worm", 4)).
-		Insert("P", workload.PTuple("dmd", 40)).
-		Insert("S", workload.STuple(4, 40, "CAGT")).Commit(); err != nil {
-		return err
-	}
-	if _, err := beijing.Publish(); err != nil {
-		return err
-	}
-	fmt.Printf("Beijing published to replicas %s and %s\n", srv1.Addr(), srv2.Addr())
-	srv1.Close()
-	fmt.Println("Replica 1 is down; Beijing is offline.")
-	r, err := alaska.Reconcile()
-	if err != nil {
-		return err
-	}
-	fmt.Printf("Alaska reconciled from the surviving replica: accepted=%v\n", r.Accepted)
 	dump(alaska)
-	return nil
+
+	fmt.Println("== Trust: Beijing and Dresden publish conflicting sequences for (mouse, p53) ==")
+	bTxn, err := beijing.Begin().
+		Insert("O", o("mouse", 1)).
+		Insert("P", p("p53", 10)).
+		Insert("S", s(1, 10, "AAAA")).Commit()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := beijing.Publish(ctx); err != nil {
+		log.Fatal(err)
+	}
+	dTxn, err := dresden.Begin().
+		Modify("OPS", ops("mouse", "p53", "ACGT"), ops("mouse", "p53", "CCCC")).Commit()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := dresden.Publish(ctx); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := crete.Reconcile(ctx); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("crete's verdict: beijing %s = %s, dresden %s = %s\n",
+		bTxn, crete.Status(bTxn), dTxn, crete.Status(dTxn))
+	dump(crete)
+
+	fmt.Println("== Provenance: why does Crete hold OPS(mouse, p53, AAAA)? ==")
+	prov, supports, ok := crete.Explain("OPS", ops("mouse", "p53", "AAAA"))
+	if !ok {
+		log.Fatal("tuple missing from crete")
+	}
+	fmt.Printf("  polynomial: %v\n", prov)
+	for _, sup := range supports {
+		fmt.Printf("  derivation via txns %v through mappings %v\n", sup.Txns, sup.Mappings)
+	}
+}
+
+func dump(p *orchestra.Peer) {
+	fmt.Printf("  %s:\n", p.Name())
+	for _, rel := range p.Relations() {
+		rows, err := p.Rows(rel.Name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, tu := range rows {
+			fmt.Printf("    %s%s\n", rel.Name, tu)
+		}
+	}
 }

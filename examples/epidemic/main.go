@@ -1,96 +1,91 @@
-// Command epidemic models a disease-surveillance confederation: regional
-// labs report case counts to a central registry (star topology), and the
-// registry applies provenance-based trust — reports are accepted only if
-// their provenance passes through an accredited lab's mapping, and a
-// relation-level condition quarantines draft data. This exercises the
-// CDSS's "selective disagreement": the registry and a skeptical mirror can
-// disagree about the same published stream.
+// Command epidemic models a disease-surveillance confederation through the
+// public orchestra SDK: regional labs report case counts to a central
+// registry (star topology), and the registry applies provenance-based
+// trust — reports are accepted only from accredited labs, and a stricter
+// mirror takes only rows whose provenance passes through lab-north's
+// mapping. This exercises the CDSS's "selective disagreement": the registry
+// and the skeptical mirror disagree about the same published stream.
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"orchestra/internal/core"
-	"orchestra/internal/mapping"
-	"orchestra/internal/p2p"
-	"orchestra/internal/recon"
-	"orchestra/internal/schema"
+	"orchestra"
 )
 
-func caseTuple(region string, week int64, count int64) schema.Tuple {
-	return schema.NewTuple(schema.String(region), schema.Int(week), schema.Int(count))
+func caseTuple(region string, week int64, count int64) orchestra.Tuple {
+	return orchestra.NewTuple(orchestra.String(region), orchestra.Int(week), orchestra.Int(count))
 }
 
 func main() {
+	ctx := context.Background()
+
 	// Cases(region, week, count), keyed by (region, week).
-	s := schema.NewSchema("surveillance")
-	s.MustAddRelation(schema.MustRelation("Cases",
-		[]schema.Attribute{
-			{Name: "region", Type: schema.KindString},
-			{Name: "week", Type: schema.KindInt},
-			{Name: "count", Type: schema.KindInt},
+	surveillance := orchestra.NewPeerSchema("surveillance")
+	surveillance.MustAddRelation(orchestra.MustRelation("Cases",
+		[]orchestra.Attribute{
+			{Name: "region", Type: orchestra.KindString},
+			{Name: "week", Type: orchestra.KindInt},
+			{Name: "count", Type: orchestra.KindInt},
 		}, "region", "week"))
 
 	labs := []string{"lab-north", "lab-south", "lab-unaccredited"}
-	peers := map[string]*schema.Schema{"registry": s, "mirror": s}
+	sch := orchestra.NewSchema().
+		Peer("registry", surveillance).
+		Peer("mirror", surveillance).
+		Identity("M_reg_mirror", "registry", "mirror")
 	for _, lab := range labs {
-		peers[lab] = s
+		sch.Peer(lab, surveillance).Identity("M_"+lab, lab, "registry")
 	}
-	var mappings []*mapping.Mapping
-	for _, lab := range labs {
-		mappings = append(mappings, mapping.Identity("M_"+lab, lab, "registry", s)...)
-	}
-	mappings = append(mappings, mapping.Identity("M_reg_mirror", "registry", "mirror", s)...)
+	// The registry trusts accredited labs at priority 2 and everything
+	// else not at all; the mirror is stricter and only takes reports whose
+	// provenance passes through lab-north's mapping.
+	sch.Trust("registry", &orchestra.TrustPolicy{Conditions: []orchestra.TrustCondition{
+		orchestra.FromPeer("lab-north", 2),
+		orchestra.FromPeer("lab-south", 2),
+	}, Default: orchestra.Distrusted})
+	sch.Trust("mirror", &orchestra.TrustPolicy{Conditions: []orchestra.TrustCondition{
+		orchestra.ThroughMapping("M_lab-north_Cases", 1),
+	}, Default: orchestra.Distrusted})
 
-	sys, err := core.NewSystem(peers, mappings)
+	sys, err := orchestra.Open(sch)
 	if err != nil {
 		log.Fatal(err)
 	}
-	store := p2p.NewMemoryStore()
+	defer sys.Close()
 
-	// The registry trusts accredited labs at priority 2 and everything
-	// else not at all.
-	registryPolicy := &recon.Policy{Conditions: []recon.Condition{
-		recon.FromPeer("lab-north", 2),
-		recon.FromPeer("lab-south", 2),
-	}, Default: recon.Distrusted}
-	// The mirror is stricter: it only takes reports whose provenance
-	// passes through lab-north's mapping (a provenance-based condition).
-	mirrorPolicy := &recon.Policy{Conditions: []recon.Condition{
-		recon.ThroughMapping("M_lab-north_Cases", 1),
-	}, Default: recon.Distrusted}
-
-	mk := func(name string, pol *recon.Policy) *core.Peer {
-		p, err := core.NewPeer(name, sys, store, pol)
+	mk := func(name string) *orchestra.Peer {
+		p, err := sys.Peer(name)
 		if err != nil {
 			log.Fatal(err)
 		}
 		return p
 	}
-	registry := mk("registry", registryPolicy)
-	mirror := mk("mirror", mirrorPolicy)
-	labPeers := map[string]*core.Peer{}
+	registry := mk("registry")
+	mirror := mk("mirror")
+	labPeers := map[string]*orchestra.Peer{}
 	for _, lab := range labs {
-		labPeers[lab] = mk(lab, recon.TrustAll(1))
+		labPeers[lab] = mk(lab)
 	}
 
 	// Each lab reports a week of data; the unaccredited lab reports too.
-	reports := map[string]schema.Tuple{
+	reports := map[string]orchestra.Tuple{
 		"lab-north":        caseTuple("north", 23, 17),
 		"lab-south":        caseTuple("south", 23, 9),
 		"lab-unaccredited": caseTuple("west", 23, 999),
 	}
-	for lab, tup := range reports {
-		if _, err := labPeers[lab].NewTransaction().Insert("Cases", tup).Commit(); err != nil {
+	for _, lab := range labs { // deterministic order
+		if _, err := labPeers[lab].Begin().Insert("Cases", reports[lab]).Commit(); err != nil {
 			log.Fatal(err)
 		}
-		if _, err := labPeers[lab].Publish(); err != nil {
+		if _, err := labPeers[lab].Publish(ctx); err != nil {
 			log.Fatal(err)
 		}
 	}
 
-	r, err := registry.Reconcile()
+	r, err := registry.Reconcile(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -99,33 +94,37 @@ func main() {
 
 	// The registry republishes its curated view; the mirror takes only the
 	// lab-north-derived rows.
-	if _, err := registry.Publish(); err != nil {
+	if _, err := registry.Publish(ctx); err != nil {
 		log.Fatal(err)
 	}
-	if _, err := mirror.Reconcile(); err != nil {
+	if _, err := mirror.Reconcile(ctx); err != nil {
 		log.Fatal(err)
 	}
 	printCases("mirror (trusts only lab-north provenance)", mirror)
 
 	// Week 24: lab-south corrects week 23 with a modification; the
 	// registry follows the dependency.
-	if _, err := labPeers["lab-south"].NewTransaction().
+	if _, err := labPeers["lab-south"].Begin().
 		Modify("Cases", caseTuple("south", 23, 9), caseTuple("south", 23, 12)).Commit(); err != nil {
 		log.Fatal(err)
 	}
-	if _, err := labPeers["lab-south"].Publish(); err != nil {
+	if _, err := labPeers["lab-south"].Publish(ctx); err != nil {
 		log.Fatal(err)
 	}
-	if _, err := registry.Reconcile(); err != nil {
+	if _, err := registry.Reconcile(ctx); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("after lab-south's correction:")
 	printCases("registry", registry)
 }
 
-func printCases(label string, p *core.Peer) {
+func printCases(label string, p *orchestra.Peer) {
 	fmt.Printf("%s:\n", label)
-	for _, row := range p.Instance().Table("Cases").Rows() {
-		fmt.Printf("  Cases%s\n", row.Tuple)
+	rows, err := p.Rows("Cases")
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, tu := range rows {
+		fmt.Printf("  Cases%s\n", tu)
 	}
 }

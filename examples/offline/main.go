@@ -1,54 +1,50 @@
 // Command offline demonstrates intermittent connectivity over real TCP
-// store replicas: three peers publish and reconcile while store replicas
-// come and go; anti-entropy brings a rejoining replica back in sync. This
-// is the substrate behavior behind demo scenario 5 ("Beijing publishes a
-// number of updates and then goes offline").
+// store replicas, through the public orchestra SDK: three peers publish and
+// reconcile while store replicas come and go; anti-entropy brings a
+// rejoining replica back in sync. This is the substrate behavior behind
+// demo scenario 5 ("Beijing publishes a number of updates and then goes
+// offline").
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"orchestra/internal/core"
-	"orchestra/internal/mapping"
-	"orchestra/internal/p2p"
-	"orchestra/internal/recon"
-	"orchestra/internal/schema"
+	"orchestra"
 )
 
 func main() {
-	s := schema.NewSchema("notes")
-	s.MustAddRelation(schema.MustRelation("Note",
-		[]schema.Attribute{
-			{Name: "id", Type: schema.KindInt},
-			{Name: "text", Type: schema.KindString},
+	ctx := context.Background()
+
+	notes := orchestra.NewPeerSchema("notes")
+	notes.MustAddRelation(orchestra.MustRelation("Note",
+		[]orchestra.Attribute{
+			{Name: "id", Type: orchestra.KindInt},
+			{Name: "text", Type: orchestra.KindString},
 		}, "id"))
 
 	peerNames := []string{"amy", "ben", "cal"}
-	peers := map[string]*schema.Schema{}
-	var mappings []*mapping.Mapping
+	sch := orchestra.NewSchema()
 	for _, n := range peerNames {
-		peers[n] = s
+		sch.Peer(n, notes)
 	}
 	for _, a := range peerNames {
 		for _, b := range peerNames {
 			if a != b {
-				mappings = append(mappings, mapping.Identity("M_"+a+"_"+b, a, b, s)...)
+				sch.Identity("M_"+a+"_"+b, a, b)
 			}
 		}
 	}
-	sys, err := core.NewSystem(peers, mappings)
-	if err != nil {
-		log.Fatal(err)
-	}
 
-	// Two store replicas on localhost.
-	mem1, mem2 := p2p.NewMemoryStore(), p2p.NewMemoryStore()
-	srv1, err := p2p.NewServer(mem1, "127.0.0.1:0")
+	// Two store replicas on localhost; every peer publishes to both and
+	// reads from the first that answers.
+	mem1, mem2 := orchestra.NewMemoryStore(), orchestra.NewMemoryStore()
+	srv1, err := orchestra.NewStoreServer(mem1, "127.0.0.1:0")
 	if err != nil {
 		log.Fatal(err)
 	}
-	srv2, err := p2p.NewServer(mem2, "127.0.0.1:0")
+	srv2, err := orchestra.NewStoreServer(mem2, "127.0.0.1:0")
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -56,9 +52,14 @@ func main() {
 	addr1, addr2 := srv1.Addr(), srv2.Addr()
 	fmt.Printf("store replicas at %s and %s\n", addr1, addr2)
 
-	mk := func(name string) *core.Peer {
-		st := p2p.NewReplicatedStore(p2p.NewClient(addr1), p2p.NewClient(addr2))
-		p, err := core.NewPeer(name, sys, st, recon.TrustAll(1))
+	sys, err := orchestra.Open(sch, orchestra.WithStore(
+		orchestra.NewReplicatedStore(orchestra.DialStore(addr1), orchestra.DialStore(addr2))))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sys.Close()
+	mk := func(name string) *orchestra.Peer {
+		p, err := sys.Peer(name)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -66,15 +67,15 @@ func main() {
 	}
 	amy, ben, cal := mk("amy"), mk("ben"), mk("cal")
 
-	note := func(id int64, text string) schema.Tuple {
-		return schema.NewTuple(schema.Int(id), schema.String(text))
+	note := func(id int64, text string) orchestra.Tuple {
+		return orchestra.NewTuple(orchestra.Int(id), orchestra.String(text))
 	}
 
 	// Amy publishes while both replicas are up.
-	if _, err := amy.NewTransaction().Insert("Note", note(1, "kickoff at 10")).Commit(); err != nil {
+	if _, err := amy.Begin().Insert("Note", note(1, "kickoff at 10")).Commit(); err != nil {
 		log.Fatal(err)
 	}
-	if _, err := amy.Publish(); err != nil {
+	if _, err := amy.Publish(ctx); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("amy published note 1 to both replicas")
@@ -82,36 +83,40 @@ func main() {
 	// Replica 1 goes down; Ben publishes — only replica 2 receives it.
 	srv1.Close()
 	fmt.Println("replica 1 is down")
-	if _, err := ben.Reconcile(); err != nil {
+	if _, err := ben.Reconcile(ctx); err != nil {
 		log.Fatal(err)
 	}
-	if _, err := ben.NewTransaction().Insert("Note", note(2, "bring slides")).Commit(); err != nil {
+	if _, err := ben.Begin().Insert("Note", note(2, "bring slides")).Commit(); err != nil {
 		log.Fatal(err)
 	}
-	if _, err := ben.Publish(); err != nil {
+	if _, err := ben.Publish(ctx); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Println("ben published note 2 to the surviving replica")
 
 	// Cal reconciles through the outage and sees both notes.
-	if _, err := cal.Reconcile(); err != nil {
+	if _, err := cal.Reconcile(ctx); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("cal's notes during the outage: %d\n", cal.Instance().Table("Note").Len())
+	calNotes, err := cal.Rows("Note")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("cal's notes during the outage: %d\n", len(calNotes))
 
 	// Replica 1 rejoins; anti-entropy catches it up.
-	srv1b, err := p2p.NewServer(mem1, "127.0.0.1:0")
+	srv1b, err := orchestra.NewStoreServer(mem1, "127.0.0.1:0")
 	if err != nil {
 		log.Fatal(err)
 	}
 	defer srv1b.Close()
-	p2p.AntiEntropy(mem1, mem2)
+	orchestra.AntiEntropy(mem1, mem2)
 	e1, _ := mem1.Epoch()
 	e2, _ := mem2.Epoch()
 	fmt.Printf("replica 1 rejoined at %s; after anti-entropy epochs are %d/%d\n",
 		srv1b.Addr(), e1, e2)
 
-	for _, row := range cal.Instance().Table("Note").Rows() {
-		fmt.Printf("  Note%s\n", row.Tuple)
+	for _, tu := range calNotes {
+		fmt.Printf("  Note%s\n", tu)
 	}
 }

@@ -1,6 +1,7 @@
 package config
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -99,7 +100,7 @@ func TestConfigDrivenScenario(t *testing.T) {
 		Insert("S", workload.STuple(1, 10, "AAAA")).Commit(); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := beijing.Publish(); err != nil {
+	if _, err := beijing.Publish(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	dTxn, err := dresden.NewTransaction().
@@ -107,10 +108,10 @@ func TestConfigDrivenScenario(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := dresden.Publish(); err != nil {
+	if _, err := dresden.Publish(context.Background()); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := crete.Reconcile(); err != nil {
+	if _, err := crete.Reconcile(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	if crete.Status(dTxn.ID) != recon.StatusRejected {

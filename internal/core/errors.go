@@ -1,0 +1,17 @@
+package core
+
+import "errors"
+
+// Sentinel errors wrapped by the errors this package constructs, so that
+// errors.Is works through the full chain up to the public orchestra facade.
+var (
+	// ErrTxnFinished reports a Commit or further use of a transaction that
+	// has already been committed or aborted.
+	ErrTxnFinished = errors.New("core: transaction already finished")
+	// ErrUnknownPeer reports a peer name the CDSS configuration does not
+	// declare.
+	ErrUnknownPeer = errors.New("core: unknown peer")
+	// ErrUnknownRelation reports a relation name the peer's schema does not
+	// declare.
+	ErrUnknownRelation = errors.New("core: unknown relation")
+)

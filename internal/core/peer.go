@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -31,18 +32,54 @@ type Peer struct {
 	tracker   *updates.Tracker
 	nextSeq   uint64
 	lastEpoch uint64
+	// engCfg is retained so the engine can be rebuilt after a mid-Apply
+	// failure leaves it in an undefined state (see engineDirty).
+	engCfg exchange.Config
+	// engineDirty marks the translation engine as unusable: an Apply
+	// failed partway through a transaction (cooperative cancellation can
+	// abandon a half-propagated fixpoint), which exchange.Engine declares
+	// fatal. The next Reconcile rebuilds the engine by replaying the
+	// published history up to lastEpoch.
+	engineDirty bool
 	// unpublished holds committed local transactions awaiting Publish.
 	unpublished []*updates.Transaction
+	// applyHook, when set, observes every batch of updates that reaches
+	// durability or the local instance: published local transactions (at
+	// Publish, with their assigned epoch) and accepted candidates (at
+	// Reconcile/Resolve). It is called under the peer mutex and must not
+	// call back into the peer; the orchestra facade uses it to feed change
+	// subscriptions.
+	applyHook func(ApplyEvent)
+}
+
+// ApplyEvent is one observed transaction application; see SetApplyHook.
+type ApplyEvent struct {
+	// Txn is the originating (publishing) transaction.
+	Txn updates.TxnID
+	// Epoch is the store epoch the transaction published at.
+	Epoch uint64
+	// Local reports whether the transaction is this peer's own publish
+	// (true) or a reconciled candidate translated into this peer's schema
+	// (false).
+	Local bool
+	// Updates are the tuple-level changes, already in this peer's schema.
+	Updates []updates.Update
 }
 
 // NewPeer creates a participant named name with the given trust policy,
 // attached to the shared update store.
 func NewPeer(name string, sys *System, store p2p.Store, policy *recon.Policy) (*Peer, error) {
+	return NewPeerWith(name, sys, store, policy, exchange.Config{})
+}
+
+// NewPeerWith is NewPeer with explicit tuning for the peer's translation
+// engine (parallelism, witness bounds, planner escape hatches).
+func NewPeerWith(name string, sys *System, store p2p.Store, policy *recon.Policy, cfg exchange.Config) (*Peer, error) {
 	s := sys.Schema(name)
 	if s == nil {
-		return nil, fmt.Errorf("core: system has no peer %q", name)
+		return nil, fmt.Errorf("%w %q", ErrUnknownPeer, name)
 	}
-	eng, err := exchange.NewEngine(sys.Peers(), sys.Mappings())
+	eng, err := exchange.NewEngineWith(sys.Peers(), sys.Mappings(), cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -58,6 +95,7 @@ func NewPeer(name string, sys *System, store p2p.Store, policy *recon.Policy) (*
 		sys:       sys,
 		store:     store,
 		policy:    policy,
+		engCfg:    cfg,
 		local:     storage.NewInstance(s),
 		published: storage.NewInstance(s),
 		engine:    eng,
@@ -81,6 +119,15 @@ func (p *Peer) Epoch() uint64 { return p.lastEpoch }
 
 // Status returns the peer's disposition of a transaction.
 func (p *Peer) Status(id updates.TxnID) recon.Status { return p.state.Status(id) }
+
+// SetApplyHook installs (or clears, with nil) the observer described on the
+// applyHook field. The hook runs under the peer mutex; it must be fast and
+// must not call back into the peer.
+func (p *Peer) SetApplyHook(h func(ApplyEvent)) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.applyHook = h
+}
 
 // Txn is an in-progress local transaction. Updates accumulate and apply
 // atomically at Commit.
@@ -116,7 +163,7 @@ func (t *Txn) Modify(rel string, old, new schema.Tuple) *Txn {
 // nothing is applied.
 func (t *Txn) Commit() (*updates.Transaction, error) {
 	if t.done {
-		return nil, fmt.Errorf("core: transaction already finished")
+		return nil, ErrTxnFinished
 	}
 	t.done = true
 	p := t.peer
@@ -127,7 +174,7 @@ func (t *Txn) Commit() (*updates.Transaction, error) {
 	for _, u := range t.ups {
 		rel := s.Relation(u.Rel)
 		if rel == nil {
-			return nil, fmt.Errorf("core: peer %s has no relation %s", p.name, u.Rel)
+			return nil, fmt.Errorf("%w: peer %s has no relation %s", ErrUnknownRelation, p.name, u.Rel)
 		}
 		for _, tu := range []schema.Tuple{u.Old, u.New} {
 			if tu == nil {
@@ -135,6 +182,16 @@ func (t *Txn) Commit() (*updates.Transaction, error) {
 			}
 			if err := rel.Validate(tu); err != nil {
 				return nil, err
+			}
+		}
+		// A local *insert* that collides with a stored tuple under the same
+		// primary key is a key violation — unlike Modify, which declares the
+		// overwrite, or translated candidates, which reconciliation has
+		// already vetted and applies with upsert semantics.
+		if u.Op == updates.OpInsert {
+			if row, ok := p.local.Table(u.Rel).GetByKey(rel.KeyOf(u.New)); ok && !row.Tuple.Equal(u.New) {
+				return nil, fmt.Errorf("core: commit at peer %s: %w", p.name,
+					&storage.ErrKeyViolation{Relation: u.Rel, Key: rel.KeyOf(u.New), Existing: row.Tuple, New: u.New})
 			}
 		}
 	}
@@ -191,23 +248,43 @@ func (p *Peer) applyUpdates(ups []updates.Update) error {
 }
 
 // Publish archives all committed-but-unpublished transactions in the store,
-// advances the logical clock, and refreshes the public snapshot.
-func (p *Peer) Publish() (uint64, error) {
+// advances the logical clock, and refreshes the public snapshot. The
+// context is checked before the store round-trip; a store backed by the
+// network should additionally bound its own I/O.
+func (p *Peer) Publish(ctx context.Context) (uint64, error) {
+	epoch, _, err := p.PublishAll(ctx)
+	return epoch, err
+}
+
+// PublishAll is Publish reporting how many transactions were archived, so
+// callers (the orchestra facade's subscription push path) can tell a no-op
+// publish from a real one.
+func (p *Peer) PublishAll(ctx context.Context) (uint64, int, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	if len(p.unpublished) == 0 {
-		return p.store.Epoch()
+	if err := ctx.Err(); err != nil {
+		return 0, 0, err
 	}
-	epoch, err := p.store.Publish(p.unpublished)
+	if len(p.unpublished) == 0 {
+		epoch, err := p.store.Epoch()
+		return epoch, 0, err
+	}
+	published := p.unpublished
+	epoch, err := p.store.Publish(published)
 	if err != nil {
-		return 0, err
+		return 0, 0, err
 	}
 	p.unpublished = nil
 	// O(#relations) copy-on-write snapshot: tables are only copied if later
 	// local edits touch them, so publishing is cheap even for large
 	// instances.
 	p.published = p.local.Snapshot()
-	return epoch, nil
+	if p.applyHook != nil {
+		for _, txn := range published {
+			p.applyHook(ApplyEvent{Txn: txn.ID, Epoch: txn.Epoch, Local: true, Updates: txn.Updates})
+		}
+	}
+	return epoch, len(published), nil
 }
 
 // ReconcileReport summarizes one reconciliation.
@@ -230,10 +307,21 @@ type ReconcileReport struct {
 // Reconcile fetches newly published transactions from the store, translates
 // them into the local schema via the mappings (maintaining provenance),
 // runs the trust/conflict reconciliation, and applies the accepted
-// transactions to the local instance.
-func (p *Peer) Reconcile() (*ReconcileReport, error) {
+// transactions to the local instance. The context bounds the translation
+// fixpoints: a reconciliation started with an expired context returns the
+// context error before touching the local instance, and a long chase stops
+// within one fixpoint iteration of cancellation.
+func (p *Peer) Reconcile(ctx context.Context) (*ReconcileReport, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if p.engineDirty {
+		if err := p.rebuildEngine(ctx); err != nil {
+			return nil, err
+		}
+	}
 	txns, epoch, err := p.store.Since(p.lastEpoch)
 	if err != nil {
 		return nil, err
@@ -244,8 +332,13 @@ func (p *Peer) Reconcile() (*ReconcileReport, error) {
 		if p.engine.Applied(txn.ID) {
 			continue
 		}
-		res, err := p.engine.Apply(txn)
+		res, err := p.engine.Apply(ctx, txn)
 		if err != nil {
+			// Apply can fail partway through a transaction (cooperative
+			// cancellation abandons a half-propagated fixpoint), which the
+			// engine declares fatal: mark it for rebuild rather than ever
+			// re-using the partial state.
+			p.engineDirty = true
 			return nil, err
 		}
 		if txn.ID.Peer == p.name {
@@ -273,11 +366,43 @@ func (p *Peer) Reconcile() (*ReconcileReport, error) {
 	return report, nil
 }
 
+// rebuildEngine replaces a dirty translation engine with a fresh one,
+// replaying the published history up to lastEpoch (those transactions
+// already reached reconciliation in completed rounds; everything later
+// re-enters through the normal Reconcile loop, which also regenerates its
+// candidates). Called under the peer mutex. If the replay itself fails —
+// e.g. the caller's deadline expires again — the engine stays dirty and the
+// next Reconcile retries the rebuild.
+func (p *Peer) rebuildEngine(ctx context.Context) error {
+	eng, err := exchange.NewEngineWith(p.sys.Peers(), p.sys.Mappings(), p.engCfg)
+	if err != nil {
+		return err
+	}
+	txns, _, err := p.store.Since(0)
+	if err != nil {
+		return err
+	}
+	for _, txn := range txns {
+		if txn.Epoch > p.lastEpoch {
+			break
+		}
+		if _, err := eng.Apply(ctx, txn); err != nil {
+			return err
+		}
+	}
+	p.engine = eng
+	p.engineDirty = false
+	return nil
+}
+
 // Resolve settles a deferred conflict in favor of winner (site-administrator
 // action, demo scenario 4) and applies the consequences.
-func (p *Peer) Resolve(winner updates.TxnID) (*ReconcileReport, error) {
+func (p *Peer) Resolve(ctx context.Context, winner updates.TxnID) (*ReconcileReport, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	outcome, err := p.state.Resolve(winner)
 	if err != nil {
 		return nil, err
@@ -296,6 +421,9 @@ func (p *Peer) applyOutcome(outcome *recon.Outcome, report *ReconcileReport) err
 			return err
 		}
 		p.tracker.RecordWrites(txn)
+		if p.applyHook != nil {
+			p.applyHook(ApplyEvent{Txn: txn.ID, Epoch: txn.Epoch, Local: false, Updates: txn.Updates})
+		}
 		report.Accepted = append(report.Accepted, txn.ID)
 		report.AppliedUpdates += len(txn.Updates)
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"orchestra/internal/p2p"
@@ -105,7 +106,7 @@ func TestPublishEmptyDoesNotAdvanceEpoch(t *testing.T) {
 	peers, store := fig2(t)
 	alaska := peers[workload.Alaska]
 	e0, _ := store.Epoch()
-	epoch, err := alaska.Publish()
+	epoch, err := alaska.Publish(context.Background())
 	if err != nil || epoch != e0 {
 		t.Errorf("empty publish: %d %v", epoch, err)
 	}
@@ -215,7 +216,7 @@ func TestReconcileReportShapes(t *testing.T) {
 func TestResolveWithoutConflictErrors(t *testing.T) {
 	peers, _ := fig2(t)
 	alaska := peers[workload.Alaska]
-	if _, err := alaska.Resolve(updates.TxnID{Peer: "x", Seq: 1}); err == nil {
+	if _, err := alaska.Resolve(context.Background(), updates.TxnID{Peer: "x", Seq: 1}); err == nil {
 		t.Error("resolve of unknown txn accepted")
 	}
 }

@@ -3,6 +3,7 @@ package core
 // Randomized end-to-end properties of the full CDSS stack.
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -49,20 +50,20 @@ func TestQuickInsertOnlyConvergence(t *testing.T) {
 				if _, err := tx.Commit(); err != nil {
 					t.Fatal(err)
 				}
-				if _, err := p.Publish(); err != nil {
+				if _, err := p.Publish(context.Background()); err != nil {
 					t.Fatal(err)
 				}
 			}
 			order := rng.Perm(len(peers))
 			for _, i := range order {
-				if _, err := peers[i].Reconcile(); err != nil {
+				if _, err := peers[i].Reconcile(context.Background()); err != nil {
 					t.Fatal(err)
 				}
 			}
 		}
 		// One final catch-up round.
 		for _, p := range peers {
-			if _, err := p.Reconcile(); err != nil {
+			if _, err := p.Reconcile(context.Background()); err != nil {
 				t.Fatal(err)
 			}
 		}
@@ -83,11 +84,11 @@ func TestQuickInsertOnlyConvergence(t *testing.T) {
 			t.Fatal(err)
 		}
 		for _, txn := range txns {
-			if _, err := eng.Apply(txn); err != nil {
+			if _, err := eng.Apply(context.Background(), txn); err != nil {
 				t.Fatal(err)
 			}
 		}
-		mat, err := eng.MaterializePeer(topo.Names[0], func(updates.TxnID) bool { return true })
+		mat, err := eng.MaterializePeer(context.Background(), topo.Names[0], func(updates.TxnID) bool { return true })
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -130,14 +131,14 @@ func TestQuickConflictingPublishersEventualAgreement(t *testing.T) {
 				t.Fatal(err)
 			}
 			firstIDs = append(firstIDs, t1.ID)
-			if _, err := pub1.Publish(); err != nil {
+			if _, err := pub1.Publish(context.Background()); err != nil {
 				t.Fatal(err)
 			}
 			if _, err := pub2.NewTransaction().
 				Insert("S", workload.STuple(k, k, fmt.Sprintf("V2-%d", c))).Commit(); err != nil {
 				t.Fatal(err)
 			}
-			if _, err := pub2.Publish(); err != nil {
+			if _, err := pub2.Publish(context.Background()); err != nil {
 				t.Fatal(err)
 			}
 		}
@@ -145,12 +146,12 @@ func TestQuickConflictingPublishersEventualAgreement(t *testing.T) {
 		// conflict in favor of publisher 1.
 		subs := []*Peer{all[topo.Names[0]], all[topo.Names[3]]}
 		for _, s := range subs {
-			if _, err := s.Reconcile(); err != nil {
+			if _, err := s.Reconcile(context.Background()); err != nil {
 				t.Fatal(err)
 			}
 			for _, id := range firstIDs {
 				if s.Status(id) == recon.StatusDeferred {
-					if _, err := s.Resolve(id); err != nil {
+					if _, err := s.Resolve(context.Background(), id); err != nil {
 						t.Fatal(err)
 					}
 				}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -35,8 +36,9 @@ type Answer struct {
 
 // Query evaluates a conjunctive query over the peer's current local
 // instance. Answers carry provenance, so trust conditions and Explain work
-// on query results exactly as on stored tuples.
-func (p *Peer) Query(q Query) ([]Answer, error) {
+// on query results exactly as on stored tuples. The context bounds the
+// evaluation (queries are non-recursive, but large joins still take time).
+func (p *Peer) Query(ctx context.Context, q Query) ([]Answer, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if len(q.Select) == 0 {
@@ -59,7 +61,7 @@ func (p *Peer) Query(q Query) ([]Answer, error) {
 		Head: datalog.Head{Pred: "_ans", Terms: head},
 		Body: q.Body,
 	}}}
-	res, err := datalog.Eval(prog, edb, datalog.Options{Provenance: true})
+	res, err := datalog.EvalCtx(ctx, prog, edb, datalog.Options{Provenance: true})
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"orchestra/internal/datalog"
@@ -28,7 +29,7 @@ func TestQueryJoin(t *testing.T) {
 			datalog.Pos(datalog.NewAtom("S", datalog.V("oid"), datalog.V("pid"), datalog.V("seq"))),
 		},
 	}
-	ans, err := alaska.Query(q)
+	ans, err := alaska.Query(context.Background(), q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -61,12 +62,12 @@ func TestQueryNegationAndBuiltin(t *testing.T) {
 		},
 	}
 	// Negated atom has an unbound variable seq — unsafe; expect an error.
-	if _, err := alaska.Query(q); err == nil {
+	if _, err := alaska.Query(context.Background(), q); err == nil {
 		t.Fatal("unsafe query accepted")
 	}
 	// Bind seq via a constant instead.
 	q.Body[2] = datalog.Neg(datalog.NewAtom("S", datalog.V("oid"), datalog.C(schema.Int(10)), datalog.C(schema.String("ACGT"))))
-	ans, err := alaska.Query(q)
+	ans, err := alaska.Query(context.Background(), q)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -78,11 +79,11 @@ func TestQueryNegationAndBuiltin(t *testing.T) {
 func TestQueryValidation(t *testing.T) {
 	peers, _ := fig2(t)
 	alaska := peers[workload.Alaska]
-	if _, err := alaska.Query(Query{}); err == nil {
+	if _, err := alaska.Query(context.Background(), Query{}); err == nil {
 		t.Error("empty select accepted")
 	}
 	// Unknown relation: evaluates over an empty extent, no answers.
-	ans, err := alaska.Query(Query{
+	ans, err := alaska.Query(context.Background(), Query{
 		Select: []string{"x"},
 		Body:   []datalog.Literal{datalog.Pos(datalog.NewAtom("NOPE", datalog.V("x")))},
 	})
@@ -172,7 +173,7 @@ func TestQuerySeesOnlyAcceptedData(t *testing.T) {
 	publish(t, dresden)
 	reconcile(t, crete)
 
-	ans, err := crete.Query(Query{
+	ans, err := crete.Query(context.Background(), Query{
 		Select: []string{"seq"},
 		Body: []datalog.Literal{
 			datalog.Pos(datalog.NewAtom("OPS",

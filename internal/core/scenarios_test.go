@@ -8,6 +8,7 @@ package core
 // Dresden (but prefers Beijing to Dresden in the event of a conflict)."
 
 import (
+	"context"
 	"testing"
 
 	"orchestra/internal/p2p"
@@ -55,14 +56,14 @@ func commit(t *testing.T, tx *Txn) *updates.Transaction {
 
 func publish(t *testing.T, p *Peer) {
 	t.Helper()
-	if _, err := p.Publish(); err != nil {
+	if _, err := p.Publish(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func reconcile(t *testing.T, p *Peer) *ReconcileReport {
 	t.Helper()
-	r, err := p.Reconcile()
+	r, err := p.Reconcile(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -258,7 +259,7 @@ func TestScenario4DeferralAndResolution(t *testing.T) {
 	// The administrator resolves in favor of Beijing: Alaska's conflicting
 	// transaction is rejected and Crete's dependent is accepted
 	// automatically.
-	rr, err := dresden.Resolve(bTxn.ID)
+	rr, err := dresden.Resolve(context.Background(), bTxn.ID)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -45,10 +45,10 @@ func NewSystem(peers map[string]*schema.Schema, mappings []*mapping.Mapping) (*S
 			return nil, err
 		}
 		if _, ok := peers[m.Source]; !ok {
-			return nil, fmt.Errorf("core: mapping %s has unknown source peer %s", m.ID, m.Source)
+			return nil, fmt.Errorf("%w %s (source of mapping %s)", ErrUnknownPeer, m.Source, m.ID)
 		}
 		if _, ok := peers[m.Target]; !ok {
-			return nil, fmt.Errorf("core: mapping %s has unknown target peer %s", m.ID, m.Target)
+			return nil, fmt.Errorf("%w %s (target of mapping %s)", ErrUnknownPeer, m.Target, m.ID)
 		}
 	}
 	return &System{peers: peers, mappings: mappings}, nil

@@ -1,6 +1,7 @@
 package datalog
 
 import (
+	"context"
 	"testing"
 
 	"orchestra/internal/provenance"
@@ -23,7 +24,7 @@ func TestBatchedInsertDuplicateTuple(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := batched.Insert([]Fact2{
+	if _, err := batched.Insert(context.Background(), []Fact2{
 		{Pred: "E", Tuple: tu, Prov: provenance.NewVar("t1")},
 		{Pred: "E", Tuple: tu, Prov: provenance.NewVar("t2")},
 	}); err != nil {
@@ -34,7 +35,7 @@ func TestBatchedInsertDuplicateTuple(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, tok := range []provenance.Var{"t1", "t2"} {
-		if _, err := sequential.Insert([]Fact2{{Pred: "E", Tuple: tu, Prov: provenance.NewVar(tok)}}); err != nil {
+		if _, err := sequential.Insert(context.Background(), []Fact2{{Pred: "E", Tuple: tu, Prov: provenance.NewVar(tok)}}); err != nil {
 			t.Fatal(err)
 		}
 	}

@@ -1,6 +1,7 @@
 package datalog
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
@@ -73,8 +74,23 @@ func EffectiveParallelism(n int) int {
 }
 
 // Eval evaluates the program over the EDB and returns a database containing
-// both EDB and derived facts. The input database is not modified.
+// both EDB and derived facts. The input database is not modified. It is
+// EvalCtx with a background context — use EvalCtx to bound or cancel long
+// fixpoints.
 func Eval(p *Program, edb *DB, opts Options) (*DB, error) {
+	return EvalCtx(context.Background(), p, edb, opts)
+}
+
+// EvalCtx is Eval under a context. Cancellation is cooperative: the context
+// is checked before evaluation starts, before every fixpoint iteration of
+// each stratum, and before each rule firing of a round (including on the
+// parallel workers), so an expired context returns ctx.Err() — typically
+// context.DeadlineExceeded — without completing a single iteration, and a
+// runaway recursive program stops within one round of the deadline.
+func EvalCtx(ctx context.Context, p *Program, edb *DB, opts Options) (*DB, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -93,7 +109,7 @@ func Eval(p *Program, edb *DB, opts Options) (*DB, error) {
 			return nil, fmt.Errorf("datalog: exact provenance requires a non-recursive program; recursive predicates: %s",
 				strings.Join(cyc, ", "))
 		}
-		if err := evalExact(p, result, pl, opts); err != nil {
+		if err := evalExact(ctx, p, result, pl, opts); err != nil {
 			return nil, err
 		}
 		return result, nil
@@ -103,7 +119,7 @@ func Eval(p *Program, edb *DB, opts Options) (*DB, error) {
 		maxIter = DefaultMaxIterations
 	}
 	for _, stratum := range strata {
-		if err := evalStratum(stratum, result, pl, opts, maxIter); err != nil {
+		if err := evalStratum(ctx, stratum, result, pl, opts, maxIter); err != nil {
 			return nil, err
 		}
 	}
@@ -126,7 +142,7 @@ func ensurePreds(p *Program, db *DB) {
 // evalExact evaluates a non-recursive program with exact N[X] provenance:
 // predicates are processed in dependency order and every rule fires exactly
 // once over complete extents, so each derivation is counted exactly once.
-func evalExact(p *Program, db *DB, pl *planner, opts Options) error {
+func evalExact(ctx context.Context, p *Program, db *DB, pl *planner, opts Options) error {
 	idb := p.IDBPreds()
 	// Kahn topological sort of IDB predicates by body dependencies.
 	deps := map[string]map[string]bool{}  // head -> IDB body preds
@@ -169,6 +185,9 @@ func evalExact(p *Program, db *DB, pl *planner, opts Options) error {
 	}
 	processed := 0
 	for len(ready) > 0 {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		pred := ready[0]
 		ready = ready[1:]
 		processed++
@@ -259,8 +278,13 @@ func absorbInto(delta map[string]map[string]deltaFact, opts Options) func(mergeR
 	}
 }
 
-// evalStratum runs semi-naive evaluation of one stratum to fixpoint.
-func evalStratum(rules []Rule, db *DB, pl *planner, opts Options, maxIter int) error {
+// evalStratum runs semi-naive evaluation of one stratum to fixpoint,
+// checking the context once per iteration so runaway recursion stops on
+// cancellation or deadline.
+func evalStratum(ctx context.Context, rules []Rule, db *DB, pl *planner, opts Options, maxIter int) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	plans := pl.plansFor(rules, db)
 	// Round 0: naive firing of every rule over the current database.
 	delta := map[string]map[string]deltaFact{}
@@ -268,11 +292,14 @@ func evalStratum(rules []Rule, db *DB, pl *planner, opts Options, maxIter int) e
 	for ri, r := range rules {
 		jobs = append(jobs, job{rule: r, pln: plans[ri].full})
 	}
-	if err := runRound(jobs, db, opts, absorbInto(delta, opts)); err != nil {
+	if err := runRound(ctx, jobs, db, opts, absorbInto(delta, opts)); err != nil {
 		return err
 	}
 	// Semi-naive rounds: join each rule with the delta at one position.
 	for iter := 0; len(delta) > 0; iter++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		if iter >= maxIter {
 			return fmt.Errorf("datalog: fixpoint not reached after %d iterations", maxIter)
 		}
@@ -289,7 +316,7 @@ func evalStratum(rules []Rule, db *DB, pl *planner, opts Options, maxIter int) e
 				}
 			}
 		}
-		if err := runRound(jobs, db, opts, absorbInto(delta, opts)); err != nil {
+		if err := runRound(ctx, jobs, db, opts, absorbInto(delta, opts)); err != nil {
 			return err
 		}
 	}
@@ -337,7 +364,7 @@ type emission struct {
 // from its sibling jobs are still in the round's delta, so the semi-naive
 // loop derives everything the eager schedule would — at worst one round
 // later.
-func runRound(jobs []job, db *DB, opts Options, absorb func(mergeResult)) error {
+func runRound(ctx context.Context, jobs []job, db *DB, opts Options, absorb func(mergeResult)) error {
 	if len(jobs) == 0 {
 		return nil
 	}
@@ -353,6 +380,9 @@ func runRound(jobs []job, db *DB, opts Options, absorb func(mergeResult)) error 
 			}
 		}
 		for _, j := range jobs {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			if err := fireRule(j.rule, j.pln, db, j.deltaExt, opts, emit); err != nil {
 				return err
 			}
@@ -370,6 +400,10 @@ func runRound(jobs []job, db *DB, opts Options, absorb func(mergeResult)) error 
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
+			if err := ctx.Err(); err != nil {
+				errs[i] = err
+				return
+			}
 			j := jobs[i]
 			errs[i] = fireRule(j.rule, j.pln, db, j.deltaExt, opts, func(pred string, t schema.Tuple, p provenance.Poly) {
 				buffers[i] = append(buffers[i], emission{pred: pred, tuple: t, prov: p})

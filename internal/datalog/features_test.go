@@ -1,6 +1,7 @@
 package datalog
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -188,7 +189,7 @@ func TestIncrementalWithMaxMonomials(t *testing.T) {
 		t.Fatal(err)
 	}
 	one := schema.NewTuple(schema.Int(1))
-	if _, err := inc.Insert([]Fact2{{Pred: "A", Tuple: one, Prov: provenance.NewVar("a1")}}); err != nil {
+	if _, err := inc.Insert(context.Background(), []Fact2{{Pred: "A", Tuple: one, Prov: provenance.NewVar("a1")}}); err != nil {
 		t.Fatal(err)
 	}
 	if !inc.DB().Rel("B").Contains(one) {

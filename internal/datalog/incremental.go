@@ -1,6 +1,7 @@
 package datalog
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -169,8 +170,14 @@ func (inc *Incremental) foldTokenLog() {
 }
 
 // Insert adds base facts and propagates them through the program. It
-// returns every change to the database in deterministic order.
-func (inc *Incremental) Insert(facts []Fact2) ([]Change, error) {
+// returns every change to the database in deterministic order. Cancellation
+// is cooperative: the context is checked before the seed merge and once per
+// semi-naive iteration, so a propagation started with an expired context
+// returns ctx.Err() before mutating the database.
+func (inc *Incremental) Insert(ctx context.Context, facts []Fact2) ([]Change, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	var changes []Change
 	// Seed: merge the base facts, collecting genuine delta.
 	delta := map[string]map[string]deltaFact{}
@@ -203,7 +210,7 @@ func (inc *Incremental) Insert(facts []Fact2) ([]Change, error) {
 	// later ones.
 	for si, stratum := range inc.strata {
 		var err error
-		delta, err = inc.propagate(stratum, inc.planTab[si], delta, &changes)
+		delta, err = inc.propagate(ctx, stratum, inc.planTab[si], delta, &changes)
 		if err != nil {
 			return nil, err
 		}
@@ -223,7 +230,7 @@ type Fact2 struct {
 // propagate runs semi-naive rounds of one stratum starting from seed; it
 // returns the accumulated delta (seed plus everything newly derived) so
 // later strata can consume it, and appends derived changes to out.
-func (inc *Incremental) propagate(rules []Rule, plans []rulePlans, seed map[string]map[string]deltaFact, out *[]Change) (map[string]map[string]deltaFact, error) {
+func (inc *Incremental) propagate(ctx context.Context, rules []Rule, plans []rulePlans, seed map[string]map[string]deltaFact, out *[]Change) (map[string]map[string]deltaFact, error) {
 	opts := inc.opts
 	// The caller hands over ownership of seed (Insert rebinds its delta to
 	// the return value), so the accumulator aliases it instead of copying:
@@ -232,6 +239,9 @@ func (inc *Incremental) propagate(rules []Rule, plans []rulePlans, seed map[stri
 	accum := seed
 	cur := seed
 	for iter := 0; len(cur) > 0; iter++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if iter >= inc.maxIter {
 			return nil, fmt.Errorf("datalog: incremental fixpoint not reached after %d iterations", inc.maxIter)
 		}
@@ -262,7 +272,7 @@ func (inc *Incremental) propagate(rules []Rule, plans []rulePlans, seed map[stri
 				}
 			}
 		}
-		if err := runRound(jobs, inc.db, opts, absorb); err != nil {
+		if err := runRound(ctx, jobs, inc.db, opts, absorb); err != nil {
 			return nil, err
 		}
 		copyInto(accum, next)

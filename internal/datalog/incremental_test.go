@@ -1,6 +1,7 @@
 package datalog
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -24,7 +25,7 @@ func TestIncrementalInsertMatchesBatch(t *testing.T) {
 		t.Fatalf("initial T = %v", inc.DB().Rel("T").Facts())
 	}
 	// Insert c->d incrementally.
-	changes, err := inc.Insert([]Fact2{{Pred: "E", Tuple: edge("c", "d"), Prov: provenance.NewVar("e2")}})
+	changes, err := inc.Insert(context.Background(), []Fact2{{Pred: "E", Tuple: edge("c", "d"), Prov: provenance.NewVar("e2")}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -67,7 +68,7 @@ func TestIncrementalInsertNoOp(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Re-inserting the same fact with the same provenance changes nothing.
-	changes, err := inc.Insert([]Fact2{{Pred: "E", Tuple: edge("a", "b"), Prov: provenance.NewVar("e0")}})
+	changes, err := inc.Insert(context.Background(), []Fact2{{Pred: "E", Tuple: edge("a", "b"), Prov: provenance.NewVar("e0")}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -192,7 +193,7 @@ func TestIncrementalInsertThenDeleteRoundTrip(t *testing.T) {
 		t.Fatal(err)
 	}
 	before := inc.DB().Rel("T").Len()
-	if _, err := inc.Insert([]Fact2{{Pred: "E", Tuple: edge("b", "c"), Prov: provenance.NewVar("bc")}}); err != nil {
+	if _, err := inc.Insert(context.Background(), []Fact2{{Pred: "E", Tuple: edge("b", "c"), Prov: provenance.NewVar("bc")}}); err != nil {
 		t.Fatal(err)
 	}
 	inc.DeleteBase([]provenance.Var{"bc"})

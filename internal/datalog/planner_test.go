@@ -1,6 +1,7 @@
 package datalog
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -381,11 +382,11 @@ func TestParallelIncrementalMatchesSequential(t *testing.T) {
 		{Pred: "E", Tuple: edge("n8", "n0"), Prov: provenance.NewVar("loop")},
 		{Pred: "E", Tuple: edge("x", "y"), Prov: provenance.NewVar("xy")},
 	}
-	seqCh, err := seqInc.Insert(batch)
+	seqCh, err := seqInc.Insert(context.Background(), batch)
 	if err != nil {
 		t.Fatal(err)
 	}
-	parCh, err := parInc.Insert(batch)
+	parCh, err := parInc.Insert(context.Background(), batch)
 	if err != nil {
 		t.Fatal(err)
 	}

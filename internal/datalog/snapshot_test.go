@@ -1,6 +1,7 @@
 package datalog
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -141,7 +142,7 @@ func TestSnapshotIncrementalIsolation(t *testing.T) {
 	for i := 10; i < 16; i++ {
 		v := provenance.Var(fmt.Sprintf("e%d", i))
 		newToks = append(newToks, v)
-		if _, err := inc.Insert([]Fact2{{Pred: "E",
+		if _, err := inc.Insert(context.Background(), []Fact2{{Pred: "E",
 			Tuple: schema.NewTuple(schema.Int(int64(i)), schema.Int(int64(i+1))),
 			Prov:  provenance.NewVar(v)}}); err != nil {
 			t.Fatal(err)

@@ -4,6 +4,7 @@
 package demo
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -91,10 +92,10 @@ func scenario1(w io.Writer) error {
 		Insert("S", workload.STuple(1, 10, "ACGT")).Commit(); err != nil {
 		return err
 	}
-	if _, err := alaska.Publish(); err != nil {
+	if _, err := alaska.Publish(context.Background()); err != nil {
 		return err
 	}
-	if _, err := dresden.Reconcile(); err != nil {
+	if _, err := dresden.Reconcile(context.Background()); err != nil {
 		return err
 	}
 	fmt.Fprintln(w, "Dresden reconciles; the Σ1 tuples arrive joined into OPS.")
@@ -104,10 +105,10 @@ func scenario1(w io.Writer) error {
 		Insert("OPS", workload.OPSTuple("fly", "myc", "GGGG")).Commit(); err != nil {
 		return err
 	}
-	if _, err := dresden.Publish(); err != nil {
+	if _, err := dresden.Publish(context.Background()); err != nil {
 		return err
 	}
-	if _, err := alaska.Reconcile(); err != nil {
+	if _, err := alaska.Reconcile(context.Background()); err != nil {
 		return err
 	}
 	dump(w, alaska)
@@ -127,7 +128,7 @@ func scenario2(w io.Writer) error {
 		Insert("S", workload.STuple(1, 10, "AAAA")).Commit(); err != nil {
 		return err
 	}
-	if _, err := beijing.Publish(); err != nil {
+	if _, err := beijing.Publish(context.Background()); err != nil {
 		return err
 	}
 	dTxn, err := dresden.NewTransaction().
@@ -135,10 +136,10 @@ func scenario2(w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	if _, err := dresden.Publish(); err != nil {
+	if _, err := dresden.Publish(context.Background()); err != nil {
 		return err
 	}
-	r, err := crete.Reconcile()
+	r, err := crete.Reconcile(context.Background())
 	if err != nil {
 		return err
 	}
@@ -151,10 +152,10 @@ func scenario2(w io.Writer) error {
 			workload.OPSTuple("mouse", "p53", "TTTT")).Commit(); err != nil {
 		return err
 	}
-	if _, err := dresden.Publish(); err != nil {
+	if _, err := dresden.Publish(context.Background()); err != nil {
 		return err
 	}
-	r, err = crete.Reconcile()
+	r, err = crete.Reconcile(context.Background())
 	if err != nil {
 		return err
 	}
@@ -177,15 +178,15 @@ func scenario3(w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	if _, err := alaska.Publish(); err != nil {
+	if _, err := alaska.Publish(context.Background()); err != nil {
 		return err
 	}
-	if _, err := crete.Reconcile(); err != nil {
+	if _, err := crete.Reconcile(context.Background()); err != nil {
 		return err
 	}
 	fmt.Fprintf(w, "Crete does not trust Alaska: alaska:1 is %s.\n", crete.Status(aTxn.ID))
 	fmt.Fprintln(w, "Beijing reconciles and publishes a modification of one tuple.")
-	if _, err := beijing.Reconcile(); err != nil {
+	if _, err := beijing.Reconcile(context.Background()); err != nil {
 		return err
 	}
 	bTxn, err := beijing.NewTransaction().
@@ -193,10 +194,10 @@ func scenario3(w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	if _, err := beijing.Publish(); err != nil {
+	if _, err := beijing.Publish(context.Background()); err != nil {
 		return err
 	}
-	if _, err := crete.Reconcile(); err != nil {
+	if _, err := crete.Reconcile(context.Background()); err != nil {
 		return err
 	}
 	fmt.Fprintf(w, "Crete accepts Beijing's txn AND the untrusted antecedent: alaska:1=%s beijing:1=%s\n",
@@ -220,7 +221,7 @@ func scenario4(w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	if _, err := beijing.Publish(); err != nil {
+	if _, err := beijing.Publish(context.Background()); err != nil {
 		return err
 	}
 	aTxn, err := alaska.NewTransaction().
@@ -230,16 +231,16 @@ func scenario4(w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	if _, err := alaska.Publish(); err != nil {
+	if _, err := alaska.Publish(context.Background()); err != nil {
 		return err
 	}
-	r, err := dresden.Reconcile()
+	r, err := dresden.Reconcile(context.Background())
 	if err != nil {
 		return err
 	}
 	fmt.Fprintf(w, "Dresden (trusts both equally) defers both: %v\n", r.Deferred)
 	fmt.Fprintln(w, "Crete accepts Beijing's and publishes a modification of it.")
-	if _, err := crete.Reconcile(); err != nil {
+	if _, err := crete.Reconcile(context.Background()); err != nil {
 		return err
 	}
 	cTxn, err := crete.NewTransaction().
@@ -248,16 +249,16 @@ func scenario4(w io.Writer) error {
 	if err != nil {
 		return err
 	}
-	if _, err := crete.Publish(); err != nil {
+	if _, err := crete.Publish(context.Background()); err != nil {
 		return err
 	}
-	r, err = dresden.Reconcile()
+	r, err = dresden.Reconcile(context.Background())
 	if err != nil {
 		return err
 	}
 	fmt.Fprintf(w, "Dresden defers Crete's dependent update: %v\n", r.Deferred)
 	fmt.Fprintln(w, "Dresden's administrator resolves the conflict in favor of Beijing.")
-	rr, err := dresden.Resolve(bTxn.ID)
+	rr, err := dresden.Resolve(context.Background(), bTxn.ID)
 	if err != nil {
 		return err
 	}
@@ -303,13 +304,13 @@ func scenario5(w io.Writer) error {
 		srv1.Close()
 		return err
 	}
-	if _, err := beijing.Publish(); err != nil {
+	if _, err := beijing.Publish(context.Background()); err != nil {
 		srv1.Close()
 		return err
 	}
 	fmt.Fprintln(w, "...and goes offline (replica 1 goes down with it).")
 	srv1.Close()
-	r, err := alaska.Reconcile()
+	r, err := alaska.Reconcile(context.Background())
 	if err != nil {
 		return err
 	}

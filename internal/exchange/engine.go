@@ -18,6 +18,7 @@
 package exchange
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -68,6 +69,22 @@ type Config struct {
 	// bodies strictly in compiled order — the pre-planner behavior, kept as
 	// an escape hatch and for A/B benchmarking.
 	NoReorder bool
+	// MaxMonomials bounds each stored annotation's witness set; 0 means
+	// DefaultMaxMonomials, negative means unbounded (exact witness sets, at
+	// combinatorial cost on dense mapping graphs).
+	MaxMonomials int
+}
+
+// maxMonomials resolves the configured witness bound.
+func (c Config) maxMonomials() int {
+	switch {
+	case c.MaxMonomials == 0:
+		return DefaultMaxMonomials
+	case c.MaxMonomials < 0:
+		return 0 // unbounded
+	default:
+		return c.MaxMonomials
+	}
 }
 
 // NewEngine builds an engine for the given peers and mappings, starting
@@ -85,7 +102,7 @@ func NewEngineWith(peers map[string]*schema.Schema, mappings []*mapping.Mapping,
 	opts := datalog.Options{
 		Provenance:       true,
 		ChaseSubsumption: true,
-		MaxMonomials:     DefaultMaxMonomials,
+		MaxMonomials:     cfg.maxMonomials(),
 		Parallelism:      cfg.Parallelism,
 		NoReorder:        cfg.NoReorder,
 	}
@@ -140,14 +157,17 @@ func (e *Engine) UnionDB() *datalog.DB {
 // Apply feeds one published transaction into the union database,
 // propagates it through the mappings, and returns the per-peer net changes.
 // Transactions must be applied in a causal order (antecedents first); the
-// store guarantees this ordering.
-func (e *Engine) Apply(txn *updates.Transaction) (*Result, error) {
+// store guarantees this ordering. The context bounds the incremental
+// fixpoints the insert runs seed; cancellation mid-transaction can leave a
+// prefix of the transaction's updates in the union database, so callers
+// should treat a context error as fatal for this engine.
+func (e *Engine) Apply(ctx context.Context, txn *updates.Transaction) (*Result, error) {
 	if e.applied[txn.ID] {
-		return nil, fmt.Errorf("exchange: transaction %s already applied", txn.ID)
+		return nil, fmt.Errorf("%w: %s", ErrAlreadyApplied, txn.ID)
 	}
 	origin := txn.ID.Peer
 	if _, ok := e.peers[origin]; !ok {
-		return nil, fmt.Errorf("exchange: unknown peer %s", origin)
+		return nil, fmt.Errorf("%w %s", ErrUnknownPeer, origin)
 	}
 	e.unionSnap = nil // the memoized UnionDB view goes stale on mutation
 	var all []datalog.Change
@@ -161,7 +181,7 @@ func (e *Engine) Apply(txn *updates.Transaction) (*Result, error) {
 		if len(pend) == 0 {
 			return nil
 		}
-		cs, err := e.insertBatch(pend)
+		cs, err := e.insertBatch(ctx, pend)
 		pend = pend[:0]
 		if err != nil {
 			return err
@@ -172,7 +192,7 @@ func (e *Engine) Apply(txn *updates.Transaction) (*Result, error) {
 	for i, u := range txn.Updates {
 		pred := mapping.Qualify(origin, u.Rel)
 		if e.peers[origin].Relation(u.Rel) == nil {
-			return nil, fmt.Errorf("exchange: peer %s has no relation %s", origin, u.Rel)
+			return nil, fmt.Errorf("%w: peer %s has no relation %s", ErrUnknownRelation, origin, u.Rel)
 		}
 		switch u.Op {
 		case updates.OpInsert:
@@ -207,12 +227,12 @@ type pendingInsert struct {
 }
 
 // insertBatch feeds a run of insertions through one incremental fixpoint.
-func (e *Engine) insertBatch(pend []pendingInsert) ([]datalog.Change, error) {
+func (e *Engine) insertBatch(ctx context.Context, pend []pendingInsert) ([]datalog.Change, error) {
 	facts := make([]datalog.Fact2, len(pend))
 	for i, p := range pend {
 		facts[i] = datalog.Fact2{Pred: p.pred, Tuple: p.tuple, Prov: provenance.NewVar(p.tok)}
 	}
-	cs, err := e.inc.Insert(facts)
+	cs, err := e.inc.Insert(ctx, facts)
 	if err != nil {
 		return nil, err
 	}
@@ -572,11 +592,13 @@ func lessIDs(a, b []updates.TxnID) bool {
 // is present iff its provenance is derivable using only tokens of trusted
 // transactions (mapping tokens are always alive). This is the declarative
 // counterpart of incrementally applying accepted candidate updates, used
-// for cross-checking and for cold-start materialization.
-func (e *Engine) MaterializePeer(peer string, trusts func(updates.TxnID) bool) (*storage.Instance, error) {
+// for cross-checking and for cold-start materialization. The context is
+// checked per relation; materialization mutates only the returned instance,
+// so cancellation is safe at any point.
+func (e *Engine) MaterializePeer(ctx context.Context, peer string, trusts func(updates.TxnID) bool) (*storage.Instance, error) {
 	s, ok := e.peers[peer]
 	if !ok {
-		return nil, fmt.Errorf("exchange: unknown peer %s", peer)
+		return nil, fmt.Errorf("%w %s", ErrUnknownPeer, peer)
 	}
 	alive := func(v provenance.Var) bool {
 		id, isTok := updates.TokenTxn(v)
@@ -588,6 +610,9 @@ func (e *Engine) MaterializePeer(peer string, trusts func(updates.TxnID) bool) (
 	inst := storage.NewInstance(s)
 	db := e.inc.DB()
 	for _, rel := range s.Relations() {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		pred := mapping.Qualify(peer, rel.Name)
 		if !db.Has(pred) {
 			continue
@@ -623,7 +648,7 @@ func asKeyViolation(err error, target **storage.ErrKeyViolation) bool {
 // Recompute rebuilds the union database from scratch using the base facts
 // currently alive — the non-incremental baseline for benchmarking
 // incremental maintenance (experiment E2).
-func (e *Engine) Recompute() (*datalog.DB, error) {
+func (e *Engine) Recompute(ctx context.Context) (*datalog.DB, error) {
 	edb := datalog.NewDB()
 	for k, toks := range e.baseTokens {
 		// k is pred + "/" + tupleKey
@@ -643,5 +668,5 @@ func (e *Engine) Recompute() (*datalog.DB, error) {
 			}
 		}
 	}
-	return datalog.Eval(e.prog, edb, e.opts)
+	return datalog.EvalCtx(ctx, e.prog, edb, e.opts)
 }

@@ -1,6 +1,7 @@
 package exchange
 
 import (
+	"context"
 	"testing"
 
 	"orchestra/internal/updates"
@@ -23,7 +24,7 @@ func txn(peer string, seq uint64, us ...updates.Update) *updates.Transaction {
 func TestInsertPropagatesThroughJoin(t *testing.T) {
 	e := fig2Engine(t)
 	// Alaska publishes O, P, S tuples in one transaction.
-	res, err := e.Apply(txn(workload.Alaska, 1,
+	res, err := e.Apply(context.Background(), txn(workload.Alaska, 1,
 		updates.Insert("O", workload.OTuple("mouse", 1)),
 		updates.Insert("P", workload.PTuple("p53", 10)),
 		updates.Insert("S", workload.STuple(1, 10, "ACGT")),
@@ -57,7 +58,7 @@ func TestInsertPropagatesThroughJoin(t *testing.T) {
 func TestJoinNeedsAllThreeParts(t *testing.T) {
 	e := fig2Engine(t)
 	// O and P alone do not produce an OPS tuple.
-	res, err := e.Apply(txn(workload.Alaska, 1,
+	res, err := e.Apply(context.Background(), txn(workload.Alaska, 1,
 		updates.Insert("O", workload.OTuple("mouse", 1)),
 		updates.Insert("P", workload.PTuple("p53", 10)),
 	))
@@ -68,7 +69,7 @@ func TestJoinNeedsAllThreeParts(t *testing.T) {
 		t.Errorf("premature OPS: %v", res.PerPeer[workload.Crete])
 	}
 	// The S tuple published later completes the join.
-	res, err = e.Apply(txn(workload.Alaska, 2,
+	res, err = e.Apply(context.Background(), txn(workload.Alaska, 2,
 		updates.Insert("S", workload.STuple(1, 10, "ACGT"))))
 	if err != nil {
 		t.Fatal(err)
@@ -81,7 +82,7 @@ func TestJoinNeedsAllThreeParts(t *testing.T) {
 
 func TestCrossTxnJoinYieldsExtraDeps(t *testing.T) {
 	e := fig2Engine(t)
-	if _, err := e.Apply(txn(workload.Alaska, 1,
+	if _, err := e.Apply(context.Background(), txn(workload.Alaska, 1,
 		updates.Insert("O", workload.OTuple("mouse", 1)),
 		updates.Insert("P", workload.PTuple("p53", 10)))); err != nil {
 		t.Fatal(err)
@@ -89,7 +90,7 @@ func TestCrossTxnJoinYieldsExtraDeps(t *testing.T) {
 	// Beijing publishes the S tuple; the OPS derivation at Crete joins
 	// Beijing's S with Alaska's O and P (via identity B→A), so the
 	// candidate at Crete must gain a dependency on Alaska's txn.
-	res, err := e.Apply(txn(workload.Beijing, 1,
+	res, err := e.Apply(context.Background(), txn(workload.Beijing, 1,
 		updates.Insert("S", workload.STuple(1, 10, "ACGT"))))
 	if err != nil {
 		t.Fatal(err)
@@ -112,7 +113,7 @@ func TestCrossTxnJoinYieldsExtraDeps(t *testing.T) {
 
 func TestSplitMappingInventsSharedNulls(t *testing.T) {
 	e := fig2Engine(t)
-	res, err := e.Apply(txn(workload.Crete, 1,
+	res, err := e.Apply(context.Background(), txn(workload.Crete, 1,
 		updates.Insert("OPS", workload.OPSTuple("fly", "myc", "GATTACA"))))
 	if err != nil {
 		t.Fatal(err)
@@ -141,14 +142,14 @@ func TestSplitMappingInventsSharedNulls(t *testing.T) {
 
 func TestDeletePropagates(t *testing.T) {
 	e := fig2Engine(t)
-	if _, err := e.Apply(txn(workload.Alaska, 1,
+	if _, err := e.Apply(context.Background(), txn(workload.Alaska, 1,
 		updates.Insert("O", workload.OTuple("mouse", 1)),
 		updates.Insert("P", workload.PTuple("p53", 10)),
 		updates.Insert("S", workload.STuple(1, 10, "ACGT")))); err != nil {
 		t.Fatal(err)
 	}
 	// Delete the S tuple: Crete's OPS tuple loses its only derivation.
-	res, err := e.Apply(txn(workload.Alaska, 2,
+	res, err := e.Apply(context.Background(), txn(workload.Alaska, 2,
 		updates.Delete("S", workload.STuple(1, 10, "ACGT"))))
 	if err != nil {
 		t.Fatal(err)
@@ -173,17 +174,17 @@ func TestDeletePropagates(t *testing.T) {
 func TestDeleteWithAlternativeDerivationKeepsTuple(t *testing.T) {
 	e := fig2Engine(t)
 	// Alaska and Beijing both publish the same O tuple.
-	if _, err := e.Apply(txn(workload.Alaska, 1,
+	if _, err := e.Apply(context.Background(), txn(workload.Alaska, 1,
 		updates.Insert("O", workload.OTuple("mouse", 1)))); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := e.Apply(txn(workload.Beijing, 1,
+	if _, err := e.Apply(context.Background(), txn(workload.Beijing, 1,
 		updates.Insert("O", workload.OTuple("mouse", 1)))); err != nil {
 		t.Fatal(err)
 	}
 	// Alaska deletes its copy. Beijing's still supports the tuple at both
 	// peers, so no deletion is emitted anywhere.
-	res, err := e.Apply(txn(workload.Alaska, 2,
+	res, err := e.Apply(context.Background(), txn(workload.Alaska, 2,
 		updates.Delete("O", workload.OTuple("mouse", 1))))
 	if err != nil {
 		t.Fatal(err)
@@ -199,7 +200,7 @@ func TestDeleteWithAlternativeDerivationKeepsTuple(t *testing.T) {
 
 func TestModifyTranslatesToModify(t *testing.T) {
 	e := fig2Engine(t)
-	if _, err := e.Apply(txn(workload.Alaska, 1,
+	if _, err := e.Apply(context.Background(), txn(workload.Alaska, 1,
 		updates.Insert("O", workload.OTuple("mouse", 1)),
 		updates.Insert("P", workload.PTuple("p53", 10)),
 		updates.Insert("S", workload.STuple(1, 10, "ACGT")))); err != nil {
@@ -207,7 +208,7 @@ func TestModifyTranslatesToModify(t *testing.T) {
 	}
 	// Modify the sequence: Crete sees a modification of its OPS tuple
 	// (same (org, prot) key, new seq).
-	res, err := e.Apply(txn(workload.Beijing, 1,
+	res, err := e.Apply(context.Background(), txn(workload.Beijing, 1,
 		updates.Modify("S", workload.STuple(1, 10, "ACGT"), workload.STuple(1, 10, "TTTT"))))
 	if err != nil {
 		t.Fatal(err)
@@ -225,24 +226,24 @@ func TestModifyTranslatesToModify(t *testing.T) {
 func TestDuplicateApplyRejected(t *testing.T) {
 	e := fig2Engine(t)
 	tx := txn(workload.Alaska, 1, updates.Insert("O", workload.OTuple("mouse", 1)))
-	if _, err := e.Apply(tx); err != nil {
+	if _, err := e.Apply(context.Background(), tx); err != nil {
 		t.Fatal(err)
 	}
 	if !e.Applied(tx.ID) {
 		t.Error("Applied() false")
 	}
 	tx2 := txn(workload.Alaska, 1, updates.Insert("O", workload.OTuple("rat", 2)))
-	if _, err := e.Apply(tx2); err == nil {
+	if _, err := e.Apply(context.Background(), tx2); err == nil {
 		t.Error("duplicate transaction accepted")
 	}
 }
 
 func TestUnknownPeerAndRelation(t *testing.T) {
 	e := fig2Engine(t)
-	if _, err := e.Apply(txn("nowhere", 1, updates.Insert("O", workload.OTuple("x", 1)))); err == nil {
+	if _, err := e.Apply(context.Background(), txn("nowhere", 1, updates.Insert("O", workload.OTuple("x", 1)))); err == nil {
 		t.Error("unknown peer accepted")
 	}
-	if _, err := e.Apply(txn(workload.Alaska, 1, updates.Insert("OPS", workload.OPSTuple("x", "y", "z")))); err == nil {
+	if _, err := e.Apply(context.Background(), txn(workload.Alaska, 1, updates.Insert("OPS", workload.OPSTuple("x", "y", "z")))); err == nil {
 		t.Error("unknown relation accepted")
 	}
 }
@@ -255,14 +256,14 @@ func TestMaterializePeerTrustFiltering(t *testing.T) {
 		updates.Insert("S", workload.STuple(1, 10, "ACGT")))
 	dTx := txn(workload.Dresden, 1,
 		updates.Insert("OPS", workload.OPSTuple("rat", "ins", "CCCC")))
-	if _, err := e.Apply(aTx); err != nil {
+	if _, err := e.Apply(context.Background(), aTx); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := e.Apply(dTx); err != nil {
+	if _, err := e.Apply(context.Background(), dTx); err != nil {
 		t.Fatal(err)
 	}
 	// Crete trusting everyone sees both OPS tuples.
-	all, err := e.MaterializePeer(workload.Crete, func(updates.TxnID) bool { return true })
+	all, err := e.MaterializePeer(context.Background(), workload.Crete, func(updates.TxnID) bool { return true })
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -270,7 +271,7 @@ func TestMaterializePeerTrustFiltering(t *testing.T) {
 		t.Errorf("crete sees %d OPS tuples, want 2", all.Table("OPS").Len())
 	}
 	// Crete trusting only Dresden sees only Dresden's tuple.
-	onlyD, err := e.MaterializePeer(workload.Crete, func(id updates.TxnID) bool {
+	onlyD, err := e.MaterializePeer(context.Background(), workload.Crete, func(id updates.TxnID) bool {
 		return id.Peer == workload.Dresden
 	})
 	if err != nil {
@@ -297,11 +298,11 @@ func TestRecomputeMatchesIncremental(t *testing.T) {
 			updates.Delete("S", workload.STuple(1, 10, "ACGT"))),
 	}
 	for _, tx := range txns {
-		if _, err := e.Apply(tx); err != nil {
+		if _, err := e.Apply(context.Background(), tx); err != nil {
 			t.Fatal(err)
 		}
 	}
-	batch, err := e.Recompute()
+	batch, err := e.Recompute(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package exchange
 
 import (
+	"context"
 	"testing"
 
 	"orchestra/internal/updates"
@@ -12,7 +13,7 @@ import (
 func TestForeignModifyKillsOnlySequenceRow(t *testing.T) {
 	e := fig2Engine(t)
 	// Alaska publishes two sequences sharing one organism and protein.
-	if _, err := e.Apply(txn(workload.Alaska, 1,
+	if _, err := e.Apply(context.Background(), txn(workload.Alaska, 1,
 		updates.Insert("O", workload.OTuple("mouse", 1)),
 		updates.Insert("P", workload.PTuple("p53", 10)),
 		updates.Insert("P", workload.PTuple("ins", 20)),
@@ -21,7 +22,7 @@ func TestForeignModifyKillsOnlySequenceRow(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Dresden modifies the OPS tuple for (mouse, p53) — derived data.
-	res, err := e.Apply(txn(workload.Dresden, 1,
+	res, err := e.Apply(context.Background(), txn(workload.Dresden, 1,
 		updates.Modify("OPS",
 			workload.OPSTuple("mouse", "p53", "AAAA"),
 			workload.OPSTuple("mouse", "p53", "CCCC"))))
@@ -60,7 +61,7 @@ func TestForeignModifyKillsOnlySequenceRow(t *testing.T) {
 
 func TestDeleteOfNonexistentTupleIsNoop(t *testing.T) {
 	e := fig2Engine(t)
-	res, err := e.Apply(txn(workload.Alaska, 1,
+	res, err := e.Apply(context.Background(), txn(workload.Alaska, 1,
 		updates.Delete("S", workload.STuple(9, 9, "NOPE"))))
 	if err != nil {
 		t.Fatal(err)
@@ -76,16 +77,16 @@ func TestDeleteOfNonexistentTupleIsNoop(t *testing.T) {
 
 func TestReinsertAfterDelete(t *testing.T) {
 	e := fig2Engine(t)
-	if _, err := e.Apply(txn(workload.Alaska, 1,
+	if _, err := e.Apply(context.Background(), txn(workload.Alaska, 1,
 		updates.Insert("O", workload.OTuple("mouse", 1)))); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := e.Apply(txn(workload.Alaska, 2,
+	if _, err := e.Apply(context.Background(), txn(workload.Alaska, 2,
 		updates.Delete("O", workload.OTuple("mouse", 1)))); err != nil {
 		t.Fatal(err)
 	}
 	// Re-insert the same tuple under a fresh token.
-	res, err := e.Apply(txn(workload.Alaska, 3,
+	res, err := e.Apply(context.Background(), txn(workload.Alaska, 3,
 		updates.Insert("O", workload.OTuple("mouse", 1))))
 	if err != nil {
 		t.Fatal(err)
@@ -103,7 +104,7 @@ func TestReinsertAfterDelete(t *testing.T) {
 
 func TestInsertDeleteWithinOneTxnIsNoop(t *testing.T) {
 	e := fig2Engine(t)
-	res, err := e.Apply(txn(workload.Alaska, 1,
+	res, err := e.Apply(context.Background(), txn(workload.Alaska, 1,
 		updates.Insert("O", workload.OTuple("mouse", 1)),
 		updates.Delete("O", workload.OTuple("mouse", 1))))
 	if err != nil {

@@ -1,6 +1,7 @@
 package exchange
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -33,7 +34,7 @@ func applyScript(t *testing.T, e *Engine) []*Result {
 			updates.Delete("S", workload.STuple(2, 20, "TTTT"))),
 	}
 	for _, tx := range script {
-		res, err := e.Apply(tx)
+		res, err := e.Apply(context.Background(), tx)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -134,11 +135,11 @@ func TestParallelRecompute(t *testing.T) {
 	}
 	applyScript(t, seq)
 	applyScript(t, par)
-	seqDB, err := seq.Recompute()
+	seqDB, err := seq.Recompute(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
-	parDB, err := par.Recompute()
+	parDB, err := par.Recompute(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}

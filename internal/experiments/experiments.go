@@ -8,6 +8,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -78,7 +79,7 @@ func seedEngine(topo *workload.Topology, origin string, keySpace int, maxPid int
 		return nil, 0, err
 	}
 	base := workload.OPBaseTxn(origin, 1, keySpace, maxPid)
-	if _, err := eng.Apply(base); err != nil {
+	if _, err := eng.Apply(context.Background(), base); err != nil {
 		return nil, 0, err
 	}
 	return eng, 2, nil
@@ -90,7 +91,7 @@ func seedEngine(topo *workload.Topology, origin string, keySpace int, maxPid int
 func ApplyStream(eng *exchange.Engine, txns []*updates.Transaction) (int, error) {
 	derived := 0
 	for _, t := range txns {
-		res, err := eng.Apply(t)
+		res, err := eng.Apply(context.Background(), t)
 		if err != nil {
 			return 0, err
 		}
@@ -159,7 +160,7 @@ func BuildFig2Engine(base int) (*exchange.Engine, uint64, error) {
 	}
 	keySpace := int(math.Ceil(math.Sqrt(float64(base))))
 	seed := workload.OPBaseTxn(workload.Alaska, 1, keySpace, base/keySpace+2)
-	if _, err := eng.Apply(seed); err != nil {
+	if _, err := eng.Apply(context.Background(), seed); err != nil {
 		return nil, 0, err
 	}
 	stream := workload.Stream(workload.Alaska, 2, base, workload.StreamOpts{
@@ -208,7 +209,7 @@ func E2IncrementalVsFull(base int, fracs []float64) (*Table, error) {
 		}
 		inc := time.Since(start)
 		start = time.Now()
-		if _, err := eng.Recompute(); err != nil {
+		if _, err := eng.Recompute(context.Background()); err != nil {
 			return nil, err
 		}
 		full := time.Since(start)
@@ -257,7 +258,7 @@ func E3DeletionPropagation(base int, fracs []float64) (*Table, error) {
 		}
 		inc := time.Since(start)
 		start = time.Now()
-		if _, err := eng.Recompute(); err != nil {
+		if _, err := eng.Recompute(context.Background()); err != nil {
 			return nil, err
 		}
 		full := time.Since(start)
@@ -410,7 +411,7 @@ func E7WitnessBound(peers, txns int, bounds []int) (*Table, error) {
 		derived := 0
 		for _, txn := range stream {
 			for i, u := range txn.Updates {
-				cs, err := inc.Insert([]datalog.Fact2{{
+				cs, err := inc.Insert(context.Background(), []datalog.Fact2{{
 					Pred:  mapping.Qualify(origin, u.Rel),
 					Tuple: u.New,
 					Prov:  provenance.NewVar(txn.Token(i)),

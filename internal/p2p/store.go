@@ -9,12 +9,18 @@
 package p2p
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
 
 	"orchestra/internal/updates"
 )
+
+// ErrAlreadyPublished reports a transaction id published twice. Note that
+// identity is lost across the TCP store protocol (errors travel as
+// strings); in-process stores preserve it for errors.Is.
+var ErrAlreadyPublished = errors.New("p2p: transaction already published")
 
 // Store is the published-transaction archive. Each successful Publish
 // advances the logical clock (epoch); Since(e) returns every transaction
@@ -53,7 +59,7 @@ func (s *MemoryStore) Publish(txns []*updates.Transaction) (uint64, error) {
 	defer s.mu.Unlock()
 	for _, t := range txns {
 		if s.seen[t.ID] {
-			return 0, fmt.Errorf("p2p: transaction %s already published", t.ID)
+			return 0, fmt.Errorf("%w: %s", ErrAlreadyPublished, t.ID)
 		}
 	}
 	s.epoch++

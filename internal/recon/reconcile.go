@@ -1,11 +1,23 @@
 package recon
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
 	"orchestra/internal/schema"
 	"orchestra/internal/updates"
+)
+
+// Sentinel errors wrapped by the errors this package constructs, so that
+// errors.Is works through the full chain up to the public orchestra facade.
+var (
+	// ErrAlreadyReconciled reports a candidate fed to Reconcile (or
+	// AcceptLocal) after a status was already assigned to it.
+	ErrAlreadyReconciled = errors.New("recon: transaction already reconciled")
+	// ErrNotDeferred reports a Resolve call whose winner is not awaiting
+	// manual conflict resolution.
+	ErrNotDeferred = errors.New("recon: transaction is not deferred")
 )
 
 // Status is the local disposition of a candidate transaction.
@@ -110,7 +122,7 @@ type Outcome struct {
 func (s *State) Reconcile(policy *Policy, candidates []*updates.Transaction) (*Outcome, error) {
 	for _, c := range candidates {
 		if st := s.status[c.ID]; st != StatusUnknown {
-			return nil, fmt.Errorf("recon: transaction %s already reconciled (status %s)", c.ID, st)
+			return nil, fmt.Errorf("%w: %s (status %s)", ErrAlreadyReconciled, c.ID, st)
 		}
 		if err := s.graph.Add(c); err != nil {
 			return nil, err
@@ -127,7 +139,7 @@ func (s *State) Reconcile(policy *Policy, candidates []*updates.Transaction) (*O
 // conflict detection against incoming candidates.
 func (s *State) AcceptLocal(t *updates.Transaction) error {
 	if st := s.status[t.ID]; st != StatusUnknown {
-		return fmt.Errorf("recon: transaction %s already reconciled (status %s)", t.ID, st)
+		return fmt.Errorf("%w: %s (status %s)", ErrAlreadyReconciled, t.ID, st)
 	}
 	if err := s.graph.Add(t); err != nil {
 		return err
@@ -530,7 +542,7 @@ func (s *State) defer1(id updates.TxnID, out *Outcome) {
 // are accepted automatically (demo scenario 4).
 func (s *State) Resolve(winner updates.TxnID) (*Outcome, error) {
 	if s.status[winner] != StatusDeferred {
-		return nil, fmt.Errorf("recon: %s is not deferred (status %s)", winner, s.status[winner])
+		return nil, fmt.Errorf("%w: %s (status %s)", ErrNotDeferred, winner, s.status[winner])
 	}
 	out := &Outcome{}
 	wt, _ := s.graph.Get(winner)

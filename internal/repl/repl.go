@@ -5,6 +5,7 @@ package repl
 
 import (
 	"bufio"
+	"context"
 	"fmt"
 	"io"
 	"strconv"
@@ -89,14 +90,14 @@ func (r *REPL) Exec(line string) error {
 	case "modify":
 		return r.modify(args)
 	case "publish":
-		epoch, err := r.peer.Publish()
+		epoch, err := r.peer.Publish(context.Background())
 		if err != nil {
 			return err
 		}
 		fmt.Fprintf(r.out, "published; store epoch %d\n", epoch)
 		return nil
 	case "reconcile":
-		rep, err := r.peer.Reconcile()
+		rep, err := r.peer.Reconcile(context.Background())
 		if err != nil {
 			return err
 		}
@@ -111,7 +112,7 @@ func (r *REPL) Exec(line string) error {
 		if err != nil {
 			return err
 		}
-		rep, err := r.peer.Resolve(id)
+		rep, err := r.peer.Resolve(context.Background(), id)
 		if err != nil {
 			return err
 		}
@@ -289,7 +290,7 @@ func (r *REPL) query(text string) error {
 	if err != nil {
 		return err
 	}
-	ans, err := r.peer.Query(core.Query{Select: sel, Body: body})
+	ans, err := r.peer.Query(context.Background(), core.Query{Select: sel, Body: body})
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,76 @@
+package schema
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// Tuple.Key is recomputed for the same logical tuple at every layer of the
+// update-exchange path: storage insertion, datalog merge, collation,
+// write-set tracking, and reconciliation each re-encode the tuple they were
+// handed. The encodings are identical, so a small direct-mapped cache keyed
+// by a structural hash turns all but the first computation into a pointer
+// load plus an equality walk — no allocation, no strconv.
+//
+// The cache is lossy by design: a slot collision simply evicts the previous
+// entry, and a hash collision fails the Equal check and falls through to a
+// fresh encoding. Correctness never depends on the cache, only latency.
+const (
+	keyCacheBits = 13
+	keyCacheSize = 1 << keyCacheBits
+	keyCacheMask = keyCacheSize - 1
+)
+
+type keyCacheEntry struct {
+	hash  uint64
+	tuple Tuple
+	key   string
+}
+
+var keyCache [keyCacheSize]atomic.Pointer[keyCacheEntry]
+
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+// keyHash computes an FNV-1a style structural hash over the tuple. Each
+// component mixes its kind, payload length, and payload so that tuples
+// differing only in how bytes group into components still hash apart.
+func (t Tuple) keyHash() uint64 {
+	h := uint64(fnvOffset)
+	for _, v := range t {
+		h = (h ^ uint64(v.kind)) * fnvPrime
+		switch v.kind {
+		case KindString, KindLabeledNull:
+			h = (h ^ uint64(len(v.s))) * fnvPrime
+			for i := 0; i < len(v.s); i++ {
+				h = (h ^ uint64(v.s[i])) * fnvPrime
+			}
+		case KindInt, KindBool:
+			x := uint64(v.i)
+			h = (h ^ (x & 0xffffffff)) * fnvPrime
+			h = (h ^ (x >> 32)) * fnvPrime
+		case KindFloat:
+			x := math.Float64bits(v.f)
+			h = (h ^ (x & 0xffffffff)) * fnvPrime
+			h = (h ^ (x >> 32)) * fnvPrime
+		}
+	}
+	return h
+}
+
+// memoizedKey returns the cached canonical key for t, encoding and caching
+// it on first sight. Safe for concurrent use from any number of goroutines.
+func (t Tuple) memoizedKey() string {
+	h := t.keyHash()
+	slot := &keyCache[h&keyCacheMask]
+	if e := slot.Load(); e != nil && e.hash == h && e.tuple.Equal(t) {
+		return e.key
+	}
+	k := string(t.AppendKeyTo(make([]byte, 0, 16*len(t))))
+	// Clone defensively: tuples are immutable by convention, but the cache
+	// outlives any caller and must not alias a slice the caller reuses.
+	slot.Store(&keyCacheEntry{hash: h, tuple: t.Clone(), key: k})
+	return k
+}

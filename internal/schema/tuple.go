@@ -56,10 +56,15 @@ func (t Tuple) Compare(o Tuple) int {
 
 // Key returns a canonical injective encoding of the whole tuple, usable as
 // a map key. Component keys are length-prefixed so that no two distinct
-// tuples collide.
+// tuples collide. Results are memoized in a bounded process-wide cache
+// (keycache.go): every layer of the update-exchange path re-encodes the
+// tuples it is handed, and all but the first encoding of a hot tuple is a
+// cache hit.
 func (t Tuple) Key() string {
-	// Hot path for storage and joins: avoid fmt.
-	return string(t.AppendKeyTo(make([]byte, 0, 16*len(t))))
+	if len(t) == 0 {
+		return ""
+	}
+	return t.memoizedKey()
 }
 
 // AppendKeyTo appends the tuple's canonical Key encoding to b and returns

@@ -1,0 +1,9 @@
+package storage
+
+import "errors"
+
+// ErrUnknownRelation is the sentinel wrapped by every storage error caused
+// by addressing a relation the instance's schema does not declare. Callers
+// test with errors.Is; the public orchestra facade translates it to
+// orchestra.ErrUnknownRelation.
+var ErrUnknownRelation = errors.New("storage: unknown relation")

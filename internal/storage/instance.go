@@ -58,7 +58,7 @@ func (in *Instance) Insert(rel string, tu schema.Tuple, prov provenance.Poly) er
 	defer in.mu.Unlock()
 	t, ok := in.mutable(rel)
 	if !ok {
-		return fmt.Errorf("storage: unknown relation %s", rel)
+		return fmt.Errorf("%w %s", ErrUnknownRelation, rel)
 	}
 	return t.Insert(tu, prov)
 }
@@ -69,7 +69,7 @@ func (in *Instance) Upsert(rel string, tu schema.Tuple, prov provenance.Poly) (*
 	defer in.mu.Unlock()
 	t, ok := in.mutable(rel)
 	if !ok {
-		return nil, fmt.Errorf("storage: unknown relation %s", rel)
+		return nil, fmt.Errorf("%w %s", ErrUnknownRelation, rel)
 	}
 	return t.Upsert(tu, prov)
 }
@@ -80,9 +80,23 @@ func (in *Instance) Delete(rel string, tu schema.Tuple) (bool, error) {
 	defer in.mu.Unlock()
 	t, ok := in.mutable(rel)
 	if !ok {
-		return false, fmt.Errorf("storage: unknown relation %s", rel)
+		return false, fmt.Errorf("%w %s", ErrUnknownRelation, rel)
 	}
 	return t.Delete(tu), nil
+}
+
+// Rows returns the named relation's rows sorted by tuple order, under the
+// instance lock — safe against concurrent mutation, unlike calling
+// Table(rel).Rows() on a live instance. ok is false for an unknown
+// relation.
+func (in *Instance) Rows(rel string) (rows []Row, ok bool) {
+	in.mu.RLock()
+	defer in.mu.RUnlock()
+	t, ok := in.tables[rel]
+	if !ok {
+		return nil, false
+	}
+	return t.Rows(), true
 }
 
 // Contains reports whether the named relation holds the exact tuple.

@@ -254,3 +254,28 @@ func BenchmarkTupleKey(b *testing.B) {
 		_ = tu.Key()
 	}
 }
+
+// BenchmarkTupleKeyEncode is the uncached reference encoding — what every
+// Key() call cost before memoization.
+func BenchmarkTupleKeyEncode(b *testing.B) {
+	tu := workload.STuple(123456, 789012, "ACGTACGTACGTACGT")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = string(tu.AppendKeyTo(make([]byte, 0, 64)))
+	}
+}
+
+// BenchmarkTupleKeyE2WorkingSet models the E2 incremental path: the same
+// modest working set of tuples is re-keyed at every layer (storage merge,
+// collation, write-set tracking), so nearly every call is a cache hit.
+func BenchmarkTupleKeyE2WorkingSet(b *testing.B) {
+	const n = 256
+	tuples := make([]schema.Tuple, n)
+	for i := range tuples {
+		tuples[i] = workload.STuple(int64(i), int64(i%37), workload.Sequence(int64(i), int64(i%37)))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = tuples[i%n].Key()
+	}
+}

@@ -1,0 +1,62 @@
+package orchestra
+
+// Option tunes Open (system-wide defaults) and System.Peer (per-peer
+// overrides). Options replace the exported configuration structs the
+// internal layers use; the zero configuration is always valid.
+type Option func(*settings)
+
+// settings is the resolved option set. A peer starts from the system's
+// settings and applies its own options on top.
+type settings struct {
+	parallelism  int
+	maxMonomials int
+	provenance   bool
+	store        Store
+	policy       *TrustPolicy
+	strict       bool
+}
+
+func defaultSettings() settings {
+	return settings{provenance: true}
+}
+
+func (s settings) apply(opts []Option) settings {
+	for _, o := range opts {
+		o(&s)
+	}
+	return s
+}
+
+// WithParallelism bounds the worker pool evaluating independent mapping
+// rules within a fixpoint round. 0 (the default) auto-detects the CPU
+// count; negative forces sequential evaluation. Results are byte-identical
+// at every setting.
+func WithParallelism(n int) Option { return func(s *settings) { s.parallelism = n } }
+
+// WithMaxMonomials bounds each tuple's provenance witness set. 0 (the
+// default) keeps the engine default (8); negative removes the bound, at
+// combinatorial cost on dense mapping graphs.
+func WithMaxMonomials(n int) Option { return func(s *settings) { s.maxMonomials = n } }
+
+// WithProvenance toggles provenance on query answers, subscription changes,
+// and Explain (default true). Update exchange itself always maintains
+// provenance internally — deletion propagation and provenance-based trust
+// are impossible without it — so disabling this only strips annotations
+// from what the API hands back.
+func WithProvenance(enabled bool) Option { return func(s *settings) { s.provenance = enabled } }
+
+// WithStore selects the published-update store the confederation shares
+// (default: a fresh in-process store). System-level; ignored on System.Peer.
+func WithStore(st Store) Option { return func(s *settings) { s.store = st } }
+
+// WithTrustPolicy sets the trust policy — at Open, the default for every
+// peer; at System.Peer, that peer's policy. It overrides any policy the
+// parsed schema text declared for the peer. Default: trust everything at
+// priority 1.
+func WithTrustPolicy(p *TrustPolicy) Option { return func(s *settings) { s.policy = p } }
+
+// WithStrictConflicts makes Reconcile fail with ErrConflictPending when a
+// round defers transactions for manual resolution, instead of reporting
+// them and succeeding. Pipelines that must not proceed past unresolved
+// disagreement set this; interactive peers usually keep the default.
+func WithStrictConflicts() Option { return func(s *settings) { s.strict = true } }

@@ -1,0 +1,139 @@
+package orchestra
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sync"
+
+	"orchestra/internal/core"
+	"orchestra/internal/demo"
+	"orchestra/internal/exchange"
+)
+
+// System is an open confederation: the shared published-update store, the
+// compiled mappings, and the peers opened against them. It is the facade's
+// root object; create one with Open and release it with Close.
+type System struct {
+	core     *core.System
+	store    Store
+	base     settings
+	policies map[string]*TrustPolicy
+
+	// ctx is the system lifetime; Close cancels it, stopping subscription
+	// pumps and ending every active subscription with ErrClosed.
+	ctx    context.Context
+	cancel context.CancelFunc
+
+	mu    sync.Mutex
+	peers map[string]*Peer
+}
+
+// Open validates the confederation description and opens a System over it.
+// Options set system-wide defaults (parallelism, witness bounds, the shared
+// store, the default trust policy); System.Peer can override the trust
+// policy per peer.
+func Open(sch *Schema, opts ...Option) (*System, error) {
+	if sch == nil {
+		return nil, fmt.Errorf("orchestra: Open with a nil schema")
+	}
+	peers, mappings, policies, err := sch.resolve()
+	if err != nil {
+		return nil, wrapErr(err)
+	}
+	cs, err := core.NewSystem(peers, mappings)
+	if err != nil {
+		return nil, wrapErr(err)
+	}
+	base := defaultSettings().apply(opts)
+	store := base.store
+	if store == nil {
+		store = NewMemoryStore()
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	return &System{
+		core:     cs,
+		store:    store,
+		base:     base,
+		policies: policies,
+		ctx:      ctx,
+		cancel:   cancel,
+		peers:    map[string]*Peer{},
+	}, nil
+}
+
+// Peer opens (or returns the already-open handle for) the named peer.
+// Per-peer options — most usefully WithTrustPolicy — must be given on the
+// first open; a later call with options for an open peer is an error.
+// The effective trust policy is resolved in precedence order: per-peer
+// option, schema-declared policy, Open-level default, trust-all at 1.
+func (s *System) Peer(name string, opts ...Option) (*Peer, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ctx.Err() != nil {
+		return nil, ErrClosed
+	}
+	if p, ok := s.peers[name]; ok {
+		if len(opts) > 0 {
+			return nil, fmt.Errorf("orchestra: peer %s already open; per-peer options must be given on first open", name)
+		}
+		return p, nil
+	}
+	set := s.base.apply(opts)
+	pol := set.policy
+	if pol == s.base.policy { // not overridden per peer: schema declarations win
+		pol = policyFor(s.policies, s.base.policy, name)
+	}
+	cp, err := core.NewPeerWith(name, s.core, s.store, pol, exchange.Config{
+		Parallelism:  set.parallelism,
+		MaxMonomials: set.maxMonomials,
+	})
+	if err != nil {
+		return nil, wrapErr(err)
+	}
+	p := &Peer{
+		sys:  s,
+		name: name,
+		core: cp,
+		set:  set,
+		wake: make(chan struct{}, 1),
+		subs: map[*subscription]struct{}{},
+	}
+	cp.SetApplyHook(p.fanout)
+	s.peers[name] = p
+	return p, nil
+}
+
+// Epoch returns the shared store's current logical clock.
+func (s *System) Epoch() (uint64, error) { return s.store.Epoch() }
+
+// Store returns the shared published-update store.
+func (s *System) Store() Store { return s.store }
+
+// Close releases the system: subscription pumps stop and every active
+// subscription ends with ErrClosed. Peers' local state stays readable, but
+// operations that would advance the system return ErrClosed.
+func (s *System) Close() error {
+	s.cancel()
+	return nil
+}
+
+// notifyPublish pokes every other peer's auto-reconcile pump after origin
+// published, pushing the new epoch to their subscribers.
+func (s *System) notifyPublish(origin *Peer) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, p := range s.peers {
+		if p != origin {
+			p.poke()
+		}
+	}
+}
+
+// RunDemoScenario runs one of the SIGMOD 2007 demonstration scenarios
+// (1..DemoScenarios) over the paper's Figure 2 bioinformatics CDSS,
+// printing state transitions to w.
+func RunDemoScenario(w io.Writer, n int) error { return demo.Run(w, n) }
+
+// DemoScenarios returns the number of demonstration scenarios.
+func DemoScenarios() int { return demo.Scenarios() }

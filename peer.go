@@ -1,0 +1,195 @@
+package orchestra
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sync"
+
+	"orchestra/internal/core"
+	"orchestra/internal/repl"
+)
+
+// Peer is the handle for one CDSS participant: local editing through
+// transactions, publication, reconciliation under the peer's trust policy,
+// read access to the local instance, and streaming change subscriptions.
+// A Peer is safe for concurrent use.
+type Peer struct {
+	sys  *System
+	name string
+	core *core.Peer
+	set  settings
+
+	// mu guards the subscription set and pump state. Lock order: the
+	// internal peer mutex (held by core callbacks) may acquire mu, so
+	// methods holding mu must never call into p.core.
+	mu          sync.Mutex
+	subs        map[*subscription]struct{}
+	pumpStarted bool
+	wake        chan struct{}
+}
+
+// Name returns the peer's name.
+func (p *Peer) Name() string { return p.name }
+
+// Epoch returns the last store epoch this peer reconciled up to.
+func (p *Peer) Epoch() uint64 { return p.core.Epoch() }
+
+// Status returns the peer's disposition of a transaction.
+func (p *Peer) Status(id TxnID) Status { return p.core.Status(id) }
+
+// Relations lists the peer's relations in deterministic order.
+func (p *Peer) Relations() []*Relation { return p.core.Instance().Schema().Relations() }
+
+// Rows returns the tuples currently stored in the named relation, sorted.
+// The read runs under the instance lock, so it is safe against concurrent
+// commits and reconciliations (including the subscription pump's).
+func (p *Peer) Rows(rel string) ([]Tuple, error) {
+	rows, ok := p.core.Instance().Rows(rel)
+	if !ok {
+		return nil, &taggedError{sentinel: ErrUnknownRelation,
+			err: fmt.Errorf("orchestra: peer %s has no relation %s", p.name, rel)}
+	}
+	out := make([]Tuple, len(rows))
+	for i, r := range rows {
+		out[i] = r.Tuple
+	}
+	return out, nil
+}
+
+// Explain returns the provenance of a stored tuple: the polynomial plus a
+// per-derivation breakdown into supporting transactions and mappings. ok is
+// false if the tuple is absent. With WithProvenance(false) the polynomial
+// and supports are omitted (only presence is reported).
+func (p *Peer) Explain(rel string, tu Tuple) (Provenance, []Support, bool) {
+	prov, supports, ok := p.core.Explain(rel, tu)
+	if !p.set.provenance {
+		return Provenance{}, nil, ok
+	}
+	return prov, supports, ok
+}
+
+// Begin starts a local transaction. Updates accumulate and apply atomically
+// at Commit; until then nothing is visible, locally or remotely.
+func (p *Peer) Begin() *Txn { return &Txn{peer: p, inner: p.core.NewTransaction()} }
+
+// Publish archives every committed-but-unpublished transaction in the
+// shared store, advances the logical clock, refreshes the public snapshot,
+// and pushes the new epoch to other peers' subscriptions.
+func (p *Peer) Publish(ctx context.Context) (uint64, error) {
+	if err := p.sys.ctx.Err(); err != nil {
+		return 0, ErrClosed
+	}
+	epoch, published, err := p.core.PublishAll(ctx)
+	if err != nil {
+		return 0, wrapErr(err)
+	}
+	if published > 0 { // a no-op publish pushes nothing
+		p.sys.notifyPublish(p)
+	}
+	return epoch, nil
+}
+
+// Reconcile fetches newly published transactions, translates them into the
+// local schema through the mappings (maintaining provenance), applies the
+// trust policy, and applies the accepted transactions locally. The context
+// bounds the translation fixpoints: an expired context returns before any
+// local state changes, and a runaway recursive chase stops within one
+// fixpoint iteration of the deadline.
+//
+// With WithStrictConflicts, a round that defers transactions for manual
+// resolution returns the report alongside ErrConflictPending.
+func (p *Peer) Reconcile(ctx context.Context) (*ReconcileReport, error) {
+	if err := p.sys.ctx.Err(); err != nil {
+		return nil, ErrClosed
+	}
+	report, err := p.core.Reconcile(ctx)
+	if err != nil {
+		return nil, wrapErr(err)
+	}
+	if p.set.strict && len(report.Deferred) > 0 {
+		return report, &taggedError{sentinel: ErrConflictPending,
+			err: fmt.Errorf("orchestra: reconcile at %s deferred %d transaction(s) awaiting resolution", p.name, len(report.Deferred))}
+	}
+	return report, nil
+}
+
+// Resolve settles a deferred conflict in favor of winner (the site
+// administrator's decision) and applies the consequences. Resolving a
+// transaction that is not deferred returns ErrConflictPending-tagged
+// detail.
+func (p *Peer) Resolve(ctx context.Context, winner TxnID) (*ReconcileReport, error) {
+	if err := p.sys.ctx.Err(); err != nil {
+		return nil, ErrClosed
+	}
+	report, err := p.core.Resolve(ctx, winner)
+	if err != nil {
+		return nil, wrapErr(err)
+	}
+	return report, nil
+}
+
+// RunREPL runs the interactive command loop (insert/delete/modify, publish,
+// reconcile, query, explain, resolve) against this peer, reading commands
+// from in and printing to out.
+func (p *Peer) RunREPL(in io.Reader, out io.Writer) error {
+	return repl.New(p.core, out).Run(in)
+}
+
+// poke nudges the peer's auto-reconcile pump without blocking.
+func (p *Peer) poke() {
+	select {
+	case p.wake <- struct{}{}:
+	default:
+	}
+}
+
+// Txn is an in-progress local transaction against one peer.
+type Txn struct {
+	peer  *Peer
+	inner *core.Txn
+	done  bool
+}
+
+// Insert schedules an insertion. Inserting a tuple whose primary key is
+// held by a different stored tuple fails Commit with ErrKeyViolation; use
+// Modify to overwrite.
+func (t *Txn) Insert(rel string, tu Tuple) *Txn {
+	t.inner.Insert(rel, tu)
+	return t
+}
+
+// Delete schedules a deletion of the exact tuple.
+func (t *Txn) Delete(rel string, tu Tuple) *Txn {
+	t.inner.Delete(rel, tu)
+	return t
+}
+
+// Modify schedules replacing old with new (same primary key, or a declared
+// key move).
+func (t *Txn) Modify(rel string, old, new Tuple) *Txn {
+	t.inner.Modify(rel, old, new)
+	return t
+}
+
+// Commit validates the updates, applies them atomically to the local
+// instance, and queues the transaction for the next Publish. On error
+// nothing is applied. Committing (or aborting) twice returns ErrTxnFinished.
+func (t *Txn) Commit() (TxnID, error) {
+	if t.done {
+		return TxnID{}, &taggedError{sentinel: ErrTxnFinished,
+			err: fmt.Errorf("orchestra: commit on a finished transaction")}
+	}
+	t.done = true
+	txn, err := t.inner.Commit()
+	if err != nil {
+		return TxnID{}, wrapErr(err)
+	}
+	return txn.ID, nil
+}
+
+// Abort discards the transaction.
+func (t *Txn) Abort() {
+	t.done = true
+	t.inner.Abort()
+}

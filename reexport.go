@@ -1,0 +1,207 @@
+package orchestra
+
+import (
+	"orchestra/internal/core"
+	"orchestra/internal/mapping"
+	"orchestra/internal/p2p"
+	"orchestra/internal/provenance"
+	"orchestra/internal/recon"
+	"orchestra/internal/schema"
+	"orchestra/internal/updates"
+)
+
+// This file re-exports the value-level vocabulary of the SDK — values,
+// tuples, relations, mappings, trust policies, transaction ids, and stores —
+// so that programs drive the system through this package alone. The types
+// are aliases: data built here flows into the internal layers without
+// conversion, and internal results (reports, rows, provenance) can be
+// consumed directly.
+
+// Values and tuples.
+type (
+	// Value is a single attribute value.
+	Value = schema.Value
+	// Tuple is an ordered list of values.
+	Tuple = schema.Tuple
+	// Kind enumerates the runtime type of a Value.
+	Kind = schema.Kind
+)
+
+// Value kinds.
+const (
+	KindString      = schema.KindString
+	KindInt         = schema.KindInt
+	KindFloat       = schema.KindFloat
+	KindBool        = schema.KindBool
+	KindLabeledNull = schema.KindLabeledNull
+)
+
+// String constructs a string Value.
+func String(s string) Value { return schema.String(s) }
+
+// Int constructs an integer Value.
+func Int(i int64) Value { return schema.Int(i) }
+
+// Float constructs a float Value.
+func Float(f float64) Value { return schema.Float(f) }
+
+// Bool constructs a boolean Value.
+func Bool(b bool) Value { return schema.Bool(b) }
+
+// NewTuple builds a tuple from values.
+func NewTuple(vs ...Value) Tuple { return schema.NewTuple(vs...) }
+
+// Relations and peer schemas.
+type (
+	// Attribute is one typed column of a relation.
+	Attribute = schema.Attribute
+	// Relation describes one relation: name, attributes, and key columns.
+	Relation = schema.Relation
+	// PeerSchema is the relational schema of a single peer.
+	PeerSchema = schema.Schema
+)
+
+// NewPeerSchema creates an empty peer schema.
+func NewPeerSchema(name string) *PeerSchema { return schema.NewSchema(name) }
+
+// NewRelation builds a relation descriptor; key names must reference
+// declared attributes.
+func NewRelation(name string, attrs []Attribute, keyCols ...string) (*Relation, error) {
+	return schema.NewRelation(name, attrs, keyCols...)
+}
+
+// MustRelation is NewRelation, panicking on error — for static schemas.
+func MustRelation(name string, attrs []Attribute, keyCols ...string) *Relation {
+	return schema.MustRelation(name, attrs, keyCols...)
+}
+
+// Mappings.
+
+// Mapping is one declarative schema mapping (a tgd) between two peers.
+type Mapping = mapping.Mapping
+
+// IdentityMappings returns the mappings that copy every relation of s
+// verbatim from the source peer to the target peer.
+func IdentityMappings(id, source, target string, s *PeerSchema) []*Mapping {
+	return mapping.Identity(id, source, target, s)
+}
+
+// Trust policies.
+type (
+	// TrustPolicy is a peer's trust policy: ordered conditions plus the
+	// default priority for unmatched updates.
+	TrustPolicy = recon.Policy
+	// TrustCondition assigns a priority to updates a predicate matches.
+	TrustCondition = recon.Condition
+	// Status is the local disposition of a transaction after reconciliation.
+	Status = recon.Status
+)
+
+// Distrusted is the priority that marks an update as not trusted.
+const Distrusted = recon.Distrusted
+
+// Reconciliation statuses.
+const (
+	StatusUnknown  = recon.StatusUnknown
+	StatusPending  = recon.StatusPending
+	StatusAccepted = recon.StatusAccepted
+	StatusRejected = recon.StatusRejected
+	StatusDeferred = recon.StatusDeferred
+)
+
+// TrustAll returns a policy that assigns every update the same priority.
+func TrustAll(priority int) *TrustPolicy { return recon.TrustAll(priority) }
+
+// FromPeer matches updates from transactions published by peer.
+func FromPeer(peer string, priority int) TrustCondition { return recon.FromPeer(peer, priority) }
+
+// OnRelation matches updates against a given local relation.
+func OnRelation(rel string, priority int) TrustCondition { return recon.OnRelation(rel, priority) }
+
+// TupleWhere matches updates whose target tuple satisfies pred.
+func TupleWhere(rel string, pred func(Tuple) bool, priority int) TrustCondition {
+	return recon.TupleWhere(rel, pred, priority)
+}
+
+// ThroughMapping matches updates whose provenance passes through the given
+// mapping — trust by how data was assembled.
+func ThroughMapping(mappingID string, priority int) TrustCondition {
+	return recon.ThroughMapping(mappingID, priority)
+}
+
+// DerivedFromPeer matches updates whose provenance mentions a token minted
+// by the given peer — trust by where data originated.
+func DerivedFromPeer(peer string, priority int) TrustCondition {
+	return recon.DerivedFromPeer(peer, priority)
+}
+
+// Transactions and updates.
+type (
+	// TxnID identifies a published transaction globally.
+	TxnID = updates.TxnID
+	// Transaction is an atomic group of updates published at one epoch.
+	Transaction = updates.Transaction
+	// Update is one tuple-level change against a relation.
+	Update = updates.Update
+	// Op is the kind of a tuple-level update.
+	Op = updates.Op
+)
+
+// Update operations.
+const (
+	OpInsert = updates.OpInsert
+	OpDelete = updates.OpDelete
+	OpModify = updates.OpModify
+)
+
+// Provenance.
+type (
+	// Provenance is a provenance polynomial annotating a tuple.
+	Provenance = provenance.Poly
+	// Support is one alternative derivation of a tuple: contributing
+	// transactions and the mappings the data passed through.
+	Support = core.Support
+)
+
+// ReconcileReport summarizes one reconciliation round.
+type ReconcileReport = core.ReconcileReport
+
+// Stores. The published-update store is the archive every peer publishes to
+// and reconciles from; it can live in process, on disk, or behind TCP
+// replicas.
+type (
+	// Store is the published-transaction archive interface.
+	Store = p2p.Store
+	// StoreServer serves a Store over TCP.
+	StoreServer = p2p.Server
+	// FileStore is a Store durably backed by an append-only log file.
+	FileStore = p2p.FileStore
+	// WireTxn is the JSON wire form of a Transaction.
+	WireTxn = p2p.WireTxn
+)
+
+// NewMemoryStore creates an empty in-process store.
+func NewMemoryStore() *p2p.MemoryStore { return p2p.NewMemoryStore() }
+
+// OpenFileStore opens (or creates) a durable store log at path.
+func OpenFileStore(path string) (*FileStore, error) { return p2p.OpenFileStore(path) }
+
+// NewStoreServer serves store over TCP at addr ("host:0" picks a port).
+func NewStoreServer(store Store, addr string) (*StoreServer, error) {
+	return p2p.NewServer(store, addr)
+}
+
+// DialStore returns a Store backed by a remote store replica.
+func DialStore(addr string) Store { return p2p.NewClient(addr) }
+
+// NewReplicatedStore fans publishes out to every replica and reads from the
+// first live one.
+func NewReplicatedStore(replicas ...Store) Store { return p2p.NewReplicatedStore(replicas...) }
+
+// AntiEntropy merges the contents of two in-process stores, bringing a
+// rejoined replica back in sync.
+func AntiEntropy(a, b *p2p.MemoryStore) { p2p.AntiEntropy(a, b) }
+
+// EncodeTxn converts a transaction to its JSON wire form (for inspection
+// and log dumps).
+func EncodeTxn(t *Transaction) WireTxn { return p2p.EncodeTxn(t) }

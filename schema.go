@@ -1,0 +1,129 @@
+package orchestra
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"orchestra/internal/config"
+	"orchestra/internal/recon"
+)
+
+// Schema describes a confederation: the peers, their relational schemas,
+// the mappings relating them, and optional per-peer trust policies. Build
+// one with NewSchema and the chaining methods, or parse the textual
+// configuration format with ParseSchema; then hand it to Open.
+type Schema struct {
+	peers      map[string]*PeerSchema
+	mappings   []*Mapping
+	identities []identitySpec
+	policies   map[string]*TrustPolicy
+	err        error
+}
+
+// identitySpec is a deferred IdentityMappings call: the source schema is
+// resolved when Open assembles the system, so declaration order does not
+// matter.
+type identitySpec struct {
+	id, source, target string
+}
+
+// NewSchema starts an empty confederation description.
+func NewSchema() *Schema {
+	return &Schema{
+		peers:    map[string]*PeerSchema{},
+		policies: map[string]*TrustPolicy{},
+	}
+}
+
+// Peer declares a peer with its relational schema. Declaring the same name
+// twice is an error (reported by Open).
+func (s *Schema) Peer(name string, ps *PeerSchema) *Schema {
+	if s.err == nil {
+		if _, dup := s.peers[name]; dup {
+			s.err = fmt.Errorf("orchestra: peer %s declared twice", name)
+			return s
+		}
+		if ps == nil {
+			s.err = fmt.Errorf("orchestra: peer %s has a nil schema", name)
+			return s
+		}
+		s.peers[name] = ps
+	}
+	return s
+}
+
+// Mappings adds explicit schema mappings.
+func (s *Schema) Mappings(ms ...*Mapping) *Schema {
+	s.mappings = append(s.mappings, ms...)
+	return s
+}
+
+// Identity declares identity mappings copying every relation of the source
+// peer's schema to the target peer (which must share those relations).
+func (s *Schema) Identity(id, source, target string) *Schema {
+	s.identities = append(s.identities, identitySpec{id: id, source: source, target: target})
+	return s
+}
+
+// Trust sets the peer's trust policy (overridable per peer at System.Peer).
+func (s *Schema) Trust(peer string, p *TrustPolicy) *Schema {
+	s.policies[peer] = p
+	return s
+}
+
+// resolve flattens the builder into concrete peers, mappings, and policies.
+func (s *Schema) resolve() (map[string]*PeerSchema, []*Mapping, map[string]*TrustPolicy, error) {
+	if s.err != nil {
+		return nil, nil, nil, s.err
+	}
+	ms := append([]*Mapping(nil), s.mappings...)
+	for _, spec := range s.identities {
+		src, ok := s.peers[spec.source]
+		if !ok {
+			return nil, nil, nil, &taggedError{sentinel: ErrUnknownPeer,
+				err: fmt.Errorf("orchestra: identity mapping %s: unknown source peer %s", spec.id, spec.source)}
+		}
+		if _, ok := s.peers[spec.target]; !ok {
+			return nil, nil, nil, &taggedError{sentinel: ErrUnknownPeer,
+				err: fmt.Errorf("orchestra: identity mapping %s: unknown target peer %s", spec.id, spec.target)}
+		}
+		ms = append(ms, IdentityMappings(spec.id, spec.source, spec.target, src)...)
+	}
+	return s.peers, ms, s.policies, nil
+}
+
+// ParseSchema reads the textual CDSS configuration format: peer blocks with
+// relations, mapping declarations (identity shorthands or tgd text), and
+// per-peer trust blocks. See the package documentation of internal/config
+// for the grammar; ParseSchemaString is the convenience form.
+func ParseSchema(r io.Reader) (*Schema, error) {
+	cfg, err := config.Parse(r)
+	if err != nil {
+		return nil, err
+	}
+	s := NewSchema()
+	s.peers = cfg.Peers
+	s.mappings = cfg.Mappings
+	if cfg.Policies != nil {
+		s.policies = cfg.Policies
+	}
+	return s, nil
+}
+
+// ParseSchemaString is ParseSchema over a string literal.
+func ParseSchemaString(text string) (*Schema, error) {
+	return ParseSchema(strings.NewReader(text))
+}
+
+// policyFor resolves the effective trust policy for a peer: per-peer
+// declaration, else the system default, else trust-all at priority 1.
+func policyFor(policies map[string]*TrustPolicy, def *TrustPolicy, peer string) *TrustPolicy {
+	if p, ok := policies[peer]; ok && p != nil {
+		return p
+	}
+	if def != nil {
+		return def
+	}
+	return recon.TrustAll(1)
+}
