@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fmt fmt-check bench bench-smoke bench-baseline bench-compare examples-check ci
+.PHONY: build test race vet fmt fmt-check bench bench-smoke bench-query bench-baseline bench-compare examples-check ci
 
 ## build: compile every package
 build:
@@ -37,6 +37,11 @@ bench:
 ## and micro_bench_test.go compiling and running in CI
 bench-smoke:
 	$(GO) test -bench=. -benchtime=1x -run '^$$' .
+
+## bench-query: goal-directed vs full-fixpoint query benchmarks (the
+## magic-sets acceptance pair; see internal/datalog/magic)
+bench-query:
+	$(GO) test -bench 'BenchmarkQuery(GoalDirected|FullFixpoint)' -benchmem -run '^$$' .
 
 ## bench-baseline: regenerate the committed BENCH_baseline.json snapshot
 bench-baseline:

@@ -1,5 +1,6 @@
-// Command orchestra-bench regenerates the experiment tables E1–E7 indexed
-// in DESIGN.md §2 and recorded in EXPERIMENTS.md. Sizes are laptop-scale by
+// Command orchestra-bench regenerates the experiment tables E1–E8 indexed
+// in DESIGN.md §2 and recorded in EXPERIMENTS.md (E8, the goal-directed
+// query ablation, is described in DESIGN.md §7). Sizes are laptop-scale by
 // default; -quick shrinks them further, -full grows them.
 //
 // Usage:
@@ -72,6 +73,7 @@ func main() {
 		{"E5", func() (*experiments.Table, error) { return experiments.E5Reconciliation(e5sizes, e5rates) }},
 		{"E6", func() (*experiments.Table, error) { return experiments.E6Topologies(e6sizes, e6txns) }},
 		{"E7", func() (*experiments.Table, error) { return experiments.E7WitnessBound(e7peers, e7txns, e7bounds) }},
+		{"E8", func() (*experiments.Table, error) { return experiments.E8GoalDirectedQuery(e4) }},
 	}
 	for _, r := range runners {
 		if !want(r.id) {

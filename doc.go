@@ -21,12 +21,29 @@
 // Every operation that can run a translation fixpoint takes a
 // context.Context and honors cancellation and deadlines cooperatively.
 // Errors at the public boundary wrap the typed sentinels ErrKeyViolation,
-// ErrUnknownRelation, ErrUnknownPeer, ErrTxnFinished, ErrConflictPending
-// for errors.Is dispatch. Peer.Subscribe streams collated insert/delete/
-// modify changes as epochs publish, so consumers maintain downstream views
-// incrementally.
+// ErrUnknownRelation, ErrUnknownPeer, ErrTxnFinished, ErrConflictPending,
+// ErrInvalidQuery for errors.Is dispatch. Peer.Subscribe streams collated
+// insert/delete/modify changes as epochs publish, so consumers maintain
+// downstream views incrementally.
+//
+// Peer.Query is the goal-directed query surface: name a goal with bound
+// (Bind) and free (Free) argument modes, optionally define recursive view
+// rules over the peer's relations, and range over provenance-carrying
+// answers:
+//
+//	q := alice.Query(ctx, "reach", orchestra.Bind(orchestra.String("ann")), orchestra.Free("who")).
+//	    Rule("reach", []string{"a", "b"}, orchestra.Atom("Follows", orchestra.Free("a"), orchestra.Free("b"))).
+//	    Rule("reach", []string{"a", "c"},
+//	        orchestra.Atom("reach", orchestra.Free("a"), orchestra.Free("b")),
+//	        orchestra.Atom("Follows", orchestra.Free("b"), orchestra.Free("c")))
+//	for ans, err := range q.Stream() { ... }
+//
+// Evaluation is demand-driven through the magic-sets rewrite: only facts
+// reachable from the goal's bound arguments drive the fixpoint, with
+// answers (tuples and provenance) identical to the full fixpoint.
 //
 // See README for a tour, DESIGN.md for the system inventory and experiment
-// index, and EXPERIMENTS.md for paper-vs-measured results. The benchmarks
-// in bench_test.go regenerate the experiment tables E1–E7.
+// index (goal-directed querying is §7), and EXPERIMENTS.md for
+// paper-vs-measured results. The benchmarks in bench_test.go regenerate
+// the experiment tables E1–E8.
 package orchestra

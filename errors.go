@@ -33,6 +33,11 @@ var (
 	ErrConflictPending = errors.New("orchestra: conflict pending resolution")
 	// ErrClosed reports use of a System after Close.
 	ErrClosed = errors.New("orchestra: system closed")
+	// ErrInvalidQuery reports a malformed query: an empty goal, a view rule
+	// head that shadows a stored relation or uses a reserved name, an arity
+	// mismatch, or an unsafe rule body (a head or filter variable that no
+	// positive atom binds).
+	ErrInvalidQuery = errors.New("orchestra: invalid query")
 )
 
 // KeyViolation is the detail record behind ErrKeyViolation, reachable with
@@ -65,6 +70,8 @@ func sentinelFor(err error) error {
 		return ErrUnknownPeer
 	case errors.Is(err, core.ErrTxnFinished):
 		return ErrTxnFinished
+	case errors.Is(err, core.ErrInvalidQuery):
+		return ErrInvalidQuery
 	case errors.Is(err, recon.ErrNotDeferred):
 		return ErrConflictPending
 	case errors.Is(err, p2p.ErrAlreadyPublished),

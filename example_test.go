@@ -67,6 +67,49 @@ func ExamplePeer_Publish() {
 	// Output: epoch 1: bob accepted 1 txn(s), holds [(BRCA1, 17)]
 }
 
+func ExamplePeer_Query() {
+	ctx := context.Background()
+	links := orchestra.NewPeerSchema("links")
+	links.MustAddRelation(orchestra.MustRelation("Follows",
+		[]orchestra.Attribute{
+			{Name: "src", Type: orchestra.KindString},
+			{Name: "dst", Type: orchestra.KindString},
+		}, "src", "dst"))
+	sys, err := orchestra.Open(orchestra.NewSchema().Peer("alice", links))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sys.Close()
+	alice, _ := sys.Peer("alice")
+	tx := alice.Begin()
+	for _, e := range [][2]string{{"ann", "bea"}, {"bea", "cal"}, {"cal", "dan"}, {"eve", "fay"}} {
+		tx.Insert("Follows", orchestra.NewTuple(orchestra.String(e[0]), orchestra.String(e[1])))
+	}
+	if _, err := tx.Commit(); err != nil {
+		log.Fatal(err)
+	}
+
+	// Who can ann reach, transitively? The goal binds the source argument,
+	// so goal-directed evaluation explores only ann's component — eve's
+	// edge is never touched.
+	q := alice.Query(ctx, "reach", orchestra.Bind(orchestra.String("ann")), orchestra.Free("who")).
+		Rule("reach", []string{"a", "b"},
+			orchestra.Atom("Follows", orchestra.Free("a"), orchestra.Free("b"))).
+		Rule("reach", []string{"a", "c"},
+			orchestra.Atom("reach", orchestra.Free("a"), orchestra.Free("b")),
+			orchestra.Atom("Follows", orchestra.Free("b"), orchestra.Free("c")))
+	for ans, err := range q.Stream() {
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println(ans.Tuple)
+	}
+	// Output:
+	// (bea)
+	// (cal)
+	// (dan)
+}
+
 func ExamplePeer_Subscribe() {
 	ctx := context.Background()
 	sys, err := orchestra.Open(exampleSchema())

@@ -14,4 +14,8 @@ var (
 	// ErrUnknownRelation reports a relation name the peer's schema does not
 	// declare.
 	ErrUnknownRelation = errors.New("core: unknown relation")
+	// ErrInvalidQuery reports a malformed goal query: no goal, a rule head
+	// that shadows a stored relation or uses a reserved name, an arity
+	// mismatch, or an unsafe rule body.
+	ErrInvalidQuery = errors.New("core: invalid query")
 )

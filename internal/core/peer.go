@@ -6,6 +6,7 @@ import (
 	"sort"
 	"sync"
 
+	"orchestra/internal/datalog"
 	"orchestra/internal/exchange"
 	"orchestra/internal/p2p"
 	"orchestra/internal/provenance"
@@ -43,6 +44,15 @@ type Peer struct {
 	engineDirty bool
 	// unpublished holds committed local transactions awaiting Publish.
 	unpublished []*updates.Transaction
+	// qdb mirrors the local instance as a datalog EDB for the query path:
+	// queries take an O(#relations) copy-on-write snapshot of it instead of
+	// copying every table row per call. It is built lazily on first query
+	// and maintained incrementally by applyUpdates; qdbVersion records the
+	// local-instance version the mirror matches, so out-of-band instance
+	// writes (anything bypassing applyUpdates) are detected and trigger a
+	// rebuild rather than stale answers. Guarded by mu.
+	qdb        *datalog.DB
+	qdbVersion uint64
 	// applyHook, when set, observes every batch of updates that reaches
 	// durability or the local instance: published local transactions (at
 	// Publish, with their assigned epoch) and accepted candidates (at
@@ -217,34 +227,123 @@ func (t *Txn) Commit() (*updates.Transaction, error) {
 // Abort discards the transaction.
 func (t *Txn) Abort() { t.done = true }
 
-// applyUpdates applies translated or local updates to the local instance.
+// applyUpdates applies translated or local updates to the local instance,
+// keeping the query mirror in lockstep when one is live.
 func (p *Peer) applyUpdates(ups []updates.Update) error {
 	for _, u := range ups {
 		prov := u.Prov
 		if prov.IsZero() {
 			prov = provenance.One()
 		}
+		sync := p.mirrorInSync()
 		switch u.Op {
 		case updates.OpInsert:
-			if _, err := p.local.Upsert(u.Rel, u.New, prov); err != nil {
+			replaced, err := p.local.Upsert(u.Rel, u.New, prov)
+			if err != nil {
 				return err
+			}
+			if sync {
+				p.mirrorUpsert(u.Rel, u.New, replaced)
 			}
 		case updates.OpDelete:
 			if _, err := p.local.Delete(u.Rel, u.Old); err != nil {
 				return err
+			}
+			if sync {
+				p.mirrorDelete(u.Rel, u.Old)
 			}
 		case updates.OpModify:
 			if u.Old != nil {
 				if _, err := p.local.Delete(u.Rel, u.Old); err != nil {
 					return err
 				}
+				if sync {
+					p.mirrorDelete(u.Rel, u.Old)
+				}
 			}
-			if _, err := p.local.Upsert(u.Rel, u.New, prov); err != nil {
+			sync = p.mirrorInSync()
+			replaced, err := p.local.Upsert(u.Rel, u.New, prov)
+			if err != nil {
 				return err
+			}
+			if sync {
+				p.mirrorUpsert(u.Rel, u.New, replaced)
 			}
 		}
 	}
 	return nil
+}
+
+// mirrorInSync reports whether the query mirror exists and matches the
+// local instance exactly (no out-of-band writes since it was last synced).
+// Callers must hold p.mu.
+func (p *Peer) mirrorInSync() bool {
+	return p.qdb != nil && p.qdbVersion == p.local.Version()
+}
+
+// mirrorAdvance accounts one instance write in the mirror's version: if
+// anything else wrote the instance between the peer's write and this
+// bookkeeping (an out-of-band writer does not hold p.mu), the observed
+// version is not exactly one ahead and the mirror is dropped rather than
+// silently absorbing the foreign write's version. It reports whether the
+// mirror is still authoritative.
+func (p *Peer) mirrorAdvance() bool {
+	if v := p.local.Version(); v != p.qdbVersion+1 {
+		p.qdb = nil
+		return false
+	}
+	p.qdbVersion++
+	return true
+}
+
+// mirrorUpsert folds one applied upsert into the query mirror: the
+// key-replaced tuple (if any) leaves, and the stored row's exact merged
+// annotation is copied over. Callers must hold p.mu and have verified
+// mirrorInSync before the instance write.
+func (p *Peer) mirrorUpsert(rel string, tu schema.Tuple, replaced *schema.Tuple) {
+	if !p.mirrorAdvance() {
+		return
+	}
+	if replaced != nil {
+		p.qdb.Remove(rel, *replaced)
+	}
+	if row, ok := p.local.Table(rel).Get(tu); ok {
+		p.qdb.Set(rel, tu, row.Prov)
+	}
+}
+
+// mirrorDelete folds one applied delete into the query mirror.
+func (p *Peer) mirrorDelete(rel string, tu schema.Tuple) {
+	if !p.mirrorAdvance() {
+		return
+	}
+	p.qdb.Remove(rel, tu)
+}
+
+// queryEDB returns the local instance as a datalog EDB in O(#relations):
+// a copy-on-write snapshot of the maintained mirror, built from the tables
+// only on first use or after an out-of-band instance write. Evaluation
+// derives into its own extents, so the mirror itself is never mutated by a
+// query. Callers must hold p.mu.
+func (p *Peer) queryEDB() *datalog.DB {
+	if !p.mirrorInSync() {
+		// Capture the version before reading rows: an out-of-band write
+		// racing the scan then leaves qdbVersion behind Version(), so the
+		// next query rebuilds instead of trusting a possibly torn mirror.
+		v := p.local.Version()
+		db := datalog.NewDB()
+		s := p.sys.Schema(p.name)
+		for _, rel := range s.Relations() {
+			db.Rel(rel.Name) // materialize even empty extents for the planner
+			rows, _ := p.local.Rows(rel.Name)
+			for _, row := range rows {
+				db.Add(rel.Name, row.Tuple, row.Prov)
+			}
+		}
+		p.qdb = db
+		p.qdbVersion = v
+	}
+	return p.qdb.Snapshot()
 }
 
 // Publish archives all committed-but-unpublished transactions in the store,

@@ -4,8 +4,10 @@ import (
 	"context"
 	"fmt"
 	"sort"
+	"strings"
 
 	"orchestra/internal/datalog"
+	"orchestra/internal/datalog/magic"
 	"orchestra/internal/provenance"
 	"orchestra/internal/schema"
 	"orchestra/internal/updates"
@@ -22,6 +24,10 @@ import (
 //	        datalog.Pos(datalog.NewAtom("S", datalog.V("oid"), datalog.V("pid"), datalog.V("seq"))),
 //	    },
 //	}
+//
+// Query is sugar over QueryGoal: the body becomes a view rule and the
+// select list its goal, so the REPL's conjunctive queries run through the
+// same goal-directed engine as the public SDK's.
 type Query struct {
 	Select []string
 	Body   []datalog.Literal
@@ -34,42 +40,164 @@ type Answer struct {
 	Prov  provenance.Poly
 }
 
+// QueryMode selects the evaluation strategy for a goal query.
+type QueryMode uint8
+
+const (
+	// GoalDirected evaluates through the magic-sets rewrite
+	// (internal/datalog/magic): only facts reachable from the goal's
+	// bindings drive the fixpoint. When the rewrite is unusable (adornment
+	// can break stratification under negation) evaluation transparently
+	// falls back to the full fixpoint — answers are identical either way.
+	GoalDirected QueryMode = iota
+	// FullFixpoint materializes every view rule over the whole instance and
+	// filters. It is the reference strategy GoalDirected is equivalent to,
+	// kept callable for verification and benchmarking.
+	FullFixpoint
+)
+
+// GoalQuery is a goal-directed query: a goal atom whose constants are the
+// bound arguments and whose variables are the free (output) ones, plus
+// optional view rules defining derived predicates (recursion and stratified
+// negation allowed) the goal may reference.
+type GoalQuery struct {
+	// Goal is the atom to solve. Its predicate names a stored relation or a
+	// view rule head.
+	Goal datalog.Atom
+	// Rules are the query's view rules. Heads must not shadow stored
+	// relations and must not use reserved names (containing '@').
+	Rules []datalog.Rule
+	// Mode selects the evaluation strategy; the zero value is GoalDirected.
+	Mode QueryMode
+	// SIP is the sideways-information-passing strategy for the magic
+	// rewrite; the zero value is magic.LeftToRight.
+	SIP magic.SIP
+	// NoProvenance skips annotation bookkeeping: answers carry a zero
+	// polynomial. Faster when the caller only wants tuples.
+	NoProvenance bool
+}
+
+// queryPred is the reserved head predicate of the conjunctive Query form.
+const queryPred = "_query"
+
 // Query evaluates a conjunctive query over the peer's current local
 // instance. Answers carry provenance, so trust conditions and Explain work
 // on query results exactly as on stored tuples. The context bounds the
-// evaluation (queries are non-recursive, but large joins still take time).
+// evaluation.
 func (p *Peer) Query(ctx context.Context, q Query) ([]Answer, error) {
-	p.mu.Lock()
-	defer p.mu.Unlock()
 	if len(q.Select) == 0 {
-		return nil, fmt.Errorf("core: query selects no variables")
-	}
-	s := p.sys.Schema(p.name)
-	// Load the local instance as the EDB.
-	edb := datalog.NewDB()
-	for _, rel := range s.Relations() {
-		for _, row := range p.local.Table(rel.Name).Rows() {
-			edb.Add(rel.Name, row.Tuple, row.Prov)
-		}
+		return nil, fmt.Errorf("%w: query selects no variables", ErrInvalidQuery)
 	}
 	head := make([]datalog.HeadTerm, len(q.Select))
+	goalTerms := make([]datalog.Term, len(q.Select))
 	for i, v := range q.Select {
 		head[i] = datalog.HV(v)
+		goalTerms[i] = datalog.V(v)
 	}
-	prog := &datalog.Program{Rules: []datalog.Rule{{
-		ID:   "query",
-		Head: datalog.Head{Pred: "_ans", Terms: head},
-		Body: q.Body,
-	}}}
-	res, err := datalog.EvalCtx(ctx, prog, edb, datalog.Options{Provenance: true})
+	return p.QueryGoal(ctx, GoalQuery{
+		Goal: datalog.NewAtom(queryPred, goalTerms...),
+		Rules: []datalog.Rule{{
+			ID:   "query",
+			Head: datalog.Head{Pred: queryPred, Terms: head},
+			Body: q.Body,
+		}},
+	})
+}
+
+// QueryGoal solves a goal query over the peer's current local instance.
+//
+// The instance is exposed to the evaluator as an O(#relations)
+// copy-on-write snapshot of a maintained datalog mirror — queries never
+// copy table rows, and the fixpoint only clones the extents it derives
+// into. Under the default GoalDirected mode the program is magic-rewritten
+// for the goal's binding pattern first, so selective queries touch only the
+// data their bindings can reach.
+//
+// Answers list one tuple per binding of the goal's distinct free variables
+// (first-occurrence order), in deterministic order, annotated with exactly
+// the provenance the full fixpoint would compute. A goal with no free
+// variables is a boolean query: one empty answer tuple when it holds, none
+// when it does not.
+func (p *Peer) QueryGoal(ctx context.Context, q GoalQuery) ([]Answer, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	s := p.sys.Schema(p.name)
+	if err := validateGoalQuery(s, q); err != nil {
+		return nil, err
+	}
+	edb := p.queryEDB()
+	opts := datalog.Options{
+		Provenance:  !q.NoProvenance,
+		Parallelism: p.engCfg.Parallelism,
+	}
+	var facts []datalog.Fact
+	var err error
+	if q.Mode == FullFixpoint {
+		facts, err = magic.EvalGoalFull(ctx, q.Rules, q.Goal, edb, opts)
+	} else {
+		facts, _, err = magic.EvalGoal(ctx, q.Rules, q.Goal, edb, opts, magic.Options{SIP: q.SIP})
+	}
 	if err != nil {
 		return nil, err
 	}
-	var out []Answer
-	for _, f := range res.Rel("_ans").Facts() {
-		out = append(out, Answer{Tuple: f.Tuple, Prov: f.Prov})
+	out := make([]Answer, len(facts))
+	for i, f := range facts {
+		out[i] = Answer{Tuple: f.Tuple, Prov: f.Prov}
+		if q.NoProvenance {
+			out[i].Prov = provenance.Poly{}
+		}
 	}
 	return out, nil
+}
+
+// validateGoalQuery rejects malformed goal queries with ErrInvalidQuery
+// detail before any evaluation work: missing goals, view heads that shadow
+// stored relations or use reserved names, and goal/definition arity
+// mismatches. Unknown body predicates are not errors — they evaluate over
+// empty extents, like querying an empty relation.
+func validateGoalQuery(s *schema.Schema, q GoalQuery) error {
+	if q.Goal.Pred == "" {
+		return fmt.Errorf("%w: empty goal", ErrInvalidQuery)
+	}
+	ruleArity := map[string]int{}
+	for _, r := range q.Rules {
+		h := r.Head.Pred
+		switch {
+		case h == "":
+			return fmt.Errorf("%w: rule %q has an empty head predicate", ErrInvalidQuery, r.ID)
+		case strings.Contains(h, "@"):
+			return fmt.Errorf("%w: rule head %q uses a reserved name ('@' is reserved for the magic rewrite)", ErrInvalidQuery, h)
+		case s.Relation(h) != nil:
+			return fmt.Errorf("%w: rule head %q shadows a stored relation", ErrInvalidQuery, h)
+		}
+		if n, ok := ruleArity[h]; ok && n != len(r.Head.Terms) {
+			return fmt.Errorf("%w: view %s defined with arities %d and %d", ErrInvalidQuery, h, n, len(r.Head.Terms))
+		}
+		ruleArity[h] = len(r.Head.Terms)
+		// Body atoms must not alias rewrite-internal (adorned/magic)
+		// predicates either: an '@' name that is inert as an empty EDB
+		// extent under the full fixpoint could capture the rewrite's seed
+		// or demand predicates and diverge under goal direction.
+		for _, l := range r.Body {
+			if l.Builtin == nil && strings.Contains(l.Atom.Pred, "@") {
+				return fmt.Errorf("%w: rule %q references %q: '@' names are reserved for the magic rewrite",
+					ErrInvalidQuery, r.ID, l.Atom.Pred)
+			}
+		}
+	}
+	if strings.Contains(q.Goal.Pred, "@") {
+		return fmt.Errorf("%w: goal %q uses a reserved name", ErrInvalidQuery, q.Goal.Pred)
+	}
+	if rel := s.Relation(q.Goal.Pred); rel != nil {
+		if len(q.Goal.Terms) != rel.Arity() {
+			return fmt.Errorf("%w: goal %s has %d arguments; relation has arity %d",
+				ErrInvalidQuery, q.Goal.Pred, len(q.Goal.Terms), rel.Arity())
+		}
+	} else if n, ok := ruleArity[q.Goal.Pred]; ok && n != len(q.Goal.Terms) {
+		return fmt.Errorf("%w: goal %s has %d arguments; view has arity %d",
+			ErrInvalidQuery, q.Goal.Pred, len(q.Goal.Terms), n)
+	}
+	return nil
 }
 
 // Support is one alternative derivation of a tuple: the publishing

@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"testing"
 
 	"orchestra/internal/datalog"
@@ -89,6 +90,153 @@ func TestQueryValidation(t *testing.T) {
 	})
 	if err != nil || len(ans) != 0 {
 		t.Errorf("unknown relation: %v %v", ans, err)
+	}
+}
+
+// QueryGoal with view rules: a recursive same-organism closure over S,
+// goal-directed from a bound oid, must agree with the full fixpoint on
+// tuples and provenance.
+func TestQueryGoalRecursiveView(t *testing.T) {
+	peers, _ := fig2(t)
+	alaska := peers[workload.Alaska]
+	tx := alaska.NewTransaction()
+	// Chain 1 -> 2 -> 3 -> 4 via "links" expressed as S rows; oid column
+	// links to pid column.
+	for i := int64(1); i < 5; i++ {
+		tx.Insert("S", workload.STuple(i, i+1, "ACGT"))
+	}
+	tx.Insert("S", workload.STuple(10, 11, "TTTT")) // disconnected
+	commit(t, tx)
+
+	rules := []datalog.Rule{
+		{
+			ID:   "l0",
+			Head: datalog.NewHead("linked", datalog.HV("a"), datalog.HV("b")),
+			Body: []datalog.Literal{datalog.Pos(datalog.NewAtom("S", datalog.V("a"), datalog.V("b"), datalog.V("s")))},
+		},
+		{
+			ID:   "l1",
+			Head: datalog.NewHead("linked", datalog.HV("a"), datalog.HV("c")),
+			Body: []datalog.Literal{
+				datalog.Pos(datalog.NewAtom("linked", datalog.V("a"), datalog.V("b"))),
+				datalog.Pos(datalog.NewAtom("S", datalog.V("b"), datalog.V("c"), datalog.V("s"))),
+			},
+		},
+	}
+	gq := GoalQuery{
+		Goal:  datalog.NewAtom("linked", datalog.C(schema.Int(1)), datalog.V("x")),
+		Rules: rules,
+	}
+	goalAns, err := alaska.QueryGoal(context.Background(), gq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gq.Mode = FullFixpoint
+	fullAns, err := alaska.QueryGoal(context.Background(), gq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(goalAns) != 4 { // 2, 3, 4, 5
+		t.Fatalf("answers = %v", goalAns)
+	}
+	if len(fullAns) != len(goalAns) {
+		t.Fatalf("full fixpoint diverges: %v vs %v", fullAns, goalAns)
+	}
+	for i := range goalAns {
+		if !goalAns[i].Tuple.Equal(fullAns[i].Tuple) || !goalAns[i].Prov.Equal(fullAns[i].Prov) {
+			t.Fatalf("answer %d diverges: %+v vs %+v", i, goalAns[i], fullAns[i])
+		}
+	}
+}
+
+func TestQueryGoalValidation(t *testing.T) {
+	peers, _ := fig2(t)
+	alaska := peers[workload.Alaska]
+	ctx := context.Background()
+	cases := []GoalQuery{
+		{}, // empty goal
+		{ // rule head shadows the stored relation O
+			Goal: datalog.NewAtom("O", datalog.V("x"), datalog.V("y")),
+			Rules: []datalog.Rule{{ID: "shadow", Head: datalog.NewHead("O", datalog.HV("x"), datalog.HV("y")),
+				Body: []datalog.Literal{datalog.Pos(datalog.NewAtom("P", datalog.V("x"), datalog.V("y")))}}},
+		},
+		{ // reserved name
+			Goal: datalog.NewAtom("v@bf", datalog.V("x")),
+		},
+		{ // goal arity mismatch against the stored relation
+			Goal: datalog.NewAtom("O", datalog.V("x")),
+		},
+		{ // body atom aliasing a rewrite-internal predicate
+			Goal: datalog.NewAtom("v", datalog.V("x")),
+			Rules: []datalog.Rule{{ID: "alias", Head: datalog.NewHead("v", datalog.HV("x")),
+				Body: []datalog.Literal{
+					datalog.Pos(datalog.NewAtom("O", datalog.V("x"), datalog.V("y"))),
+					datalog.Pos(datalog.NewAtom("magic@f@goal")),
+				}}},
+		},
+	}
+	for i, gq := range cases {
+		if _, err := alaska.QueryGoal(ctx, gq); !errors.Is(err, ErrInvalidQuery) {
+			t.Errorf("case %d: err = %v, want ErrInvalidQuery", i, err)
+		}
+	}
+}
+
+// The query mirror must track commits: interleaved writes and queries see
+// exactly the current instance, including provenance merges and deletes.
+func TestQueryMirrorTracksWrites(t *testing.T) {
+	peers, _ := fig2(t)
+	alaska := peers[workload.Alaska]
+	ctx := context.Background()
+	q := Query{
+		Select: []string{"org"},
+		Body:   []datalog.Literal{datalog.Pos(datalog.NewAtom("O", datalog.V("org"), datalog.V("oid")))},
+	}
+	commit(t, alaska.NewTransaction().Insert("O", workload.OTuple("mouse", 1)))
+	ans, err := alaska.Query(ctx, q)
+	if err != nil || len(ans) != 1 {
+		t.Fatalf("first query: %v %v", ans, err)
+	}
+	commit(t, alaska.NewTransaction().Insert("O", workload.OTuple("rat", 2)))
+	ans, err = alaska.Query(ctx, q)
+	if err != nil || len(ans) != 2 {
+		t.Fatalf("after insert: %v %v", ans, err)
+	}
+	commit(t, alaska.NewTransaction().Delete("O", workload.OTuple("mouse", 1)))
+	ans, err = alaska.Query(ctx, q)
+	if err != nil || len(ans) != 1 || !ans[0].Tuple[0].Equal(schema.String("rat")) {
+		t.Fatalf("after delete: %v %v", ans, err)
+	}
+	// Key-replacing modify: the mirror must drop the replaced tuple.
+	commit(t, alaska.NewTransaction().Modify("O", workload.OTuple("rat", 2), workload.OTuple("gerbil", 2)))
+	ans, err = alaska.Query(ctx, q)
+	if err != nil || len(ans) != 1 || !ans[0].Tuple[0].Equal(schema.String("gerbil")) {
+		t.Fatalf("after modify: %v %v", ans, err)
+	}
+	// Out-of-band instance write (bypassing the peer API) must invalidate
+	// the mirror via the version check, not serve stale answers.
+	if err := alaska.Instance().Insert("O", workload.OTuple("heron", 9), provenance.One()); err != nil {
+		t.Fatal(err)
+	}
+	ans, err = alaska.Query(ctx, q)
+	if err != nil || len(ans) != 2 {
+		t.Fatalf("after out-of-band insert: %v %v", ans, err)
+	}
+}
+
+func TestQueryGoalNoProvenance(t *testing.T) {
+	peers, _ := fig2(t)
+	alaska := peers[workload.Alaska]
+	commit(t, alaska.NewTransaction().Insert("O", workload.OTuple("mouse", 1)))
+	ans, err := alaska.QueryGoal(context.Background(), GoalQuery{
+		Goal:         datalog.NewAtom("O", datalog.V("org"), datalog.V("oid")),
+		NoProvenance: true,
+	})
+	if err != nil || len(ans) != 1 {
+		t.Fatalf("answers = %v, err %v", ans, err)
+	}
+	if !ans[0].Prov.IsZero() {
+		t.Errorf("NoProvenance answer carries %v", ans[0].Prov)
 	}
 }
 

@@ -199,6 +199,13 @@ type Rule struct {
 	Head      Head
 	Body      []Literal
 	ProvToken string
+	// ProvNeutral marks an auxiliary rule whose derived facts always carry
+	// the annotation 1 regardless of the body facts joined: the firing still
+	// participates in the fixpoint (deltas, negation membership) but never
+	// contributes body provenance to its head. The magic-sets rewrite uses it
+	// for magic/demand predicates, whose facts gate evaluation but must not
+	// pollute the provenance polynomials of real answers.
+	ProvNeutral bool
 }
 
 // String renders the rule.

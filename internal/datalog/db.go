@@ -181,6 +181,26 @@ func (db *DB) AddTuple(pred string, t schema.Tuple) bool {
 	return db.MutableRel(pred).put(t, provenance.One())
 }
 
+// Set stores the fact, replacing (not merging) any existing annotation for
+// the tuple. Mirrors of external stores use it to track the store's exact
+// annotation instead of Add's alternative-derivation accumulation. An
+// annotation-only change writes the stored fact in place — the tuple's
+// index entries are unaffected, so no index maintenance runs.
+func (db *DB) Set(pred string, t schema.Tuple, p provenance.Poly) {
+	r := db.MutableRel(pred)
+	k := t.Key()
+	if f := r.facts[k]; f != nil {
+		f.Prov = p.Intern()
+		return
+	}
+	r.putKeyed(k, t, p)
+}
+
+// Remove deletes the tuple from pred's extent, if present.
+func (db *DB) Remove(pred string, t schema.Tuple) {
+	db.MutableRel(pred).remove(t.Key())
+}
+
 // Size returns the total number of facts.
 func (db *DB) Size() int {
 	n := 0

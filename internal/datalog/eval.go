@@ -560,6 +560,9 @@ func fireRule(r Rule, pln *plan, db *DB, deltaExt map[string]deltaFact, opts Opt
 	env := make([]schema.Value, pln.nslots)
 	var keyBuf []byte
 	steps := pln.steps
+	// Provenance-neutral rules skip every annotation product: prov stays 1
+	// through the whole enumeration and the head fact is emitted annotated 1.
+	useProv := opts.Provenance && !pln.provNeutral
 	var rec func(depth int, prov provenance.Poly) error
 	rec = func(depth int, prov provenance.Poly) error {
 		if depth == len(steps) {
@@ -594,7 +597,7 @@ func fireRule(r Rule, pln *plan, db *DB, deltaExt map[string]deltaFact, opts Opt
 					continue
 				}
 				np := prov
-				if opts.Provenance {
+				if useProv {
 					np = np.Mul(df.prov)
 				}
 				if err := rec(depth+1, np); err != nil {
@@ -623,7 +626,7 @@ func fireRule(r Rule, pln *plan, db *DB, deltaExt map[string]deltaFact, opts Opt
 				}
 			}
 			np := prov
-			if opts.Provenance {
+			if useProv {
 				np = np.Mul(f.Prov)
 			}
 			if err := rec(depth+1, np); err != nil {

@@ -1,0 +1,98 @@
+package magic
+
+import (
+	"context"
+	"fmt"
+
+	"orchestra/internal/datalog"
+	"orchestra/internal/provenance"
+	"orchestra/internal/schema"
+)
+
+// AnswerPred is the reserved head predicate of the synthetic answer rule
+// that wraps a goal atom. Programs handed to EvalGoal must not define it.
+const AnswerPred = "@goal"
+
+// AnswerRule wraps a goal atom in the synthetic answer rule
+//
+//	@goal(x1, ..., xk) :- goal
+//
+// whose head lists the goal's distinct free variables in first-occurrence
+// order. Constants in the goal stay in the body, where adornment sees them
+// as bound — this is how constant bindings enter the magic rewrite.
+func AnswerRule(goal datalog.Atom) datalog.Rule {
+	var head []datalog.HeadTerm
+	seen := map[string]bool{}
+	for _, t := range goal.Terms {
+		if t.IsVar() && !seen[t.Name] {
+			seen[t.Name] = true
+			head = append(head, datalog.HV(t.Name))
+		}
+	}
+	return datalog.Rule{
+		ID:   "@goal",
+		Head: datalog.Head{Pred: AnswerPred, Terms: head},
+		Body: []datalog.Literal{datalog.Pos(goal)},
+	}
+}
+
+// EvalGoal evaluates the goal atom over edb, under the given view rules,
+// goal-directedly: the program (rules + answer rule) is magic-rewritten for
+// the goal's binding pattern, the demand seed is planted, and the rewritten
+// program runs through the ordinary planner/parallel-stratum executor. Only
+// demanded facts drive the fixpoint.
+//
+// edb is never modified (the seed is planted in a copy-on-write snapshot).
+// The returned facts are the goal's answers — one per binding of the goal's
+// distinct free variables, in deterministic order — annotated with exactly
+// the provenance polynomials full evaluation would compute.
+//
+// goalDirected reports whether the magic rewrite was used; when the rewrite
+// is unusable (see Rewrite) EvalGoal transparently falls back to full
+// evaluation, so callers always get the right answers.
+func EvalGoal(ctx context.Context, rules []datalog.Rule, goal datalog.Atom, edb *datalog.DB,
+	opts datalog.Options, mopts Options) (answers []datalog.Fact, goalDirected bool, err error) {
+
+	prog := program(rules, goal)
+	res, rerr := Rewrite(prog, AnswerPred, mopts)
+	if rerr != nil {
+		// Stratification conflicts introduced by adornment (or unsafe input
+		// rules, whose error full evaluation re-surfaces) — evaluate in full.
+		facts, err := evalProgram(ctx, prog, AnswerPred, edb, opts)
+		return facts, false, err
+	}
+	seeded := edb.Snapshot()
+	seeded.Set(res.SeedPred, schema.Tuple{}, provenance.One())
+	facts, err := evalProgram(ctx, res.Program, res.AnswerPred, seeded, opts)
+	return facts, true, err
+}
+
+// EvalGoalFull evaluates the same query by the baseline strategy: the full
+// fixpoint of rules over edb, with the answer rule extracting the goal's
+// bindings. It is the reference EvalGoal is equivalent to (and measured
+// against).
+func EvalGoalFull(ctx context.Context, rules []datalog.Rule, goal datalog.Atom, edb *datalog.DB,
+	opts datalog.Options) ([]datalog.Fact, error) {
+
+	return evalProgram(ctx, program(rules, goal), AnswerPred, edb, opts)
+}
+
+// program assembles rules + answer rule, validating nothing: EvalCtx
+// validates, and Rewrite re-checks its own output.
+func program(rules []datalog.Rule, goal datalog.Atom) *datalog.Program {
+	all := make([]datalog.Rule, 0, len(rules)+1)
+	all = append(all, rules...)
+	all = append(all, AnswerRule(goal))
+	return &datalog.Program{Rules: all}
+}
+
+// evalProgram runs the program and extracts the answer predicate's extent.
+func evalProgram(ctx context.Context, p *datalog.Program, answerPred string, edb *datalog.DB,
+	opts datalog.Options) ([]datalog.Fact, error) {
+
+	out, err := datalog.EvalCtx(ctx, p, edb, opts)
+	if err != nil {
+		return nil, fmt.Errorf("magic: goal evaluation: %w", err)
+	}
+	return out.Rel(answerPred).Facts(), nil
+}

@@ -1,0 +1,325 @@
+// Package magic implements goal-directed evaluation of datalog programs by
+// the magic-sets rewrite: predicate adornment, sideways-information-passing
+// (SIP) strategies, constant-binding specialization, and generation of
+// magic (demand) predicates that gate rule firing, so that a bottom-up
+// fixpoint over the rewritten program derives only the facts reachable from
+// a goal instead of the whole model.
+//
+// The rewrite is the textbook generalized-magic-sets construction over
+// stratified programs:
+//
+//   - Every IDB predicate is specialized per binding pattern ("adornment"):
+//     a string of 'b'/'f' marking which argument positions arrive bound.
+//     Bindings originate in the goal's constants and propagate sideways
+//     through rule bodies in SIP order.
+//   - For each adorned predicate p^a a magic predicate magic@a@p holds the
+//     demanded bindings of p's bound positions. Each adorned rule for p^a
+//     is guarded by its magic literal, and each IDB body occurrence q^b
+//     contributes a magic rule deriving q's demand from p's demand joined
+//     with the positive body prefix (supplementary-magic style, with the
+//     prefix inlined).
+//   - Negated IDB literals are demanded with the all-free adornment — their
+//     whole (reachable) extent is computed — because negation needs the
+//     complete extent to be sound. Filters (negation, comparisons) never
+//     appear in magic rule bodies: demand is over-approximated, which is
+//     always sound.
+//
+// Magic rules are provenance-neutral (datalog.Rule.ProvNeutral): demand
+// facts carry annotation 1 and therefore never pollute the provenance
+// polynomials of real answers — goal-directed answers carry exactly the
+// polynomials full evaluation computes (see the equivalence property test).
+//
+// Adornment can interact with negation to produce a non-stratifiable
+// rewrite even when the input is stratified (a magic predicate's prefix can
+// pull an adorned predicate into a recursive component that a negation
+// crosses). Rewrite detects this — it validates and stratifies its output —
+// and returns an error; callers fall back to full evaluation, which EvalGoal
+// does automatically.
+package magic
+
+import (
+	"fmt"
+	"strings"
+
+	"orchestra/internal/datalog"
+)
+
+// SIP selects the sideways-information-passing strategy: the order in which
+// a rule body's positive literals are considered when propagating bindings,
+// which determines both each IDB occurrence's adornment and the prefix its
+// magic rule joins.
+type SIP uint8
+
+const (
+	// LeftToRight passes bindings through positive literals in their
+	// written order — the classic strategy; predictable, and right when the
+	// author ordered the body selectively.
+	LeftToRight SIP = iota
+	// MostBound greedily picks the next positive literal with the most
+	// bound arguments (constants plus already-bound variables), mirroring
+	// the evaluator's greedy join planner, so demand propagates along the
+	// same selective path the joins will take.
+	MostBound
+)
+
+// String renders the strategy name.
+func (s SIP) String() string {
+	switch s {
+	case LeftToRight:
+		return "left-to-right"
+	case MostBound:
+		return "most-bound"
+	default:
+		return fmt.Sprintf("sip(%d)", uint8(s))
+	}
+}
+
+// Options configures the rewrite.
+type Options struct {
+	// SIP is the sideways-information-passing strategy (default
+	// LeftToRight).
+	SIP SIP
+}
+
+// Result is the outcome of a magic-sets rewrite.
+type Result struct {
+	// Program is the rewritten (adorned + magic) program.
+	Program *datalog.Program
+	// SeedPred is the goal's nullary magic predicate: evaluation must seed
+	// it with the empty tuple (annotated 1) to switch the demand cascade on.
+	SeedPred string
+	// AnswerPred is the adorned goal predicate; after evaluation its extent
+	// holds exactly the goal's answers.
+	AnswerPred string
+}
+
+// adornedName is the specialized predicate p^pattern.
+func adornedName(pred, pattern string) string {
+	return pred + "@" + pattern
+}
+
+// magicName is the demand predicate for p^pattern; its arity is the number
+// of 'b's in the pattern.
+func magicName(pred, pattern string) string {
+	return "magic@" + pattern + "@" + pred
+}
+
+// demand identifies one adorned predicate awaiting rule generation.
+type demand struct {
+	pred    string
+	pattern string
+}
+
+// Rewrite performs the magic-sets rewrite of p for the given goal
+// predicate, demanded with the all-free adornment (bindings enter through
+// constants in the goal rule's body — see EvalGoal's answer rule). The goal
+// must be an IDB predicate of p. Predicate names containing '@' are
+// reserved for the rewrite's adorned and magic predicates; callers must not
+// feed programs that use them.
+//
+// The returned program is validated and stratified; an error means the
+// rewrite cannot be used (most notably a stratification conflict introduced
+// by adornment under negation) and the caller should evaluate the original
+// program in full.
+func Rewrite(p *datalog.Program, goal string, opts Options) (*Result, error) {
+	idb := p.IDBPreds()
+	if !idb[goal] {
+		return nil, fmt.Errorf("magic: goal predicate %q is not defined by any rule", goal)
+	}
+	rulesByHead := map[string][]datalog.Rule{}
+	arities := map[string]int{}
+	for _, r := range p.Rules {
+		rulesByHead[r.Head.Pred] = append(rulesByHead[r.Head.Pred], r)
+		if n, ok := arities[r.Head.Pred]; ok && n != len(r.Head.Terms) {
+			return nil, fmt.Errorf("magic: predicate %s defined with arities %d and %d", r.Head.Pred, n, len(r.Head.Terms))
+		}
+		arities[r.Head.Pred] = len(r.Head.Terms)
+	}
+	goalPattern := strings.Repeat("f", arities[goal])
+	out := &datalog.Program{}
+	seen := map[demand]bool{{goal, goalPattern}: true}
+	worklist := []demand{{goal, goalPattern}}
+	for len(worklist) > 0 {
+		d := worklist[0]
+		worklist = worklist[1:]
+		for _, r := range rulesByHead[d.pred] {
+			adornedRule, magicRules, demands := adornRule(r, d.pattern, idb, opts.SIP)
+			out.Rules = append(out.Rules, adornedRule)
+			out.Rules = append(out.Rules, magicRules...)
+			for _, nd := range demands {
+				if !seen[nd] {
+					seen[nd] = true
+					worklist = append(worklist, nd)
+				}
+			}
+		}
+	}
+	if err := out.Validate(); err != nil {
+		return nil, fmt.Errorf("magic: rewrite produced an unsafe program: %w", err)
+	}
+	if _, err := out.Stratify(); err != nil {
+		return nil, fmt.Errorf("magic: rewrite is not stratifiable: %w", err)
+	}
+	return &Result{
+		Program:    out,
+		SeedPred:   magicName(goal, goalPattern),
+		AnswerPred: adornedName(goal, goalPattern),
+	}, nil
+}
+
+// adornRule specializes one rule to the head binding pattern: it builds the
+// guarded adorned rule, the magic rules demanded by its IDB body literals,
+// and the list of adorned predicates those literals reference.
+func adornRule(r datalog.Rule, pattern string, idb map[string]bool, sip SIP) (datalog.Rule, []datalog.Rule, []demand) {
+	bound := map[string]bool{}
+	// The rule's own magic literal: the head terms at bound positions. A
+	// Skolem head term cannot be joined against the demanded binding — the
+	// rule constructs that value — so its position is demoted to a fresh
+	// don't-care variable: the guard then admits every demanded binding at
+	// that position, a sound over-approximation.
+	magicTerms := make([]datalog.Term, 0, len(pattern))
+	fresh := 0
+	for i, ht := range r.Head.Terms {
+		if pattern[i] != 'b' {
+			continue
+		}
+		switch {
+		case ht.Skolem != nil:
+			magicTerms = append(magicTerms, datalog.V(fmt.Sprintf("_magic_any%d", fresh)))
+			fresh++
+		case ht.Term.IsVar():
+			magicTerms = append(magicTerms, ht.Term)
+			bound[ht.Term.Name] = true
+		default:
+			magicTerms = append(magicTerms, ht.Term)
+		}
+	}
+	magicLit := datalog.Pos(datalog.NewAtom(magicName(r.Head.Pred, pattern), magicTerms...))
+
+	posOrder := sipOrder(r.Body, bound, sip)
+	newBody := make([]datalog.Literal, 0, len(r.Body)+1)
+	newBody = append(newBody, magicLit)
+	prefix := []datalog.Literal{magicLit}
+	var magicRules []datalog.Rule
+	var demands []demand
+	mcount := 0
+	emitMagic := func(a datalog.Atom, pat string, body []datalog.Literal) {
+		headTerms := make([]datalog.HeadTerm, 0, len(a.Terms))
+		for i, t := range a.Terms {
+			if pat[i] == 'b' {
+				headTerms = append(headTerms, datalog.HeadTerm{Term: t})
+			}
+		}
+		magicRules = append(magicRules, datalog.Rule{
+			ID:          fmt.Sprintf("%s@%s/magic%d", r.ID, pattern, mcount),
+			Head:        datalog.Head{Pred: magicName(a.Pred, pat), Terms: headTerms},
+			Body:        body,
+			ProvNeutral: true,
+		})
+		mcount++
+		demands = append(demands, demand{a.Pred, pat})
+	}
+	for _, bi := range posOrder {
+		l := r.Body[bi]
+		if idb[l.Atom.Pred] {
+			pat := patternFor(l.Atom.Terms, bound)
+			emitMagic(l.Atom, pat, append([]datalog.Literal(nil), prefix...))
+			l = datalog.Pos(datalog.NewAtom(adornedName(l.Atom.Pred, pat), l.Atom.Terms...))
+		}
+		newBody = append(newBody, l)
+		prefix = append(prefix, l)
+		for _, t := range l.Atom.Terms {
+			if t.IsVar() {
+				bound[t.Name] = true
+			}
+		}
+	}
+	// Filters ride along unchanged — except negated IDB literals, which are
+	// renamed to (and demand) the all-free adorned variant: negation is only
+	// sound against a complete extent, so the whole reachable extent of the
+	// negated predicate is computed whenever this rule is demanded at all.
+	for _, l := range r.Body {
+		switch {
+		case l.Builtin != nil:
+			newBody = append(newBody, l)
+		case l.Negated:
+			if idb[l.Atom.Pred] {
+				pat := strings.Repeat("f", len(l.Atom.Terms))
+				emitMagic(l.Atom, pat, []datalog.Literal{magicLit})
+				l = datalog.Neg(datalog.NewAtom(adornedName(l.Atom.Pred, pat), l.Atom.Terms...))
+			}
+			newBody = append(newBody, l)
+		}
+	}
+	adornedRule := datalog.Rule{
+		ID:        r.ID + "@" + pattern,
+		Head:      datalog.Head{Pred: adornedName(r.Head.Pred, pattern), Terms: r.Head.Terms},
+		Body:      newBody,
+		ProvToken: r.ProvToken,
+	}
+	return adornedRule, magicRules, demands
+}
+
+// patternFor computes the adornment of an atom occurrence under the current
+// binding set: constants and bound variables are 'b', everything else 'f'.
+func patternFor(terms []datalog.Term, bound map[string]bool) string {
+	b := make([]byte, len(terms))
+	for i, t := range terms {
+		if !t.IsVar() || bound[t.Name] {
+			b[i] = 'b'
+		} else {
+			b[i] = 'f'
+		}
+	}
+	return string(b)
+}
+
+// sipOrder returns the indexes of the body's positive literals in SIP
+// order. LeftToRight keeps written order; MostBound repeatedly picks the
+// literal with the most bound arguments under the bindings accumulated so
+// far (ties broken by written order), simulating the binding growth as it
+// goes. The caller's bound set is not modified.
+func sipOrder(body []datalog.Literal, bound map[string]bool, sip SIP) []int {
+	var positives []int
+	for i, l := range body {
+		if l.Builtin == nil && !l.Negated {
+			positives = append(positives, i)
+		}
+	}
+	if sip == LeftToRight || len(positives) < 2 {
+		return positives
+	}
+	sim := make(map[string]bool, len(bound))
+	for v := range bound {
+		sim[v] = true
+	}
+	order := make([]int, 0, len(positives))
+	remaining := append([]int(nil), positives...)
+	for len(remaining) > 0 {
+		best, bestBound := -1, -1
+		for _, bi := range remaining {
+			nb := 0
+			for _, t := range body[bi].Atom.Terms {
+				if !t.IsVar() || sim[t.Name] {
+					nb++
+				}
+			}
+			if nb > bestBound {
+				best, bestBound = bi, nb
+			}
+		}
+		order = append(order, best)
+		for i, bi := range remaining {
+			if bi == best {
+				remaining = append(remaining[:i], remaining[i+1:]...)
+				break
+			}
+		}
+		for _, t := range body[best].Atom.Terms {
+			if t.IsVar() {
+				sim[t.Name] = true
+			}
+		}
+	}
+	return order
+}

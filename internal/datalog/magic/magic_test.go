@@ -1,0 +1,256 @@
+package magic
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+
+	"orchestra/internal/datalog"
+	"orchestra/internal/provenance"
+	"orchestra/internal/schema"
+)
+
+func str(s string) schema.Value { return schema.String(s) }
+
+// edge builds an EDB of the given directed edges, each annotated with its
+// own token so provenance is distinguishable per base fact.
+func edgeDB(edges [][2]string) *datalog.DB {
+	db := datalog.NewDB()
+	for i, e := range edges {
+		db.Add("edge", schema.NewTuple(str(e[0]), str(e[1])),
+			provenance.NewVar(provenance.Var(fmt.Sprintf("e%d", i))))
+	}
+	return db
+}
+
+func tcRules() []datalog.Rule {
+	return []datalog.Rule{
+		{
+			ID:   "base",
+			Head: datalog.NewHead("reach", datalog.HV("x"), datalog.HV("y")),
+			Body: []datalog.Literal{datalog.Pos(datalog.NewAtom("edge", datalog.V("x"), datalog.V("y")))},
+		},
+		{
+			ID:   "step",
+			Head: datalog.NewHead("reach", datalog.HV("x"), datalog.HV("y")),
+			Body: []datalog.Literal{
+				datalog.Pos(datalog.NewAtom("reach", datalog.V("x"), datalog.V("z"))),
+				datalog.Pos(datalog.NewAtom("edge", datalog.V("z"), datalog.V("y"))),
+			},
+		},
+	}
+}
+
+// Two disconnected components; a goal bound to the first must never demand
+// the second.
+var twoComponents = [][2]string{
+	{"a", "b"}, {"b", "c"}, {"c", "d"},
+	{"u", "v"}, {"v", "w"}, {"w", "u"},
+}
+
+func TestRewriteBoundReachability(t *testing.T) {
+	edb := edgeDB(twoComponents)
+	goal := datalog.NewAtom("reach", datalog.C(str("a")), datalog.V("y"))
+	for _, sip := range []SIP{LeftToRight, MostBound} {
+		t.Run(sip.String(), func(t *testing.T) {
+			got, goalDirected, err := EvalGoal(context.Background(), tcRules(), goal, edb,
+				datalog.Options{Provenance: true}, Options{SIP: sip})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !goalDirected {
+				t.Fatal("rewrite unexpectedly fell back to full evaluation")
+			}
+			want, err := EvalGoalFull(context.Background(), tcRules(), goal, edb, datalog.Options{Provenance: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertSameAnswers(t, got, want)
+			if len(got) != 3 { // b, c, d
+				t.Fatalf("answers = %v", got)
+			}
+		})
+	}
+}
+
+// The goal-directed fixpoint must not materialize the undemanded component:
+// that is the whole point of the rewrite.
+func TestRewriteDerivesOnlyDemandedFacts(t *testing.T) {
+	edb := edgeDB(twoComponents)
+	prog := program(tcRules(), datalog.NewAtom("reach", datalog.C(str("a")), datalog.V("y")))
+	res, err := Rewrite(prog, AnswerPred, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seeded := edb.Snapshot()
+	seeded.Set(res.SeedPred, schema.Tuple{}, provenance.One())
+	out, err := datalog.Eval(res.Program, seeded, datalog.Options{Provenance: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reach := out.Rel(adornedName("reach", "bf"))
+	if reach.Len() != 3 {
+		t.Fatalf("adorned reach extent = %d facts, want 3 (a->b,c,d)", reach.Len())
+	}
+	for _, f := range reach.Facts() {
+		if !f.Tuple[0].Equal(str("a")) {
+			t.Fatalf("undemanded fact derived: %v", f.Tuple)
+		}
+	}
+	// Full evaluation derives the whole transitive closure of both
+	// components: 6 pairs on the a->b->c->d path, 9 on the u/v/w cycle.
+	full, err := datalog.Eval(&datalog.Program{Rules: tcRules()}, edb, datalog.Options{Provenance: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := full.Rel("reach").Len(); n != 15 {
+		t.Fatalf("full closure = %d facts, want 15", n)
+	}
+}
+
+// Magic (demand) facts must be provenance-neutral: annotated 1, never a
+// product of the prefix they were derived through.
+func TestMagicFactsCarryNoProvenance(t *testing.T) {
+	edb := edgeDB(twoComponents)
+	prog := program(tcRules(), datalog.NewAtom("reach", datalog.C(str("a")), datalog.V("y")))
+	res, err := Rewrite(prog, AnswerPred, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seeded := edb.Snapshot()
+	seeded.Set(res.SeedPred, schema.Tuple{}, provenance.One())
+	out, err := datalog.Eval(res.Program, seeded, datalog.Options{Provenance: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, pred := range out.Preds() {
+		if !strings.HasPrefix(pred, "magic@") {
+			continue
+		}
+		for _, f := range out.Rel(pred).Facts() {
+			if !f.Prov.IsOne() {
+				t.Fatalf("magic fact %s%v carries provenance %v", pred, f.Tuple, f.Prov)
+			}
+		}
+	}
+}
+
+func TestRewriteStratifiedNegation(t *testing.T) {
+	// unreachable(x) :- node(x), !reach@ff... : nodes not reachable from "a".
+	rules := append(tcRules(), datalog.Rule{
+		ID:   "unreached",
+		Head: datalog.NewHead("unreached", datalog.HV("x")),
+		Body: []datalog.Literal{
+			datalog.Pos(datalog.NewAtom("node", datalog.V("x"))),
+			datalog.Neg(datalog.NewAtom("reach", datalog.C(str("a")), datalog.V("x"))),
+		},
+	})
+	edb := edgeDB(twoComponents)
+	for _, n := range []string{"a", "b", "c", "d", "u", "v", "w"} {
+		edb.Add("node", schema.NewTuple(str(n)), provenance.NewVar(provenance.Var("n:"+n)))
+	}
+	goal := datalog.NewAtom("unreached", datalog.V("x"))
+	got, goalDirected, err := EvalGoal(context.Background(), rules, goal, edb,
+		datalog.Options{Provenance: true}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !goalDirected {
+		t.Fatal("stratified negation should rewrite goal-directedly")
+	}
+	want, err := EvalGoalFull(context.Background(), rules, goal, edb, datalog.Options{Provenance: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameAnswers(t, got, want)
+	if len(got) != 4 { // a, u, v, w
+		t.Fatalf("answers = %v", got)
+	}
+}
+
+func TestRewriteSkolemHeadDemoted(t *testing.T) {
+	// view(f(x), x) :- edge(x, y): a bound first goal argument cannot be
+	// joined against the Skolem position; the rewrite must demote it and
+	// still answer correctly.
+	rules := []datalog.Rule{{
+		ID: "sk",
+		Head: datalog.Head{Pred: "view", Terms: []datalog.HeadTerm{
+			datalog.HSkolem("f", datalog.V("x")),
+			datalog.HV("x"),
+		}},
+		Body: []datalog.Literal{datalog.Pos(datalog.NewAtom("edge", datalog.V("x"), datalog.V("y")))},
+	}}
+	edb := edgeDB([][2]string{{"a", "b"}, {"c", "d"}})
+	goal := datalog.NewAtom("view", datalog.V("n"), datalog.C(str("a")))
+	got, _, err := EvalGoal(context.Background(), rules, goal, edb, datalog.Options{Provenance: true}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := EvalGoalFull(context.Background(), rules, goal, edb, datalog.Options{Provenance: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertSameAnswers(t, got, want)
+	if len(got) != 1 || !got[0].Tuple[0].IsLabeledNull() {
+		t.Fatalf("answers = %v", got)
+	}
+}
+
+func TestRewriteRejectsNonIDBGoal(t *testing.T) {
+	if _, err := Rewrite(&datalog.Program{Rules: tcRules()}, "edge", Options{}); err == nil {
+		t.Fatal("EDB goal accepted")
+	}
+}
+
+func TestEvalGoalFallbackSurfacesErrors(t *testing.T) {
+	// Unsafe rule: head variable never bound. The rewrite refuses it and
+	// the full-evaluation fallback re-surfaces the validation error.
+	rules := []datalog.Rule{{
+		ID:   "unsafe",
+		Head: datalog.NewHead("bad", datalog.HV("x"), datalog.HV("ghost")),
+		Body: []datalog.Literal{datalog.Pos(datalog.NewAtom("edge", datalog.V("x"), datalog.V("y")))},
+	}}
+	_, goalDirected, err := EvalGoal(context.Background(), rules,
+		datalog.NewAtom("bad", datalog.V("a"), datalog.V("b")), edgeDB(nil),
+		datalog.Options{}, Options{})
+	if err == nil {
+		t.Fatal("unsafe program accepted")
+	}
+	if goalDirected {
+		t.Fatal("unsafe program reported as goal-directed")
+	}
+}
+
+// Boolean goal: every argument bound, answer is the empty tuple iff true.
+func TestEvalGoalBooleanQuery(t *testing.T) {
+	edb := edgeDB(twoComponents)
+	yes := datalog.NewAtom("reach", datalog.C(str("a")), datalog.C(str("d")))
+	no := datalog.NewAtom("reach", datalog.C(str("a")), datalog.C(str("u")))
+	got, _, err := EvalGoal(context.Background(), tcRules(), yes, edb, datalog.Options{Provenance: true}, Options{})
+	if err != nil || len(got) != 1 || len(got[0].Tuple) != 0 {
+		t.Fatalf("boolean true: %v %v", got, err)
+	}
+	got, _, err = EvalGoal(context.Background(), tcRules(), no, edb, datalog.Options{Provenance: true}, Options{})
+	if err != nil || len(got) != 0 {
+		t.Fatalf("boolean false: %v %v", got, err)
+	}
+}
+
+// assertSameAnswers requires identical tuples and identical provenance
+// polynomials, in the same (deterministic) order.
+func assertSameAnswers(t *testing.T, got, want []datalog.Fact) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("answer count: got %d, want %d\n got: %v\nwant: %v", len(got), len(want), got, want)
+	}
+	for i := range got {
+		if !got[i].Tuple.Equal(want[i].Tuple) {
+			t.Fatalf("answer %d: got %v, want %v", i, got[i].Tuple, want[i].Tuple)
+		}
+		if !got[i].Prov.Equal(want[i].Prov) {
+			t.Fatalf("answer %d (%v): provenance diverged\n got: %v\nwant: %v",
+				i, got[i].Tuple, got[i].Prov, want[i].Prov)
+		}
+	}
+}

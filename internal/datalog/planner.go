@@ -104,6 +104,9 @@ type plan struct {
 	// has none), built once at plan time so emitting a head fact does not
 	// re-derive the canonical single-variable polynomial per emission.
 	tokProv provenance.Poly
+	// provNeutral mirrors Rule.ProvNeutral: firings skip all annotation
+	// products and emit 1.
+	provNeutral bool
 }
 
 // String renders the plan's literal order, for tests and debugging.
@@ -183,6 +186,11 @@ func appendTermKey(b []byte, t Term) []byte {
 // appendRuleKey appends an injective structural encoding of the rule (ID
 // included, since plans bake the ID into their defensive error messages).
 func appendRuleKey(b []byte, r Rule) []byte {
+	if r.ProvNeutral {
+		b = append(b, '0')
+	} else {
+		b = append(b, '1')
+	}
 	b = appendLP(b, r.ID)
 	b = appendLP(b, r.Head.Pred)
 	for _, ht := range r.Head.Terms {
@@ -262,8 +270,8 @@ func (pl *planner) plansFor(rules []Rule, db *DB) []rulePlans {
 // intermediates needs no planning: enumeration stops the moment any step
 // has no candidates.
 func buildPlan(r Rule, deltaIdx int, db *DB, noReorder bool) *plan {
-	p := &plan{deltaIdx: deltaIdx, steps: make([]planStep, 0, len(r.Body))}
-	if r.ProvToken != "" {
+	p := &plan{deltaIdx: deltaIdx, steps: make([]planStep, 0, len(r.Body)), provNeutral: r.ProvNeutral}
+	if r.ProvToken != "" && !r.ProvNeutral {
 		p.tokProv = provenance.NewVar(provenance.Var(r.ProvToken))
 	}
 	var positives, filters []int

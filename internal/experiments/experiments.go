@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"orchestra/internal/datalog"
+	"orchestra/internal/datalog/magic"
 	"orchestra/internal/exchange"
 	"orchestra/internal/mapping"
 	"orchestra/internal/provenance"
@@ -479,6 +480,57 @@ func E6Topologies(sizes []int, txns int) (*Table, error) {
 				k.name, fmt.Sprint(n), fmt.Sprint(len(topo.Mappings)), dur(elapsed), fmt.Sprint(derived),
 			})
 		}
+	}
+	return t, nil
+}
+
+// E8GoalDirectedQuery measures the goal-directed query subsystem
+// (internal/datalog/magic) on the E4 join workload: a point query binding a
+// single organism key against the 3-way OPS join view, evaluated by the
+// full fixpoint (materialize the view, then filter) and by the magic-sets
+// rewrite under both SIP strategies. The goal-directed runs must return the
+// same answers while touching only the bound key's join partners.
+func E8GoalDirectedQuery(n int) (*Table, error) {
+	t := &Table{
+		ID:      "E8",
+		Caption: fmt.Sprintf("goal-directed point query vs full fixpoint (3-way join of %d S-tuples)", n),
+		Header:  []string{"strategy", "time", "answers", "speedup-vs-full"},
+	}
+	prog, edb, err := BuildJoinEDB(n)
+	if err != nil {
+		return nil, err
+	}
+	goal := datalog.NewAtom("c.OPS",
+		datalog.C(schema.String(workload.Organism(3))), datalog.V("p"), datalog.V("s"))
+	opts := datalog.Options{Provenance: true}
+	ctx := context.Background()
+
+	start := time.Now()
+	full, err := magic.EvalGoalFull(ctx, prog.Rules, goal, edb, opts)
+	if err != nil {
+		return nil, err
+	}
+	fullTime := time.Since(start)
+	t.Rows = append(t.Rows, []string{"full-fixpoint", dur(fullTime), fmt.Sprint(len(full)), "1.00x"})
+
+	for _, sip := range []magic.SIP{magic.LeftToRight, magic.MostBound} {
+		start = time.Now()
+		ans, goalDirected, err := magic.EvalGoal(ctx, prog.Rules, goal, edb, opts, magic.Options{SIP: sip})
+		if err != nil {
+			return nil, err
+		}
+		elapsed := time.Since(start)
+		if !goalDirected {
+			return nil, fmt.Errorf("E8: magic rewrite fell back to full evaluation")
+		}
+		if len(ans) != len(full) {
+			return nil, fmt.Errorf("E8: goal-directed (%s) returned %d answers, full fixpoint %d",
+				sip, len(ans), len(full))
+		}
+		t.Rows = append(t.Rows, []string{
+			"goal-directed/" + sip.String(), dur(elapsed), fmt.Sprint(len(ans)),
+			fmt.Sprintf("%.2fx", float64(fullTime)/float64(elapsed)),
+		})
 	}
 	return t, nil
 }

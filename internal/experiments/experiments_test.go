@@ -71,6 +71,21 @@ func TestE4Shape(t *testing.T) {
 	}
 }
 
+func TestE8Shape(t *testing.T) {
+	tbl, err := E8GoalDirectedQuery(500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tbl.Rows))
+	}
+	// E8GoalDirectedQuery itself verifies answer-count agreement; the table
+	// must report one row per strategy with matching counts.
+	if tbl.Rows[0][2] != tbl.Rows[1][2] || tbl.Rows[1][2] != tbl.Rows[2][2] {
+		t.Errorf("answer counts diverge: %v", tbl.Rows)
+	}
+}
+
 func TestE5Shape(t *testing.T) {
 	tbl, err := E5Reconciliation([]int{50}, []float64{0, 1})
 	if err != nil {

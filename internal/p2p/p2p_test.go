@@ -1,6 +1,7 @@
 package p2p
 
 import (
+	"errors"
 	"strings"
 	"testing"
 
@@ -116,15 +117,17 @@ func TestWireRoundTrip(t *testing.T) {
 	if !got2.Updates[0].New[1].IsLabeledNull() {
 		t.Error("labeled null lost on the wire")
 	}
-	// Malformed wire data is rejected.
-	if _, err := DecodeTxn(WireTxn{Peer: "x", Updates: []WireUpdate{{Rel: "R", Op: 9}}}); err == nil {
-		t.Error("bad op accepted")
-	}
-	if _, err := DecodeTxn(WireTxn{Peer: "x", Updates: []WireUpdate{{Rel: "R", Op: 0, New: "zz"}}}); err == nil {
-		t.Error("bad tuple key accepted")
-	}
-	if _, err := DecodeTxn(WireTxn{Peer: "x", Deps: []string{"nocolon"}}); err == nil {
-		t.Error("bad dep accepted")
+	// Malformed wire data is rejected, with every failure wrapping the
+	// ErrBadWire sentinel so errors.Is dispatches through decode failures.
+	for name, w := range map[string]WireTxn{
+		"bad op":        {Peer: "x", Updates: []WireUpdate{{Rel: "R", Op: 9}}},
+		"bad new tuple": {Peer: "x", Updates: []WireUpdate{{Rel: "R", Op: 0, New: "zz"}}},
+		"bad old tuple": {Peer: "x", Updates: []WireUpdate{{Rel: "R", Op: 1, Old: "zz"}}},
+		"bad dep":       {Peer: "x", Deps: []string{"nocolon"}},
+	} {
+		if _, err := DecodeTxn(w); !errors.Is(err, ErrBadWire) {
+			t.Errorf("%s: err = %v, want ErrBadWire", name, err)
+		}
 	}
 }
 

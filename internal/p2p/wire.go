@@ -1,11 +1,18 @@
 package p2p
 
 import (
+	"errors"
 	"fmt"
 
 	"orchestra/internal/schema"
 	"orchestra/internal/updates"
 )
+
+// ErrBadWire reports a malformed wire transaction: an unknown update op or
+// an undecodable tuple/transaction-id encoding. Every DecodeTxn failure
+// wraps it (and the underlying parse error, when there is one), so callers
+// dispatch with errors.Is/errors.As like the rest of the error taxonomy.
+var ErrBadWire = errors.New("p2p: malformed wire transaction")
 
 // Wire representations: transactions travel as JSON with tuples encoded by
 // their canonical injective keys (schema.Tuple.Key), which round-trip
@@ -58,19 +65,19 @@ func DecodeTxn(w WireTxn) (*updates.Transaction, error) {
 	for _, wu := range w.Updates {
 		u := updates.Update{Rel: wu.Rel, Op: updates.Op(wu.Op)}
 		if wu.Op > uint8(updates.OpModify) {
-			return nil, fmt.Errorf("p2p: unknown op %d", wu.Op)
+			return nil, fmt.Errorf("%w: unknown op %d", ErrBadWire, wu.Op)
 		}
 		if wu.Old != "" {
 			tu, err := schema.ParseTupleKey(wu.Old)
 			if err != nil {
-				return nil, fmt.Errorf("p2p: bad old tuple: %v", err)
+				return nil, fmt.Errorf("%w: bad old tuple: %w", ErrBadWire, err)
 			}
 			u.Old = tu
 		}
 		if wu.New != "" {
 			tu, err := schema.ParseTupleKey(wu.New)
 			if err != nil {
-				return nil, fmt.Errorf("p2p: bad new tuple: %v", err)
+				return nil, fmt.Errorf("%w: bad new tuple: %w", ErrBadWire, err)
 			}
 			u.New = tu
 		}
@@ -79,7 +86,7 @@ func DecodeTxn(w WireTxn) (*updates.Transaction, error) {
 	for _, d := range w.Deps {
 		id, err := updates.ParseTxnID(d)
 		if err != nil {
-			return nil, err
+			return nil, fmt.Errorf("%w: bad dep: %w", ErrBadWire, err)
 		}
 		t.Deps = append(t.Deps, id)
 	}

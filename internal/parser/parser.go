@@ -226,27 +226,6 @@ func ParseRules(src string) ([]datalog.Rule, error) {
 	return rules, nil
 }
 
-// ParseQuery parses a single rule whose head names the output variables,
-// e.g. "q(org, seq) :- O(org, oid), S(oid, pid, seq)." and returns the
-// selected variable names plus the body.
-func ParseQuery(src string) (selects []string, body []datalog.Literal, err error) {
-	rules, err := ParseRules(src)
-	if err != nil {
-		return nil, nil, err
-	}
-	if len(rules) != 1 {
-		return nil, nil, fmt.Errorf("parser: query must be a single rule, got %d", len(rules))
-	}
-	r := rules[0]
-	for _, ht := range r.Head.Terms {
-		if !ht.Term.IsVar() {
-			return nil, nil, fmt.Errorf("parser: query head must list variables, got %s", ht.Term)
-		}
-		selects = append(selects, ht.Term.Name)
-	}
-	return selects, r.Body, nil
-}
-
 // ParseMapping parses one tgd with a (possibly multi-atom) head into a
 // schema mapping. All predicates must be peer-qualified; source and target
 // peers are inferred from the qualifications, which must be consistent.

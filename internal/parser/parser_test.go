@@ -106,22 +106,23 @@ func TestParseErrors(t *testing.T) {
 	}
 }
 
-func TestParseQuery(t *testing.T) {
-	sel, body, err := ParseQuery(`q(org, seq) :- O(org, oid), S(oid, pid, seq).`)
+// The REPL's query command parses with ParseRules: the first rule is the
+// goal, later rules define views (see internal/repl).
+func TestParseQueryShapedRules(t *testing.T) {
+	rules, err := ParseRules(`q(org, seq) :- O(org, oid), S(oid, pid, seq). v(x) :- O(x, y).`)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(sel) != 2 || sel[0] != "org" || sel[1] != "seq" {
-		t.Errorf("selects = %v", sel)
+	if len(rules) != 2 {
+		t.Fatalf("rules = %v", rules)
 	}
-	if len(body) != 2 {
-		t.Errorf("body = %v", body)
+	head := rules[0].Head
+	if head.Pred != "q" || len(head.Terms) != 2 ||
+		head.Terms[0].Term.Name != "org" || head.Terms[1].Term.Name != "seq" {
+		t.Errorf("goal head = %v", head)
 	}
-	if _, _, err := ParseQuery(`q("const") :- O(x, y).`); err == nil {
-		t.Error("constant in query head accepted")
-	}
-	if _, _, err := ParseQuery(`a(x) :- O(x, y). b(y) :- O(x, y).`); err == nil {
-		t.Error("multi-rule query accepted")
+	if len(rules[0].Body) != 2 {
+		t.Errorf("goal body = %v", rules[0].Body)
 	}
 }
 

@@ -12,6 +12,7 @@ import (
 	"strings"
 
 	"orchestra/internal/core"
+	"orchestra/internal/datalog"
 	"orchestra/internal/parser"
 	"orchestra/internal/schema"
 	"orchestra/internal/updates"
@@ -152,7 +153,8 @@ func (r *REPL) help() {
   reconcile                        fetch, translate, and apply updates
   resolve PEER:SEQ                 settle a deferred conflict
   status PEER:SEQ                  show a transaction's local status
-  query q(x,...) :- Body.          run a conjunctive query
+  query q(x,...) :- Body. [rules]  run a goal-directed query; extra rules
+                                   define (possibly recursive) views
   explain REL v1 v2 ...            show a tuple's provenance
   dump [REL]                       print the local instance
   epoch                            show the last reconciled epoch
@@ -281,16 +283,35 @@ func (r *REPL) modify(args []string) error {
 	return nil
 }
 
-// query parses and runs a conjunctive query.
+// query parses and runs a query through the goal-directed engine. The
+// first rule is the goal: its head lists the output terms (variables, or
+// constants for bound/boolean goals) and its body the conditions. Any
+// further rules on the same line define views the goal may reference —
+// including recursively:
+//
+//	query reach(y) :- linked(1, y). linked(a,b) :- S(a,b,s). linked(a,c) :- linked(a,b), S(b,c,s).
 func (r *REPL) query(text string) error {
 	if !strings.HasSuffix(strings.TrimSpace(text), ".") {
 		text += "."
 	}
-	sel, body, err := parser.ParseQuery(text)
+	rules, err := parser.ParseRules(text)
 	if err != nil {
 		return err
 	}
-	ans, err := r.peer.Query(context.Background(), core.Query{Select: sel, Body: body})
+	if len(rules) == 0 {
+		return fmt.Errorf("usage: query q(x, ...) :- Body. [view rules...]")
+	}
+	goalTerms := make([]datalog.Term, len(rules[0].Head.Terms))
+	for i, ht := range rules[0].Head.Terms {
+		if ht.Skolem != nil {
+			return fmt.Errorf("query head cannot use skolem terms")
+		}
+		goalTerms[i] = ht.Term
+	}
+	ans, err := r.peer.QueryGoal(context.Background(), core.GoalQuery{
+		Goal:  datalog.NewAtom(rules[0].Head.Pred, goalTerms...),
+		Rules: rules,
+	})
 	if err != nil {
 		return err
 	}

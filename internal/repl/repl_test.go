@@ -78,6 +78,31 @@ epoch
 	}
 }
 
+// The query command routes through the goal-directed engine and accepts
+// extra view rules — including recursive ones.
+func TestRecursiveQueryCommand(t *testing.T) {
+	alaska, _, outA, _ := twoNodeSetup(t)
+	script := `
+insert S 1 2 AAAA
+insert S 2 3 CCCC
+insert S 3 4 GGGG
+insert S 10 11 TTTT
+query q(y) :- linked(1, y). linked(a, b) :- S(a, b, s). linked(a, c) :- linked(a, b), S(b, c, s).
+`
+	if err := alaska.Run(strings.NewReader(script)); err != nil {
+		t.Fatal(err)
+	}
+	out := outA.String()
+	for _, frag := range []string{"(2)", "(3)", "(4)", "3 answer(s)"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("transcript missing %q:\n%s", frag, out)
+		}
+	}
+	if strings.Contains(out, "(11)") {
+		t.Errorf("undemanded component answered:\n%s", out)
+	}
+}
+
 func TestModifyAndDelete(t *testing.T) {
 	alaska, _, outA, _ := twoNodeSetup(t)
 	script := `

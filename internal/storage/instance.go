@@ -15,6 +15,11 @@ type Instance struct {
 	mu     sync.RWMutex
 	schema *schema.Schema
 	tables map[string]*Table
+	// version counts successful mutations (Insert/Upsert/Delete). Derived
+	// caches over the instance — notably the peer's datalog-EDB query mirror
+	// — compare versions to detect out-of-band writes and rebuild instead of
+	// serving stale data.
+	version uint64
 }
 
 // NewInstance creates an empty instance with one table per relation.
@@ -60,6 +65,7 @@ func (in *Instance) Insert(rel string, tu schema.Tuple, prov provenance.Poly) er
 	if !ok {
 		return fmt.Errorf("%w %s", ErrUnknownRelation, rel)
 	}
+	in.version++
 	return t.Insert(tu, prov)
 }
 
@@ -71,6 +77,7 @@ func (in *Instance) Upsert(rel string, tu schema.Tuple, prov provenance.Poly) (*
 	if !ok {
 		return nil, fmt.Errorf("%w %s", ErrUnknownRelation, rel)
 	}
+	in.version++
 	return t.Upsert(tu, prov)
 }
 
@@ -82,7 +89,17 @@ func (in *Instance) Delete(rel string, tu schema.Tuple) (bool, error) {
 	if !ok {
 		return false, fmt.Errorf("%w %s", ErrUnknownRelation, rel)
 	}
+	in.version++
 	return t.Delete(tu), nil
+}
+
+// Version returns the instance's mutation counter: it advances on every
+// Insert, Upsert, or Delete (successful or not — it only ever
+// over-invalidates). Snapshots and clones start their own counter.
+func (in *Instance) Version() uint64 {
+	in.mu.RLock()
+	defer in.mu.RUnlock()
+	return in.version
 }
 
 // Rows returns the named relation's rows sorted by tuple order, under the

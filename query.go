@@ -1,0 +1,236 @@
+package orchestra
+
+import (
+	"context"
+	"fmt"
+	"iter"
+
+	"orchestra/internal/core"
+	"orchestra/internal/datalog"
+	"orchestra/internal/datalog/magic"
+)
+
+// This file is the public query surface: a goal-directed, provenance-
+// carrying query builder over a peer's local instance. Queries name a goal
+// — a predicate with bound (constant) and free (variable) argument modes —
+// and may define view rules (recursive, with stratified negation and
+// comparisons) the goal references. Evaluation is goal-directed by default:
+// the view program is magic-rewritten for the goal's binding pattern
+// (internal/datalog/magic), so only facts reachable from the bound
+// arguments drive the fixpoint, instead of materializing every view over
+// the whole instance.
+//
+//	reachable := peer.Query(ctx, "reach", orchestra.Bind(orchestra.String("alice")), orchestra.Free("who")).
+//	    Rule("reach", []string{"a", "b"}, orchestra.Atom("follows", orchestra.Free("a"), orchestra.Free("b"))).
+//	    Rule("reach", []string{"a", "c"},
+//	        orchestra.Atom("reach", orchestra.Free("a"), orchestra.Free("b")),
+//	        orchestra.Atom("follows", orchestra.Free("b"), orchestra.Free("c")))
+//	for ans, err := range reachable.Stream() {
+//	    if err != nil { ... }
+//	    use(ans.Tuple, ans.Prov)
+//	}
+
+// Answer is one query result: the values of the goal's distinct free
+// variables (first-occurrence order) plus the provenance polynomial
+// combining the provenance of every fact joined to derive it. A goal with
+// no free variables is a boolean query: it yields a single empty-tuple
+// Answer when it holds and nothing when it does not. With
+// WithProvenance(false) the polynomial is zero.
+type Answer = core.Answer
+
+// SIPStrategy selects how the magic-sets rewrite passes bindings sideways
+// through rule bodies; see the constants.
+type SIPStrategy = magic.SIP
+
+const (
+	// SIPLeftToRight propagates bindings through body literals in written
+	// order (the default).
+	SIPLeftToRight = magic.LeftToRight
+	// SIPMostBound propagates bindings greedily through the most-bound
+	// literal first, mirroring the evaluator's join planner.
+	SIPMostBound = magic.MostBound
+)
+
+// CmpOp is a comparison operator for Filter literals.
+type CmpOp = datalog.CmpOp
+
+// Comparison operators.
+const (
+	CmpEq CmpOp = datalog.OpEq
+	CmpNe CmpOp = datalog.OpNe
+	CmpLt CmpOp = datalog.OpLt
+	CmpLe CmpOp = datalog.OpLe
+	CmpGt CmpOp = datalog.OpGt
+	CmpGe CmpOp = datalog.OpGe
+)
+
+// QueryTerm is one argument of a goal or body atom: bound to a constant
+// (Bind) or a named free variable (Free).
+type QueryTerm struct {
+	term datalog.Term
+	err  error
+}
+
+// Bind makes a bound argument: the position must equal the value. Bound
+// goal arguments are what goal-directed evaluation specializes on.
+func Bind(v Value) QueryTerm { return QueryTerm{term: datalog.C(v)} }
+
+// Free makes a free (variable) argument. Repeating a name joins the
+// positions; in a goal, each distinct name contributes one output column.
+func Free(name string) QueryTerm {
+	if name == "" {
+		return QueryTerm{err: fmt.Errorf("orchestra: Free with an empty variable name")}
+	}
+	return QueryTerm{term: datalog.V(name)}
+}
+
+// QueryLiteral is one body element of a view rule: an atom, a negated
+// atom, or a comparison filter.
+type QueryLiteral struct {
+	lit datalog.Literal
+	err error
+}
+
+// Atom matches the named relation or view with the given argument modes.
+func Atom(pred string, args ...QueryTerm) QueryLiteral {
+	terms, err := termList(args)
+	return QueryLiteral{lit: datalog.Pos(datalog.NewAtom(pred, terms...)), err: err}
+}
+
+// Not matches when no fact of the relation or view matches; every variable
+// it uses must also appear in a positive atom of the same rule.
+func Not(pred string, args ...QueryTerm) QueryLiteral {
+	terms, err := termList(args)
+	return QueryLiteral{lit: datalog.Neg(datalog.NewAtom(pred, terms...)), err: err}
+}
+
+// Filter compares two terms; its variables must appear in positive atoms
+// of the same rule.
+func Filter(left QueryTerm, op CmpOp, right QueryTerm) QueryLiteral {
+	err := left.err
+	if err == nil {
+		err = right.err
+	}
+	return QueryLiteral{lit: datalog.Cmp(left.term, op, right.term), err: err}
+}
+
+func termList(args []QueryTerm) ([]datalog.Term, error) {
+	terms := make([]datalog.Term, len(args))
+	for i, a := range args {
+		if a.err != nil {
+			return nil, a.err
+		}
+		terms[i] = a.term
+	}
+	return terms, nil
+}
+
+// Query is an in-flight query description; build it with Peer.Query, add
+// view rules and options, then consume Stream or All. A Query is not safe
+// for concurrent mutation, but the terminal operations only read it.
+type Query struct {
+	peer *Peer
+	ctx  context.Context
+	gq   core.GoalQuery
+	err  error
+}
+
+// Query starts a goal-directed query: goal names a stored relation or a
+// view rule head added with Rule, and args give its bound/free argument
+// modes. The context bounds evaluation — cancellation and deadlines stop
+// the fixpoint within one iteration.
+func (p *Peer) Query(ctx context.Context, goal string, args ...QueryTerm) *Query {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	q := &Query{peer: p, ctx: ctx}
+	terms, err := termList(args)
+	q.err = err
+	q.gq.Goal = datalog.NewAtom(goal, terms...)
+	q.gq.NoProvenance = !p.set.provenance
+	return q
+}
+
+// Rule adds a view rule: pred(vars...) holds for every assignment
+// satisfying all body literals. Rules may reference stored relations,
+// other views, and themselves (recursion); negation must be stratified.
+// Rule heads must not shadow stored relations.
+func (q *Query) Rule(pred string, vars []string, body ...QueryLiteral) *Query {
+	head := make([]datalog.HeadTerm, len(vars))
+	for i, v := range vars {
+		if v == "" && q.err == nil {
+			q.err = fmt.Errorf("orchestra: rule %s: empty head variable name", pred)
+		}
+		head[i] = datalog.HV(v)
+	}
+	lits := make([]datalog.Literal, len(body))
+	for i, b := range body {
+		if b.err != nil && q.err == nil {
+			q.err = b.err
+		}
+		lits[i] = b.lit
+	}
+	q.gq.Rules = append(q.gq.Rules, datalog.Rule{
+		ID:   fmt.Sprintf("%s/%d", pred, len(q.gq.Rules)),
+		Head: datalog.Head{Pred: pred, Terms: head},
+		Body: lits,
+	})
+	return q
+}
+
+// SIP selects the sideways-information-passing strategy for the magic
+// rewrite (default SIPLeftToRight).
+func (q *Query) SIP(s SIPStrategy) *Query {
+	q.gq.SIP = s
+	return q
+}
+
+// FullFixpoint disables goal-directed evaluation: every view rule is
+// materialized over the whole instance and the goal filters the result.
+// Answers are identical to the default mode — this is the reference
+// baseline, kept callable for verification and benchmarking.
+func (q *Query) FullFixpoint() *Query {
+	q.gq.Mode = core.FullFixpoint
+	return q
+}
+
+// Stream evaluates the query and yields its answers with their provenance,
+// in deterministic order. The sequence yields (zero, err) exactly once if
+// the query is malformed (ErrInvalidQuery), the context ends
+// (ctx.Err()), or the system is closed (ErrClosed); breaking out of the
+// range loop simply stops. Each range over the sequence re-evaluates the
+// query against the then-current instance.
+func (q *Query) Stream() iter.Seq2[Answer, error] {
+	return func(yield func(Answer, error) bool) {
+		if q.err != nil {
+			yield(Answer{}, &taggedError{sentinel: ErrInvalidQuery, err: q.err})
+			return
+		}
+		if q.peer.sys.ctx.Err() != nil {
+			yield(Answer{}, ErrClosed)
+			return
+		}
+		answers, err := q.peer.core.QueryGoal(q.ctx, q.gq)
+		if err != nil {
+			yield(Answer{}, wrapErr(err))
+			return
+		}
+		for _, a := range answers {
+			if !yield(a, nil) {
+				return
+			}
+		}
+	}
+}
+
+// All evaluates the query and collects every answer.
+func (q *Query) All() ([]Answer, error) {
+	var out []Answer
+	for a, err := range q.Stream() {
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
