@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fmt fmt-check bench bench-smoke bench-query bench-baseline bench-compare examples-check ci
+.PHONY: build test race vet fmt fmt-check bench bench-smoke bench-query bench-publish bench-baseline bench-compare examples-check ci
 
 ## build: compile every package
 build:
@@ -11,9 +11,10 @@ test: build
 	$(GO) test ./...
 
 ## race: full test suite under the race detector (exercises the parallel
-## stratum executor; see internal/datalog)
+## stratum executor; see internal/datalog), with shuffled test order so
+## hidden inter-test state dependencies cannot hide
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -shuffle=on ./...
 
 ## vet: static analysis
 vet:
@@ -42,6 +43,13 @@ bench-smoke:
 ## magic-sets acceptance pair; see internal/datalog/magic)
 bench-query:
 	$(GO) test -bench 'BenchmarkQuery(GoalDirected|FullFixpoint)' -benchmem -run '^$$' .
+
+## bench-publish: group-commit publication benchmarks (the E9 acceptance
+## pair; sequential per-publish reconcile vs coalesced batch — DESIGN.md §8).
+## BENCHTIME is tunable so the CI smoke can run it at 1x.
+BENCHTIME ?= 10x
+bench-publish:
+	$(GO) test -bench 'BenchmarkPublishBatch' -benchtime=$(BENCHTIME) -benchmem -run '^$$' .
 
 ## bench-baseline: regenerate the committed BENCH_baseline.json snapshot
 bench-baseline:

@@ -1,0 +1,105 @@
+package orchestra_test
+
+// BenchmarkPublishBatch* quantify group-commit publication (E9): a
+// 64-transaction burst from 3 publishing peers of a 6-peer distribution
+// pipeline, drained to every peer. Sequential is the uncoalesced push-pump
+// behavior — every Publish is reconciled by every peer before the next, so
+// each of the 64 epochs pays a full fetch + translate + reconcile round at
+// all 6 peers. Grouped coalesces the burst: publishers archive their
+// backlog with one Publish each, and every peer drains the whole burst in
+// one Reconcile, whose insert-only run translates through a single seeded
+// semi-naive fixpoint (exchange.Engine.ApplyAll) with per-transaction
+// provenance attribution. The engine-level Apply-vs-ApplyAll split across
+// topologies is experiment E9 in cmd/orchestra-bench.
+
+import (
+	"context"
+	"testing"
+
+	"orchestra/internal/core"
+	"orchestra/internal/p2p"
+	"orchestra/internal/recon"
+	"orchestra/internal/workload"
+)
+
+const (
+	publishBurstTxns  = 64
+	publishBurstPeers = 3
+)
+
+type burstBench struct {
+	peers map[string]*core.Peer
+	names []string
+}
+
+func newBurstBench(b *testing.B) *burstBench {
+	b.Helper()
+	topo := workload.Pipeline(6)
+	sys, err := core.NewSystem(topo.Peers, topo.Mappings)
+	if err != nil {
+		b.Fatal(err)
+	}
+	store := p2p.NewMemoryStore()
+	bb := &burstBench{peers: map[string]*core.Peer{}, names: topo.Names}
+	for _, n := range topo.Names {
+		p, err := core.NewPeer(n, sys, store, recon.TrustAll(1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		bb.peers[n] = p
+	}
+	return bb
+}
+
+func (bb *burstBench) commit(b *testing.B, i int, key int64) *core.Peer {
+	b.Helper()
+	p := bb.peers[bb.names[i%publishBurstPeers]]
+	if _, err := p.NewTransaction().
+		Insert("S", workload.STuple(key, key, workload.Sequence(key, key))).
+		Commit(); err != nil {
+		b.Fatal(err)
+	}
+	return p
+}
+
+func BenchmarkPublishBatchSequential(b *testing.B) {
+	ctx := context.Background()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		bb := newBurstBench(b)
+		b.StartTimer()
+		for t := 0; t < publishBurstTxns; t++ {
+			p := bb.commit(b, t, int64(1<<30)+int64(t))
+			if _, err := p.Publish(ctx); err != nil {
+				b.Fatal(err)
+			}
+			for _, n := range bb.names {
+				if _, err := bb.peers[n].Reconcile(ctx); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkPublishBatchGrouped(b *testing.B) {
+	ctx := context.Background()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		bb := newBurstBench(b)
+		b.StartTimer()
+		for t := 0; t < publishBurstTxns; t++ {
+			bb.commit(b, t, int64(1<<30)+int64(t))
+		}
+		for t := 0; t < publishBurstPeers; t++ {
+			if _, _, err := bb.peers[bb.names[t]].PublishAll(ctx); err != nil {
+				b.Fatal(err)
+			}
+		}
+		for _, n := range bb.names {
+			if _, err := bb.peers[n].Reconcile(ctx); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}

@@ -1,6 +1,7 @@
-// Command orchestra-bench regenerates the experiment tables E1–E8 indexed
+// Command orchestra-bench regenerates the experiment tables E1–E9 indexed
 // in DESIGN.md §2 and recorded in EXPERIMENTS.md (E8, the goal-directed
-// query ablation, is described in DESIGN.md §7). Sizes are laptop-scale by
+// query ablation, is described in DESIGN.md §7; E9, group-commit update
+// exchange, in DESIGN.md §8). Sizes are laptop-scale by
 // default; -quick shrinks them further, -full grows them.
 //
 // Usage:
@@ -34,6 +35,7 @@ func main() {
 	e5sizes, e5rates := []int{100, 1000}, []float64{0, 0.1, 0.5}
 	e6sizes, e6txns := []int{2, 4, 8}, 100
 	e7peers, e7txns, e7bounds := 4, 60, []int{1, 4, 8, 0}
+	e9burst, e9pub := 64, 3
 	if *quick {
 		e1 = []int{10, 50}
 		e2base, e2fracs = 400, []float64{0.01, 0.1, 1.0}
@@ -42,6 +44,7 @@ func main() {
 		e5sizes, e5rates = []int{100}, []float64{0, 0.5}
 		e6sizes, e6txns = []int{2, 4}, 30
 		e7peers, e7txns, e7bounds = 3, 20, []int{1, 8, 0}
+		e9burst, e9pub = 16, 2
 	}
 	if *full {
 		e1 = []int{20, 100, 400, 2000}
@@ -51,6 +54,7 @@ func main() {
 		e5sizes, e5rates = []int{100, 1000, 5000}, []float64{0, 0.1, 0.5}
 		e6sizes, e6txns = []int{2, 4, 8, 16}, 200
 		e7peers, e7txns, e7bounds = 4, 100, []int{1, 4, 8, 16, 0}
+		e9burst, e9pub = 256, 4
 	}
 
 	wanted := map[string]bool{}
@@ -74,6 +78,7 @@ func main() {
 		{"E6", func() (*experiments.Table, error) { return experiments.E6Topologies(e6sizes, e6txns) }},
 		{"E7", func() (*experiments.Table, error) { return experiments.E7WitnessBound(e7peers, e7txns, e7bounds) }},
 		{"E8", func() (*experiments.Table, error) { return experiments.E8GoalDirectedQuery(e4) }},
+		{"E9", func() (*experiments.Table, error) { return experiments.E9PublishBatch(e9burst, e9pub) }},
 	}
 	for _, r := range runners {
 		if !want(r.id) {

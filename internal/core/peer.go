@@ -426,20 +426,27 @@ func (p *Peer) Reconcile(ctx context.Context) (*ReconcileReport, error) {
 		return nil, err
 	}
 	report := &ReconcileReport{Epoch: epoch, Fetched: len(txns)}
-	var candidates []*updates.Transaction
+	fresh := txns[:0:0]
 	for _, txn := range txns {
-		if p.engine.Applied(txn.ID) {
-			continue
+		if !p.engine.Applied(txn.ID) {
+			fresh = append(fresh, txn)
 		}
-		res, err := p.engine.Apply(ctx, txn)
-		if err != nil {
-			// Apply can fail partway through a transaction (cooperative
-			// cancellation abandons a half-propagated fixpoint), which the
-			// engine declares fatal: mark it for rebuild rather than ever
-			// re-using the partial state.
-			p.engineDirty = true
-			return nil, err
-		}
+	}
+	// Group-commit: the whole fetched batch translates through one seeded
+	// fixpoint per insert-only run (exchange.Engine.ApplyAll) instead of one
+	// per transaction, which is what lets the subscription push pump
+	// coalesce publication bursts.
+	results, err := p.engine.ApplyAll(ctx, fresh)
+	if err != nil {
+		// ApplyAll can fail partway through the batch (cooperative
+		// cancellation abandons a half-propagated fixpoint), which the
+		// engine declares fatal: mark it for rebuild rather than ever
+		// re-using the partial state.
+		p.engineDirty = true
+		return nil, err
+	}
+	var candidates []*updates.Transaction
+	for i, txn := range fresh {
 		if txn.ID.Peer == p.name {
 			// Our own published transaction coming back: already applied
 			// locally at commit time.
@@ -448,8 +455,8 @@ func (p *Peer) Reconcile(ctx context.Context) (*ReconcileReport, error) {
 		cand := &updates.Transaction{
 			ID:      txn.ID,
 			Epoch:   txn.Epoch,
-			Updates: res.PerPeer[p.name],
-			Deps:    mergeDeps(txn.Deps, res.ExtraDeps[p.name]),
+			Updates: results[i].PerPeer[p.name],
+			Deps:    mergeDeps(txn.Deps, results[i].ExtraDeps[p.name]),
 		}
 		candidates = append(candidates, cand)
 	}
@@ -481,13 +488,15 @@ func (p *Peer) rebuildEngine(ctx context.Context) error {
 	if err != nil {
 		return err
 	}
+	replay := txns[:0:0]
 	for _, txn := range txns {
 		if txn.Epoch > p.lastEpoch {
 			break
 		}
-		if _, err := eng.Apply(ctx, txn); err != nil {
-			return err
-		}
+		replay = append(replay, txn)
+	}
+	if _, err := eng.ApplyAll(ctx, replay); err != nil {
+		return err
 	}
 	p.engine = eng
 	p.engineDirty = false

@@ -14,9 +14,13 @@ type Fact struct {
 	Prov  provenance.Poly
 }
 
-// Rel is the annotated extent of one predicate. Facts are stored once, by
-// pointer, and shared with the hash-index layer (index.go), so a provenance
-// update is a single in-place write.
+// Rel is the annotated extent of one predicate — the per-predicate shard of
+// a DB. Facts are stored once, by pointer, and shared with the hash-index
+// layer (index.go), so a provenance update is a single in-place write. The
+// *Fact structs themselves are allocated from contiguous slabs (see
+// newFact): one bulk allocation per relSlabSize facts instead of one heap
+// object per fact, which densifies the long-lived union database and cuts
+// the GC's pointer-chasing scan load on large accumulated extents.
 //
 // A Rel captured by DB.Snapshot is marked shared: every DB holding it must
 // copy-on-write (DB.MutableRel) before its next mutation, because both the
@@ -25,7 +29,15 @@ type Fact struct {
 // index builds are semantically read-only and stay safe on a shared Rel.
 type Rel struct {
 	facts map[string]*Fact
-	idx   relIndex // see index.go
+	// slab is the current allocation slab. Slabs are fixed-capacity and
+	// never reallocated, so &slab[i] stays valid for the extent's lifetime —
+	// the address stability the facts map and index buckets rely on.
+	slab []Fact
+	// free lists zeroed slots of removed facts for reuse, so delete-heavy
+	// churn recycles slab capacity instead of pinning mostly dead slabs
+	// behind a few live stragglers.
+	free []*Fact
+	idx  relIndex // see index.go
 	// shared marks the extent as reachable from a snapshot. Once set it is
 	// never cleared: each holder clones on its first subsequent mutation.
 	// Atomic so that concurrent evaluations over one shared EDB — each
@@ -36,6 +48,27 @@ type Rel struct {
 // NewRel creates an empty extent.
 func NewRel() *Rel {
 	return &Rel{facts: map[string]*Fact{}}
+}
+
+// relSlabSize is the number of facts allocated per contiguous slab.
+const relSlabSize = 256
+
+// newFact allocates storage for one fact, reusing a freed slot when one
+// exists and otherwise appending to the shard's current slab (starting a
+// fresh slab when full). Callers must store the returned pointer in the
+// facts map before the next newFact call.
+func (r *Rel) newFact(t schema.Tuple, p provenance.Poly) *Fact {
+	if n := len(r.free); n > 0 {
+		f := r.free[n-1]
+		r.free = r.free[:n-1]
+		*f = Fact{Tuple: t, Prov: p}
+		return f
+	}
+	if len(r.slab) == cap(r.slab) {
+		r.slab = make([]Fact, 0, relSlabSize)
+	}
+	r.slab = append(r.slab, Fact{Tuple: t, Prov: p})
+	return &r.slab[len(r.slab)-1]
 }
 
 // Len returns the number of facts.
@@ -78,13 +111,16 @@ func (r *Rel) putKeyed(k string, t schema.Tuple, p provenance.Poly) bool {
 		f.Prov = f.Prov.Add(p).Intern()
 		return true
 	}
-	f := &Fact{Tuple: t, Prov: p.Intern()}
+	f := r.newFact(t, p.Intern())
 	r.facts[k] = f
 	r.indexInsert(f)
 	return true
 }
 
-// remove deletes the fact stored under key k, keeping indexes in sync.
+// remove deletes the fact stored under key k, keeping indexes in sync. The
+// dead slab slot is zeroed so it stops pinning the tuple and annotation,
+// and queued for reuse by the next insertion; callers that still need the
+// fact's contents must copy them out first.
 func (r *Rel) remove(k string) {
 	f, ok := r.facts[k]
 	if !ok {
@@ -92,6 +128,8 @@ func (r *Rel) remove(k string) {
 	}
 	delete(r.facts, k)
 	r.indexRemove(f)
+	*f = Fact{}
+	r.free = append(r.free, f)
 }
 
 // Facts returns all facts in deterministic (tuple) order.
@@ -144,13 +182,16 @@ func (db *DB) MutableRel(pred string) *Rel {
 
 // cowClone deep-copies the extent's facts (the *Fact structs are mutated in
 // place by provenance merges, so they cannot be shared across the COW
-// boundary). Indexes are not copied — the clone rebuilds them lazily on
-// first probe, while the frozen side keeps its own.
+// boundary). The clone's facts land in one exactly-sized slab — a cloned
+// shard is maximally dense regardless of the original's slab fill. Indexes
+// are not copied — the clone rebuilds them lazily on first probe, while the
+// frozen side keeps its own.
 func (r *Rel) cowClone() *Rel {
 	nr := NewRel()
+	nr.slab = make([]Fact, 0, len(r.facts))
 	for k, f := range r.facts {
-		cp := *f
-		nr.facts[k] = &cp
+		nr.slab = append(nr.slab, *f)
+		nr.facts[k] = &nr.slab[len(nr.slab)-1]
 	}
 	return nr
 }

@@ -374,9 +374,10 @@ func runRound(ctx context.Context, jobs []job, db *DB, opts Options, absorb func
 	}
 	if workers <= 1 {
 		emit := func(pred string, t schema.Tuple, p provenance.Poly) {
-			k, newPart, changed, fresh := merge(db.MutableRel(pred), t, p, opts)
+			mr, changed := merge(db.MutableRel(pred), t, p, opts)
 			if changed {
-				absorb(mergeResult{pred: pred, key: k, tuple: t, newPart: newPart, fresh: fresh})
+				mr.pred = pred
+				absorb(mr)
 			}
 		}
 		for _, j := range jobs {
@@ -454,9 +455,10 @@ func runRound(ctx context.Context, jobs []job, db *DB, opts Options, absorb func
 				if opts.ChaseSubsumption && e.tuple.HasLabeledNull() && subsumedByExisting(g.rel, e.tuple) {
 					continue
 				}
-				k, newPart, changed, fresh := merge(g.rel, e.tuple, e.prov, opts)
+				mr, changed := merge(g.rel, e.tuple, e.prov, opts)
 				if changed {
-					g.results = append(g.results, mergeResult{pred: e.pred, key: k, tuple: e.tuple, newPart: newPart, fresh: fresh})
+					mr.pred = e.pred
+					g.results = append(g.results, mr)
 				}
 			}
 		}(g)
@@ -472,27 +474,30 @@ func runRound(ctx context.Context, jobs []job, db *DB, opts Options, absorb func
 }
 
 // mergeResult describes the outcome of folding one derived fact into its
-// relation: the genuinely new annotation part, and whether the tuple itself
-// was absent before the merge.
+// relation: the genuinely new annotation part, whether the tuple itself was
+// absent before the merge, and the annotation the tuple carried before
+// (zero when fresh) — batched insertion replays per-transaction merges from
+// it (see Incremental.InsertGroups).
 type mergeResult struct {
 	pred    string
 	key     string
 	tuple   schema.Tuple
 	newPart provenance.Poly
 	fresh   bool
+	prior   provenance.Poly
 }
 
 // merge folds a derived annotation into the stored fact. It returns the
-// tuple's key, the genuinely new annotation part, whether anything changed,
-// and whether the tuple was absent before.
-func merge(rel *Rel, t schema.Tuple, p provenance.Poly, opts Options) (string, provenance.Poly, bool, bool) {
+// merge outcome (pred left for the caller to fill) and whether anything
+// changed.
+func merge(rel *Rel, t schema.Tuple, p provenance.Poly, opts Options) (mergeResult, bool) {
 	k := t.Key()
 	if !opts.Provenance {
 		if _, ok := rel.facts[k]; ok {
-			return k, provenance.Poly{}, false, false
+			return mergeResult{key: k, tuple: t}, false
 		}
 		rel.putKeyed(k, t, provenance.One())
-		return k, provenance.One(), true, true
+		return mergeResult{key: k, tuple: t, newPart: provenance.One(), fresh: true}, true
 	}
 	if !opts.Exact {
 		p = p.Linearize()
@@ -503,30 +508,39 @@ func merge(rel *Rel, t schema.Tuple, p provenance.Poly, opts Options) (string, p
 			p = p.Truncate(opts.MaxMonomials)
 		}
 		rel.putKeyed(k, t, p)
-		return k, p, true, true
+		return mergeResult{key: k, tuple: t, newPart: p, fresh: true}, true
 	}
 	if opts.Exact {
 		// Exact mode runs on non-recursive programs where each derivation
 		// is enumerated exactly once: always accumulate.
+		prior := existing.Prov
 		rel.putKeyed(k, t, p)
-		return k, p, true, false
+		return mergeResult{key: k, tuple: t, newPart: p, prior: prior}, true
 	}
 	// Fast path: a re-derivation whose witnesses are already stored changes
 	// nothing. The containment walk over cached keys avoids the
 	// Add/Linearize/Truncate allocation chain that dominates convergence
 	// rounds.
 	if existing.Prov.Subsumes(p) {
-		return k, provenance.Poly{}, false, false
+		return mergeResult{key: k, tuple: t}, false
 	}
 	merged := existing.Prov.Add(p).Linearize().Truncate(opts.MaxMonomials)
 	if merged.Equal(existing.Prov) {
-		return k, provenance.Poly{}, false, false
+		return mergeResult{key: k, tuple: t}, false
 	}
-	// Isolate the monomials not already present (truncation only drops
-	// monomials, so merged != existing implies at least one new one). Both
-	// polynomials are canonical, so their cached key lists are sorted and a
-	// two-pointer walk finds the difference without building a map.
-	exKeys := existing.Prov.Keys()
+	newPart := diffNew(merged, existing.Prov)
+	prior := existing.Prov
+	existing.Prov = merged.Intern()
+	return mergeResult{key: k, tuple: t, newPart: newPart, prior: prior}, true
+}
+
+// diffNew returns the monomials of merged that existing lacks (truncation
+// only drops monomials, so merged != existing implies at least one new
+// one). Both polynomials are canonical, so their cached key lists are
+// sorted and a two-pointer walk finds the difference without building a
+// map.
+func diffNew(merged, existing provenance.Poly) provenance.Poly {
+	exKeys := existing.Keys()
 	mKeys, mMonos := merged.Keys(), merged.Monomials()
 	var fresh []provenance.Monomial
 	i := 0
@@ -540,9 +554,7 @@ func merge(rel *Rel, t schema.Tuple, p provenance.Poly, opts Options) (string, p
 		}
 		fresh = append(fresh, mMonos[j])
 	}
-	newPart := provenance.FromMonomials(fresh)
-	existing.Prov = merged.Intern()
-	return k, newPart, true, false
+	return provenance.FromMonomials(fresh)
 }
 
 // fireRule enumerates all satisfying assignments of the rule body in the

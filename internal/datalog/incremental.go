@@ -183,40 +183,48 @@ func (inc *Incremental) Insert(ctx context.Context, facts []Fact2) ([]Change, er
 	delta := map[string]map[string]deltaFact{}
 	opts := inc.opts
 	for _, bf := range facts {
-		k, newPart, changed, _ := merge(inc.db.MutableRel(bf.Pred), bf.Tuple, bf.Prov, opts)
+		mr, changed := merge(inc.db.MutableRel(bf.Pred), bf.Tuple, bf.Prov, opts)
 		if !changed {
 			continue
 		}
-		inc.indexFact(bf.Pred, k, newPart)
-		m := delta[bf.Pred]
-		if m == nil {
-			m = map[string]deltaFact{}
-			delta[bf.Pred] = m
-		}
-		// The same tuple can appear more than once in a batch (distinct
-		// tokens): accumulate its delta annotation, never overwrite it.
-		if df, ok := m[k]; ok {
-			df.prov = df.prov.Add(newPart).Linearize()
-			m[k] = df
-		} else {
-			m[k] = deltaFact{tuple: bf.Tuple, prov: newPart}
-		}
-		changes = append(changes, Change{Pred: bf.Pred, Tuple: bf.Tuple, Key: k, Prov: newPart, Fresh: true})
+		inc.indexFact(bf.Pred, mr.key, mr.newPart)
+		addDelta(delta, bf.Pred, mr.key, bf.Tuple, mr.newPart)
+		changes = append(changes, Change{Pred: bf.Pred, Tuple: bf.Tuple, Key: mr.key, Prov: mr.newPart, Fresh: true})
 	}
 	if len(delta) == 0 {
 		return nil, nil
 	}
 	// Propagate stratum by stratum; the delta from earlier strata feeds
 	// later ones.
+	sink := func(mr mergeResult) {
+		changes = append(changes, Change{Pred: mr.pred, Tuple: mr.tuple, Key: mr.key, Prov: mr.newPart, Fresh: mr.fresh})
+	}
 	for si, stratum := range inc.strata {
 		var err error
-		delta, err = inc.propagate(ctx, stratum, inc.planTab[si], delta, &changes)
+		delta, err = inc.propagate(ctx, stratum, inc.planTab[si], delta, sink)
 		if err != nil {
 			return nil, err
 		}
 	}
 	sortChanges(changes)
 	return changes, nil
+}
+
+// addDelta folds one merge's genuinely new annotation part into a pending
+// delta. The same tuple can appear more than once in a batch (distinct
+// tokens): its delta annotation accumulates, never overwrites.
+func addDelta(delta map[string]map[string]deltaFact, pred, k string, tu schema.Tuple, newPart provenance.Poly) {
+	m := delta[pred]
+	if m == nil {
+		m = map[string]deltaFact{}
+		delta[pred] = m
+	}
+	if df, ok := m[k]; ok {
+		df.prov = df.prov.Add(newPart).Linearize()
+		m[k] = df
+	} else {
+		m[k] = deltaFact{tuple: tu, prov: newPart}
+	}
 }
 
 // Fact2 is a base fact targeted at a predicate (the name Fact is taken by
@@ -227,10 +235,268 @@ type Fact2 struct {
 	Prov  provenance.Poly
 }
 
+// groupPart is one batched merge's contribution to a tuple, attributed to
+// the insertion group that owns it (see InsertGroups).
+type groupPart struct {
+	group int
+	seed  bool // a base-fact seed merge, not a derived one
+	prov  provenance.Poly
+}
+
+// groupAcc collects everything a batched propagation did to one tuple, in
+// arrival order, so per-group change lists can be replayed afterwards.
+type groupAcc struct {
+	pred    string
+	key     string
+	tuple   schema.Tuple
+	existed bool            // stored before the batch
+	prior   provenance.Poly // annotation before the batch (zero if !existed)
+	parts   []groupPart
+}
+
+// InsertGroups is the group-commit form of Insert: it merges every group's
+// base facts and runs one semi-naive propagation per seed-disjoint run of
+// groups — for a burst of transactions touching distinct tuples, one
+// fixpoint for the whole burst — then reconstructs per-group change lists
+// equivalent to inserting the groups one Insert call at a time, in order.
+// The returned slice is aligned with groups.
+//
+// Attribution works through the provenance tokens: a monomial derived by
+// the batch belongs to the latest group whose seed tokens it mentions —
+// exactly the group whose sequential Insert would first derive it, since
+// evaluation is monotone and earlier groups' facts are all in place by
+// then. For each touched tuple the per-group annotation deltas are then
+// replayed in group order through the same Add/Linearize/Truncate algebra
+// the sequential merges use, so reported Prov deltas and Fresh flags match
+// the sequential ones. Two groups seeding the SAME tuple would defeat this
+// (their pooled delta annotation makes downstream rule firings emit
+// monomial mixes that sequential insertion splits across separate merges),
+// so the batch is partitioned into runs at every seed overlap and the runs
+// propagate sequentially. The one remaining divergence window is a binding
+// MaxMonomials bound: when truncation discards witnesses mid-propagation,
+// sequential insertion may retain already-derived products of a witness the
+// batch never materializes. Both results are valid bounded witness sets;
+// they can simply retain different short derivations (see DESIGN.md §8).
+func (inc *Incremental) InsertGroups(ctx context.Context, groups [][]Fact2) ([][]Change, error) {
+	out := make([][]Change, len(groups))
+	// Attribution needs every seed annotation to mention at least one
+	// variable (update-exchange seeds are single tokens): a monomial derived
+	// from a token-free seed carries no trace of its group. Fall back to
+	// sequential insertion for such batches rather than misattribute.
+	tokenFree := false
+	for _, facts := range groups {
+		for _, bf := range facts {
+			for _, m := range bf.Prov.Monomials() {
+				if len(m.Vars) == 0 {
+					tokenFree = true
+				}
+			}
+		}
+	}
+	if tokenFree {
+		for j, g := range groups {
+			cs, err := inc.Insert(ctx, g)
+			if err != nil {
+				return nil, err
+			}
+			out[j] = cs
+		}
+		return out, nil
+	}
+	start := 0
+	seen := map[string]bool{}
+	flush := func(end int) error {
+		if start >= end {
+			return nil
+		}
+		cs, err := inc.insertGroupRun(ctx, groups[start:end])
+		if err != nil {
+			return err
+		}
+		copy(out[start:end], cs)
+		start = end
+		return nil
+	}
+	for gi, facts := range groups {
+		overlap := false
+		for _, bf := range facts {
+			if seen[bf.Pred+"\x00"+bf.Tuple.Key()] {
+				overlap = true
+				break
+			}
+		}
+		if overlap {
+			if err := flush(gi); err != nil {
+				return nil, err
+			}
+			seen = map[string]bool{}
+		}
+		for _, bf := range facts {
+			seen[bf.Pred+"\x00"+bf.Tuple.Key()] = true
+		}
+	}
+	if err := flush(len(groups)); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// insertGroupRun batches one seed-disjoint run of groups through a single
+// seeded propagation. See InsertGroups.
+func (inc *Incremental) insertGroupRun(ctx context.Context, groups [][]Fact2) ([][]Change, error) {
+	out := make([][]Change, len(groups))
+	if len(groups) == 1 {
+		cs, err := inc.Insert(ctx, groups[0])
+		if err != nil {
+			return nil, err
+		}
+		out[0] = cs
+		return out, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	// Map each seed token to the latest group that mints it.
+	tokenGroup := map[provenance.Var]int{}
+	for gi, facts := range groups {
+		for _, bf := range facts {
+			for _, m := range bf.Prov.Monomials() {
+				for _, vp := range m.Vars {
+					if old, ok := tokenGroup[vp.Var]; !ok || gi > old {
+						tokenGroup[vp.Var] = gi
+					}
+				}
+			}
+		}
+	}
+	accs := map[string]*groupAcc{}
+	touch := func(pred string, mr mergeResult) *groupAcc {
+		ak := pred + "\x00" + mr.key
+		a := accs[ak]
+		if a == nil {
+			a = &groupAcc{pred: pred, key: mr.key, tuple: mr.tuple, existed: !mr.fresh, prior: mr.prior}
+			accs[ak] = a
+		}
+		return a
+	}
+	// owner returns the group a derived monomial belongs to: the latest
+	// group among its seed tokens. Foreign factors (mapping tokens,
+	// pre-batch data) do not contribute.
+	owner := func(m provenance.Monomial) int {
+		gi := 0
+		for _, vp := range m.Vars {
+			if g, ok := tokenGroup[vp.Var]; ok && g > gi {
+				gi = g
+			}
+		}
+		return gi
+	}
+	opts := inc.opts
+	delta := map[string]map[string]deltaFact{}
+	// Seed every group's base facts, in group order.
+	for gi, facts := range groups {
+		for _, bf := range facts {
+			mr, changed := merge(inc.db.MutableRel(bf.Pred), bf.Tuple, bf.Prov, opts)
+			if !changed {
+				continue
+			}
+			inc.indexFact(bf.Pred, mr.key, mr.newPart)
+			addDelta(delta, bf.Pred, mr.key, bf.Tuple, mr.newPart)
+			a := touch(bf.Pred, mr)
+			a.parts = append(a.parts, groupPart{group: gi, seed: true, prov: mr.newPart})
+		}
+	}
+	if len(delta) > 0 {
+		// One propagation for the whole batch. Each merge's new monomials
+		// are split by owning group, preserving arrival order.
+		sink := func(mr mergeResult) {
+			a := touch(mr.pred, mr)
+			monos := mr.newPart.Monomials()
+			single := true
+			gi := owner(monos[0])
+			for _, m := range monos[1:] {
+				if owner(m) != gi {
+					single = false
+					break
+				}
+			}
+			if single {
+				a.parts = append(a.parts, groupPart{group: gi, prov: mr.newPart})
+				return
+			}
+			byGroup := map[int][]provenance.Monomial{}
+			order := []int{}
+			for _, m := range monos {
+				g := owner(m)
+				if _, ok := byGroup[g]; !ok {
+					order = append(order, g)
+				}
+				byGroup[g] = append(byGroup[g], m)
+			}
+			sort.Ints(order)
+			for _, g := range order {
+				a.parts = append(a.parts, groupPart{group: g, prov: provenance.FromMonomials(byGroup[g])})
+			}
+		}
+		for si, stratum := range inc.strata {
+			var err error
+			delta, err = inc.propagate(ctx, stratum, inc.planTab[si], delta, sink)
+			if err != nil {
+				return nil, err
+			}
+		}
+	}
+	// Replay each touched tuple's contributions in group order, rebasing
+	// every part onto the group-ordered annotation chain, so each group's
+	// reported deltas are the ones its own sequential Insert would produce.
+	for _, a := range accs {
+		sameGroup := true
+		for _, p := range a.parts[1:] {
+			if p.group != a.parts[0].group {
+				sameGroup = false
+				break
+			}
+		}
+		if sameGroup {
+			// Single-group tuples (the common case): the batched merges ARE
+			// the sequential ones; emit their deltas directly.
+			gi := a.parts[0].group
+			present := a.existed
+			for _, p := range a.parts {
+				out[gi] = append(out[gi], Change{Pred: a.pred, Tuple: a.tuple, Key: a.key, Prov: p.prov, Fresh: p.seed || !present})
+				present = true
+			}
+			continue
+		}
+		prev := a.prior
+		present := a.existed
+		for gi := range groups {
+			for _, p := range a.parts {
+				if p.group != gi {
+					continue
+				}
+				merged := prev.Add(p.prov).Linearize().Truncate(opts.MaxMonomials)
+				if merged.Equal(prev) {
+					continue
+				}
+				newPart := diffNew(merged, prev)
+				out[gi] = append(out[gi], Change{Pred: a.pred, Tuple: a.tuple, Key: a.key, Prov: newPart, Fresh: p.seed || !present})
+				present = true
+				prev = merged
+			}
+		}
+	}
+	for gi := range out {
+		sortChanges(out[gi])
+	}
+	return out, nil
+}
+
 // propagate runs semi-naive rounds of one stratum starting from seed; it
 // returns the accumulated delta (seed plus everything newly derived) so
-// later strata can consume it, and appends derived changes to out.
-func (inc *Incremental) propagate(ctx context.Context, rules []Rule, plans []rulePlans, seed map[string]map[string]deltaFact, out *[]Change) (map[string]map[string]deltaFact, error) {
+// later strata can consume it, and reports every effective merge to sink in
+// deterministic order.
+func (inc *Incremental) propagate(ctx context.Context, rules []Rule, plans []rulePlans, seed map[string]map[string]deltaFact, sink func(mergeResult)) (map[string]map[string]deltaFact, error) {
 	opts := inc.opts
 	// The caller hands over ownership of seed (Insert rebinds its delta to
 	// the return value), so the accumulator aliases it instead of copying:
@@ -248,18 +514,8 @@ func (inc *Incremental) propagate(ctx context.Context, rules []Rule, plans []rul
 		next := map[string]map[string]deltaFact{}
 		absorb := func(mr mergeResult) {
 			inc.indexFact(mr.pred, mr.key, mr.newPart)
-			m := next[mr.pred]
-			if m == nil {
-				m = map[string]deltaFact{}
-				next[mr.pred] = m
-			}
-			if df, ok := m[mr.key]; ok {
-				df.prov = df.prov.Add(mr.newPart).Linearize()
-				m[mr.key] = df
-			} else {
-				m[mr.key] = deltaFact{tuple: mr.tuple, prov: mr.newPart}
-			}
-			*out = append(*out, Change{Pred: mr.pred, Tuple: mr.tuple, Key: mr.key, Prov: mr.newPart, Fresh: mr.fresh})
+			addDelta(next, mr.pred, mr.key, mr.tuple, mr.newPart)
+			sink(mr)
 		}
 		var jobs []job
 		for ri, r := range rules {
@@ -339,8 +595,9 @@ func (inc *Incremental) DeleteBase(tokens []provenance.Var) []Change {
 				continue
 			}
 			if rest.IsZero() {
+				tu := f.Tuple // remove zeroes the slab slot; copy out first
 				rel.remove(k) // maintains the hash indexes incrementally
-				changes = append(changes, Change{Pred: pred, Tuple: f.Tuple, Key: k, Removed: true})
+				changes = append(changes, Change{Pred: pred, Tuple: tu, Key: k, Removed: true})
 			} else {
 				f.Prov = rest.Intern() // facts are stored by pointer; in-place update
 				changes = append(changes, Change{Pred: pred, Tuple: f.Tuple, Key: k, Prov: rest})

@@ -162,14 +162,144 @@ func (e *Engine) UnionDB() *datalog.DB {
 // prefix of the transaction's updates in the union database, so callers
 // should treat a context error as fatal for this engine.
 func (e *Engine) Apply(ctx context.Context, txn *updates.Transaction) (*Result, error) {
-	if e.applied[txn.ID] {
-		return nil, fmt.Errorf("%w: %s", ErrAlreadyApplied, txn.ID)
+	rs, err := e.ApplyAll(ctx, []*updates.Transaction{txn})
+	if err != nil {
+		return nil, err
 	}
-	origin := txn.ID.Peer
-	if _, ok := e.peers[origin]; !ok {
-		return nil, fmt.Errorf("%w %s", ErrUnknownPeer, origin)
+	return rs[0], nil
+}
+
+// ApplyAll is the group-commit form of Apply: it feeds a causally ordered
+// batch of published transactions through the engine, running one seeded
+// semi-naive fixpoint per run of insert-only transactions instead of one
+// per transaction, with per-transaction change attribution through the
+// provenance tokens (datalog.Incremental.InsertGroups). Transactions that
+// delete or modify split the batch: they must observe the union database
+// exactly as the preceding transactions left it. The returned results are
+// aligned with txns and identical to applying the transactions one Apply
+// call at a time, in order.
+//
+// The whole batch is validated before anything is applied; a validation
+// error leaves the engine untouched. After validation, an error (typically
+// context cancellation mid-fixpoint) can leave a prefix of the batch
+// applied, which the engine declares fatal — the same contract as Apply.
+func (e *Engine) ApplyAll(ctx context.Context, txns []*updates.Transaction) ([]*Result, error) {
+	seen := map[updates.TxnID]bool{}
+	for _, txn := range txns {
+		if e.applied[txn.ID] || seen[txn.ID] {
+			return nil, fmt.Errorf("%w: %s", ErrAlreadyApplied, txn.ID)
+		}
+		seen[txn.ID] = true
+		origin := txn.ID.Peer
+		s, ok := e.peers[origin]
+		if !ok {
+			return nil, fmt.Errorf("%w %s", ErrUnknownPeer, origin)
+		}
+		for _, u := range txn.Updates {
+			if s.Relation(u.Rel) == nil {
+				return nil, fmt.Errorf("%w: peer %s has no relation %s", ErrUnknownRelation, origin, u.Rel)
+			}
+			switch u.Op {
+			case updates.OpInsert, updates.OpDelete, updates.OpModify:
+			default:
+				return nil, fmt.Errorf("exchange: unknown op %v", u.Op)
+			}
+		}
+	}
+	if len(txns) == 0 {
+		return nil, nil
 	}
 	e.unionSnap = nil // the memoized UnionDB view goes stale on mutation
+	results := make([]*Result, len(txns))
+	insertOnly := func(txn *updates.Transaction) bool {
+		for _, u := range txn.Updates {
+			if u.Op != updates.OpInsert {
+				return false
+			}
+		}
+		return true
+	}
+	for i := 0; i < len(txns); {
+		if !insertOnly(txns[i]) {
+			res, err := e.applyOne(ctx, txns[i])
+			if err != nil {
+				return nil, err
+			}
+			results[i] = res
+			i++
+			continue
+		}
+		j := i + 1
+		for j < len(txns) && insertOnly(txns[j]) {
+			j++
+		}
+		if err := e.applyInsertRun(ctx, txns[i:j], results[i:j]); err != nil {
+			return nil, err
+		}
+		i = j
+	}
+	return results, nil
+}
+
+// applyInsertRun group-commits a run of insert-only transactions through
+// one batched propagation, collating each transaction's attributed changes
+// separately.
+func (e *Engine) applyInsertRun(ctx context.Context, txns []*updates.Transaction, results []*Result) error {
+	groups := make([][]datalog.Fact2, len(txns))
+	toks := make([][]provenance.Var, len(txns)) // minted once, reused below
+	for i, txn := range txns {
+		origin := txn.ID.Peer
+		toks[i] = make([]provenance.Var, len(txn.Updates))
+		for ui, u := range txn.Updates {
+			toks[i][ui] = txn.Token(ui)
+			groups[i] = append(groups[i], datalog.Fact2{
+				Pred:  mapping.Qualify(origin, u.Rel),
+				Tuple: u.New,
+				Prov:  provenance.NewVar(toks[i][ui]),
+			})
+		}
+	}
+	changes, err := e.inc.InsertGroups(ctx, groups)
+	if err != nil {
+		return err
+	}
+	// Collation reads each inserted tuple's stored annotation, which after a
+	// batched propagation already includes later transactions' derivations;
+	// restricting to the tokens published up to each transaction recovers
+	// the annotation exactly as that transaction's own Apply would have left
+	// it.
+	laterTokens := map[provenance.Var]int{}
+	for i := range txns {
+		for _, tok := range toks[i] {
+			laterTokens[tok] = i
+		}
+	}
+	for i, txn := range txns {
+		for ui, u := range txn.Updates {
+			k := mapping.Qualify(txn.ID.Peer, u.Rel) + "/" + u.New.Key()
+			e.baseTokens[k] = append(e.baseTokens[k], toks[i][ui])
+		}
+		e.applied[txn.ID] = true
+		upTo := i
+		asOf := func(p provenance.Poly) provenance.Poly {
+			return p.Restrict(func(v provenance.Var) bool {
+				gi, ok := laterTokens[v]
+				return !ok || gi <= upTo
+			})
+		}
+		res, err := e.collate(txn, changes[i], map[updates.TxnID]bool{}, asOf)
+		if err != nil {
+			return err
+		}
+		results[i] = res
+	}
+	return nil
+}
+
+// applyOne translates one (already validated) transaction, the
+// deletion-capable path.
+func (e *Engine) applyOne(ctx context.Context, txn *updates.Transaction) (*Result, error) {
+	origin := txn.ID.Peer
 	var all []datalog.Change
 	depSet := map[updates.TxnID]bool{}
 	// Consecutive insertions batch into one semi-naive propagation: a run
@@ -191,9 +321,6 @@ func (e *Engine) Apply(ctx context.Context, txn *updates.Transaction) (*Result, 
 	}
 	for i, u := range txn.Updates {
 		pred := mapping.Qualify(origin, u.Rel)
-		if e.peers[origin].Relation(u.Rel) == nil {
-			return nil, fmt.Errorf("%w: peer %s has no relation %s", ErrUnknownRelation, origin, u.Rel)
-		}
 		switch u.Op {
 		case updates.OpInsert:
 			pend = append(pend, pendingInsert{pred: pred, tuple: u.New, tok: txn.Token(i)})
@@ -208,15 +335,13 @@ func (e *Engine) Apply(ctx context.Context, txn *updates.Transaction) (*Result, 
 			}
 			all = append(all, e.delete(pred, u.Old, txn.ID, depSet)...)
 			pend = append(pend, pendingInsert{pred: pred, tuple: u.New, tok: txn.Token(i)})
-		default:
-			return nil, fmt.Errorf("exchange: unknown op %v", u.Op)
 		}
 	}
 	if err := flush(); err != nil {
 		return nil, err
 	}
 	e.applied[txn.ID] = true
-	return e.collate(txn, all, depSet)
+	return e.collate(txn, all, depSet, nil)
 }
 
 // pendingInsert is one insertion awaiting batched propagation.
@@ -353,7 +478,13 @@ func (e *Engine) minimalKillSet(p provenance.Poly) []provenance.Var {
 
 // collate turns raw changes into per-peer net updates, pairing same-key
 // delete/insert into modifications and dropping provenance-only changes.
-func (e *Engine) collate(txn *updates.Transaction, changes []datalog.Change, depSet map[updates.TxnID]bool) (*Result, error) {
+// Each inserted update carries the tuple's full stored annotation as of
+// this transaction — the complete witness set trust evaluation and
+// subscribers should see, not just the fixpoint's first-emission slice. The
+// optional asOf restriction masks tokens of transactions applied after this
+// one in the same group-commit batch (nil means the union database already
+// reflects exactly this transaction's application point).
+func (e *Engine) collate(txn *updates.Transaction, changes []datalog.Change, depSet map[updates.TxnID]bool, asOf func(provenance.Poly) provenance.Poly) (*Result, error) {
 	type slot struct {
 		pred     string
 		inserted *datalog.Change
@@ -452,13 +583,19 @@ func (e *Engine) collate(txn *updates.Transaction, changes []datalog.Change, dep
 			u = updates.Insert(rel, s.inserted.Tuple)
 		}
 		u.Prov = s.inserted.Prov
+		if f, ok := e.inc.DB().Rel(s.pred).Get(s.inserted.Tuple); ok {
+			u.Prov = f.Prov
+			if asOf != nil {
+				u.Prov = asOf(u.Prov)
+			}
+		}
 		res.PerPeer[peer] = append(res.PerPeer[peer], u)
 		// Extra dependencies: the candidate needs *one* derivation of the
 		// tuple to hold, so it depends on the transactions of the monomial
 		// with the fewest foreign contributors — not the union over all
 		// alternative derivations (which would turn genuine conflicts
 		// between independent publishers into false dependencies).
-		for _, id := range minimalDeps(s.inserted.Prov, txn.ID) {
+		for _, id := range minimalDeps(u.Prov, txn.ID) {
 			if extra[peer] == nil {
 				extra[peer] = map[updates.TxnID]bool{}
 			}
@@ -503,35 +640,53 @@ func (e *Engine) collate(txn *updates.Transaction, changes []datalog.Change, dep
 	return res, nil
 }
 
-// tokenNewer orders update tokens by recency: later transaction first,
-// then higher update index, then lexicographic for non-update tokens.
+// tokenNewer orders update tokens by recency: higher sequence number first,
+// then higher update index, then peer name as a deterministic tie-break.
+// Update tokens always order newer than non-update (mapping) tokens; the raw
+// string comparison is only the fallback when neither side parses. Comparing
+// the parsed numeric fields matters: the old lexicographic fallback ordered
+// cross-peer tokens by their string prefix, so a seq-10 token could lose to
+// a seq-2 token published earlier.
 func tokenNewer(a, b provenance.Var) bool {
-	ida, ia := splitToken(a)
-	idb, ib := splitToken(b)
-	if ida.Peer == idb.Peer && ida.Seq != idb.Seq {
-		return ida.Seq > idb.Seq
+	ida, ia, aok := splitToken(a)
+	idb, ib, bok := splitToken(b)
+	switch {
+	case aok && bok:
+		if ida.Seq != idb.Seq {
+			return ida.Seq > idb.Seq
+		}
+		if ia != ib {
+			return ia > ib
+		}
+		return ida.Peer > idb.Peer
+	case aok != bok:
+		return aok
+	default:
+		return a > b
 	}
-	if ida == idb {
-		return ia > ib
-	}
-	return a > b
 }
 
-// splitToken parses "peer:seq/idx" into the transaction id and update
-// index; idx is -1 for non-update tokens.
-func splitToken(v provenance.Var) (updates.TxnID, int) {
+// splitToken parses "peer:seq/idx" into the transaction id, the update
+// index, and whether the token is an update token at all. idx is -1 when no
+// well-formed index follows the slash — including the trailing-slash form
+// "peer:seq/", which the old digit loop silently parsed as index 0.
+func splitToken(v provenance.Var) (updates.TxnID, int, bool) {
 	id, ok := updates.TokenTxn(v)
 	if !ok {
-		return updates.TxnID{}, -1
+		return updates.TxnID{}, -1, false
 	}
 	s := string(v)
 	idx := -1
 	for i := len(s) - 1; i >= 0; i-- {
 		if s[i] == '/' {
+			digits := s[i+1:]
+			if len(digits) == 0 {
+				return id, -1, true
+			}
 			n := 0
-			for _, c := range s[i+1:] {
+			for _, c := range digits {
 				if c < '0' || c > '9' {
-					return id, -1
+					return id, -1, true
 				}
 				n = n*10 + int(c-'0')
 			}
@@ -539,7 +694,7 @@ func splitToken(v provenance.Var) (updates.TxnID, int) {
 			break
 		}
 	}
-	return id, idx
+	return id, idx, true
 }
 
 // minimalDeps returns the foreign transaction set of the monomial of p with

@@ -59,6 +59,58 @@ func TestForeignModifyKillsOnlySequenceRow(t *testing.T) {
 	}
 }
 
+// Kill-set tie-break regression: when every contributor of a derived
+// tuple ties on monomial hits and collateral, the kill set must choose the
+// most recently minted token by *numeric* (Seq, idx) order. Here the three
+// join contributors come from different peers and transactions — Beijing's
+// O at seq 1, Beijing's P at seq 2, Alaska's S at seq 10 — so the old raw
+// string fallback ("beijing:2/0" > "alaska:10/0") picked Beijing's protein
+// row, while numeric ordering correctly retracts the newest and most
+// specific contributor, the sequence row.
+func TestKillSetTieBreakUsesNumericTokenOrder(t *testing.T) {
+	e := fig2Engine(t)
+	if _, err := e.Apply(context.Background(), txn(workload.Beijing, 1,
+		updates.Insert("P", workload.PTuple("p53", 10)))); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Apply(context.Background(), txn(workload.Beijing, 2,
+		updates.Insert("O", workload.OTuple("mouse", 1)))); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Apply(context.Background(), txn(workload.Alaska, 10,
+		updates.Insert("S", workload.STuple(1, 10, "AAAA")))); err != nil {
+		t.Fatal(err)
+	}
+	// Dresden deletes the derived OPS tuple; the kill set must pick exactly
+	// one of the three tied contributors.
+	res, err := e.Apply(context.Background(), txn(workload.Dresden, 1,
+		updates.Delete("OPS", workload.OPSTuple("mouse", "p53", "AAAA"))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var delS, delO, delP bool
+	for _, u := range res.PerPeer[workload.Alaska] {
+		if u.Op != updates.OpDelete {
+			continue
+		}
+		switch u.Rel {
+		case "S":
+			delS = true
+		case "O":
+			delO = true
+		case "P":
+			delP = true
+		}
+	}
+	if !delS {
+		t.Errorf("alaska candidate misses the S-row deletion: %v", res.PerPeer[workload.Alaska])
+	}
+	if delO || delP {
+		t.Errorf("kill set chose an older contributor (O deleted: %v, P deleted: %v): %v",
+			delO, delP, res.PerPeer[workload.Alaska])
+	}
+}
+
 func TestDeleteOfNonexistentTupleIsNoop(t *testing.T) {
 	e := fig2Engine(t)
 	res, err := e.Apply(context.Background(), txn(workload.Alaska, 1,

@@ -484,6 +484,75 @@ func E6Topologies(sizes []int, txns int) (*Table, error) {
 	return t, nil
 }
 
+// PipelineBurst builds a burst of n insert transactions published
+// round-robin by the first npub peers of a topology, txnSize S-tuples each,
+// over a fresh key range. Exported for the testing.B benchmarks.
+func PipelineBurst(topo *workload.Topology, n, npub, txnSize int) []*updates.Transaction {
+	var txns []*updates.Transaction
+	seqs := map[string]uint64{}
+	key := int64(1 << 30)
+	for i := 0; i < n; i++ {
+		peer := topo.Names[i%npub]
+		seqs[peer]++
+		t := &updates.Transaction{ID: updates.TxnID{Peer: peer, Seq: seqs[peer]}}
+		for j := 0; j < txnSize; j++ {
+			t.Updates = append(t.Updates, updates.Insert("S", workload.STuple(key, key, workload.Sequence(key, key))))
+			key++
+		}
+		txns = append(txns, t)
+	}
+	return txns
+}
+
+// E9PublishBatch measures group-commit update exchange: a multi-peer burst
+// of published transactions translated one Apply per transaction versus one
+// ApplyAll per burst (one seeded semi-naive fixpoint per insert-only run).
+// Swept across topologies: the one-directional distribution pipeline (where
+// per-transaction fixed costs dominate and group commit pays most), the
+// bidirectional chain, and the identity mesh (where echo-convergence
+// derivation work dominates and the win is smaller).
+func E9PublishBatch(burst, npub int) (*Table, error) {
+	t := &Table{
+		ID:      "E9",
+		Caption: fmt.Sprintf("group-commit translation: %d-txn burst from %d peers, ApplyAll vs sequential Apply", burst, npub),
+		Header:  []string{"topology", "peers", "mappings", "sequential", "grouped", "speedup"},
+	}
+	kinds := []struct {
+		name string
+		topo *workload.Topology
+	}{
+		{"pipeline", workload.Pipeline(6)},
+		{"chain", workload.Chain(4)},
+		{"mesh", workload.Mesh(4)},
+	}
+	for _, k := range kinds {
+		txns := PipelineBurst(k.topo, burst, npub, 1)
+		seqEng, err := exchange.NewEngine(k.topo.Peers, k.topo.Mappings)
+		if err != nil {
+			return nil, err
+		}
+		start := time.Now()
+		if _, err := ApplyStream(seqEng, txns); err != nil {
+			return nil, err
+		}
+		seq := time.Since(start)
+		batEng, err := exchange.NewEngine(k.topo.Peers, k.topo.Mappings)
+		if err != nil {
+			return nil, err
+		}
+		start = time.Now()
+		if _, err := batEng.ApplyAll(context.Background(), txns); err != nil {
+			return nil, err
+		}
+		bat := time.Since(start)
+		t.Rows = append(t.Rows, []string{
+			k.name, fmt.Sprint(len(k.topo.Names)), fmt.Sprint(len(k.topo.Mappings)),
+			dur(seq), dur(bat), fmt.Sprintf("%.2fx", float64(seq)/float64(bat)),
+		})
+	}
+	return t, nil
+}
+
 // E8GoalDirectedQuery measures the goal-directed query subsystem
 // (internal/datalog/magic) on the E4 join workload: a point query binding a
 // single organism key against the 3-way OPS join view, evaluated by the

@@ -144,3 +144,18 @@ func parseSpeedup(t *testing.T, s string) float64 {
 	}
 	return v
 }
+
+func TestE9Shape(t *testing.T) {
+	tbl, err := E9PublishBatch(12, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tbl.Rows) != 3 {
+		t.Fatalf("rows = %d: %v", len(tbl.Rows), tbl.Rows)
+	}
+	for _, row := range tbl.Rows {
+		if len(row) != 6 {
+			t.Fatalf("row shape: %v", row)
+		}
+	}
+}

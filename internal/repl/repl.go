@@ -107,7 +107,7 @@ func (r *REPL) Exec(line string) error {
 		return nil
 	case "resolve":
 		if len(args) != 1 {
-			return fmt.Errorf("usage: resolve PEER:SEQ")
+			return usageErr("usage: resolve PEER:SEQ")
 		}
 		id, err := updates.ParseTxnID(args[0])
 		if err != nil {
@@ -121,7 +121,7 @@ func (r *REPL) Exec(line string) error {
 		return nil
 	case "status":
 		if len(args) != 1 {
-			return fmt.Errorf("usage: status PEER:SEQ")
+			return usageErr("usage: status PEER:SEQ")
 		}
 		id, err := updates.ParseTxnID(args[0])
 		if err != nil {
@@ -162,19 +162,29 @@ func (r *REPL) help() {
 `)
 }
 
-// relation resolves a local relation name.
+// relation resolves a local relation name. The error wraps the
+// core.ErrUnknownRelation sentinel so errors.Is dispatch works for embedders
+// driving the REPL programmatically (the public facade maps the core
+// sentinel onto its own).
 func (r *REPL) relation(name string) (*schema.Relation, error) {
 	rel := r.peer.Instance().Schema().Relation(name)
 	if rel == nil {
-		return nil, fmt.Errorf("no relation %q at this peer", name)
+		return nil, fmt.Errorf("%w: no relation %q at this peer", core.ErrUnknownRelation, name)
 	}
 	return rel, nil
 }
 
+// usageErr reports a malformed command line, wrapped with the
+// core.ErrInvalidQuery sentinel for errors.Is dispatch.
+func usageErr(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", core.ErrInvalidQuery, fmt.Sprintf(format, args...))
+}
+
 // parseTuple converts command arguments to a tuple per the relation types.
+// Arity and value-parse errors wrap core.ErrInvalidQuery.
 func parseTuple(rel *schema.Relation, args []string) (schema.Tuple, error) {
 	if len(args) != rel.Arity() {
-		return nil, fmt.Errorf("%s takes %d values, got %d", rel.Name, rel.Arity(), len(args))
+		return nil, usageErr("%s takes %d values, got %d", rel.Name, rel.Arity(), len(args))
 	}
 	tu := make(schema.Tuple, len(args))
 	for i, a := range args {
@@ -184,19 +194,19 @@ func parseTuple(rel *schema.Relation, args []string) (schema.Tuple, error) {
 		case schema.KindInt:
 			n, err := strconv.ParseInt(a, 10, 64)
 			if err != nil {
-				return nil, fmt.Errorf("column %s: bad int %q", rel.Attrs[i].Name, a)
+				return nil, usageErr("column %s: bad int %q", rel.Attrs[i].Name, a)
 			}
 			tu[i] = schema.Int(n)
 		case schema.KindFloat:
 			f, err := strconv.ParseFloat(a, 64)
 			if err != nil {
-				return nil, fmt.Errorf("column %s: bad float %q", rel.Attrs[i].Name, a)
+				return nil, usageErr("column %s: bad float %q", rel.Attrs[i].Name, a)
 			}
 			tu[i] = schema.Float(f)
 		case schema.KindBool:
 			b, err := strconv.ParseBool(a)
 			if err != nil {
-				return nil, fmt.Errorf("column %s: bad bool %q", rel.Attrs[i].Name, a)
+				return nil, usageErr("column %s: bad bool %q", rel.Attrs[i].Name, a)
 			}
 			tu[i] = schema.Bool(b)
 		}
@@ -207,7 +217,7 @@ func parseTuple(rel *schema.Relation, args []string) (schema.Tuple, error) {
 // write handles insert and delete.
 func (r *REPL) write(cmd string, args []string) error {
 	if len(args) < 1 {
-		return fmt.Errorf("usage: %s REL v1 v2 ...", cmd)
+		return usageErr("usage: %s REL v1 v2 ...", cmd)
 	}
 	rel, err := r.relation(args[0])
 	if err != nil {
@@ -242,7 +252,7 @@ func (r *REPL) write(cmd string, args []string) error {
 // modify handles: modify REL old... -> new...
 func (r *REPL) modify(args []string) error {
 	if len(args) < 1 {
-		return fmt.Errorf("usage: modify REL v1 ... -> w1 ...")
+		return usageErr("usage: modify REL v1 ... -> w1 ...")
 	}
 	rel, err := r.relation(args[0])
 	if err != nil {
@@ -255,7 +265,7 @@ func (r *REPL) modify(args []string) error {
 		}
 	}
 	if sep < 0 {
-		return fmt.Errorf("usage: modify REL v1 ... -> w1 ...")
+		return usageErr("usage: modify REL v1 ... -> w1 ...")
 	}
 	old, err := parseTuple(rel, args[1:sep])
 	if err != nil {
@@ -296,15 +306,15 @@ func (r *REPL) query(text string) error {
 	}
 	rules, err := parser.ParseRules(text)
 	if err != nil {
-		return err
+		return fmt.Errorf("%w: %v", core.ErrInvalidQuery, err)
 	}
 	if len(rules) == 0 {
-		return fmt.Errorf("usage: query q(x, ...) :- Body. [view rules...]")
+		return usageErr("usage: query q(x, ...) :- Body. [view rules...]")
 	}
 	goalTerms := make([]datalog.Term, len(rules[0].Head.Terms))
 	for i, ht := range rules[0].Head.Terms {
 		if ht.Skolem != nil {
-			return fmt.Errorf("query head cannot use skolem terms")
+			return usageErr("query head cannot use skolem terms")
 		}
 		goalTerms[i] = ht.Term
 	}
@@ -325,7 +335,7 @@ func (r *REPL) query(text string) error {
 // explain prints a tuple's provenance breakdown.
 func (r *REPL) explain(args []string) error {
 	if len(args) < 1 {
-		return fmt.Errorf("usage: explain REL v1 v2 ...")
+		return usageErr("usage: explain REL v1 v2 ...")
 	}
 	rel, err := r.relation(args[0])
 	if err != nil {

@@ -1,6 +1,7 @@
 package repl
 
 import (
+	"errors"
 	"strings"
 	"testing"
 
@@ -185,5 +186,40 @@ help
 	}
 	if !strings.Contains(out, "commands:") {
 		t.Errorf("help missing:\n%s", out)
+	}
+}
+
+// REPL usage, parse, and relation errors must wrap the core sentinels so
+// embedders driving Exec programmatically can dispatch with errors.Is (the
+// public facade maps the core sentinels onto its own taxonomy).
+func TestExecErrorsWrapSentinels(t *testing.T) {
+	alaska, _, _, _ := twoNodeSetup(t)
+	cases := []struct {
+		line string
+		want error
+	}{
+		{"insert", core.ErrInvalidQuery},                  // missing relation
+		{"insert Nope 1 2", core.ErrUnknownRelation},      // unknown relation
+		{"insert O mouse", core.ErrInvalidQuery},          // arity mismatch
+		{"insert O mouse notanint", core.ErrInvalidQuery}, // bad int literal
+		{"modify O", core.ErrInvalidQuery},                // missing -> separator
+		{"delete Nope 1", core.ErrUnknownRelation},        // unknown relation
+		{"explain", core.ErrInvalidQuery},                 // missing args
+		{"explain Nope 1", core.ErrUnknownRelation},       // unknown relation
+		{"resolve", core.ErrInvalidQuery},                 // missing txn id
+		{"status", core.ErrInvalidQuery},                  // missing txn id
+		{"query", core.ErrInvalidQuery},                   // empty query
+		{"query q(x) :- 12Bad(", core.ErrInvalidQuery},    // parse error
+		{"dump Nope", core.ErrUnknownRelation},            // unknown relation
+	}
+	for _, c := range cases {
+		err := alaska.Exec(c.line)
+		if err == nil {
+			t.Errorf("Exec(%q): expected error, got nil", c.line)
+			continue
+		}
+		if !errors.Is(err, c.want) {
+			t.Errorf("Exec(%q) = %v; errors.Is(err, %v) is false", c.line, err, c.want)
+		}
 	}
 }

@@ -57,6 +57,27 @@ func Star(n int) *Topology {
 	return t
 }
 
+// Pipeline builds n peers sharing Σ1 linked p0 → p1 → ... → pn-1 with
+// one-directional identity mappings — the ingest/distribution pipeline
+// shape: upstream peers publish, downstream peers serve, and nothing echoes
+// back. Because every hop adds exactly one derivation, per-transaction
+// fixed costs dominate translation here, which is what the group-commit
+// benchmarks (E9) measure.
+func Pipeline(n int) *Topology {
+	t := &Topology{Peers: map[string]*schema.Schema{}}
+	s1 := Sigma1()
+	for i := 0; i < n; i++ {
+		name := peerName(i)
+		t.Names = append(t.Names, name)
+		t.Peers[name] = s1
+	}
+	for i := 0; i+1 < n; i++ {
+		a, b := peerName(i), peerName(i+1)
+		t.Mappings = append(t.Mappings, mapping.Identity(fmt.Sprintf("M_%s_%s", a, b), a, b, s1)...)
+	}
+	return t
+}
+
 // Mesh builds a complete graph over n peers sharing Σ1 (every ordered pair
 // has an identity mapping) — the worst-case mapping count.
 func Mesh(n int) *Topology {

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"sort"
 	"sync"
 
 	"orchestra/internal/core"
@@ -106,6 +107,39 @@ func (s *System) Peer(name string, opts ...Option) (*Peer, error) {
 
 // Epoch returns the shared store's current logical clock.
 func (s *System) Epoch() (uint64, error) { return s.store.Epoch() }
+
+// ReconcileAll reconciles every open peer once, in deterministic (name)
+// order, and returns the per-peer reports. Each peer translates its whole
+// fetched backlog as one group-committed batch (see Peer.Reconcile), so
+// draining a publication burst across the confederation costs one fixpoint
+// per peer rather than one per transaction. On error the partial report map
+// is returned alongside it; with WithStrictConflicts a deferred conflict at
+// any peer surfaces as ErrConflictPending, after later peers have still
+// been reconciled.
+func (s *System) ReconcileAll(ctx context.Context) (map[string]*ReconcileReport, error) {
+	if s.ctx.Err() != nil {
+		return nil, ErrClosed
+	}
+	s.mu.Lock()
+	peers := make([]*Peer, 0, len(s.peers))
+	for _, p := range s.peers {
+		peers = append(peers, p)
+	}
+	s.mu.Unlock()
+	sort.Slice(peers, func(i, j int) bool { return peers[i].name < peers[j].name })
+	out := make(map[string]*ReconcileReport, len(peers))
+	var firstErr error
+	for _, p := range peers {
+		rep, err := p.Reconcile(ctx)
+		if rep != nil {
+			out[p.name] = rep
+		}
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return out, firstErr
+}
 
 // Store returns the shared published-update store.
 func (s *System) Store() Store { return s.store }

@@ -77,25 +77,40 @@ func (p *Peer) Begin() *Txn { return &Txn{peer: p, inner: p.core.NewTransaction(
 // shared store, advances the logical clock, refreshes the public snapshot,
 // and pushes the new epoch to other peers' subscriptions.
 func (p *Peer) Publish(ctx context.Context) (uint64, error) {
+	epoch, _, err := p.PublishAll(ctx)
+	return epoch, err
+}
+
+// PublishAll is Publish additionally reporting how many committed
+// transactions were archived, so callers driving publication bursts can
+// tell a no-op publish from a real one. The archived burst is translated as
+// one group-committed batch when receiving peers reconcile (each run of
+// insert-only transactions shares a single seeded fixpoint — see
+// Peer.Reconcile).
+func (p *Peer) PublishAll(ctx context.Context) (uint64, int, error) {
 	if err := p.sys.ctx.Err(); err != nil {
-		return 0, ErrClosed
+		return 0, 0, ErrClosed
 	}
 	epoch, published, err := p.core.PublishAll(ctx)
 	if err != nil {
-		return 0, wrapErr(err)
+		return 0, 0, wrapErr(err)
 	}
 	if published > 0 { // a no-op publish pushes nothing
 		p.sys.notifyPublish(p)
 	}
-	return epoch, nil
+	return epoch, published, nil
 }
 
 // Reconcile fetches newly published transactions, translates them into the
 // local schema through the mappings (maintaining provenance), applies the
-// trust policy, and applies the accepted transactions locally. The context
-// bounds the translation fixpoints: an expired context returns before any
-// local state changes, and a runaway recursive chase stops within one
-// fixpoint iteration of the deadline.
+// trust policy, and applies the accepted transactions locally. The fetched
+// batch group-commits: every run of insert-only transactions propagates
+// through one seeded semi-naive fixpoint with per-transaction provenance
+// attribution, so reconciling after a burst of publications costs far less
+// than reconciling after each. The context bounds the translation
+// fixpoints: an expired context returns before any local state changes, and
+// a runaway recursive chase stops within one fixpoint iteration of the
+// deadline.
 //
 // With WithStrictConflicts, a round that defers transactions for manual
 // resolution returns the report alongside ErrConflictPending.
