@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fmt fmt-check bench bench-smoke bench-query bench-publish bench-baseline bench-compare examples-check ci
+.PHONY: build test race vet fmt fmt-check lint vuln bench bench-smoke bench-query bench-publish bench-sweep bench-baseline bench-compare examples-check ci
 
 ## build: compile every package
 build:
@@ -30,14 +30,33 @@ fmt-check:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
 
+## lint: staticcheck over every package (mirrors the CI lint job; locally
+## requires staticcheck on PATH:
+## go install honnef.co/go/tools/cmd/staticcheck@2024.1.1)
+lint:
+	@command -v staticcheck >/dev/null 2>&1 || { \
+		echo "lint: staticcheck not on PATH; install with:"; \
+		echo "  go install honnef.co/go/tools/cmd/staticcheck@2024.1.1"; exit 1; }
+	staticcheck ./...
+
+## vuln: govulncheck over every package (mirrors the CI vuln job; locally
+## requires govulncheck on PATH:
+## go install golang.org/x/vuln/cmd/govulncheck@latest)
+vuln:
+	@command -v govulncheck >/dev/null 2>&1 || { \
+		echo "vuln: govulncheck not on PATH; install with:"; \
+		echo "  go install golang.org/x/vuln/cmd/govulncheck@latest"; exit 1; }
+	govulncheck ./...
+
 ## bench: full benchmark run with allocation profiles
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$' .
 
-## bench-smoke: every benchmark executes exactly once — keeps bench_test.go
-## and micro_bench_test.go compiling and running in CI
+## bench-smoke: every benchmark in every package executes exactly once —
+## keeps the root bench files and the internal benchmarks (e.g.
+## internal/datalog) compiling and running in CI
 bench-smoke:
-	$(GO) test -bench=. -benchtime=1x -run '^$$' .
+	$(GO) test -bench=. -benchtime=1x -run '^$$' ./...
 
 ## bench-query: goal-directed vs full-fixpoint query benchmarks (the
 ## magic-sets acceptance pair; see internal/datalog/magic)
@@ -50,6 +69,12 @@ bench-query:
 BENCHTIME ?= 10x
 bench-publish:
 	$(GO) test -bench 'BenchmarkPublishBatch' -benchtime=$(BENCHTIME) -benchmem -run '^$$' .
+
+## bench-sweep: the multi-core worker sweep — parallel stratum benchmarks
+## across -cpu values with a speedup-ratio summary (tunable: CPUS=1,2,4
+## BENCHTIME=3x; pass an argument file via the script to keep raw output)
+bench-sweep:
+	./scripts/bench_sweep.sh
 
 ## bench-baseline: regenerate the committed BENCH_baseline.json snapshot
 bench-baseline:
@@ -68,5 +93,7 @@ examples-check:
 	$(GO) run ./examples/quickstart | diff -u examples/quickstart/golden.txt -
 	@echo examples OK
 
-## ci: everything the CI workflow runs, in one command
-ci: build vet fmt-check race bench-smoke examples-check
+## ci: everything the CI workflow runs, in one command (lint and vuln are
+## separate because they need tools on PATH; run `make lint vuln` too when
+## you have them installed)
+ci: build vet fmt-check race bench-smoke bench-compare examples-check

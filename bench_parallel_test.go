@@ -1,0 +1,92 @@
+package orchestra_test
+
+// Worker-sweep benchmarks for the adaptive parallel stratum executor (E10,
+// DESIGN.md §9). The CI worker-sweep job runs these under -cpu=1,2,4 and
+// reports the workers=1 vs workers=N ratio per PR; on a single core the
+// explicit multi-worker rows measure pure coordination overhead, and
+// "adaptive" must track the sequential row (the cost gate).
+//
+//	go test -bench=BenchmarkParallel -cpu=1,2,4 -benchmem
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"orchestra/internal/datalog"
+	"orchestra/internal/experiments"
+	"orchestra/internal/provenance"
+	"orchestra/internal/schema"
+)
+
+func intEdge(a, b int64) schema.Tuple { return schema.NewTuple(schema.Int(a), schema.Int(b)) }
+
+// BenchmarkParallelStratum measures the worker pool on a stratum of
+// independent join rules — the update-exchange shape where many mapping
+// rules fire over the same round. Explicit worker counts are honored even
+// past the core count (the sweep needs the overcommitted points); the
+// adaptive sub-benchmark lets the cost gate size each round itself.
+func BenchmarkParallelStratum(b *testing.B) {
+	prog, edb := experiments.BuildParallelStratum(8, 1500)
+	for _, par := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", par), func(b *testing.B) {
+			opts := datalog.Options{Parallelism: par}
+			for i := 0; i < b.N; i++ {
+				if _, err := datalog.Eval(prog, edb, opts); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+	b.Run("workers=adaptive", func(b *testing.B) {
+		opts := datalog.Options{Parallelism: 0}
+		for i := 0; i < b.N; i++ {
+			if _, err := datalog.Eval(prog, edb, opts); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkParallelSmallDelta pins the adaptive cost gate's "never slower
+// than sequential" contract: a tiny incremental delta (a handful of facts,
+// far below the parallel grain) evaluated with forced-sequential and
+// adaptive settings. The two sub-benchmarks should be within noise of each
+// other — adaptive rounds this small must take the sequential path.
+func BenchmarkParallelSmallDelta(b *testing.B) {
+	build := func(par int) (*datalog.Incremental, error) {
+		prog := &datalog.Program{Rules: []datalog.Rule{{
+			ID:   "tc",
+			Head: datalog.NewHead("T", datalog.HV("x"), datalog.HV("z")),
+			Body: []datalog.Literal{
+				datalog.Pos(datalog.NewAtom("E", datalog.V("x"), datalog.V("y"))),
+				datalog.Pos(datalog.NewAtom("E", datalog.V("y"), datalog.V("z"))),
+			},
+		}}}
+		edb := datalog.NewDB()
+		for i := int64(0); i < 64; i++ {
+			edb.AddTuple("E", intEdge(i, i+1))
+		}
+		return datalog.NewIncremental(prog, edb, datalog.Options{Provenance: true, Parallelism: par})
+	}
+	for _, m := range []struct {
+		name string
+		par  int
+	}{{"sequential", -1}, {"adaptive", 0}} {
+		b.Run(m.name, func(b *testing.B) {
+			inc, err := build(m.par)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				k := int64(1000 + i)
+				batch := []datalog.Fact2{{Pred: "E", Tuple: intEdge(k, k+1),
+					Prov: provenance.NewVar(provenance.Var(fmt.Sprint("t", i)))}}
+				if _, err := inc.Insert(context.Background(), batch); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

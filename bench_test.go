@@ -218,40 +218,6 @@ func BenchmarkJoinOrderSelectiveConstant(b *testing.B) {
 	}
 }
 
-// BenchmarkParallelStratum measures the bounded worker pool on a stratum of
-// independent join rules — the update-exchange shape where many mapping
-// rules fire over the same round.
-func BenchmarkParallelStratum(b *testing.B) {
-	const rules, rows = 8, 1500
-	prog := &datalog.Program{}
-	edb := datalog.NewDB()
-	for r := 0; r < rules; r++ {
-		ra, rb, rh := fmt.Sprintf("A%d", r), fmt.Sprintf("B%d", r), fmt.Sprintf("H%d", r)
-		prog.Rules = append(prog.Rules, datalog.Rule{
-			ID:   fmt.Sprintf("j%d", r),
-			Head: datalog.NewHead(rh, datalog.HV("x"), datalog.HV("z")),
-			Body: []datalog.Literal{
-				datalog.Pos(datalog.NewAtom(ra, datalog.V("x"), datalog.V("y"))),
-				datalog.Pos(datalog.NewAtom(rb, datalog.V("y"), datalog.V("z"))),
-			},
-		})
-		for i := int64(0); i < rows; i++ {
-			edb.AddTuple(ra, schema.NewTuple(schema.Int(i), schema.Int(i%97)))
-			edb.AddTuple(rb, schema.NewTuple(schema.Int(i%97), schema.Int(i)))
-		}
-	}
-	for _, par := range []int{1, 2, 4, 8} {
-		b.Run(fmt.Sprintf("workers=%d", par), func(b *testing.B) {
-			opts := datalog.Options{Parallelism: par}
-			for i := 0; i < b.N; i++ {
-				if _, err := datalog.Eval(prog, edb, opts); err != nil {
-					b.Fatal(err)
-				}
-			}
-		})
-	}
-}
-
 // BenchmarkE5Reconciliation measures the greedy reconciliation algorithm
 // against transaction count and conflict rate (E5; SIGMOD'06 shape).
 func BenchmarkE5Reconciliation(b *testing.B) {

@@ -1,7 +1,8 @@
-// Command orchestra-bench regenerates the experiment tables E1–E9 indexed
+// Command orchestra-bench regenerates the experiment tables E1–E10 indexed
 // in DESIGN.md §2 and recorded in EXPERIMENTS.md (E8, the goal-directed
 // query ablation, is described in DESIGN.md §7; E9, group-commit update
-// exchange, in DESIGN.md §8). Sizes are laptop-scale by
+// exchange, in DESIGN.md §8; E10, the adaptive parallel stratum executor,
+// in DESIGN.md §9). Sizes are laptop-scale by
 // default; -quick shrinks them further, -full grows them.
 //
 // Usage:
@@ -36,6 +37,7 @@ func main() {
 	e6sizes, e6txns := []int{2, 4, 8}, 100
 	e7peers, e7txns, e7bounds := 4, 60, []int{1, 4, 8, 0}
 	e9burst, e9pub := 64, 3
+	e10rules, e10rows, e10workers := 8, 1500, []int{1, 2, 4, 8}
 	if *quick {
 		e1 = []int{10, 50}
 		e2base, e2fracs = 400, []float64{0.01, 0.1, 1.0}
@@ -45,6 +47,7 @@ func main() {
 		e6sizes, e6txns = []int{2, 4}, 30
 		e7peers, e7txns, e7bounds = 3, 20, []int{1, 8, 0}
 		e9burst, e9pub = 16, 2
+		e10rules, e10rows, e10workers = 4, 500, []int{2, 4}
 	}
 	if *full {
 		e1 = []int{20, 100, 400, 2000}
@@ -55,6 +58,7 @@ func main() {
 		e6sizes, e6txns = []int{2, 4, 8, 16}, 200
 		e7peers, e7txns, e7bounds = 4, 100, []int{1, 4, 8, 16, 0}
 		e9burst, e9pub = 256, 4
+		e10rules, e10rows, e10workers = 16, 4000, []int{1, 2, 4, 8, 16}
 	}
 
 	wanted := map[string]bool{}
@@ -79,6 +83,9 @@ func main() {
 		{"E7", func() (*experiments.Table, error) { return experiments.E7WitnessBound(e7peers, e7txns, e7bounds) }},
 		{"E8", func() (*experiments.Table, error) { return experiments.E8GoalDirectedQuery(e4) }},
 		{"E9", func() (*experiments.Table, error) { return experiments.E9PublishBatch(e9burst, e9pub) }},
+		{"E10", func() (*experiments.Table, error) {
+			return experiments.E10ParallelStratum(e10rules, e10rows, e10workers)
+		}},
 	}
 	for _, r := range runners {
 		if !want(r.id) {

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"time"
 
 	"orchestra/internal/datalog"
 	"orchestra/internal/exchange"
@@ -36,6 +37,10 @@ type Peer struct {
 	// engCfg is retained so the engine can be rebuilt after a mid-Apply
 	// failure leaves it in an undefined state (see engineDirty).
 	engCfg exchange.Config
+	// win sizes Reconcile's group-commit windows from observed drain
+	// latency; its estimate survives engine rebuilds (the replacement engine
+	// drains at the same speed the dirty one did).
+	win *exchange.AdaptiveWindow
 	// engineDirty marks the translation engine as unusable: an Apply
 	// failed partway through a transaction (cooperative cancellation can
 	// abandon a half-propagated fixpoint), which exchange.Engine declares
@@ -106,6 +111,7 @@ func NewPeerWith(name string, sys *System, store p2p.Store, policy *recon.Policy
 		store:     store,
 		policy:    policy,
 		engCfg:    cfg,
+		win:       exchange.NewAdaptiveWindow(cfg.ReconcileWindow),
 		local:     storage.NewInstance(s),
 		published: storage.NewInstance(s),
 		engine:    eng,
@@ -432,18 +438,29 @@ func (p *Peer) Reconcile(ctx context.Context) (*ReconcileReport, error) {
 			fresh = append(fresh, txn)
 		}
 	}
-	// Group-commit: the whole fetched batch translates through one seeded
+	// Group-commit: the fetched backlog translates through one seeded
 	// fixpoint per insert-only run (exchange.Engine.ApplyAll) instead of one
 	// per transaction, which is what lets the subscription push pump
-	// coalesce publication bursts.
-	results, err := p.engine.ApplyAll(ctx, fresh)
-	if err != nil {
-		// ApplyAll can fail partway through the batch (cooperative
-		// cancellation abandons a half-propagated fixpoint), which the
-		// engine declares fatal: mark it for rebuild rather than ever
-		// re-using the partial state.
-		p.engineDirty = true
-		return nil, err
+	// coalesce publication bursts. The backlog feeds through in windows
+	// sized by observed drain latency (exchange.AdaptiveWindow): ApplyAll
+	// over consecutive sub-batches is defined to equal one batched call, so
+	// windowing bounds each fixpoint's working set without changing results.
+	results := make([]*exchange.Result, 0, len(fresh))
+	for rest := fresh; len(rest) > 0; {
+		n := p.win.Next(len(rest))
+		start := time.Now()
+		rs, err := p.engine.ApplyAll(ctx, rest[:n])
+		if err != nil {
+			// ApplyAll can fail partway through the batch (cooperative
+			// cancellation abandons a half-propagated fixpoint), which the
+			// engine declares fatal: mark it for rebuild rather than ever
+			// re-using the partial state.
+			p.engineDirty = true
+			return nil, err
+		}
+		p.win.Observe(n, time.Since(start))
+		results = append(results, rs...)
+		rest = rest[n:]
 	}
 	var candidates []*updates.Transaction
 	for i, txn := range fresh {

@@ -6,7 +6,6 @@ import (
 	"runtime"
 	"sort"
 	"strings"
-	"sync"
 
 	"orchestra/internal/provenance"
 	"orchestra/internal/schema"
@@ -40,13 +39,17 @@ type Options struct {
 	ChaseSubsumption bool
 	// Parallelism bounds the worker pool that fires independent rules (and
 	// delta positions, in semi-naive rounds) of one stratum concurrently.
-	// 0 (the zero value) means automatic: runtime.NumCPU() workers. 1
-	// evaluates sequentially, as does any negative value (the explicit
-	// escape hatch now that 0 auto-detects). Workers probe a frozen
-	// database and buffer their head facts; the coordinator then merges the
-	// buffers in deterministic job order, so fixpoints and provenance
-	// polynomials do not depend on goroutine scheduling — results are
-	// byte-identical at every setting.
+	// 0 (the zero value) means adaptive: each round picks a worker count
+	// from its estimated probe work, up to runtime.NumCPU(), and rounds too
+	// small to amortize the snapshot and merge barriers run on the plain
+	// sequential path — the automatic setting is never slower than
+	// Parallelism=-1 by more than the estimate itself costs (a per-job
+	// extent-size read). See AdaptiveWorkers. 1 evaluates sequentially, as
+	// does any negative value (the explicit escape hatch). Workers probe a
+	// frozen database and buffer their head facts; the coordinator then
+	// merges the buffers in deterministic job order, so fixpoints and
+	// provenance polynomials do not depend on goroutine scheduling —
+	// results are byte-identical at every setting.
 	Parallelism int
 	// NoReorder disables the greedy join-order planner: positive body atoms
 	// are joined strictly in their written order (negations and comparisons
@@ -118,8 +121,13 @@ func EvalCtx(ctx context.Context, p *Program, edb *DB, opts Options) (*DB, error
 	if maxIter <= 0 {
 		maxIter = DefaultMaxIterations
 	}
+	// One executor for the whole evaluation: its worker pool and buffer
+	// arena are shared by every stratum's rounds instead of being rebuilt
+	// per round (see executor.go).
+	re := newRoundExec(opts, nil)
+	defer re.close()
 	for _, stratum := range strata {
-		if err := evalStratum(ctx, stratum, result, pl, opts, maxIter); err != nil {
+		if err := evalStratum(ctx, stratum, result, pl, re, opts, maxIter); err != nil {
 			return nil, err
 		}
 	}
@@ -280,8 +288,9 @@ func absorbInto(delta map[string]map[string]deltaFact, opts Options) func(mergeR
 
 // evalStratum runs semi-naive evaluation of one stratum to fixpoint,
 // checking the context once per iteration so runaway recursion stops on
-// cancellation or deadline.
-func evalStratum(ctx context.Context, rules []Rule, db *DB, pl *planner, opts Options, maxIter int) error {
+// cancellation or deadline. Rounds execute on the caller's executor, whose
+// worker pool and buffers persist across rounds (see executor.go).
+func evalStratum(ctx context.Context, rules []Rule, db *DB, pl *planner, re *roundExec, opts Options, maxIter int) error {
 	if err := ctx.Err(); err != nil {
 		return err
 	}
@@ -292,7 +301,7 @@ func evalStratum(ctx context.Context, rules []Rule, db *DB, pl *planner, opts Op
 	for ri, r := range rules {
 		jobs = append(jobs, job{rule: r, pln: plans[ri].full})
 	}
-	if err := runRound(ctx, jobs, db, opts, absorbInto(delta, opts)); err != nil {
+	if err := re.runRound(ctx, jobs, db, opts, absorbInto(delta, opts)); err != nil {
 		return err
 	}
 	// Semi-naive rounds: join each rule with the delta at one position.
@@ -306,17 +315,23 @@ func evalStratum(ctx context.Context, rules []Rule, db *DB, pl *planner, opts Op
 		prev := delta
 		delta = map[string]map[string]deltaFact{}
 		jobs = jobs[:0]
+		lists := map[string][]deltaFact{}
 		for ri, r := range rules {
 			for i, l := range r.Body {
 				if l.Builtin != nil || l.Negated {
 					continue
 				}
 				if dm, ok := prev[l.Atom.Pred]; ok && len(dm) > 0 {
-					jobs = append(jobs, job{rule: r, pln: plans[ri].delta[i], deltaExt: dm})
+					dl, ok := lists[l.Atom.Pred]
+					if !ok {
+						dl = deltaList(dm)
+						lists[l.Atom.Pred] = dl
+					}
+					jobs = append(jobs, job{rule: r, pln: plans[ri].delta[i], delta: dl})
 				}
 			}
 		}
-		if err := runRound(ctx, jobs, db, opts, absorbInto(delta, opts)); err != nil {
+		if err := re.runRound(ctx, jobs, db, opts, absorbInto(delta, opts)); err != nil {
 			return err
 		}
 	}
@@ -324,153 +339,13 @@ func evalStratum(ctx context.Context, rules []Rule, db *DB, pl *planner, opts Op
 }
 
 // job is one rule firing scheduled within a stratum round: a rule, its
-// compiled plan, and (for semi-naive rounds) the delta extent substituted at
-// the plan's delta position.
+// compiled plan, and (for semi-naive rounds) the delta slice substituted at
+// the plan's delta position. Chunk partitioning subslices delta to split one
+// firing across workers (see partitionJobs).
 type job struct {
-	rule     Rule
-	pln      *plan
-	deltaExt map[string]deltaFact
-}
-
-// emission is one buffered head fact produced by a parallel firing.
-type emission struct {
-	pred  string
-	tuple schema.Tuple
-	prov  provenance.Poly
-}
-
-// runRound fires the round's jobs, folds the emitted head facts into their
-// relations, and reports each effective change through absorb (in a
-// deterministic order, on the coordinator goroutine).
-//
-// Sequentially (Parallelism <= 1) each firing merges eagerly, so a later
-// rule sees facts merged by an earlier rule in the same round — the seed
-// engine's behavior, preserved exactly. With Parallelism > 1 the round runs
-// in three phases:
-//
-//  1. Probe: jobs enumerate joins against a frozen database concurrently on
-//     a bounded worker pool, buffering their emissions. Relations are only
-//     read; the per-relation lock (relIndex.mu) guards lazy index builds.
-//  2. Merge: emissions are grouped by head relation in (job, emission)
-//     order, and the groups are merged concurrently — one goroutine per
-//     relation, so every relation sees its merges in deterministic order
-//     under its own merge lock and no two goroutines touch the same state.
-//  3. Absorb: the coordinator walks the groups in first-appearance order
-//     and feeds each change to absorb, which does the (shared, unlocked)
-//     delta and change-log bookkeeping.
-//
-// The resulting fixpoint and provenance polynomials are therefore
-// independent of goroutine scheduling. Facts a parallel round withholds
-// from its sibling jobs are still in the round's delta, so the semi-naive
-// loop derives everything the eager schedule would — at worst one round
-// later.
-func runRound(ctx context.Context, jobs []job, db *DB, opts Options, absorb func(mergeResult)) error {
-	if len(jobs) == 0 {
-		return nil
-	}
-	workers := EffectiveParallelism(opts.Parallelism)
-	if workers > len(jobs) {
-		workers = len(jobs)
-	}
-	if workers <= 1 {
-		emit := func(pred string, t schema.Tuple, p provenance.Poly) {
-			mr, changed := merge(db.MutableRel(pred), t, p, opts)
-			if changed {
-				mr.pred = pred
-				absorb(mr)
-			}
-		}
-		for _, j := range jobs {
-			if err := ctx.Err(); err != nil {
-				return err
-			}
-			if err := fireRule(j.rule, j.pln, db, j.deltaExt, opts, emit); err != nil {
-				return err
-			}
-		}
-		return nil
-	}
-	// Phase 1: probe.
-	buffers := make([][]emission, len(jobs))
-	errs := make([]error, len(jobs))
-	sem := make(chan struct{}, workers)
-	var wg sync.WaitGroup
-	for i := range jobs {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			if err := ctx.Err(); err != nil {
-				errs[i] = err
-				return
-			}
-			j := jobs[i]
-			errs[i] = fireRule(j.rule, j.pln, db, j.deltaExt, opts, func(pred string, t schema.Tuple, p provenance.Poly) {
-				buffers[i] = append(buffers[i], emission{pred: pred, tuple: t, prov: p})
-			})
-		}(i)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return err
-		}
-	}
-	// Phase 2: group by head relation and merge, one goroutine per relation.
-	type predGroup struct {
-		rel       *Rel
-		emissions []emission
-		results   []mergeResult
-	}
-	groups := map[string]*predGroup{}
-	var order []*predGroup
-	for _, buf := range buffers {
-		for _, e := range buf {
-			g := groups[e.pred]
-			if g == nil {
-				// Resolve the mutable (COW-cloned if snapshot-shared) extent
-				// on the coordinator, before the merge goroutines start: a
-				// clone swaps the db.rels map entry, which must not race
-				// with sibling groups.
-				g = &predGroup{rel: db.MutableRel(e.pred)}
-				groups[e.pred] = g
-				order = append(order, g)
-			}
-			g.emissions = append(g.emissions, e)
-		}
-	}
-	mergeSem := make(chan struct{}, workers)
-	for _, g := range order {
-		wg.Add(1)
-		go func(g *predGroup) {
-			defer wg.Done()
-			mergeSem <- struct{}{}
-			defer func() { <-mergeSem }()
-			for _, e := range g.emissions {
-				// Re-run the chase redundancy check against the merged
-				// state: the emit-time check saw only the frozen pre-round
-				// database, so a subsumer merged earlier this round (always
-				// into this same relation) would be missed.
-				if opts.ChaseSubsumption && e.tuple.HasLabeledNull() && subsumedByExisting(g.rel, e.tuple) {
-					continue
-				}
-				mr, changed := merge(g.rel, e.tuple, e.prov, opts)
-				if changed {
-					mr.pred = e.pred
-					g.results = append(g.results, mr)
-				}
-			}
-		}(g)
-	}
-	wg.Wait()
-	// Phase 3: absorb on the coordinator, in deterministic group order.
-	for _, g := range order {
-		for _, mr := range g.results {
-			absorb(mr)
-		}
-	}
-	return nil
+	rule  Rule
+	pln   *plan
+	delta []deltaFact
 }
 
 // mergeResult describes the outcome of folding one derived fact into its
@@ -559,14 +434,14 @@ func diffNew(merged, existing provenance.Poly) provenance.Poly {
 
 // fireRule enumerates all satisfying assignments of the rule body in the
 // compiled plan's order and calls emit for each resulting head fact. If the
-// plan's delta position is set, that body literal ranges over deltaExt (with
-// delta annotations) instead of the full extent. Enumeration terminates
-// early the moment any step's candidate set is empty.
+// plan's delta position is set, that body literal ranges over the delta
+// slice (with delta annotations) instead of the full extent. Enumeration
+// terminates early the moment any step's candidate set is empty.
 //
 // Variable bindings live in a flat slot environment; which slots a step
 // binds or checks was decided at plan time, so no undo bookkeeping is
 // needed — a slot is always rewritten before any deeper step reads it.
-func fireRule(r Rule, pln *plan, db *DB, deltaExt map[string]deltaFact, opts Options,
+func fireRule(r Rule, pln *plan, db *DB, delta []deltaFact, opts Options,
 	emit func(string, schema.Tuple, provenance.Poly)) error {
 
 	env := make([]schema.Value, pln.nslots)
@@ -604,7 +479,8 @@ func fireRule(r Rule, pln *plan, db *DB, deltaExt map[string]deltaFact, opts Opt
 		}
 		arity := len(st.lit.Atom.Terms)
 		if st.isDelta {
-			for _, df := range deltaExt {
+			for di := range delta {
+				df := &delta[di]
 				if len(df.tuple) != arity || !matchDelta(st, df.tuple, env) {
 					continue
 				}

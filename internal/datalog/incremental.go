@@ -55,6 +55,11 @@ type Incremental struct {
 	tokenIndex map[provenance.Var]map[string]map[string]bool
 	tokenLog   []tokenEntry
 	dead       map[provenance.Var]bool
+	// arena holds the round executor's reusable buffers. It persists across
+	// Insert/InsertGroups calls, so consecutive incremental fixpoints reuse
+	// the same emission buffers and shard groups instead of reallocating
+	// them per propagation (see executor.go).
+	arena roundArena
 }
 
 // tokenEntry records that the fact stored under key in pred mentioned the
@@ -195,13 +200,16 @@ func (inc *Incremental) Insert(ctx context.Context, facts []Fact2) ([]Change, er
 		return nil, nil
 	}
 	// Propagate stratum by stratum; the delta from earlier strata feeds
-	// later ones.
+	// later ones. One executor serves every stratum's rounds, borrowing the
+	// maintained arena so consecutive Inserts reuse its buffers.
 	sink := func(mr mergeResult) {
 		changes = append(changes, Change{Pred: mr.pred, Tuple: mr.tuple, Key: mr.key, Prov: mr.newPart, Fresh: mr.fresh})
 	}
+	re := newRoundExec(inc.opts, &inc.arena)
+	defer re.close()
 	for si, stratum := range inc.strata {
 		var err error
-		delta, err = inc.propagate(ctx, stratum, inc.planTab[si], delta, sink)
+		delta, err = inc.propagate(ctx, stratum, inc.planTab[si], re, delta, sink)
 		if err != nil {
 			return nil, err
 		}
@@ -438,9 +446,11 @@ func (inc *Incremental) insertGroupRun(ctx context.Context, groups [][]Fact2) ([
 				a.parts = append(a.parts, groupPart{group: g, prov: provenance.FromMonomials(byGroup[g])})
 			}
 		}
+		re := newRoundExec(inc.opts, &inc.arena)
+		defer re.close()
 		for si, stratum := range inc.strata {
 			var err error
-			delta, err = inc.propagate(ctx, stratum, inc.planTab[si], delta, sink)
+			delta, err = inc.propagate(ctx, stratum, inc.planTab[si], re, delta, sink)
 			if err != nil {
 				return nil, err
 			}
@@ -495,8 +505,9 @@ func (inc *Incremental) insertGroupRun(ctx context.Context, groups [][]Fact2) ([
 // propagate runs semi-naive rounds of one stratum starting from seed; it
 // returns the accumulated delta (seed plus everything newly derived) so
 // later strata can consume it, and reports every effective merge to sink in
-// deterministic order.
-func (inc *Incremental) propagate(ctx context.Context, rules []Rule, plans []rulePlans, seed map[string]map[string]deltaFact, sink func(mergeResult)) (map[string]map[string]deltaFact, error) {
+// deterministic order. Rounds run on the caller's executor, so one worker
+// pool and buffer arena serve the whole propagation.
+func (inc *Incremental) propagate(ctx context.Context, rules []Rule, plans []rulePlans, re *roundExec, seed map[string]map[string]deltaFact, sink func(mergeResult)) (map[string]map[string]deltaFact, error) {
 	opts := inc.opts
 	// The caller hands over ownership of seed (Insert rebinds its delta to
 	// the return value), so the accumulator aliases it instead of copying:
@@ -504,6 +515,7 @@ func (inc *Incremental) propagate(ctx context.Context, rules []Rule, plans []rul
 	// finished reading them.
 	accum := seed
 	cur := seed
+	var jobs []job
 	for iter := 0; len(cur) > 0; iter++ {
 		if err := ctx.Err(); err != nil {
 			return nil, err
@@ -517,18 +529,24 @@ func (inc *Incremental) propagate(ctx context.Context, rules []Rule, plans []rul
 			addDelta(next, mr.pred, mr.key, mr.tuple, mr.newPart)
 			sink(mr)
 		}
-		var jobs []job
+		jobs = jobs[:0]
+		lists := map[string][]deltaFact{}
 		for ri, r := range rules {
 			for i, l := range r.Body {
 				if l.Builtin != nil || l.Negated {
 					continue
 				}
 				if dm, ok := cur[l.Atom.Pred]; ok && len(dm) > 0 {
-					jobs = append(jobs, job{rule: r, pln: plans[ri].delta[i], deltaExt: dm})
+					dl, ok := lists[l.Atom.Pred]
+					if !ok {
+						dl = deltaList(dm)
+						lists[l.Atom.Pred] = dl
+					}
+					jobs = append(jobs, job{rule: r, pln: plans[ri].delta[i], delta: dl})
 				}
 			}
 		}
-		if err := runRound(ctx, jobs, inc.db, opts, absorb); err != nil {
+		if err := re.runRound(ctx, jobs, inc.db, opts, absorb); err != nil {
 			return nil, err
 		}
 		copyInto(accum, next)

@@ -1,8 +1,12 @@
 package datalog
 
 import (
+	"context"
+	"fmt"
 	"runtime"
 	"testing"
+
+	"orchestra/internal/provenance"
 )
 
 // TestEffectiveParallelism pins the Options.Parallelism override path:
@@ -23,4 +27,158 @@ func TestEffectiveParallelism(t *testing.T) {
 			t.Errorf("EffectiveParallelism(%d) = %d, want 1 (forced sequential)", n, got)
 		}
 	}
+	// A request beyond the machine is honored as-is: explicit settings are
+	// the caller's to waste (the benchmark sweep depends on this).
+	if over := runtime.NumCPU() * 4; EffectiveParallelism(over) != over {
+		t.Errorf("EffectiveParallelism(%d) = %d, want %d (explicit overcommit honored)",
+			over, EffectiveParallelism(over), over)
+	}
+}
+
+// TestAdaptiveWorkers pins the cost gate: explicit settings bypass it
+// entirely, while the automatic setting sizes workers from estimated probe
+// work and falls back to sequential on tiny rounds.
+func TestAdaptiveWorkers(t *testing.T) {
+	ncpu := runtime.NumCPU()
+	huge := 1 << 30
+	// Explicit settings are honored regardless of round size.
+	if got := AdaptiveWorkers(4, 1); got != 4 {
+		t.Errorf("AdaptiveWorkers(4, tiny) = %d, want 4 (explicit)", got)
+	}
+	if over := ncpu * 4; AdaptiveWorkers(over, 1) != over {
+		t.Errorf("AdaptiveWorkers(%d, tiny) = %d, want %d (explicit > NumCPU)",
+			over, AdaptiveWorkers(over, 1), over)
+	}
+	for _, n := range []int{-1, -8, 1} {
+		if got := AdaptiveWorkers(n, huge); got != 1 {
+			t.Errorf("AdaptiveWorkers(%d, huge) = %d, want 1 (forced sequential)", n, got)
+		}
+	}
+	// Automatic: tiny rounds run sequentially (whatever the core count)...
+	for _, est := range []int{0, 1, parallelGrain, 2*parallelGrain - 1} {
+		if got := AdaptiveWorkers(0, est); got != 1 {
+			t.Errorf("AdaptiveWorkers(0, %d) = %d, want 1 (below the gate)", est, got)
+		}
+	}
+	// ...mid-size rounds get one worker per grain...
+	if ncpu >= 2 {
+		if got := AdaptiveWorkers(0, 2*parallelGrain); got != 2 {
+			t.Errorf("AdaptiveWorkers(0, 2 grains) = %d, want 2", got)
+		}
+	}
+	// ...and huge rounds cap at the CPU count.
+	if got := AdaptiveWorkers(0, huge); got != ncpu {
+		t.Errorf("AdaptiveWorkers(0, huge) = %d, want NumCPU = %d", got, ncpu)
+	}
+}
+
+// TestAdaptiveTinyDeltaMatchesSequential checks the Parallelism=0 path on a
+// round far below the cost gate produces exactly the sequential result —
+// the "never degrades below the sequential path" contract, verified on
+// results (timing is CI-hostile; the benchmark sweep covers speed).
+func TestAdaptiveTinyDeltaMatchesSequential(t *testing.T) {
+	build := func() (*Incremental, error) {
+		edb := NewDB()
+		for i := 0; i < 6; i++ {
+			edb.AddTuple("E", edge(fmt.Sprint("n", i), fmt.Sprint("n", i+1)))
+		}
+		return NewIncremental(tcProgram(), edb, Options{Provenance: true})
+	}
+	seq, err := build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	adapt, err := build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Zero value is already Parallelism: 0; make the contrast explicit.
+	seq.opts.Parallelism = -1
+	adapt.opts.Parallelism = 0
+	batch := []Fact2{{Pred: "E", Tuple: edge("n6", "n0"), Prov: provenance.NewVar("loop")}}
+	seqCh, err := seq.Insert(context.Background(), batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	adaptCh, err := adapt.Insert(context.Background(), batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seqCh) != len(adaptCh) {
+		t.Fatalf("changes: adaptive %d vs sequential %d", len(adaptCh), len(seqCh))
+	}
+	requireDBsEqual(t, "tiny-delta-adaptive", seq.DB(), adapt.DB())
+}
+
+// TestPoolReuseAcrossConsecutiveInserts drives several incremental
+// fixpoints through one Incremental at forced parallelism, so the arena —
+// and within each fixpoint, the worker pool — is reused round after round.
+// This is the -race CI job's probe for executor state leaking between
+// rounds or fixpoints.
+func TestPoolReuseAcrossConsecutiveInserts(t *testing.T) {
+	edb := NewDB()
+	for i := 0; i < 4; i++ {
+		edb.AddTuple("E", edge(fmt.Sprint("n", i), fmt.Sprint("n", i+1)))
+	}
+	par, err := NewIncremental(tcProgram(), edb, Options{Provenance: true, Parallelism: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := NewIncremental(tcProgram(), edb, Options{Provenance: true, Parallelism: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 5; round++ {
+		batch := []Fact2{
+			{Pred: "E", Tuple: edge(fmt.Sprint("x", round), fmt.Sprint("n", round)),
+				Prov: provenance.NewVar(provenance.Var(fmt.Sprint("x", round)))},
+			{Pred: "E", Tuple: edge(fmt.Sprint("n", round+4), fmt.Sprint("x", round)),
+				Prov: provenance.NewVar(provenance.Var(fmt.Sprint("y", round)))},
+		}
+		if _, err := par.Insert(context.Background(), batch); err != nil {
+			t.Fatalf("round %d parallel: %v", round, err)
+		}
+		if _, err := seq.Insert(context.Background(), batch); err != nil {
+			t.Fatalf("round %d sequential: %v", round, err)
+		}
+		requireDBsEqual(t, fmt.Sprintf("round-%d", round), seq.DB(), par.DB())
+	}
+}
+
+// TestChunkedDeltaMatchesUnchunked inserts a batch large enough that
+// partitionJobs splits the delta into concurrent chunks (few rules, many
+// delta facts), and checks the chunked parallel run agrees with the
+// sequential one on facts and provenance.
+func TestChunkedDeltaMatchesUnchunked(t *testing.T) {
+	prog := &Program{Rules: []Rule{
+		{ID: "copy", Head: NewHead("Out", HV("a"), HV("b")), Body: []Literal{Pos(NewAtom("In", V("a"), V("b")))}},
+	}}
+	build := func(par int) (*Incremental, error) {
+		return NewIncremental(prog, NewDB(), Options{Provenance: true, Parallelism: par})
+	}
+	seq, err := build(-1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := build(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var batch []Fact2
+	for i := 0; i < 4*chunkMin; i++ { // one rule, 4 chunks' worth of delta
+		batch = append(batch, Fact2{Pred: "In", Tuple: edge(fmt.Sprint("a", i), fmt.Sprint("b", i)),
+			Prov: provenance.NewVar(provenance.Var(fmt.Sprint("t", i)))})
+	}
+	seqCh, err := seq.Insert(context.Background(), batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parCh, err := par.Insert(context.Background(), batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seqCh) != len(parCh) {
+		t.Fatalf("changes: chunked %d vs sequential %d", len(parCh), len(seqCh))
+	}
+	requireDBsEqual(t, "chunked-delta", seq.DB(), par.DB())
 }

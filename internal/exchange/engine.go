@@ -73,6 +73,15 @@ type Config struct {
 	// DefaultMaxMonomials, negative means unbounded (exact witness sets, at
 	// combinatorial cost on dense mapping graphs).
 	MaxMonomials int
+	// ReconcileWindow bounds how many fetched transactions a reconciliation
+	// feeds through one ApplyAll group-commit window. 0 (unset) sizes
+	// windows adaptively from observed backlog and drain latency (see
+	// AdaptiveWindow); n > 0 pins the window to n transactions; negative
+	// translates the whole backlog as a single batch. Results are identical
+	// at every setting — ApplyAll over consecutive sub-batches equals one
+	// batched call — so the window only trades peak memory and
+	// time-to-first-change against per-batch fixpoint amortization.
+	ReconcileWindow int
 }
 
 // maxMonomials resolves the configured witness bound.

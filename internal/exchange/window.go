@@ -1,0 +1,96 @@
+package exchange
+
+import "time"
+
+// Group-commit window tuning. The adaptive controller aims each window at
+// windowTarget of fixpoint work: fast drains widen the window (better
+// amortization of the per-batch seeded fixpoint), slow drains shrink it
+// (bounded peak memory and time-to-first-change for subscribers).
+const (
+	// windowSeed is the first window's size, before any drain has been
+	// observed.
+	windowSeed = 64
+	// windowMin / windowMax clamp adaptive window sizes. The floor keeps
+	// pathological latency spikes (a GC pause during one drain) from
+	// collapsing to per-transaction fixpoints; the ceiling bounds how much
+	// translation state one window can pin.
+	windowMin = 8
+	windowMax = 4096
+	// windowTarget is the drain latency one window aims for.
+	windowTarget = 50 * time.Millisecond
+	// windowAlpha is the EWMA smoothing factor for per-transaction drain
+	// latency: new samples move the estimate a quarter of the way.
+	windowAlpha = 0.25
+)
+
+// AdaptiveWindow sizes group-commit windows for Engine.ApplyAll from the
+// observed backlog and drain latency. Callers take Next(backlog)
+// transactions per batch and report each batch's wall-clock back through
+// Observe; the controller keeps an EWMA of per-transaction drain latency
+// and aims subsequent windows at windowTarget of work. Because ApplyAll
+// over consecutive sub-batches is defined to equal one batched call,
+// window sizing never changes results — only peak memory and
+// time-to-first-change.
+//
+// The zero value adapts; NewAdaptiveWindow wires the Config.ReconcileWindow
+// escape hatches (fixed or unbounded windows). An AdaptiveWindow is not
+// safe for concurrent use; each Engine owner keeps its own.
+type AdaptiveWindow struct {
+	// fixed pins the window size: >0 exactly that many transactions per
+	// batch, <0 the whole backlog in one batch, 0 adaptive.
+	fixed int
+	// perTxn is the EWMA of observed drain seconds per transaction; 0 until
+	// the first Observe.
+	perTxn float64
+}
+
+// NewAdaptiveWindow builds the window controller for a configured
+// ReconcileWindow value (see Config.ReconcileWindow for the semantics).
+func NewAdaptiveWindow(configured int) *AdaptiveWindow {
+	return &AdaptiveWindow{fixed: configured}
+}
+
+// Next returns how many of the backlog transactions the next group-commit
+// window should take: at least 1 when the backlog is non-empty, never more
+// than the backlog.
+func (w *AdaptiveWindow) Next(backlog int) int {
+	if backlog <= 0 {
+		return 0
+	}
+	var n int
+	switch {
+	case w.fixed > 0:
+		n = w.fixed
+	case w.fixed < 0:
+		return backlog
+	case w.perTxn > 0:
+		n = int(windowTarget.Seconds() / w.perTxn)
+		if n < windowMin {
+			n = windowMin
+		}
+		if n > windowMax {
+			n = windowMax
+		}
+	default:
+		n = windowSeed
+	}
+	if n > backlog {
+		n = backlog
+	}
+	return n
+}
+
+// Observe records one drained window of n transactions taking elapsed, and
+// folds it into the per-transaction latency estimate. Fixed and unbounded
+// configurations ignore observations.
+func (w *AdaptiveWindow) Observe(n int, elapsed time.Duration) {
+	if n <= 0 || w.fixed != 0 {
+		return
+	}
+	sample := elapsed.Seconds() / float64(n)
+	if w.perTxn == 0 {
+		w.perTxn = sample
+		return
+	}
+	w.perTxn += windowAlpha * (sample - w.perTxn)
+}

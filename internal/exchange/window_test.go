@@ -1,0 +1,93 @@
+package exchange
+
+import (
+	"testing"
+	"time"
+)
+
+func TestAdaptiveWindowFixed(t *testing.T) {
+	w := NewAdaptiveWindow(10)
+	if got := w.Next(100); got != 10 {
+		t.Fatalf("fixed window Next(100) = %d, want 10", got)
+	}
+	if got := w.Next(3); got != 3 {
+		t.Fatalf("fixed window Next(3) = %d, want 3 (backlog clamp)", got)
+	}
+	if got := w.Next(0); got != 0 {
+		t.Fatalf("fixed window Next(0) = %d, want 0", got)
+	}
+	// Observations must not move a fixed window.
+	w.Observe(10, time.Hour)
+	if got := w.Next(100); got != 10 {
+		t.Fatalf("fixed window after Observe: Next(100) = %d, want 10", got)
+	}
+}
+
+func TestAdaptiveWindowUnbounded(t *testing.T) {
+	w := NewAdaptiveWindow(-1)
+	if got := w.Next(12345); got != 12345 {
+		t.Fatalf("unbounded window Next(12345) = %d, want whole backlog", got)
+	}
+	w.Observe(12345, time.Hour)
+	if got := w.Next(7); got != 7 {
+		t.Fatalf("unbounded window after Observe: Next(7) = %d, want 7", got)
+	}
+}
+
+func TestAdaptiveWindowSeedAndClamp(t *testing.T) {
+	w := NewAdaptiveWindow(0)
+	if got := w.Next(1_000_000); got != windowSeed {
+		t.Fatalf("unobserved adaptive Next = %d, want seed %d", got, windowSeed)
+	}
+	if got := w.Next(5); got != 5 {
+		t.Fatalf("adaptive Next(5) = %d, want 5 (backlog clamp)", got)
+	}
+	if got := w.Next(0); got != 0 {
+		t.Fatalf("adaptive Next(0) = %d, want 0", got)
+	}
+}
+
+func TestAdaptiveWindowGrowsWhenFast(t *testing.T) {
+	w := NewAdaptiveWindow(0)
+	// Drains at ~1µs/txn: the target latency affords far more than
+	// windowMax transactions, so the window must pin to the ceiling.
+	for i := 0; i < 8; i++ {
+		w.Observe(64, 64*time.Microsecond)
+	}
+	if got := w.Next(1_000_000); got != windowMax {
+		t.Fatalf("fast-drain adaptive Next = %d, want max %d", got, windowMax)
+	}
+}
+
+func TestAdaptiveWindowShrinksWhenSlow(t *testing.T) {
+	w := NewAdaptiveWindow(0)
+	// Drains at ~1s/txn: the target affords well under one transaction, so
+	// the window must pin to the floor rather than going to zero.
+	for i := 0; i < 8; i++ {
+		w.Observe(4, 4*time.Second)
+	}
+	if got := w.Next(1_000_000); got != windowMin {
+		t.Fatalf("slow-drain adaptive Next = %d, want min %d", got, windowMin)
+	}
+	if got := w.Next(3); got != 3 {
+		t.Fatalf("slow-drain adaptive Next(3) = %d, want 3", got)
+	}
+}
+
+func TestAdaptiveWindowTracksLatencyShift(t *testing.T) {
+	w := NewAdaptiveWindow(0)
+	for i := 0; i < 8; i++ {
+		w.Observe(64, 64*time.Microsecond) // fast regime → max window
+	}
+	if got := w.Next(1 << 20); got != windowMax {
+		t.Fatalf("pre-shift Next = %d, want %d", got, windowMax)
+	}
+	for i := 0; i < 32; i++ {
+		w.Observe(8, 8*time.Second) // slow regime → the EWMA must converge down
+	}
+	if got := w.Next(1 << 20); got != windowMin {
+		t.Fatalf("post-shift Next = %d, want %d", got, windowMin)
+	}
+	// Zero-count observations are ignored, not a division by zero.
+	w.Observe(0, time.Second)
+}

@@ -603,3 +603,78 @@ func E8GoalDirectedQuery(n int) (*Table, error) {
 	}
 	return t, nil
 }
+
+// BuildParallelStratum builds the worker-sweep workload: nrules independent
+// two-way join rules over disjoint relations of nrows facts each, so one
+// stratum round carries nrules embarrassingly parallel probe jobs — the
+// update-exchange shape where many mapping rules fire over the same round.
+// The same workload backs BenchmarkParallelStratum; keep them in sync.
+func BuildParallelStratum(nrules, nrows int) (*datalog.Program, *datalog.DB) {
+	prog := &datalog.Program{}
+	edb := datalog.NewDB()
+	for r := 0; r < nrules; r++ {
+		ra, rb, rh := fmt.Sprintf("A%d", r), fmt.Sprintf("B%d", r), fmt.Sprintf("H%d", r)
+		prog.Rules = append(prog.Rules, datalog.Rule{
+			ID:   fmt.Sprintf("j%d", r),
+			Head: datalog.NewHead(rh, datalog.HV("x"), datalog.HV("z")),
+			Body: []datalog.Literal{
+				datalog.Pos(datalog.NewAtom(ra, datalog.V("x"), datalog.V("y"))),
+				datalog.Pos(datalog.NewAtom(rb, datalog.V("y"), datalog.V("z"))),
+			},
+		})
+		for i := int64(0); i < int64(nrows); i++ {
+			edb.AddTuple(ra, schema.NewTuple(schema.Int(i), schema.Int(i%97)))
+			edb.AddTuple(rb, schema.NewTuple(schema.Int(i%97), schema.Int(i)))
+		}
+	}
+	return prog, edb
+}
+
+// E10ParallelStratum measures the adaptive parallel stratum executor on the
+// worker-sweep workload: sequential evaluation against explicit worker
+// counts and the adaptive setting (workers sized per round from estimated
+// probe work). Every run must derive the same facts; speedups below 1.00x
+// on few-core machines are the expected cost-gate territory — the adaptive
+// row is the one that must never fall meaningfully below sequential.
+func E10ParallelStratum(nrules, nrows int, workers []int) (*Table, error) {
+	t := &Table{
+		ID:      "E10",
+		Caption: fmt.Sprintf("adaptive parallel stratum executor (%d join rules x %d rows)", nrules, nrows),
+		Header:  []string{"workers", "time", "facts", "speedup-vs-seq"},
+	}
+	prog, edb := BuildParallelStratum(nrules, nrows)
+	run := func(par int) (time.Duration, int, error) {
+		start := time.Now()
+		res, err := datalog.Eval(prog, edb, datalog.Options{Provenance: true, Parallelism: par})
+		if err != nil {
+			return 0, 0, err
+		}
+		elapsed := time.Since(start)
+		facts := 0
+		for _, pred := range res.Preds() {
+			facts += res.Rel(pred).Len()
+		}
+		return elapsed, facts, nil
+	}
+	seqTime, seqFacts, err := run(-1)
+	if err != nil {
+		return nil, err
+	}
+	t.Rows = append(t.Rows, []string{"sequential", dur(seqTime), fmt.Sprint(seqFacts), "1.00x"})
+	for _, w := range append(workers, 0) {
+		label := fmt.Sprint(w)
+		if w == 0 {
+			label = "adaptive"
+		}
+		elapsed, facts, err := run(w)
+		if err != nil {
+			return nil, err
+		}
+		if facts != seqFacts {
+			return nil, fmt.Errorf("E10: workers=%s derived %d facts, sequential %d", label, facts, seqFacts)
+		}
+		t.Rows = append(t.Rows, []string{label, dur(elapsed), fmt.Sprint(facts),
+			fmt.Sprintf("%.2fx", float64(seqTime)/float64(elapsed))})
+	}
+	return t, nil
+}

@@ -8,12 +8,13 @@ type Option func(*settings)
 // settings is the resolved option set. A peer starts from the system's
 // settings and applies its own options on top.
 type settings struct {
-	parallelism  int
-	maxMonomials int
-	provenance   bool
-	store        Store
-	policy       *TrustPolicy
-	strict       bool
+	parallelism     int
+	maxMonomials    int
+	reconcileWindow int
+	provenance      bool
+	store           Store
+	policy          *TrustPolicy
+	strict          bool
 }
 
 func defaultSettings() settings {
@@ -28,10 +29,21 @@ func (s settings) apply(opts []Option) settings {
 }
 
 // WithParallelism bounds the worker pool evaluating independent mapping
-// rules within a fixpoint round. 0 (the default) auto-detects the CPU
-// count; negative forces sequential evaluation. Results are byte-identical
-// at every setting.
+// rules within a fixpoint round. 0 (the default) adapts: each round picks
+// a worker count from its delta size and the CPU count, falling back to
+// sequential evaluation when the round is too small to amortize fan-out.
+// n > 1 forces n workers; 1 or negative forces sequential evaluation.
+// Results are byte-identical at every setting.
 func WithParallelism(n int) Option { return func(s *settings) { s.parallelism = n } }
+
+// WithReconcileWindow bounds how many fetched transactions one Reconcile
+// feeds through a single group-committed translation fixpoint. 0 (the
+// default) sizes windows adaptively from the observed backlog and drain
+// latency; n > 0 pins the window to n transactions; negative translates
+// the whole backlog as one batch. Results are identical at every setting —
+// the window only trades peak memory and time-to-first-change against
+// per-batch amortization.
+func WithReconcileWindow(n int) Option { return func(s *settings) { s.reconcileWindow = n } }
 
 // WithMaxMonomials bounds each tuple's provenance witness set. 0 (the
 // default) keeps the engine default (8); negative removes the bound, at

@@ -86,8 +86,9 @@ func (s *System) Peer(name string, opts ...Option) (*Peer, error) {
 		pol = policyFor(s.policies, s.base.policy, name)
 	}
 	cp, err := core.NewPeerWith(name, s.core, s.store, pol, exchange.Config{
-		Parallelism:  set.parallelism,
-		MaxMonomials: set.maxMonomials,
+		Parallelism:     set.parallelism,
+		MaxMonomials:    set.maxMonomials,
+		ReconcileWindow: set.reconcileWindow,
 	})
 	if err != nil {
 		return nil, wrapErr(err)
@@ -109,10 +110,11 @@ func (s *System) Peer(name string, opts ...Option) (*Peer, error) {
 func (s *System) Epoch() (uint64, error) { return s.store.Epoch() }
 
 // ReconcileAll reconciles every open peer once, in deterministic (name)
-// order, and returns the per-peer reports. Each peer translates its whole
-// fetched backlog as one group-committed batch (see Peer.Reconcile), so
-// draining a publication burst across the confederation costs one fixpoint
-// per peer rather than one per transaction. On error the partial report map
+// order, and returns the per-peer reports. Each peer translates its
+// fetched backlog in group-commit windows sized adaptively from observed
+// drain latency (see Peer.Reconcile and WithReconcileWindow), so draining
+// a publication burst across the confederation costs a handful of seeded
+// fixpoints per peer rather than one per transaction. On error the partial report map
 // is returned alongside it; with WithStrictConflicts a deferred conflict at
 // any peer surfaces as ErrConflictPending, after later peers have still
 // been reconciled.

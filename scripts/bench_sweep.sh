@@ -1,0 +1,71 @@
+#!/bin/sh
+# Multi-core worker sweep: runs the parallel stratum benchmarks across
+# several GOMAXPROCS values and prints the workers=1 vs workers=N speedup
+# ratio per CPU count, plus the adaptive-vs-sequential ratio for the
+# small-delta cost-gate pair.
+#
+#   ./scripts/bench_sweep.sh                 # -cpu=1,2,4, 3 iterations
+#   CPUS=1,2,4,8 BENCHTIME=10x ./scripts/bench_sweep.sh sweep.txt
+#
+# With an argument, the raw `go test -bench` output is also written to that
+# file (CI uploads it as a build artifact). The summary only reports; it
+# never fails the run — single-core machines legitimately show ratios < 1
+# for explicit worker counts (that is the regime the adaptive cost gate
+# exists for), and shared runners are too noisy for a hard threshold. The
+# bench-compare job is the regression gate; this job makes parallel wins
+# and losses visible per PR.
+set -e
+
+cpus="${CPUS:-1,2,4}"
+benchtime="${BENCHTIME:-3x}"
+outfile="${1:-}"
+
+run="$(go test -bench 'BenchmarkParallel(Stratum|SmallDelta)' -benchtime="$benchtime" -cpu="$cpus" -run '^$' .)"
+printf '%s\n' "$run"
+if [ -n "$outfile" ]; then
+    printf '%s\n' "$run" > "$outfile"
+fi
+
+echo
+echo "=== worker-sweep summary ==="
+printf '%s\n' "$run" | awk '
+/ ns\/op/ {
+    name = $1
+    # Go appends -GOMAXPROCS to the name except when it is 1.
+    if (match(name, /-[0-9]+$/)) {
+        cpu = substr(name, RSTART + 1)
+        name = substr(name, 1, RSTART - 1)
+    } else {
+        cpu = "1"
+    }
+    t[name "@" cpu] = $3 + 0
+    cpus[cpu] = 1
+}
+END {
+    stratum = "BenchmarkParallelStratum/workers="
+    small = "BenchmarkParallelSmallDelta/"
+    for (c in cpus) order[++n] = c + 0
+    # Sort the few CPU values numerically.
+    for (i = 1; i <= n; i++)
+        for (j = i + 1; j <= n; j++)
+            if (order[j] < order[i]) { tmp = order[i]; order[i] = order[j]; order[j] = tmp }
+    for (i = 1; i <= n; i++) {
+        c = order[i]
+        w1 = t[stratum "1@" c]
+        if (w1 > 0) {
+            for (w = 2; w <= 16; w *= 2) {
+                wn = t[stratum w "@" c]
+                if (wn > 0)
+                    printf "cpu=%-2s workers=%-2d vs workers=1: %.2fx\n", c, w, w1 / wn
+            }
+            wa = t[stratum "adaptive@" c]
+            if (wa > 0)
+                printf "cpu=%-2s adaptive   vs workers=1: %.2fx\n", c, w1 / wa
+        }
+        seq = t[small "sequential@" c]
+        ada = t[small "adaptive@" c]
+        if (seq > 0 && ada > 0)
+            printf "cpu=%-2s small-delta adaptive vs sequential: %.2fx (cost gate; ~1.0x or better expected)\n", c, seq / ada
+    }
+}
+'
