@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fmt fmt-check lint vuln bench bench-smoke bench-query bench-publish bench-sweep bench-baseline bench-compare examples-check ci
+.PHONY: build test race vet fmt fmt-check lint vuln bench bench-smoke bench-query bench-publish bench-sweep bench-baseline bench-compare memprofile examples-check ci
 
 ## build: compile every package
 build:
@@ -81,10 +81,23 @@ bench-baseline:
 	./scripts/bench_baseline.sh > BENCH_baseline.json
 	@echo wrote BENCH_baseline.json
 
-## bench-compare: diff a fresh benchmark run against BENCH_baseline.json
-## (tunable: TOLERANCE=6.0 BENCHTIME=1x)
+## bench-compare: diff a fresh benchmark run against BENCH_baseline.json —
+## ns/op, B/op, and allocs/op are all gated (tunable: TOLERANCE=6.0
+## MEM_TOLERANCE=2.0 BENCHTIME=1x)
 bench-compare:
 	./scripts/bench_compare.sh
+
+## memprofile: heap profiles for the two memory-heaviest workloads — E2
+## incremental maintenance (mem_e2.out) and the E10 parallel stratum under
+## the adaptive worker gate (mem_e10.out). Inspect with
+##   go tool pprof -top -sample_index=alloc_space mem_e10.out
+## (alloc_space shows cumulative allocation, the column the streaming
+## evaluator targets; inuse_space shows the live fixpoint). See README
+## "Measuring memory".
+memprofile:
+	$(GO) test -bench 'BenchmarkE2IncrementalVsFull/incremental-delta4' -benchtime=5x -benchmem -memprofile mem_e2.out -run '^$$' .
+	$(GO) test -bench 'BenchmarkParallelStratum/workers=adaptive' -benchtime=3x -benchmem -memprofile mem_e10.out -run '^$$' .
+	@echo "wrote mem_e2.out and mem_e10.out; inspect with: go tool pprof -top -sample_index=alloc_space mem_e2.out"
 
 ## examples-check: build every example and golden-check quickstart's output,
 ## so API drift that breaks user-facing examples fails the gate

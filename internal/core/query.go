@@ -75,6 +75,11 @@ type GoalQuery struct {
 	// NoProvenance skips annotation bookkeeping: answers carry a zero
 	// polynomial. Faster when the caller only wants tuples.
 	NoProvenance bool
+	// Stats, when non-nil, receives the evaluation's pipeline counters
+	// (probe counts, pushdown hit rate, peak live intermediates — see
+	// datalog.EvalStats). Counters accumulate across queries sharing the
+	// struct.
+	Stats *datalog.EvalStats
 }
 
 // queryPred is the reserved head predicate of the conjunctive Query form.
@@ -129,6 +134,7 @@ func (p *Peer) QueryGoal(ctx context.Context, q GoalQuery) ([]Answer, error) {
 	opts := datalog.Options{
 		Provenance:  !q.NoProvenance,
 		Parallelism: p.engCfg.Parallelism,
+		Stats:       q.Stats,
 	}
 	var facts []datalog.Fact
 	var err error

@@ -56,6 +56,16 @@ type Options struct {
 	// still float to the earliest point where their variables are bound —
 	// an unbound filter cannot run at all).
 	NoReorder bool
+	// Materialized selects the recursive reference evaluator that buffers
+	// each rule firing's head facts before merging, instead of the default
+	// streaming iterator pipelines (pipeline.go). Results are byte-identical
+	// either way; the switch exists as the equivalence-test oracle and as an
+	// escape hatch.
+	Materialized bool
+	// Stats, when non-nil, receives evaluation counters (probe counts,
+	// pushdown hit rate, peak live intermediate tuples — see EvalStats). The
+	// struct may be shared across evaluations; counters accumulate.
+	Stats *EvalStats
 }
 
 // DefaultMaxIterations is the fixpoint iteration bound when unspecified.
@@ -192,6 +202,7 @@ func evalExact(ctx context.Context, p *Program, db *DB, pl *planner, opts Option
 		rel.putKeyed(k, t, prov)
 	}
 	processed := 0
+	var sc pipeScratch
 	for len(ready) > 0 {
 		if err := ctx.Err(); err != nil {
 			return err
@@ -200,7 +211,15 @@ func evalExact(ctx context.Context, p *Program, db *DB, pl *planner, opts Option
 		ready = ready[1:]
 		processed++
 		for _, r := range rulesByHead[pred] {
-			if err := fireRule(r, pl.planFor(r, -1, db), db, nil, opts, emit); err != nil {
+			pln := pl.planFor(r, -1, db)
+			if opts.Materialized {
+				if err := fireRule(r, pln, db, nil, opts, emit); err != nil {
+					return err
+				}
+				continue
+			}
+			sink := &exactSink{rel: db.MutableRel(r.Head.Pred)}
+			if err := fireRuleStream(ctx, r, pln, db, nil, opts, sink, &sc); err != nil {
 				return err
 			}
 		}
@@ -218,6 +237,25 @@ func evalExact(ctx context.Context, p *Program, db *DB, pl *planner, opts Option
 		return fmt.Errorf("datalog: internal: exact evaluation left %d predicates unprocessed", len(idb)-processed)
 	}
 	return nil
+}
+
+// exactSink merges streamed head facts under exact N[X] semantics: every
+// derivation is enumerated exactly once (non-recursive programs in
+// dependency order), so annotations always accumulate and no emission can
+// be skipped.
+type exactSink struct {
+	rel *Rel
+}
+
+func (s *exactSink) skip(key []byte, prov provenance.Poly) bool { return false }
+
+func (s *exactSink) emit(key []byte, t schema.Tuple, prov provenance.Poly) {
+	k := string(key)
+	if f := s.rel.facts[k]; f != nil {
+		f.Prov = f.Prov.Add(prov).Intern()
+		return
+	}
+	s.rel.putKeyed(k, t, prov)
 }
 
 // recursivePreds returns IDB predicates involved in dependency cycles.
@@ -295,13 +333,25 @@ func evalStratum(ctx context.Context, rules []Rule, db *DB, pl *planner, re *rou
 		return err
 	}
 	plans := pl.plansFor(rules, db)
+	// Only predicates that appear positively in some body of this (or, for
+	// full Eval, any later — strata are closed under dependencies, so "this")
+	// stratum can seed further rounds: delta entries for anything else are
+	// dead weight. need filters them out at the merge barrier.
+	need := map[string]bool{}
+	for _, r := range rules {
+		for _, l := range r.Body {
+			if l.Builtin == nil && !l.Negated {
+				need[l.Atom.Pred] = true
+			}
+		}
+	}
 	// Round 0: naive firing of every rule over the current database.
 	delta := map[string]map[string]deltaFact{}
 	jobs := make([]job, 0, len(rules))
 	for ri, r := range rules {
 		jobs = append(jobs, job{rule: r, pln: plans[ri].full})
 	}
-	if err := re.runRound(ctx, jobs, db, opts, absorbInto(delta, opts)); err != nil {
+	if err := re.runRound(ctx, jobs, db, opts, need, absorbInto(delta, opts)); err != nil {
 		return err
 	}
 	// Semi-naive rounds: join each rule with the delta at one position.
@@ -331,7 +381,7 @@ func evalStratum(ctx context.Context, rules []Rule, db *DB, pl *planner, re *rou
 				}
 			}
 		}
-		if err := re.runRound(ctx, jobs, db, opts, absorbInto(delta, opts)); err != nil {
+		if err := re.runRound(ctx, jobs, db, opts, need, absorbInto(delta, opts)); err != nil {
 			return err
 		}
 	}
@@ -366,7 +416,13 @@ type mergeResult struct {
 // merge outcome (pred left for the caller to fill) and whether anything
 // changed.
 func merge(rel *Rel, t schema.Tuple, p provenance.Poly, opts Options) (mergeResult, bool) {
-	k := t.Key()
+	return mergeKeyed(rel, t.Key(), t, p, opts)
+}
+
+// mergeKeyed is merge with the tuple's storage key supplied by the caller.
+// The streaming pipelines encode head keys into a reused buffer, so they
+// merge without paying Tuple.Key's memoization clone per derived fact.
+func mergeKeyed(rel *Rel, k string, t schema.Tuple, p provenance.Poly, opts Options) (mergeResult, bool) {
 	if !opts.Provenance {
 		if _, ok := rel.facts[k]; ok {
 			return mergeResult{key: k, tuple: t}, false

@@ -2,6 +2,7 @@ package datalog
 
 import (
 	"context"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -66,10 +67,90 @@ func AdaptiveWorkers(parallelism, est int) int {
 
 // emission is one buffered head fact produced by a parallel firing. The
 // head predicate is implicit: a job fires one rule, so a whole buffer
-// belongs to that rule's head shard.
+// belongs to that rule's head shard. key is the tuple's storage key when
+// the emission came through a streaming pipeline (which already encoded
+// it), and "" from the materialized path, whose merge re-derives it via
+// Tuple.Key. (An empty head tuple also keys to "", which is harmless: both
+// branches merge identically under that key.)
 type emission struct {
+	key   string
 	tuple schema.Tuple
 	prov  provenance.Poly
+}
+
+// canSkipParallel reports whether a parallel probe phase may suppress an
+// emission because the frozen pre-round fact already subsumes it. Stored
+// annotations only grow monotonically when no truncation is in play
+// (Poly.Truncate keeps lowest-degree monomials, so a later Add can drop
+// exactly the monomials that justified the skip); exact mode always
+// accumulates and never skips.
+func canSkipParallel(opts Options) bool {
+	return !opts.Provenance || (!opts.Exact && opts.MaxMonomials == 0)
+}
+
+// mergeSink is the sequential streaming sink: every emitted head fact is
+// merged into the live relation immediately, so a later rule of the same
+// round sees facts merged by an earlier one — the materialized sequential
+// schedule, preserved exactly. Its skip check consults the live relation,
+// so it is exact in every mode.
+type mergeSink struct {
+	rel    *Rel
+	pred   string
+	opts   Options
+	keep   bool // head pred can seed further rounds (need filter)
+	absorb func(mergeResult)
+}
+
+func (s *mergeSink) skip(key []byte, prov provenance.Poly) bool {
+	f := s.rel.facts[string(key)]
+	if f == nil {
+		return false
+	}
+	if !s.opts.Provenance {
+		return true
+	}
+	if s.opts.Exact {
+		return false
+	}
+	return f.Prov.Subsumes(prov)
+}
+
+func (s *mergeSink) emit(key []byte, t schema.Tuple, prov provenance.Poly) {
+	mr, changed := mergeKeyed(s.rel, string(key), t, prov, s.opts)
+	if changed && s.keep {
+		mr.pred = s.pred
+		s.absorb(mr)
+	}
+}
+
+// bufSink is the parallel streaming sink: one per probe-phase job, appending
+// emissions (with their pre-encoded keys) to the job's arena buffer. Its
+// skip check reads the frozen pre-round relation — safe because phase-1
+// workers only read and merges happen after the phase barrier — and is
+// gated by canSkipParallel.
+type bufSink struct {
+	rel     *Rel
+	buf     []emission
+	opts    Options
+	canSkip bool
+}
+
+func (s *bufSink) skip(key []byte, prov provenance.Poly) bool {
+	if !s.canSkip {
+		return false
+	}
+	f := s.rel.facts[string(key)]
+	if f == nil {
+		return false
+	}
+	if !s.opts.Provenance {
+		return true
+	}
+	return f.Prov.Subsumes(prov)
+}
+
+func (s *bufSink) emit(key []byte, t schema.Tuple, prov provenance.Poly) {
+	s.buf = append(s.buf, emission{key: string(key), tuple: t, prov: prov})
 }
 
 // predGroup collects, per head shard, the emission buffers of the jobs that
@@ -165,6 +246,9 @@ type roundExec struct {
 	auto  bool // Parallelism == 0: size workers from round cost
 	arena *roundArena
 	pool  *workerPool
+	// scratch holds the sequential path's reusable pipeline buffers; only
+	// the coordinator goroutine touches it.
+	scratch pipeScratch
 }
 
 // newRoundExec prepares an executor for one fixpoint. arena may be nil (a
@@ -285,10 +369,20 @@ func partitionJobs(ar *roundArena, jobs []job, workers int) []job {
 // from its sibling jobs are still in the round's delta, so the semi-naive
 // loop derives everything the eager schedule would — at worst one round
 // later.
-func (re *roundExec) runRound(ctx context.Context, jobs []job, db *DB, opts Options, absorb func(mergeResult)) error {
+//
+// need, when non-nil, names the predicates whose changes can seed further
+// rounds (they appear positively in some body of the stratum); changes to
+// any other head predicate are merged but not reported to absorb, so dead
+// delta maps are never built. nil keeps every change (incremental
+// evaluation must observe all of them for its change log).
+func (re *roundExec) runRound(ctx context.Context, jobs []job, db *DB, opts Options, need map[string]bool, absorb func(mergeResult)) error {
 	if len(jobs) == 0 {
 		return nil
 	}
+	if opts.Stats != nil {
+		opts.Stats.Rounds.Add(1)
+	}
+	keep := func(pred string) bool { return need == nil || need[pred] }
 	est := 0
 	for i := range jobs {
 		est += jobCost(&jobs[i], db)
@@ -307,19 +401,35 @@ func (re *roundExec) runRound(ctx context.Context, jobs []job, db *DB, opts Opti
 		workers = len(jobs)
 	}
 	if workers <= 1 {
-		emit := func(pred string, t schema.Tuple, p provenance.Poly) {
-			mr, changed := merge(db.MutableRel(pred), t, p, opts)
-			if changed {
-				mr.pred = pred
-				absorb(mr)
+		if opts.Materialized {
+			emit := func(pred string, t schema.Tuple, p provenance.Poly) {
+				mr, changed := merge(db.MutableRel(pred), t, p, opts)
+				if changed && keep(pred) {
+					mr.pred = pred
+					absorb(mr)
+				}
 			}
+			for i := range jobs {
+				if err := ctx.Err(); err != nil {
+					return err
+				}
+				j := &jobs[i]
+				if err := fireRule(j.rule, j.pln, db, j.delta, opts, emit); err != nil {
+					return err
+				}
+			}
+			return nil
 		}
+		sink := mergeSink{opts: opts, absorb: absorb}
 		for i := range jobs {
 			if err := ctx.Err(); err != nil {
 				return err
 			}
 			j := &jobs[i]
-			if err := fireRule(j.rule, j.pln, db, j.delta, opts, emit); err != nil {
+			sink.pred = j.rule.Head.Pred
+			sink.rel = db.MutableRel(sink.pred)
+			sink.keep = keep(sink.pred)
+			if err := fireRuleStream(ctx, j.rule, j.pln, db, j.delta, opts, &sink, &re.scratch); err != nil {
 				return err
 			}
 		}
@@ -334,23 +444,52 @@ func (re *roundExec) runRound(ctx context.Context, jobs []job, db *DB, opts Opti
 		ar.errs = append(ar.errs, nil)
 	}
 	// Phase 1: probe.
-	re.pool.dispatch(len(jobs), workers-1, func(i int) {
-		if err := ctx.Err(); err != nil {
-			ar.errs[i] = err
-			return
-		}
-		j := &jobs[i]
-		buf := ar.buffers[i]
-		ar.errs[i] = fireRule(j.rule, j.pln, db, j.delta, opts, func(_ string, t schema.Tuple, p provenance.Poly) {
-			buf = append(buf, emission{tuple: t, prov: p})
+	if opts.Materialized {
+		re.pool.dispatch(len(jobs), workers-1, func(i int) {
+			if err := ctx.Err(); err != nil {
+				ar.errs[i] = err
+				return
+			}
+			j := &jobs[i]
+			buf := ar.buffers[i]
+			ar.errs[i] = fireRule(j.rule, j.pln, db, j.delta, opts, func(_ string, t schema.Tuple, p provenance.Poly) {
+				buf = append(buf, emission{tuple: t, prov: p})
+			})
+			ar.buffers[i] = buf
 		})
-		ar.buffers[i] = buf
-	})
+	} else {
+		// Head relations are resolved on the coordinator: workers must not
+		// race on the db.rels map, and the sinks' frozen-state skip checks
+		// read these extents concurrently (reads only — merges wait for the
+		// phase barrier).
+		canSkip := canSkipParallel(opts)
+		rels := make([]*Rel, len(jobs))
+		for i := range jobs {
+			rels[i] = db.Rel(jobs[i].rule.Head.Pred)
+		}
+		re.pool.dispatch(len(jobs), workers-1, func(i int) {
+			if err := ctx.Err(); err != nil {
+				ar.errs[i] = err
+				return
+			}
+			j := &jobs[i]
+			sink := bufSink{rel: rels[i], buf: ar.buffers[i], opts: opts, canSkip: canSkip}
+			ar.errs[i] = fireRuleStream(ctx, j.rule, j.pln, db, j.delta, opts, &sink, nil)
+			ar.buffers[i] = sink.buf
+		})
+	}
 	for _, err := range ar.errs[:len(jobs)] {
 		if err != nil {
 			ar.reset(len(jobs))
 			return err
 		}
+	}
+	if opts.Stats != nil {
+		live := int64(0)
+		for i := range jobs {
+			live += int64(len(ar.buffers[i]))
+		}
+		atomicMax(&opts.Stats.PeakLive, live)
 	}
 	// Phase 2: hand each job's buffer to its head shard and merge the
 	// shards concurrently. The mutable (COW-cloned if snapshot-shared)
@@ -382,6 +521,7 @@ func (re *roundExec) runRound(ctx context.Context, jobs []job, db *DB, opts Opti
 		g.n += len(ar.buffers[i])
 	}
 	mergeGroup := func(g *predGroup) {
+		keepPred := keep(g.pred)
 		g.rel.reserve(g.n)
 		for _, buf := range g.bufs {
 			for i := range buf {
@@ -393,8 +533,14 @@ func (re *roundExec) runRound(ctx context.Context, jobs []job, db *DB, opts Opti
 				if opts.ChaseSubsumption && e.tuple.HasLabeledNull() && subsumedByExisting(g.rel, e.tuple) {
 					continue
 				}
-				mr, changed := merge(g.rel, e.tuple, e.prov, opts)
-				if changed {
+				var mr mergeResult
+				var changed bool
+				if e.key != "" {
+					mr, changed = mergeKeyed(g.rel, e.key, e.tuple, e.prov, opts)
+				} else {
+					mr, changed = merge(g.rel, e.tuple, e.prov, opts)
+				}
+				if changed && keepPred {
 					mr.pred = g.pred
 					g.results = append(g.results, mr)
 				}
@@ -444,10 +590,19 @@ func (ar *roundArena) reset(njobs int) {
 // form jobs consume: slices are cheaper to scan than maps, chunkable by
 // subslicing, and give every probe of the same delta a consistent order
 // within the round.
+// deltaList flattens a round's pending delta in storage-key order, so the
+// enumeration order of every downstream join — and with it the change log
+// and the chunk boundaries of partitionJobs — is identical across runs
+// instead of following map iteration order.
 func deltaList(m map[string]deltaFact) []deltaFact {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
 	out := make([]deltaFact, 0, len(m))
-	for _, df := range m {
-		out = append(out, df)
+	for _, k := range keys {
+		out = append(out, m[k])
 	}
 	return out
 }

@@ -60,6 +60,22 @@ type Incremental struct {
 	// the same emission buffers and shard groups instead of reallocating
 	// them per propagation (see executor.go).
 	arena roundArena
+	// needTab[si] is the union of positive body predicates of strata si and
+	// later: the only predicates whose changes can seed further semi-naive
+	// rounds once propagation has reached stratum si. Delta entries for any
+	// other predicate are dead weight (heads that no body consumes — the
+	// common update-exchange shape) and are never built.
+	needTab []map[string]bool
+}
+
+// seedNeed returns the need set for seed-time delta construction (stratum 0
+// sees everything later strata consume), or nil when the program has no
+// strata.
+func (inc *Incremental) seedNeed() map[string]bool {
+	if len(inc.needTab) == 0 {
+		return nil
+	}
+	return inc.needTab[0]
 }
 
 // tokenEntry records that the fact stored under key in pred mentioned the
@@ -110,6 +126,8 @@ func NewIncremental(p *Program, edb *DB, opts Options) (*Incremental, error) {
 			MaxMonomials:     opts.MaxMonomials,
 			Parallelism:      opts.Parallelism,
 			NoReorder:        opts.NoReorder,
+			Materialized:     opts.Materialized,
+			Stats:            opts.Stats,
 		},
 		maxIter:    maxIter,
 		tokenIndex: map[provenance.Var]map[string]map[string]bool{},
@@ -118,6 +136,22 @@ func NewIncremental(p *Program, edb *DB, opts Options) (*Incremental, error) {
 	inc.planTab = make([][]rulePlans, len(strata))
 	for si, stratum := range strata {
 		inc.planTab[si] = inc.pl.plansFor(stratum, res)
+	}
+	inc.needTab = make([]map[string]bool, len(strata))
+	suffix := map[string]bool{}
+	for si := len(strata) - 1; si >= 0; si-- {
+		for _, r := range strata[si] {
+			for _, l := range r.Body {
+				if l.Builtin == nil && !l.Negated {
+					suffix[l.Atom.Pred] = true
+				}
+			}
+		}
+		m := make(map[string]bool, len(suffix))
+		for p := range suffix {
+			m[p] = true
+		}
+		inc.needTab[si] = m
 	}
 	for _, pred := range res.Preds() {
 		for _, f := range res.Rel(pred).Facts() {
@@ -184,8 +218,11 @@ func (inc *Incremental) Insert(ctx context.Context, facts []Fact2) ([]Change, er
 		return nil, err
 	}
 	var changes []Change
-	// Seed: merge the base facts, collecting genuine delta.
+	// Seed: merge the base facts, collecting genuine delta — but only for
+	// predicates some rule body consumes (seedNeed); a seed no rule reads
+	// cannot propagate, so its delta entry would only be dead weight.
 	delta := map[string]map[string]deltaFact{}
+	need := inc.seedNeed()
 	opts := inc.opts
 	for _, bf := range facts {
 		mr, changed := merge(inc.db.MutableRel(bf.Pred), bf.Tuple, bf.Prov, opts)
@@ -193,25 +230,29 @@ func (inc *Incremental) Insert(ctx context.Context, facts []Fact2) ([]Change, er
 			continue
 		}
 		inc.indexFact(bf.Pred, mr.key, mr.newPart)
-		addDelta(delta, bf.Pred, mr.key, bf.Tuple, mr.newPart)
+		if need == nil || need[bf.Pred] {
+			addDelta(delta, bf.Pred, mr.key, bf.Tuple, mr.newPart)
+		}
 		changes = append(changes, Change{Pred: bf.Pred, Tuple: bf.Tuple, Key: mr.key, Prov: mr.newPart, Fresh: true})
 	}
-	if len(delta) == 0 {
+	if len(changes) == 0 {
 		return nil, nil
 	}
-	// Propagate stratum by stratum; the delta from earlier strata feeds
-	// later ones. One executor serves every stratum's rounds, borrowing the
-	// maintained arena so consecutive Inserts reuse its buffers.
-	sink := func(mr mergeResult) {
-		changes = append(changes, Change{Pred: mr.pred, Tuple: mr.tuple, Key: mr.key, Prov: mr.newPart, Fresh: mr.fresh})
-	}
-	re := newRoundExec(inc.opts, &inc.arena)
-	defer re.close()
-	for si, stratum := range inc.strata {
-		var err error
-		delta, err = inc.propagate(ctx, stratum, inc.planTab[si], re, delta, sink)
-		if err != nil {
-			return nil, err
+	if len(delta) > 0 {
+		// Propagate stratum by stratum; the delta from earlier strata feeds
+		// later ones. One executor serves every stratum's rounds, borrowing
+		// the maintained arena so consecutive Inserts reuse its buffers.
+		sink := func(mr mergeResult) {
+			changes = append(changes, Change{Pred: mr.pred, Tuple: mr.tuple, Key: mr.key, Prov: mr.newPart, Fresh: mr.fresh})
+		}
+		re := newRoundExec(inc.opts, &inc.arena)
+		defer re.close()
+		for si, stratum := range inc.strata {
+			var err error
+			delta, err = inc.propagate(ctx, stratum, inc.planTab[si], re, inc.needTab[si], delta, sink)
+			if err != nil {
+				return nil, err
+			}
 		}
 	}
 	sortChanges(changes)
@@ -401,6 +442,7 @@ func (inc *Incremental) insertGroupRun(ctx context.Context, groups [][]Fact2) ([
 	}
 	opts := inc.opts
 	delta := map[string]map[string]deltaFact{}
+	need := inc.seedNeed()
 	// Seed every group's base facts, in group order.
 	for gi, facts := range groups {
 		for _, bf := range facts {
@@ -409,7 +451,9 @@ func (inc *Incremental) insertGroupRun(ctx context.Context, groups [][]Fact2) ([
 				continue
 			}
 			inc.indexFact(bf.Pred, mr.key, mr.newPart)
-			addDelta(delta, bf.Pred, mr.key, bf.Tuple, mr.newPart)
+			if need == nil || need[bf.Pred] {
+				addDelta(delta, bf.Pred, mr.key, bf.Tuple, mr.newPart)
+			}
 			a := touch(bf.Pred, mr)
 			a.parts = append(a.parts, groupPart{group: gi, seed: true, prov: mr.newPart})
 		}
@@ -450,7 +494,7 @@ func (inc *Incremental) insertGroupRun(ctx context.Context, groups [][]Fact2) ([
 		defer re.close()
 		for si, stratum := range inc.strata {
 			var err error
-			delta, err = inc.propagate(ctx, stratum, inc.planTab[si], re, delta, sink)
+			delta, err = inc.propagate(ctx, stratum, inc.planTab[si], re, inc.needTab[si], delta, sink)
 			if err != nil {
 				return nil, err
 			}
@@ -507,7 +551,13 @@ func (inc *Incremental) insertGroupRun(ctx context.Context, groups [][]Fact2) ([
 // later strata can consume it, and reports every effective merge to sink in
 // deterministic order. Rounds run on the caller's executor, so one worker
 // pool and buffer arena serve the whole propagation.
-func (inc *Incremental) propagate(ctx context.Context, rules []Rule, plans []rulePlans, re *roundExec, seed map[string]map[string]deltaFact, sink func(mergeResult)) (map[string]map[string]deltaFact, error) {
+//
+// need (needTab[si] of the stratum being propagated) filters which merges
+// grow the pending delta: a head predicate no body of this or any later
+// stratum consumes cannot seed further rounds, so its delta entries are
+// never built. sink still observes every merge — the change log is
+// unfiltered.
+func (inc *Incremental) propagate(ctx context.Context, rules []Rule, plans []rulePlans, re *roundExec, need map[string]bool, seed map[string]map[string]deltaFact, sink func(mergeResult)) (map[string]map[string]deltaFact, error) {
 	opts := inc.opts
 	// The caller hands over ownership of seed (Insert rebinds its delta to
 	// the return value), so the accumulator aliases it instead of copying:
@@ -526,7 +576,9 @@ func (inc *Incremental) propagate(ctx context.Context, rules []Rule, plans []rul
 		next := map[string]map[string]deltaFact{}
 		absorb := func(mr mergeResult) {
 			inc.indexFact(mr.pred, mr.key, mr.newPart)
-			addDelta(next, mr.pred, mr.key, mr.tuple, mr.newPart)
+			if need == nil || need[mr.pred] {
+				addDelta(next, mr.pred, mr.key, mr.tuple, mr.newPart)
+			}
 			sink(mr)
 		}
 		jobs = jobs[:0]
@@ -546,7 +598,7 @@ func (inc *Incremental) propagate(ctx context.Context, rules []Rule, plans []rul
 				}
 			}
 		}
-		if err := re.runRound(ctx, jobs, inc.db, opts, absorb); err != nil {
+		if err := re.runRound(ctx, jobs, inc.db, opts, nil, absorb); err != nil {
 			return nil, err
 		}
 		copyInto(accum, next)
@@ -681,8 +733,10 @@ func (inc *Incremental) Affected(tokens []provenance.Var) []Change {
 	return changes
 }
 
+// sortChanges orders a change log by (pred, tuple); the stable sort keeps
+// multiple changes to one tuple in derivation (round) order.
 func sortChanges(cs []Change) {
-	sort.Slice(cs, func(i, j int) bool {
+	sort.SliceStable(cs, func(i, j int) bool {
 		if cs[i].Pred != cs[j].Pred {
 			return cs[i].Pred < cs[j].Pred
 		}

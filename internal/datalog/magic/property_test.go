@@ -33,6 +33,20 @@ func TestGoalDirectedEquivalenceProperty(t *testing.T) {
 		ctx := context.Background()
 
 		want, fullErr := EvalGoalFull(ctx, rules, goal, edb, opts)
+		// The same full fixpoint through the materialized reference
+		// evaluator: the streaming pipelines must agree under the rewritten
+		// programs too, not just on hand-written ones.
+		matOpts := opts
+		matOpts.Materialized = true
+		matWant, matErr := EvalGoalFull(ctx, rules, goal, edb, matOpts)
+		if (matErr != nil) != (fullErr != nil) {
+			t.Fatalf("trial %d: error divergence: streaming %v, materialized %v\nrules: %v\ngoal: %v",
+				trial, fullErr, matErr, rules, goal)
+		}
+		if fullErr == nil && !sameAnswers(want, matWant) {
+			t.Fatalf("trial %d: streaming full fixpoint diverges from materialized\ngoal: %v\nrules: %s\n got: %v\nwant: %v",
+				trial, goal, formatRules(rules), want, matWant)
+		}
 		for _, sip := range []SIP{LeftToRight, MostBound} {
 			got, _, err := EvalGoal(ctx, rules, goal, edb, opts, Options{SIP: sip})
 			if (err != nil) != (fullErr != nil) {
@@ -45,6 +59,14 @@ func TestGoalDirectedEquivalenceProperty(t *testing.T) {
 			if !sameAnswers(got, want) {
 				t.Fatalf("trial %d sip %s: answers diverge\ngoal: %v\nrules: %s\n got: %v\nwant: %v",
 					trial, sip, goal, formatRules(rules), got, want)
+			}
+			matGot, _, err := EvalGoal(ctx, rules, goal, edb, matOpts, Options{SIP: sip})
+			if err != nil {
+				t.Fatalf("trial %d sip %s: materialized goal-directed error: %v", trial, sip, err)
+			}
+			if !sameAnswers(matGot, got) {
+				t.Fatalf("trial %d sip %s: materialized goal-directed diverges from streaming\ngoal: %v\nrules: %s\n got: %v\nwant: %v",
+					trial, sip, goal, formatRules(rules), got, matGot)
 			}
 		}
 	}

@@ -1,0 +1,522 @@
+package datalog
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"sync/atomic"
+
+	"orchestra/internal/provenance"
+	"orchestra/internal/schema"
+)
+
+// This file is the streaming evaluator: a compiled plan (planner.go)
+// executes as a composed iterator pipeline instead of a materialized
+// binding relation. Each plan step is a pull-based operator — index probe,
+// full scan, delta scan (with a transient hash build for probed deltas),
+// comparison filter, negation check — that yields one (slots, annotation)
+// row at a time into the step below it. A rule firing therefore holds one
+// row of state per step: the only thing the engine ever materializes is the
+// fixpoint itself (stored facts plus the semi-naive delta), never the
+// intermediate binding sets.
+//
+// Re-iteration needs no extra buffering: a step that is re-entered re-probes
+// its relation, and the hash-index layer (index.go) already keeps every
+// probed bucket — including the empty-column full-scan bucket — as a stable
+// shared slice. Those buckets are the plan's re-scan buffers, built once per
+// (relation, column set) and never copied.
+//
+// Head rows leave the pipeline through a rowSink. The sink sees the head
+// tuple's storage key before the tuple is materialized, so it can both
+// merge without re-encoding the key (the old Tuple.Key memoization cloned
+// every derived tuple) and veto provably redundant emissions before they
+// allocate anything.
+
+// pipeCancelStride is how many candidate rows a pipeline examines between
+// cooperative context checks, so cancellation lands mid-enumeration instead
+// of waiting out a huge cross product. Must be a power of two: the scan
+// loops test it with a mask so the per-candidate cost is one AND.
+const pipeCancelStride = 4096
+
+// deltaHashMin is the smallest delta extent worth building a transient hash
+// table over when a plan probes the delta with bound columns. Below it the
+// linear scan wins (and the build allocation is not worth it).
+const deltaHashMin = 16
+
+// rowSink consumes the head facts a pipeline emits.
+type rowSink interface {
+	// skip reports whether emitting (key, prov) provably could not change
+	// the target relation, letting the pipeline drop the row before the
+	// head tuple is materialized. Implementations must be conservative:
+	// false is always safe.
+	skip(key []byte, prov provenance.Poly) bool
+	// emit delivers one head fact. key is t's storage key (Tuple.Key
+	// encoding) and is only valid for the duration of the call — it aliases
+	// a reused buffer; retaining implementations must copy (a string
+	// conversion does).
+	emit(key []byte, t schema.Tuple, prov provenance.Poly)
+}
+
+// EvalStats collects evaluation counters when installed via Options.Stats.
+// All fields are atomic: one stats struct may be shared by the parallel
+// workers of a round, and by concurrent evaluations. Counters accumulate
+// across rounds, strata, and (if the caller reuses the struct) evaluations.
+type EvalStats struct {
+	// Probes counts index-bucket probes issued by scan steps.
+	Probes atomic.Int64
+	// PushdownProbes counts probes whose key included at least one column
+	// bound by a pushed-down equality filter rather than a join variable or
+	// an atom constant (see planner.go).
+	PushdownProbes atomic.Int64
+	// Candidates counts facts surfaced by scan steps after the index probe —
+	// the rows a materialized evaluator would have buffered per step.
+	Candidates atomic.Int64
+	// Emitted counts head facts handed to the merge layer.
+	Emitted atomic.Int64
+	// Suppressed counts emissions vetoed by the pre-merge subsumption check
+	// before the head tuple was materialized.
+	Suppressed atomic.Int64
+	// HashJoinBuilds counts transient hash tables built over delta extents.
+	HashJoinBuilds atomic.Int64
+	// Rounds counts executed stratum rounds (naive and semi-naive).
+	Rounds atomic.Int64
+	// PeakLive is the maximum number of intermediate head emissions buffered
+	// at any single round barrier. The streaming sequential path merges
+	// eagerly and buffers nothing, so it reports 0; parallel rounds report
+	// their probe-phase buffer occupancy.
+	PeakLive atomic.Int64
+}
+
+// PushdownRate returns the fraction of index probes whose key carried at
+// least one pushed-down filter column — the pushdown hit rate.
+func (s *EvalStats) PushdownRate() float64 {
+	p := s.Probes.Load()
+	if p == 0 {
+		return 0
+	}
+	return float64(s.PushdownProbes.Load()) / float64(p)
+}
+
+// String renders the counters on one line, for logs and test failures.
+func (s *EvalStats) String() string {
+	return fmt.Sprintf(
+		"probes=%d pushdown=%d candidates=%d emitted=%d suppressed=%d hashjoins=%d rounds=%d peaklive=%d",
+		s.Probes.Load(), s.PushdownProbes.Load(), s.Candidates.Load(), s.Emitted.Load(),
+		s.Suppressed.Load(), s.HashJoinBuilds.Load(), s.Rounds.Load(), s.PeakLive.Load())
+}
+
+// atomicMax raises a to at least v.
+func atomicMax(a *atomic.Int64, v int64) {
+	for {
+		cur := a.Load()
+		if v <= cur || a.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// pipeCursor is one operator's mutable state: its candidate source, scan
+// position, and the annotation product up to and including its current row.
+type pipeCursor struct {
+	bucket []*Fact // index bucket (stored-relation scans)
+	hash   []int32 // delta hash bucket: indices into the delta slice
+	hashed bool    // delta step resolved through the transient hash table
+	pos    int
+	done   bool // filter/negation steps: condition already consumed
+	prov   provenance.Poly
+}
+
+// pipeline executes one rule firing as a composed pull pipeline over the
+// plan's steps.
+type pipeline struct {
+	rule    Rule
+	pln     *plan
+	db      *DB
+	delta   []deltaFact
+	opts    Options
+	ctx     context.Context
+	useProv bool
+
+	env     []schema.Value
+	cur     []pipeCursor
+	keyBuf  []byte       // probe keys, negation keys, and the head key
+	headBuf schema.Tuple // head values, reused across emissions
+
+	// deltaHash is the transient hash table over the delta extent, built on
+	// first probe of a delta step with bound columns (a plan has at most one
+	// delta step). This is the hash-join operator for the one join input the
+	// index layer cannot cover: stored relations are always probed through
+	// their lazily built persistent indexes, so the delta slice is the only
+	// stream-side input, and hashing it once replaces a linear re-scan per
+	// outer row.
+	deltaHash map[string][]int32
+
+	ticks                                                         int
+	probes, pushProbes, candidates, emitted, suppressed, hjBuilds int64
+}
+
+// pipeScratch carries a pipeline's reusable buffers across firings, so a
+// round of many small firings pays the environment, cursor, and key-buffer
+// allocations once instead of per rule. A scratch is single-goroutine
+// state: sequential rounds keep one on the executor, parallel workers pass
+// nil (their firings are large enough that per-firing setup is noise).
+type pipeScratch struct {
+	env     []schema.Value
+	cur     []pipeCursor
+	keyBuf  []byte
+	headBuf schema.Tuple
+}
+
+// fireRuleStream enumerates all satisfying assignments of the rule body as
+// a composed iterator pipeline, feeding each head fact to sink. It produces
+// exactly the rows fireRule produces, in the same order — the two paths are
+// interchangeable (Options.Materialized selects the recursive reference).
+// sc may be nil; when given, its buffers are borrowed for this firing and
+// returned grown.
+func fireRuleStream(ctx context.Context, r Rule, pln *plan, db *DB, delta []deltaFact,
+	opts Options, sink rowSink, sc *pipeScratch) error {
+
+	p := pipeline{
+		rule:    r,
+		pln:     pln,
+		db:      db,
+		delta:   delta,
+		opts:    opts,
+		ctx:     ctx,
+		useProv: opts.Provenance && !pln.provNeutral,
+	}
+	if sc != nil {
+		p.env, p.cur, p.keyBuf, p.headBuf = sc.env, sc.cur, sc.keyBuf, sc.headBuf
+	}
+	if cap(p.env) < pln.nslots {
+		p.env = make([]schema.Value, pln.nslots)
+	} else {
+		p.env = p.env[:pln.nslots]
+		clear(p.env)
+	}
+	if cap(p.cur) < len(pln.steps) {
+		p.cur = make([]pipeCursor, len(pln.steps))
+	} else {
+		// enter() resets every cursor field the operators read; stale
+		// bucket references only live until the next firing overwrites
+		// them.
+		p.cur = p.cur[:len(pln.steps)]
+	}
+	err := p.run(ctx, sink)
+	p.flushStats()
+	if sc != nil {
+		sc.env, sc.cur, sc.keyBuf, sc.headBuf = p.env, p.cur, p.keyBuf, p.headBuf
+	}
+	return err
+}
+
+// run drives the operator stack: advance the deepest cursor, descend on a
+// row, back up on exhaustion, emit at the bottom. Depth-first over the same
+// candidate orders as the recursive enumerator, so results (and their
+// deterministic order) are byte-identical.
+func (p *pipeline) run(ctx context.Context, sink rowSink) error {
+	n := len(p.pln.steps)
+	if n == 0 {
+		return p.emitRow(provenance.One(), sink)
+	}
+	depth := 0
+	p.enter(0)
+	for depth >= 0 {
+		// Accumulated across next() calls; a long scan inside one call
+		// checks on its own stride boundaries.
+		if p.ticks >= pipeCancelStride {
+			p.ticks = 0
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
+		ok, err := p.next(depth)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			depth--
+			continue
+		}
+		if depth == n-1 {
+			if err := p.emitRow(p.cur[depth].prov, sink); err != nil {
+				return err
+			}
+			continue
+		}
+		depth++
+		p.enter(depth)
+	}
+	return nil
+}
+
+// enter resets the cursor at depth and resolves a scan step's candidate
+// source. For stored relations the probe key is encoded from the
+// environment — constants, join slots, and pushed-down filter columns alike
+// — and the shared index bucket becomes the candidate slice. For a probed
+// delta step the (lazily built) delta hash table is consulted instead.
+func (p *pipeline) enter(depth int) {
+	st := &p.pln.steps[depth]
+	cs := &p.cur[depth]
+	cs.pos = 0
+	cs.done = false
+	if st.kind != stepScan {
+		return
+	}
+	if st.isDelta {
+		cs.bucket = nil
+		cs.hash = nil
+		cs.hashed = len(st.boundCols) > 0 && len(p.delta) >= deltaHashMin
+		if cs.hashed {
+			if p.deltaHash == nil {
+				p.buildDeltaHash(st)
+			}
+			p.keyBuf = p.keyBuf[:0]
+			for _, pt := range st.probes {
+				p.keyBuf = appendProjKey(p.keyBuf, pt.value(p.env))
+			}
+			cs.hash = p.deltaHash[string(p.keyBuf)]
+		}
+		return
+	}
+	p.keyBuf = p.keyBuf[:0]
+	for _, pt := range st.probes {
+		p.keyBuf = appendProjKey(p.keyBuf, pt.value(p.env))
+	}
+	p.probes++
+	if st.pushed > 0 {
+		p.pushProbes++
+	}
+	cs.bucket = p.db.Rel(st.pred).lookupBucket(st.colKey, st.boundCols, p.keyBuf)
+}
+
+// buildDeltaHash materializes the transient hash table over the delta
+// extent, keyed by the step's probe columns. Bucket entries keep ascending
+// delta order, so hashed enumeration matches the linear scan's order
+// exactly. Value-key encoding is injective and Value.Equal is kind-strict,
+// so key equality on the probe columns is exactly the probe check the
+// linear path performs.
+func (p *pipeline) buildDeltaHash(st *planStep) {
+	h := make(map[string][]int32, len(p.delta))
+	arity := len(st.lit.Atom.Terms)
+	var kb []byte
+	for i := range p.delta {
+		tu := p.delta[i].tuple
+		if len(tu) != arity {
+			continue
+		}
+		kb = kb[:0]
+		for _, c := range st.boundCols {
+			kb = appendProjKey(kb, tu[c])
+		}
+		h[string(kb)] = append(h[string(kb)], int32(i))
+	}
+	p.deltaHash = h
+	p.hjBuilds++
+}
+
+// prevProv is the annotation product of the rows above depth.
+func (p *pipeline) prevProv(depth int) provenance.Poly {
+	if depth == 0 {
+		return provenance.One()
+	}
+	return p.cur[depth-1].prov
+}
+
+// stepProv folds one candidate's annotation into the running product.
+func (p *pipeline) stepProv(depth int, f provenance.Poly) provenance.Poly {
+	pr := p.prevProv(depth)
+	if p.useProv {
+		pr = pr.Mul(f)
+	}
+	return pr
+}
+
+// next advances the cursor at depth to its following row, binding slots as
+// a side effect; it reports whether a row is available.
+func (p *pipeline) next(depth int) (bool, error) {
+	st := &p.pln.steps[depth]
+	cs := &p.cur[depth]
+	if st.unbound {
+		// The planner floats filters to where their variables are bound;
+		// Validate rejects bodies where they never bind.
+		return false, fmt.Errorf("datalog: rule %q: unbound filter literal", p.rule.ID)
+	}
+	switch st.kind {
+	case stepCmp:
+		if cs.done {
+			return false, nil
+		}
+		cs.done = true
+		p.ticks++
+		if !compare(st.op, st.left.value(p.env), st.right.value(p.env)) {
+			return false, nil
+		}
+		cs.prov = p.prevProv(depth)
+		return true, nil
+	case stepNeg:
+		if cs.done {
+			return false, nil
+		}
+		cs.done = true
+		p.ticks++
+		p.keyBuf = p.keyBuf[:0]
+		for _, pt := range st.negTerms {
+			p.keyBuf = appendProjKey(p.keyBuf, pt.value(p.env))
+		}
+		if p.db.Rel(st.pred).containsKey(p.keyBuf) {
+			return false, nil
+		}
+		cs.prov = p.prevProv(depth)
+		return true, nil
+	}
+	// The candidate loops below keep their row counter in a register (n)
+	// and fold it into the pipeline's counters only on exit — a heap store
+	// per candidate costs ~30% on probe-heavy workloads. Mid-loop, the
+	// stride mask triggers the cooperative cancellation check.
+	arity := len(st.lit.Atom.Terms)
+	n := 0
+	if st.isDelta {
+		if cs.hashed {
+			for cs.pos < len(cs.hash) {
+				df := &p.delta[cs.hash[cs.pos]]
+				cs.pos++
+				if n++; n&(pipeCancelStride-1) == 0 {
+					if err := p.ctx.Err(); err != nil {
+						p.bump(n)
+						return false, err
+					}
+				}
+				if !applyActions(st, df.tuple, p.env) {
+					continue
+				}
+				cs.prov = p.stepProv(depth, df.prov)
+				p.bump(n)
+				return true, nil
+			}
+			p.bump(n)
+			return false, nil
+		}
+		for cs.pos < len(p.delta) {
+			df := &p.delta[cs.pos]
+			cs.pos++
+			if n++; n&(pipeCancelStride-1) == 0 {
+				if err := p.ctx.Err(); err != nil {
+					p.bump(n)
+					return false, err
+				}
+			}
+			if len(df.tuple) != arity || !matchDelta(st, df.tuple, p.env) {
+				continue
+			}
+			cs.prov = p.stepProv(depth, df.prov)
+			p.bump(n)
+			return true, nil
+		}
+		p.bump(n)
+		return false, nil
+	}
+	for cs.pos < len(cs.bucket) {
+		f := cs.bucket[cs.pos]
+		cs.pos++
+		if n++; n&(pipeCancelStride-1) == 0 {
+			if err := p.ctx.Err(); err != nil {
+				p.bump(n)
+				return false, err
+			}
+		}
+		if len(f.Tuple) != arity {
+			continue
+		}
+		if !applyActions(st, f.Tuple, p.env) {
+			continue
+		}
+		cs.prov = p.stepProv(depth, f.Prov)
+		p.bump(n)
+		return true, nil
+	}
+	p.bump(n)
+	return false, nil
+}
+
+// bump folds one next() call's examined-row count into the cancellation
+// tick and candidate counters.
+func (p *pipeline) bump(n int) {
+	p.ticks += n
+	p.candidates += int64(n)
+}
+
+// applyActions binds and checks a scan step's non-probed columns against
+// one candidate tuple.
+func applyActions(st *planStep, tu schema.Tuple, env []schema.Value) bool {
+	for _, a := range st.actions {
+		if a.check {
+			if !env[a.slot].Equal(tu[a.col]) {
+				return false
+			}
+		} else {
+			env[a.slot] = tu[a.col]
+		}
+	}
+	return true
+}
+
+// emitRow instantiates the head over the environment, encodes its storage
+// key into the reused buffer, and hands the row to the sink — giving the
+// sink a chance to veto it before the tuple is allocated.
+func (p *pipeline) emitRow(prov provenance.Poly, sink rowSink) error {
+	pln := p.pln
+	if pln.headErr != nil {
+		return pln.headErr
+	}
+	out := p.headBuf[:0]
+	for _, ha := range pln.head {
+		if ha.skolem != nil {
+			args := make([]string, len(ha.args))
+			for j, at := range ha.args {
+				args[j] = at.value(p.env).Key()
+			}
+			out = append(out, schema.LabeledNull(ha.skolem.Fn+"("+strings.Join(args, ",")+")"))
+			continue
+		}
+		out = append(out, ha.term.value(p.env))
+	}
+	p.headBuf = out
+	if p.opts.Provenance && !pln.tokProv.IsZero() {
+		prov = prov.Mul(pln.tokProv)
+	}
+	if !p.opts.Provenance {
+		prov = provenance.One()
+	}
+	if p.opts.ChaseSubsumption && out.HasLabeledNull() && subsumedByExisting(p.db.Rel(p.rule.Head.Pred), out) {
+		return nil
+	}
+	p.keyBuf = p.keyBuf[:0]
+	for _, v := range out {
+		p.keyBuf = appendProjKey(p.keyBuf, v)
+	}
+	if sink.skip(p.keyBuf, prov) {
+		p.suppressed++
+		return nil
+	}
+	p.emitted++
+	t := make(schema.Tuple, len(out))
+	copy(t, out)
+	sink.emit(p.keyBuf, t, prov)
+	return nil
+}
+
+// flushStats folds the pipeline's local counters into the shared stats once
+// per firing, keeping atomics off the per-row path.
+func (p *pipeline) flushStats() {
+	s := p.opts.Stats
+	if s == nil {
+		return
+	}
+	s.Probes.Add(p.probes)
+	s.PushdownProbes.Add(p.pushProbes)
+	s.Candidates.Add(p.candidates)
+	s.Emitted.Add(p.emitted)
+	s.Suppressed.Add(p.suppressed)
+	s.HashJoinBuilds.Add(p.hjBuilds)
+}

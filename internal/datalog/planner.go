@@ -71,6 +71,11 @@ type planStep struct {
 	colKey    string     // encodeCols(boundCols), precomputed
 	probes    []planTerm // value sources for boundCols, aligned
 	actions   []scanAction
+	// pushed counts boundCols entries that exist only because an OpEq
+	// filter was pushed down into the probe key (see buildPlan); such
+	// columns also carry a bind action, since the probe narrows the bucket
+	// but does not bind the slot.
+	pushed int
 
 	// stepNeg:
 	negTerms []planTerm
@@ -254,8 +259,12 @@ func (pl *planner) plansFor(rules []Rule, db *DB) []rulePlans {
 
 // buildPlan orders one rule body greedily and compiles it to slots:
 //
-//   - The delta literal (when present) always scans first — it is both
-//     mandatory and usually tiny.
+//   - Fully-constant atoms (every term a constant) are O(1) existence
+//     gates: under greedy ordering they schedule first of all, even before
+//     the delta literal, so a failing gate costs one probe per round
+//     instead of one probe per delta fact.
+//   - The delta literal (when present) scans next — it is both mandatory
+//     and usually tiny.
 //   - Among the remaining positive atoms, prefer fully-bound atoms (they
 //     are O(1) existence probes), then the atom sharing the most bound
 //     terms — constants plus variables bound by earlier steps — with the
@@ -265,10 +274,17 @@ func (pl *planner) plansFor(rules []Rule, db *DB) []rulePlans {
 //     variables are all bound; they never scan, only filter, so running
 //     them early prunes the enumeration without changing its result.
 //
+// Equality filters additionally push down into probe keys: when a scan
+// introduces a variable x and the body carries x = c (or x = y with y
+// already bound by an earlier step), x's column joins the probe columns so
+// non-matching facts never leave the index bucket. The filter step itself
+// still runs — pushdown only narrows candidate sets, it never changes
+// results — and the pushed column still binds its slot via a scan action.
+//
 // With noReorder, positive atoms keep their written order (filters still
-// float — an unbound filter cannot run at all). Early termination on empty
-// intermediates needs no planning: enumeration stops the moment any step
-// has no candidates.
+// float — an unbound filter cannot run at all; pushdown still applies).
+// Early termination on empty intermediates needs no planning: enumeration
+// stops the moment any step has no candidates.
 func buildPlan(r Rule, deltaIdx int, db *DB, noReorder bool) *plan {
 	p := &plan{deltaIdx: deltaIdx, steps: make([]planStep, 0, len(r.Body)), provNeutral: r.ProvNeutral}
 	if r.ProvToken != "" && !r.ProvNeutral {
@@ -280,6 +296,29 @@ func buildPlan(r Rule, deltaIdx int, db *DB, noReorder bool) *plan {
 			positives = append(positives, i)
 		} else {
 			filters = append(filters, i)
+		}
+	}
+	// Equality-filter sources for pushdown: var = const and var = var.
+	eqConst := map[string]schema.Value{}
+	eqVars := map[string][]string{}
+	for _, fi := range filters {
+		bt := r.Body[fi].Builtin
+		if bt == nil || bt.Op != OpEq {
+			continue
+		}
+		l, rt := bt.Left, bt.Right
+		switch {
+		case l.IsVar() && !rt.IsVar():
+			if _, ok := eqConst[l.Name]; !ok {
+				eqConst[l.Name] = rt.Value
+			}
+		case !l.IsVar() && rt.IsVar():
+			if _, ok := eqConst[rt.Name]; !ok {
+				eqConst[rt.Name] = l.Value
+			}
+		case l.IsVar() && rt.IsVar() && l.Name != rt.Name:
+			eqVars[l.Name] = append(eqVars[l.Name], rt.Name)
+			eqVars[rt.Name] = append(eqVars[rt.Name], l.Name)
 		}
 	}
 	slots := map[string]int{} // bound variable -> slot
@@ -344,6 +383,23 @@ func buildPlan(r Rule, deltaIdx int, db *DB, noReorder bool) *plan {
 			}
 		}
 	}
+	// pushTerm resolves the probe source an equality filter supplies for a
+	// variable the current atom is about to introduce: a constant from
+	// x = c, or the slot of an x = y neighbor bound by an EARLIER step.
+	// Neighbors introduced by the same atom (newInAtom) are rejected — probe
+	// keys are encoded before the atom's bind actions run, so their slots
+	// hold stale values at probe time.
+	pushTerm := func(name string, newInAtom map[string]bool) (planTerm, bool) {
+		if cv, ok := eqConst[name]; ok {
+			return planTerm{mode: termConst, val: cv}, true
+		}
+		for _, nb := range eqVars[name] {
+			if s, ok := slots[nb]; ok && !newInAtom[nb] {
+				return planTerm{mode: termSlot, slot: s}, true
+			}
+		}
+		return planTerm{}, false
+	}
 	compileScan := func(bi int, isDelta bool) planStep {
 		a := r.Body[bi].Atom
 		st := planStep{kind: stepScan, lit: r.Body[bi], bodyIdx: bi, pred: a.Pred, isDelta: isDelta}
@@ -362,6 +418,14 @@ func buildPlan(r Rule, deltaIdx int, db *DB, noReorder bool) *plan {
 					st.boundCols = append(st.boundCols, col)
 					st.probes = append(st.probes, planTerm{mode: termSlot, slot: s})
 				} else {
+					if pt, ok := pushTerm(t.Name, newInAtom); ok {
+						// Filter pushdown: probe the column with the filter's
+						// value so the bucket never surfaces non-matches. The
+						// slot still binds from the candidate below.
+						st.boundCols = append(st.boundCols, col)
+						st.probes = append(st.probes, pt)
+						st.pushed++
+					}
 					newInAtom[t.Name] = true
 					st.actions = append(st.actions, scanAction{col: col, slot: newSlot(t.Name)})
 				}
@@ -385,6 +449,27 @@ func buildPlan(r Rule, deltaIdx int, db *DB, noReorder bool) *plan {
 		}
 		return s
 	}
+	if !noReorder {
+		// Fully-constant atoms are existence gates: one probe decides the
+		// whole round, so they schedule even before the delta literal
+		// (ascending body position keeps them deterministic).
+		for _, bi := range append([]int(nil), remaining...) {
+			if bi == deltaIdx {
+				continue
+			}
+			constOnly := true
+			for _, t := range r.Body[bi].Atom.Terms {
+				if t.IsVar() {
+					constOnly = false
+					break
+				}
+			}
+			if constOnly {
+				take(bi, false)
+				remaining = removeIdx(remaining, bi)
+			}
+		}
+	}
 	if deltaIdx >= 0 {
 		take(deltaIdx, true)
 		remaining = removeIdx(remaining, deltaIdx)
@@ -403,6 +488,10 @@ func buildPlan(r Rule, deltaIdx int, db *DB, noReorder bool) *plan {
 					if !t.IsVar() {
 						nb++
 					} else if _, ok := slots[t.Name]; ok {
+						nb++
+					} else if _, ok := pushTerm(t.Name, nil); ok {
+						// A pushed-down equality makes this column a probe
+						// column even though the variable is new.
 						nb++
 					}
 				}

@@ -1,0 +1,268 @@
+package datalog
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"orchestra/internal/provenance"
+	"orchestra/internal/schema"
+)
+
+// The streaming iterator pipelines (pipeline.go) must produce byte-identical
+// databases — tuples AND provenance polynomials — to the materialized
+// reference evaluator, across every workload shape, provenance mode, and
+// parallelism setting. Options.Materialized selects the reference.
+
+func TestStreamingEquivalentToMaterialized(t *testing.T) {
+	for name, build := range equivPrograms() {
+		for _, prov := range []bool{false, true} {
+			for _, maxMono := range []int{0, 2} {
+				if maxMono != 0 && !prov {
+					continue
+				}
+				for _, par := range []int{-1, 2, 8} {
+					prog, edb := build()
+					opts := Options{Provenance: prov, MaxMonomials: maxMono, Parallelism: par}
+					mat := opts
+					mat.Materialized = true
+					want, err := Eval(prog, edb, mat)
+					if err != nil {
+						t.Fatal(err)
+					}
+					got, err := Eval(prog, edb, opts)
+					if err != nil {
+						t.Fatal(err)
+					}
+					requireDBsEqual(t, fmt.Sprintf("%s/prov=%v/max=%d/par=%d", name, prov, maxMono, par), want, got)
+				}
+			}
+		}
+	}
+}
+
+func TestStreamingExactProvenanceMatchesMaterialized(t *testing.T) {
+	// Exact N[X] mode takes the dedicated non-recursive path (evalExact),
+	// which has its own streaming sink.
+	prog := &Program{Rules: []Rule{
+		{ID: "a", Head: NewHead("A", HV("x"), HV("z")), Body: []Literal{
+			Pos(NewAtom("E", V("x"), V("y"))), Pos(NewAtom("E", V("y"), V("z")))}},
+		{ID: "b", Head: NewHead("B", HV("x")), Body: []Literal{
+			Pos(NewAtom("A", V("x"), V("z")))}},
+	}}
+	edb := NewDB()
+	for i := 0; i < 5; i++ {
+		edb.Add("E", edge(fmt.Sprint("n", i%3), fmt.Sprint("n", (i+1)%4)),
+			provenance.NewVar(provenance.Var(fmt.Sprint("e", i))))
+	}
+	opts := Options{Provenance: true, Exact: true}
+	mat := opts
+	mat.Materialized = true
+	want, err := Eval(prog, edb, mat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := Eval(prog, edb, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireDBsEqual(t, "exact", want, got)
+}
+
+func TestStreamingIncrementalMatchesMaterialized(t *testing.T) {
+	build := func(materialized bool) (*Incremental, error) {
+		edb := NewDB()
+		for i := 0; i < 8; i++ {
+			edb.Add("E", edge(fmt.Sprint("n", i), fmt.Sprint("n", i+1)),
+				provenance.NewVar(provenance.Var(fmt.Sprint("e", i))))
+		}
+		return NewIncremental(tcProgram(), edb, Options{Materialized: materialized})
+	}
+	matInc, err := build(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	strInc, err := build(false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireDBsEqual(t, "initial-fixpoint", matInc.DB(), strInc.DB())
+	batch := []Fact2{
+		{Pred: "E", Tuple: edge("n8", "n0"), Prov: provenance.NewVar("loop")},
+		{Pred: "E", Tuple: edge("x", "y"), Prov: provenance.NewVar("xy")},
+	}
+	matCh, err := matInc.Insert(context.Background(), batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	strCh, err := strInc.Insert(context.Background(), batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matCh) != len(strCh) {
+		t.Fatalf("change count: streaming %d vs materialized %d", len(strCh), len(matCh))
+	}
+	for i := range matCh {
+		if matCh[i].Pred != strCh[i].Pred || !matCh[i].Tuple.Equal(strCh[i].Tuple) ||
+			!matCh[i].Prov.Equal(strCh[i].Prov) || matCh[i].Fresh != strCh[i].Fresh {
+			t.Fatalf("change %d diverges: %+v vs %+v", i, strCh[i], matCh[i])
+		}
+	}
+	requireDBsEqual(t, "after-insert", matInc.DB(), strInc.DB())
+	matInc.DeleteBase([]provenance.Var{"loop", "e3"})
+	strInc.DeleteBase([]provenance.Var{"loop", "e3"})
+	requireDBsEqual(t, "after-delete", matInc.DB(), strInc.DB())
+}
+
+func TestStreamingChunkedParallelEquivalence(t *testing.T) {
+	// A delta far beyond chunkMin with few jobs forces partitionJobs to
+	// split one firing across workers; the streaming buffer sinks must
+	// preserve the deterministic (job, emission) merge order.
+	build := func(materialized bool) (*DB, []Change) {
+		edb := NewDB()
+		for i := int64(0); i < 8; i++ {
+			edb.AddTuple("E", schema.NewTuple(schema.Int(i), schema.Int(i+1)))
+		}
+		inc, err := NewIncremental(tcProgram(), edb,
+			Options{Parallelism: 4, Materialized: materialized})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Disjoint edges: a big delta (forcing chunk partitioning) without a
+		// combinatorial closure.
+		batch := make([]Fact2, 0, 1200)
+		for i := int64(0); i < 1200; i++ {
+			batch = append(batch, Fact2{
+				Pred:  "E",
+				Tuple: schema.NewTuple(schema.Int(1000+2*i), schema.Int(1000+2*i+1)),
+				Prov:  provenance.NewVar(provenance.Var(fmt.Sprint("t", i))),
+			})
+		}
+		cs, err := inc.Insert(context.Background(), batch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return inc.DB(), cs
+	}
+	wantDB, wantCh := build(true)
+	gotDB, gotCh := build(false)
+	if len(wantCh) != len(gotCh) {
+		t.Fatalf("change count: streaming %d vs materialized %d", len(gotCh), len(wantCh))
+	}
+	requireDBsEqual(t, "chunked-parallel", wantDB, gotDB)
+}
+
+func TestDeltaHashJoinEquivalence(t *testing.T) {
+	// A delta atom with a constant column and a delta extent beyond
+	// deltaHashMin takes the transient-hash path; results must match the
+	// materialized linear scan exactly, and the build must be observable.
+	prog := &Program{Rules: []Rule{{
+		ID:   "sel",
+		Head: NewHead("Out", HV("y")),
+		Body: []Literal{Pos(NewAtom("P", C(schema.Int(7)), V("y")))},
+	}}}
+	run := func(materialized bool, stats *EvalStats) (*DB, []Change) {
+		inc, err := NewIncremental(prog, NewDB(),
+			Options{Materialized: materialized, Stats: stats})
+		if err != nil {
+			t.Fatal(err)
+		}
+		batch := make([]Fact2, 0, 4*deltaHashMin)
+		for i := int64(0); i < 4*deltaHashMin; i++ {
+			batch = append(batch, Fact2{
+				Pred:  "P",
+				Tuple: schema.NewTuple(schema.Int(i%9), schema.Int(i)),
+				Prov:  provenance.NewVar(provenance.Var(fmt.Sprint("p", i))),
+			})
+		}
+		cs, err := inc.Insert(context.Background(), batch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return inc.DB(), cs
+	}
+	wantDB, wantCh := run(true, nil)
+	var stats EvalStats
+	gotDB, gotCh := run(false, &stats)
+	if len(wantCh) != len(gotCh) {
+		t.Fatalf("change count: streaming %d vs materialized %d", len(gotCh), len(wantCh))
+	}
+	requireDBsEqual(t, "delta-hash", wantDB, gotDB)
+	if stats.HashJoinBuilds.Load() == 0 {
+		t.Error("expected at least one delta hash build on a probed delta this large")
+	}
+}
+
+func TestEvalStatsCounters(t *testing.T) {
+	// A rule with a pushed-down equality filter: the probe counters, the
+	// pushdown hit rate, and the emission counters must all be live.
+	prog := &Program{Rules: []Rule{{
+		ID:   "f",
+		Head: NewHead("Out", HV("x"), HV("y")),
+		Body: []Literal{
+			Pos(NewAtom("R", V("x"), V("y"))),
+			Cmp(V("y"), OpEq, C(schema.Int(3))),
+		},
+	}}}
+	edb := NewDB()
+	for i := int64(0); i < 40; i++ {
+		edb.AddTuple("R", schema.NewTuple(schema.Int(i), schema.Int(i%5)))
+	}
+	var stats EvalStats
+	res, err := Eval(prog, edb, Options{Stats: &stats})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Rel("Out").Len(); got != 8 {
+		t.Fatalf("Out has %d facts, want 8", got)
+	}
+	if stats.Probes.Load() == 0 {
+		t.Error("Probes = 0")
+	}
+	if stats.PushdownProbes.Load() == 0 {
+		t.Error("PushdownProbes = 0: the y=3 equality did not reach the probe key")
+	}
+	if rate := stats.PushdownRate(); rate <= 0 || rate > 1 {
+		t.Errorf("PushdownRate = %v, want in (0, 1]", rate)
+	}
+	if got := stats.Emitted.Load(); got != 8 {
+		t.Errorf("Emitted = %d, want 8", got)
+	}
+	// Pushdown means the index bucket only surfaced matching rows.
+	if c := stats.Candidates.Load(); c != 8 {
+		t.Errorf("Candidates = %d, want 8 (pushdown should hide non-matching rows)", c)
+	}
+	if stats.Rounds.Load() == 0 {
+		t.Error("Rounds = 0")
+	}
+	if stats.String() == "" {
+		t.Error("String() empty")
+	}
+}
+
+func TestEvalStatsPeakLiveParallel(t *testing.T) {
+	// Parallel rounds buffer emissions at the round barrier; PeakLive must
+	// report the high-water mark. Sequential streaming buffers nothing.
+	prog := &Program{Rules: []Rule{
+		{ID: "a", Head: NewHead("A", HV("x"), HV("y")), Body: []Literal{Pos(NewAtom("E", V("x"), V("y")))}},
+		{ID: "b", Head: NewHead("B", HV("x"), HV("y")), Body: []Literal{Pos(NewAtom("E", V("x"), V("y")))}},
+	}}
+	edb := NewDB()
+	for i := int64(0); i < 2000; i++ {
+		edb.AddTuple("E", schema.NewTuple(schema.Int(i), schema.Int(i+1)))
+	}
+	var seq EvalStats
+	if _, err := Eval(prog, edb, Options{Parallelism: -1, Stats: &seq}); err != nil {
+		t.Fatal(err)
+	}
+	if got := seq.PeakLive.Load(); got != 0 {
+		t.Errorf("sequential PeakLive = %d, want 0 (eager merge buffers nothing)", got)
+	}
+	var par EvalStats
+	if _, err := Eval(prog, edb, Options{Parallelism: 4, Stats: &par}); err != nil {
+		t.Fatal(err)
+	}
+	if got := par.PeakLive.Load(); got != 4000 {
+		t.Errorf("parallel PeakLive = %d, want 4000 (both rules' round-0 buffers)", got)
+	}
+}

@@ -38,6 +38,13 @@ import (
 // WithProvenance(false) the polynomial is zero.
 type Answer = core.Answer
 
+// EvalStats collects evaluation counters — index probes, filter-pushdown
+// hit rate, peak live intermediate tuples, suppressed emissions — from the
+// streaming evaluator under a query. Attach one with Query.Stats; all
+// fields are atomic and accumulate across the queries that share the
+// struct, so a single EvalStats can meter a whole workload.
+type EvalStats = datalog.EvalStats
+
 // SIPStrategy selects how the magic-sets rewrite passes bindings sideways
 // through rule bodies; see the constants.
 type SIPStrategy = magic.SIP
@@ -191,6 +198,15 @@ func (q *Query) SIP(s SIPStrategy) *Query {
 // baseline, kept callable for verification and benchmarking.
 func (q *Query) FullFixpoint() *Query {
 	q.gq.Mode = core.FullFixpoint
+	return q
+}
+
+// Stats attaches an evaluation-counter collector: every evaluation of this
+// query (each Stream/All call) accumulates its probe, pushdown, and
+// peak-live-intermediate counters into s. Pass the same collector to
+// several queries to meter them together.
+func (q *Query) Stats(s *EvalStats) *Query {
+	q.gq.Stats = s
 	return q
 }
 

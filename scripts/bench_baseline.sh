@@ -1,26 +1,47 @@
 #!/bin/sh
 # Regenerates BENCH_baseline.json: a 1-iteration smoke snapshot of every
 # benchmark, committed so CI (and humans) can spot benchmarks that stop
-# compiling or wildly regress. Numbers from -benchtime=1x are noisy by
-# design — treat them as order-of-magnitude references, not measurements.
+# compiling or wildly regress. The snapshot records ns/op, B/op, and
+# allocs/op (-benchmem). Time from -benchtime=1x is noisy by design —
+# treat it as an order-of-magnitude reference, not a measurement. The
+# memory columns are far more stable: allocation counts and bytes are
+# essentially deterministic per iteration, which is why bench_compare
+# holds them to a much tighter tolerance.
 set -e
 
-out="$(go test -bench=. -benchtime=1x -run '^$' .)"
+out="$(go test -bench=. -benchtime=1x -benchmem -run '^$' .)"
+
+# NOTE: the benchmark line parsing in the awks below must stay in sync
+# with the parsing in scripts/bench_compare.sh (same name munging, same
+# field positions: $3 ns/op, $5 B/op, $7 allocs/op on -benchmem lines).
+emit_section() {
+    printf '%s\n' "$out" | awk -v field="$1" '
+      / ns\/op/ {
+        name = $1
+        sub(/-[0-9]+$/, "", name)
+        val = $3
+        if (field == "bytes" || field == "allocs") {
+            # -benchmem appends: <B/op> B/op <allocs/op> allocs/op
+            if ($6 != "B/op") next
+            val = (field == "bytes") ? $5 : $7
+        }
+        if (n++) printf ",\n"
+        printf "    \"%s\": %s", name, val
+      }
+      END { printf "\n" }
+    '
+}
 
 printf '{\n'
 printf '  "note": "1-iteration smoke snapshot; regenerate with make bench-baseline; compare only against runs on the toolchain recorded in the go field",\n'
 printf '  "go": "%s",\n' "$(go version | awk '{print $3}')"
 printf '  "ns_per_op": {\n'
-# NOTE: the ns/op line parsing in the awk below must stay in sync with
-# the parsing in scripts/bench_compare.sh (same name munging).
-printf '%s\n' "$out" | awk '
-  / ns\/op/ {
-    name = $1
-    sub(/-[0-9]+$/, "", name)
-    if (n++) printf ",\n"
-    printf "    \"%s\": %s", name, $3
-  }
-  END { printf "\n" }
-'
+emit_section time
+printf '  },\n'
+printf '  "bytes_per_op": {\n'
+emit_section bytes
+printf '  },\n'
+printf '  "allocs_per_op": {\n'
+emit_section allocs
 printf '  }\n'
 printf '}\n'

@@ -1,27 +1,34 @@
 #!/bin/sh
 # Compares a fresh benchmark run against the committed BENCH_baseline.json.
 #
-#   ./scripts/bench_compare.sh            # default tolerance
+#   ./scripts/bench_compare.sh            # default tolerances
 #   TOLERANCE=2.5 ./scripts/bench_compare.sh
+#   MEM_TOLERANCE=1.5 ./scripts/bench_compare.sh
 #   BENCHTIME=100x ./scripts/bench_compare.sh
 #
-# A benchmark FAILS the comparison when its fresh ns/op exceeds
-# baseline * TOLERANCE, or when it exists in the baseline but not in the
-# fresh run (deleted/renamed benchmarks must be accompanied by a baseline
-# refresh: make bench-baseline). New benchmarks absent from the baseline
-# are reported but do not fail.
+# A benchmark FAILS the comparison when
+#   - its fresh ns/op exceeds baseline * TOLERANCE, or
+#   - its fresh B/op exceeds baseline * MEM_TOLERANCE + 4096 bytes, or
+#   - its fresh allocs/op exceeds baseline * MEM_TOLERANCE + 64 allocs, or
+#   - it exists in the baseline but not in the fresh run (deleted/renamed
+#     benchmarks must be accompanied by a baseline refresh:
+#     make bench-baseline).
+# New benchmarks absent from the baseline are reported but do not fail.
 #
-# The default tolerance is deliberately loose (6x): the baseline is a
+# The time tolerance is deliberately loose (6x): the baseline is a
 # 1-iteration smoke snapshot — a single GC pause inside a sub-microsecond
-# benchmark can alone exceed small multiples, and several experiment benchmarks accumulate
-# database state so their ns/op depends on the iteration count (see
-# DESIGN.md §6). This gate catches order-of-magnitude regressions and
-# benchmarks that stop compiling, not single-digit-percent drift — use
-# matched -benchtime=Nx runs for real measurements.
+# benchmark can alone exceed small multiples, and several experiment
+# benchmarks accumulate database state so their ns/op depends on the
+# iteration count (see DESIGN.md §6). The memory tolerance is much tighter
+# (2x + a small absolute slack for tiny benchmarks): B/op and allocs/op are
+# essentially deterministic per iteration, so a doubling is a real
+# allocation regression, not noise. Use matched -benchtime=Nx runs for real
+# measurements.
 set -e
 
 baseline="${BASELINE:-BENCH_baseline.json}"
 tolerance="${TOLERANCE:-6.0}"
+mem_tolerance="${MEM_TOLERANCE:-2.0}"
 benchtime="${BENCHTIME:-1x}"
 
 if [ ! -f "$baseline" ]; then
@@ -29,55 +36,77 @@ if [ ! -f "$baseline" ]; then
     exit 1
 fi
 
-fresh="$(go test -bench=. -benchtime="$benchtime" -run '^$' .)"
+fresh="$(go test -bench=. -benchtime="$benchtime" -benchmem -run '^$' .)"
 
-# NOTE: the ns/op line parsing in the awk below must stay in sync with
-# the parsing in scripts/bench_baseline.sh (same name munging).
-printf '%s\n' "$fresh" | awk -v tol="$tolerance" -v basefile="$baseline" '
+# NOTE: the benchmark line parsing in the awk below must stay in sync with
+# the parsing in scripts/bench_baseline.sh (same name munging, same field
+# positions: $3 ns/op, $5 B/op, $7 allocs/op on -benchmem lines).
+printf '%s\n' "$fresh" | awk -v tol="$tolerance" -v mtol="$mem_tolerance" -v basefile="$baseline" '
 BEGIN {
-    # Parse the baseline: lines of the form   "Name": 1234,
+    # Parse the baseline. Benchmark names repeat across the three metric
+    # sections, so track which section header was seen last.
+    section = ""
     while ((getline line < basefile) > 0) {
-        if (line !~ /":[[:space:]]*[0-9]/) continue
-        if (line ~ /"go":/ || line ~ /"note":/) continue
+        if (line ~ /"ns_per_op":/)     { section = "ns";     continue }
+        if (line ~ /"bytes_per_op":/)  { section = "bytes";  continue }
+        if (line ~ /"allocs_per_op":/) { section = "allocs"; continue }
+        if (section == "" || line !~ /":[[:space:]]*[0-9]/) continue
         name = line
         sub(/^[[:space:]]*"/, "", name)
         sub(/".*$/, "", name)
         val = line
         sub(/^[^:]*:[[:space:]]*/, "", val)
         sub(/[,[:space:]]*$/, "", val)
-        base[name] = val + 0
+        base[section, name] = val + 0
+        if (section == "ns") names[name] = 1
     }
     close(basefile)
 }
 / ns\/op/ {
     name = $1
     sub(/-[0-9]+$/, "", name)
-    cur[name] = $3 + 0
+    cur["ns", name] = $3 + 0
+    if ($6 == "B/op") {
+        cur["bytes", name] = $5 + 0
+        cur["allocs", name] = $7 + 0
+    }
+    curnames[name] = 1
 }
 END {
     fails = 0
     news = 0
-    for (name in cur) {
-        if (!(name in base)) {
-            printf "NEW       %-55s %12.0f ns/op (absent from baseline; refresh with make bench-baseline)\n", name, cur[name]
+    for (name in curnames) {
+        if (!(name in names)) {
+            printf "NEW       %-55s %12.0f ns/op (absent from baseline; refresh with make bench-baseline)\n", name, cur["ns", name]
             news++
             continue
         }
-        ratio = base[name] > 0 ? cur[name] / base[name] : 0
-        if (ratio > tol) {
-            printf "REGRESSED %-55s %12.0f ns/op vs baseline %.0f (%.2fx > %.2fx tolerance)\n", name, cur[name], base[name], ratio, tol
+        bad = ""
+        ratio = base["ns", name] > 0 ? cur["ns", name] / base["ns", name] : 0
+        if (ratio > tol)
+            bad = sprintf("%.0f ns/op vs baseline %.0f (%.2fx > %.2fx tolerance)", cur["ns", name], base["ns", name], ratio, tol)
+        if (bad == "" && ("bytes", name) in base && ("bytes", name) in cur) {
+            if (cur["bytes", name] > base["bytes", name] * mtol + 4096)
+                bad = sprintf("%.0f B/op vs baseline %.0f (> %.2fx + 4096 memory tolerance)", cur["bytes", name], base["bytes", name], mtol)
+        }
+        if (bad == "" && ("allocs", name) in base && ("allocs", name) in cur) {
+            if (cur["allocs", name] > base["allocs", name] * mtol + 64)
+                bad = sprintf("%.0f allocs/op vs baseline %.0f (> %.2fx + 64 memory tolerance)", cur["allocs", name], base["allocs", name], mtol)
+        }
+        if (bad != "") {
+            printf "REGRESSED %-55s %s\n", name, bad
             fails++
         } else {
-            printf "ok        %-55s %12.0f ns/op vs baseline %.0f (%.2fx)\n", name, cur[name], base[name], ratio
+            printf "ok        %-55s %12.0f ns/op (%.2fx)  %.0f B/op  %.0f allocs/op\n", name, cur["ns", name], ratio, cur["bytes", name], cur["allocs", name]
         }
     }
-    for (name in base) {
-        if (!(name in cur)) {
-            printf "MISSING   %-55s baseline %.0f ns/op but absent from fresh run\n", name, base[name]
+    for (name in names) {
+        if (!(name in curnames)) {
+            printf "MISSING   %-55s baseline %.0f ns/op but absent from fresh run\n", name, base["ns", name]
             fails++
         }
     }
-    printf "bench_compare: %d compared, %d new, %d failing (tolerance %.2fx)\n", length(cur) - news, news, fails, tol
+    printf "bench_compare: %d compared, %d new, %d failing (time %.2fx, memory %.2fx tolerance)\n", length(curnames) - news, news, fails, tol, mtol
     exit fails > 0 ? 1 : 0
 }
 '
