@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fmt fmt-check lint vuln bench bench-smoke bench-query bench-publish bench-sweep bench-baseline bench-compare memprofile examples-check ci
+.PHONY: build test race vet fmt fmt-check lint vuln bench bench-smoke bench-query bench-publish bench-sweep bench-baseline bench-compare memprofile examples-check recovery-check ci
 
 ## build: compile every package
 build:
@@ -99,6 +99,16 @@ memprofile:
 	$(GO) test -bench 'BenchmarkParallelStratum/workers=adaptive' -benchtime=3x -benchmem -memprofile mem_e10.out -run '^$$' .
 	@echo "wrote mem_e2.out and mem_e10.out; inspect with: go tool pprof -top -sample_index=alloc_space mem_e2.out"
 
+## recovery-check: the storage fault-injection gate, under the race
+## detector — WAL and store-log randomized cut harnesses (torn tails,
+## mid-log corruption), kill-and-restart peer recovery, checkpoint
+## equivalence, and the public-API durable round trip (DESIGN.md §11)
+recovery-check:
+	$(GO) test -race \
+		-run 'Crash|Recovery|Recover|TornTail|Unterminated|CorruptLog|Durable|Checkpoint|BatchAtomicityAcrossReopen|WAL' \
+		./internal/lsm/ ./internal/p2p/ ./internal/core/ .
+	@echo recovery gate OK
+
 ## examples-check: build every example and golden-check quickstart's output,
 ## so API drift that breaks user-facing examples fails the gate
 examples-check:
@@ -109,4 +119,4 @@ examples-check:
 ## ci: everything the CI workflow runs, in one command (lint and vuln are
 ## separate because they need tools on PATH; run `make lint vuln` too when
 ## you have them installed)
-ci: build vet fmt-check race bench-smoke bench-compare examples-check
+ci: build vet fmt-check race bench-smoke bench-compare recovery-check examples-check

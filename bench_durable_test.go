@@ -1,0 +1,145 @@
+package orchestra_test
+
+// Durable-tier benchmarks. BenchmarkDurablePublish prices the write path:
+// one group-committed Publish of an N-transaction burst through the LSM
+// archive (one WAL record, one fsync per batch), against the same burst on
+// the in-memory store — the fsync is the cost of durability, the batching
+// is what amortizes it. BenchmarkRecovery prices the read path: bringing a
+// crashed peer back from its checkpoint plus the published suffix, the
+// startup cost WithDurableDir adds over an empty open.
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"orchestra/internal/core"
+	"orchestra/internal/exchange"
+	"orchestra/internal/lsm"
+	"orchestra/internal/p2p"
+	"orchestra/internal/recon"
+	"orchestra/internal/workload"
+)
+
+const durableBurst = 32
+
+func benchPublishBurst(b *testing.B, store p2p.Store) {
+	topo := workload.Chain(2)
+	sys, err := core.NewSystem(topo.Peers, topo.Mappings)
+	if err != nil {
+		b.Fatal(err)
+	}
+	pub, err := core.NewPeer(topo.Names[0], sys, store, recon.TrustAll(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	key := int64(0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < durableBurst; j++ {
+			if _, err := pub.NewTransaction().
+				Insert("S", workload.STuple(key, key, workload.Sequence(key, key))).
+				Commit(); err != nil {
+				b.Fatal(err)
+			}
+			key++
+		}
+		// One Publish archives the whole burst: on the durable store that
+		// is one atomic WAL record and one fsync.
+		if _, err := pub.Publish(ctx); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDurablePublish(b *testing.B) {
+	b.Run("memory", func(b *testing.B) {
+		benchPublishBurst(b, p2p.NewMemoryStore())
+	})
+	b.Run("lsm", func(b *testing.B) {
+		db, err := lsm.Open(b.TempDir(), lsm.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer db.Close()
+		ds, err := p2p.NewDurableStore(db)
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchPublishBurst(b, ds)
+	})
+}
+
+// BenchmarkRecovery: recover a peer whose checkpoint covers most of an
+// 8-epoch, 256-transaction history, versus recovering from the archive
+// alone (no checkpoint — full replay). The gap is what checkpointing buys.
+func BenchmarkRecovery(b *testing.B) {
+	for _, withCheckpoint := range []bool{true, false} {
+		name := "from-checkpoint"
+		if !withCheckpoint {
+			name = "full-replay"
+		}
+		b.Run(name, func(b *testing.B) {
+			dir := b.TempDir()
+			db, err := lsm.Open(dir, lsm.Options{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			ds, err := p2p.NewDurableStore(db)
+			if err != nil {
+				b.Fatal(err)
+			}
+			topo := workload.Chain(2)
+			sys, err := core.NewSystem(topo.Peers, topo.Mappings)
+			if err != nil {
+				b.Fatal(err)
+			}
+			pub, err := core.NewPeer(topo.Names[0], sys, ds, recon.TrustAll(1))
+			if err != nil {
+				b.Fatal(err)
+			}
+			sub, err := core.NewPeer(topo.Names[1], sys, ds, recon.TrustAll(1))
+			if err != nil {
+				b.Fatal(err)
+			}
+			ctx := context.Background()
+			key := int64(0)
+			for epoch := 0; epoch < 8; epoch++ {
+				tx := pub.NewTransaction()
+				for j := 0; j < 32; j++ {
+					tx.Insert("S", workload.STuple(key, key, fmt.Sprintf("SEQ-%d", key)))
+					key++
+				}
+				if _, err := tx.Commit(); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := pub.Publish(ctx); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := sub.Reconcile(ctx); err != nil {
+					b.Fatal(err)
+				}
+				// Checkpoint after the 6th epoch: recovery replays a
+				// 2-epoch suffix instead of the whole history.
+				if withCheckpoint && epoch == 5 {
+					if err := sub.SaveCheckpoint(db); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				p, err := core.RecoverPeerWith(ctx, topo.Names[1], sys, ds, recon.TrustAll(1), exchange.Config{}, db)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if p.Instance().Size() == 0 {
+					b.Fatal("recovered empty")
+				}
+			}
+			b.StopTimer()
+			db.Close()
+		})
+	}
+}

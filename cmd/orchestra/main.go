@@ -6,8 +6,11 @@
 //	orchestra serve -addr 127.0.0.1:7070 [-log store.log]   # run a store replica
 //	orchestra node  -config cdss.conf -peer NAME \
 //	                [-store HOST:PORT,HOST:PORT]            # interactive peer
+//	                [-durable DIR]                          # ...on the durable LSM tier
 //	orchestra epoch -addr 127.0.0.1:7070                    # print the current epoch
 //	orchestra log   -addr 127.0.0.1:7070 [-since N]         # dump archived transactions
+//	orchestra inspect -config cdss.conf -peer NAME \
+//	                -durable DIR [-rel R]                   # dump a recovered durable peer
 package main
 
 import (
@@ -32,9 +35,13 @@ func main() {
 		confPath := fs.String("config", "", "CDSS configuration file")
 		peerName := fs.String("peer", "", "peer to run as")
 		storeAddrs := fs.String("store", "", "comma-separated store replica addresses; empty = in-process store")
+		durableDir := fs.String("durable", "", "durable LSM tier directory; archive and peer checkpoints survive restarts")
 		_ = fs.Parse(os.Args[2:])
 		if *confPath == "" || *peerName == "" {
-			log.Fatal("usage: orchestra node -config FILE -peer NAME [-store ADDRS]")
+			log.Fatal("usage: orchestra node -config FILE -peer NAME [-store ADDRS | -durable DIR]")
+		}
+		if *storeAddrs != "" && *durableDir != "" {
+			log.Fatal("orchestra node: -store and -durable are mutually exclusive")
 		}
 		f, err := os.Open(*confPath)
 		if err != nil {
@@ -52,6 +59,9 @@ func main() {
 				replicas = append(replicas, orchestra.DialStore(strings.TrimSpace(a)))
 			}
 			opts = append(opts, orchestra.WithStore(orchestra.NewReplicatedStore(replicas...)))
+		}
+		if *durableDir != "" {
+			opts = append(opts, orchestra.WithDurableDir(*durableDir))
 		}
 		sys, err := orchestra.Open(sch, opts...)
 		if err != nil {
@@ -116,6 +126,53 @@ func main() {
 				log.Fatal(err)
 			}
 		}
+	case "inspect":
+		fs := flag.NewFlagSet("inspect", flag.ExitOnError)
+		confPath := fs.String("config", "", "CDSS configuration file")
+		peerName := fs.String("peer", "", "peer whose durable state to dump")
+		durableDir := fs.String("durable", "", "durable LSM tier directory")
+		rel := fs.String("rel", "", "dump only this relation")
+		_ = fs.Parse(os.Args[2:])
+		if *confPath == "" || *peerName == "" || *durableDir == "" {
+			log.Fatal("usage: orchestra inspect -config FILE -peer NAME -durable DIR [-rel R]")
+		}
+		f, err := os.Open(*confPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sch, err := orchestra.ParseSchema(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Opening the peer over the durable tier recovers it from its last
+		// checkpoint plus the published suffix; dumping its rows shows the
+		// exact state a restarted node would come back with.
+		sys, err := orchestra.Open(sch, orchestra.WithDurableDir(*durableDir))
+		if err != nil {
+			log.Fatal(err)
+		}
+		peer, err := sys.Peer(*peerName)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "peer %s recovered at epoch %d\n", *peerName, peer.Epoch())
+		for _, r := range peer.Relations() {
+			if *rel != "" && r.Name != *rel {
+				continue
+			}
+			rows, err := peer.Rows(r.Name)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("%s (%d rows)\n", r.Name, len(rows))
+			for _, tu := range rows {
+				fmt.Printf("  %v\n", tu)
+			}
+		}
+		if err := sys.Close(); err != nil {
+			log.Fatal(err)
+		}
 	default:
 		usage()
 	}
@@ -123,10 +180,11 @@ func main() {
 
 func usage() {
 	fmt.Fprintf(os.Stderr, `usage:
-  orchestra node  -config FILE -peer NAME [-store ADDRS]  interactive CDSS peer
-  orchestra serve -addr HOST:PORT [-log FILE]             run a store replica
-  orchestra epoch -addr HOST:PORT                         print the current epoch
-  orchestra log   -addr HOST:PORT [-since N]              dump archived transactions
+  orchestra node  -config FILE -peer NAME [-store ADDRS | -durable DIR]  interactive CDSS peer
+  orchestra serve -addr HOST:PORT [-log FILE]               run a store replica
+  orchestra epoch -addr HOST:PORT                           print the current epoch
+  orchestra log   -addr HOST:PORT [-since N]                dump archived transactions
+  orchestra inspect -config FILE -peer NAME -durable DIR    dump a recovered durable peer
 `)
 	os.Exit(2)
 }

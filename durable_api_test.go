@@ -1,0 +1,149 @@
+package orchestra_test
+
+// Public-API durability: a confederation opened with WithDurableDir
+// survives the whole process dying — peers come back from their
+// checkpoints plus the published archive, with exactly the documented loss
+// window (local commits made after the last checkpoint or publish).
+
+import (
+	"context"
+	"testing"
+
+	"orchestra"
+)
+
+func TestDurableSystemSurvivesRestart(t *testing.T) {
+	ctx := context.Background()
+	dir := t.TempDir()
+
+	sys, err := orchestra.Open(geneSchema(t), orchestra.WithDurableDir(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	alice, err := sys.Peer("alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bob, err := sys.Peer("bob")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := alice.Begin().Insert("Gene", gene("BRCA1", 17)).Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := alice.Publish(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bob.Reconcile(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bob.Begin().Insert("Gene", gene("TP53", 17)).Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// TP53 is committed but unpublished; Close checkpoints it.
+	if err := sys.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The process "restarts": a fresh System over the same directory.
+	sys2, err := orchestra.Open(geneSchema(t), orchestra.WithDurableDir(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys2.Close()
+	alice2, err := sys2.Peer("alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	bob2, err := sys2.Peer("bob")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := alice2.Rows("Gene")
+	if err != nil || len(rows) != 1 {
+		t.Fatalf("alice recovered %d rows (%v), want 1", len(rows), err)
+	}
+	rows, err = bob2.Rows("Gene")
+	if err != nil || len(rows) != 2 {
+		t.Fatalf("bob recovered %d rows (%v), want 2 (one published, one queued)", len(rows), err)
+	}
+	// The queued commit is still queued: publishing it now propagates it.
+	epoch, n, err := bob2.PublishAll(ctx)
+	if err != nil || n != 1 {
+		t.Fatalf("publish recovered queue: epoch %d, %d txns, %v", epoch, n, err)
+	}
+	if _, err := alice2.Reconcile(ctx); err != nil {
+		t.Fatal(err)
+	}
+	rows, err = alice2.Rows("Gene")
+	if err != nil || len(rows) != 2 {
+		t.Fatalf("alice after catch-up: %d rows (%v)", len(rows), err)
+	}
+	// Provenance survives the round trip through the checkpoint codec.
+	if prov, _, ok := alice2.Explain("Gene", gene("BRCA1", 17)); !ok || prov.IsZero() {
+		t.Errorf("provenance lost in recovery: ok=%v prov=%v", ok, prov)
+	}
+	// Sequence numbers resume: a fresh commit+publish does not collide with
+	// the archived history.
+	if _, err := bob2.Begin().Insert("Gene", gene("EGFR", 7)).Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := bob2.Publish(ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDurableDirExcludesWithStore(t *testing.T) {
+	_, err := orchestra.Open(geneSchema(t),
+		orchestra.WithDurableDir(t.TempDir()),
+		orchestra.WithStore(orchestra.NewMemoryStore()))
+	if err == nil {
+		t.Fatal("WithDurableDir + WithStore accepted")
+	}
+}
+
+func TestCheckpointOnDemandAndOnMemorySystems(t *testing.T) {
+	ctx := context.Background()
+	dir := t.TempDir()
+	sys, err := orchestra.Open(geneSchema(t), orchestra.WithDurableDir(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	alice, err := sys.Peer("alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := alice.Begin().Insert("Gene", gene("MYC", 8)).Commit(); err != nil {
+		t.Fatal(err)
+	}
+	// Explicit checkpoint (no publish): bounds the crash-loss window.
+	if err := alice.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.Close(); err != nil {
+		t.Fatal(err)
+	}
+	sys2, err := orchestra.Open(geneSchema(t), orchestra.WithDurableDir(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sys2.Close()
+	alice2, err := sys2.Peer("alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := alice2.Rows("Gene")
+	if err != nil || len(rows) != 1 {
+		t.Fatalf("checkpointed commit lost: %d rows, %v", len(rows), err)
+	}
+	if _, err := alice2.Publish(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// In-memory systems reject Checkpoint with a clear error.
+	memSys, memAlice, _ := openGenes(t)
+	_ = memSys
+	if err := memAlice.Checkpoint(); err == nil {
+		t.Error("Checkpoint on an in-memory system accepted")
+	}
+}

@@ -1,0 +1,475 @@
+package core
+
+import (
+	"context"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"log"
+	"time"
+
+	"orchestra/internal/datalog"
+	"orchestra/internal/exchange"
+	"orchestra/internal/lsm"
+	"orchestra/internal/p2p"
+	"orchestra/internal/provenance"
+	"orchestra/internal/recon"
+	"orchestra/internal/schema"
+	"orchestra/internal/updates"
+)
+
+// This file is the peer-side half of the durable tier: peers checkpoint
+// their local instance into the same LSM database that holds the published
+// archive (p2p.DurableStore, prefix "a/"), and recover after a crash by
+// loading the checkpoint and replaying only what the checkpoint does not
+// already cover.
+//
+// Checkpoint key layout, all under "c/" so it cannot collide with the
+// archive keyspace (esc is lsm.AppendString, the order-preserving escaped
+// string encoding):
+//
+//	c/<esc peer>m                        -> JSON checkpointMeta
+//	c/<esc peer>r<esc rel><tuple bytes>  -> JSON provenance polynomial
+//	c/<esc peer>u<index be32>            -> JSON p2p.WireTxn (unpublished)
+//
+// The tuple decodes from the row key itself; the value holds only the
+// stored annotation. That makes a checkpoint relation a contiguous,
+// key-ordered range — which is what lets CheckpointEDB serve it as a lazy
+// datalog extent straight off an LSM snapshot scan.
+
+const ckPrefix = "c/"
+
+// checkpointMeta is the atomically-swapped summary record: which epoch the
+// rows reflect, and where the local transaction counter stood.
+type checkpointMeta struct {
+	NextSeq   uint64 `json:"next_seq"`
+	LastEpoch uint64 `json:"last_epoch"`
+}
+
+func ckBase(peer string) []byte {
+	return lsm.AppendString([]byte(ckPrefix), peer)
+}
+
+func ckMetaKey(peer string) []byte { return append(ckBase(peer), 'm') }
+
+func ckRowPrefix(peer string) []byte { return append(ckBase(peer), 'r') }
+
+func ckRelPrefix(peer, rel string) []byte {
+	return lsm.AppendString(ckRowPrefix(peer), rel)
+}
+
+func ckRowKey(peer, rel string, tu schema.Tuple) []byte {
+	return lsm.AppendTuple(ckRelPrefix(peer, rel), tu)
+}
+
+func ckUnpubPrefix(peer string) []byte { return append(ckBase(peer), 'u') }
+
+func ckUnpubKey(peer string, idx int) []byte {
+	return binary.BigEndian.AppendUint32(ckUnpubPrefix(peer), uint32(idx))
+}
+
+// ckPrefixEnd returns the tightest exclusive upper bound for a key prefix
+// (nil means "to the end of the keyspace").
+func ckPrefixEnd(p []byte) []byte {
+	out := append([]byte(nil), p...)
+	for i := len(out) - 1; i >= 0; i-- {
+		if out[i] != 0xFF {
+			out[i]++
+			return out[:i+1]
+		}
+	}
+	return nil
+}
+
+// wireMono / wirePow are the JSON form of a provenance polynomial: a sum of
+// coef·x1^k1·…·xn^kn monomials. Serializing through Monomials keeps the
+// codec independent of the polynomial's interned in-memory representation.
+type wireMono struct {
+	C uint64    `json:"c"`
+	V []wirePow `json:"v,omitempty"`
+}
+
+type wirePow struct {
+	X string `json:"x"`
+	K int    `json:"k"`
+}
+
+func encodeProv(p provenance.Poly) ([]byte, error) {
+	ms := p.Monomials()
+	out := make([]wireMono, 0, len(ms))
+	for _, m := range ms {
+		wm := wireMono{C: m.Coef}
+		for _, vp := range m.Vars {
+			wm.V = append(wm.V, wirePow{X: string(vp.Var), K: vp.Pow})
+		}
+		out = append(out, wm)
+	}
+	return json.Marshal(out)
+}
+
+func decodeProv(data []byte) (provenance.Poly, error) {
+	var ws []wireMono
+	if err := json.Unmarshal(data, &ws); err != nil {
+		return provenance.Poly{}, err
+	}
+	ms := make([]provenance.Monomial, 0, len(ws))
+	for _, w := range ws {
+		m := provenance.Monomial{Coef: w.C}
+		for _, vp := range w.V {
+			m.Vars = append(m.Vars, provenance.VarPow{Var: provenance.Var(vp.X), Pow: vp.K})
+		}
+		ms = append(ms, m)
+	}
+	return provenance.FromMonomials(ms), nil
+}
+
+// SaveCheckpoint writes the peer's durable state — every local instance row
+// with its provenance, the committed-but-unpublished transaction queue, and
+// the (nextSeq, lastEpoch) meta record — as ONE atomic, fsynced lsm.Batch
+// that also deletes whatever the previous checkpoint wrote and this one did
+// not. A crash therefore leaves either the old checkpoint or the new one,
+// never a blend: the batch is a single WAL record, and recovery replays it
+// all or not at all.
+func (p *Peer) SaveCheckpoint(db *lsm.DB) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	b := lsm.NewBatch()
+	live := map[string]bool{}
+	s := p.sys.Schema(p.name)
+	for _, rel := range s.Relations() {
+		rows, _ := p.local.Rows(rel.Name)
+		for _, row := range rows {
+			key := ckRowKey(p.name, rel.Name, row.Tuple)
+			val, err := encodeProv(row.Prov)
+			if err != nil {
+				return fmt.Errorf("core: checkpoint %s: encode provenance: %w", p.name, err)
+			}
+			b.Put(key, val)
+			live[string(key)] = true
+		}
+	}
+	for i, t := range p.unpublished {
+		data, err := json.Marshal(p2p.EncodeTxn(t))
+		if err != nil {
+			return fmt.Errorf("core: checkpoint %s: encode unpublished txn: %w", p.name, err)
+		}
+		key := ckUnpubKey(p.name, i)
+		b.Put(key, data)
+		live[string(key)] = true
+	}
+	meta, err := json.Marshal(checkpointMeta{NextSeq: p.nextSeq, LastEpoch: p.lastEpoch})
+	if err != nil {
+		return err
+	}
+	mk := ckMetaKey(p.name)
+	b.Put(mk, meta)
+	live[string(mk)] = true
+	// Sweep the previous checkpoint: any key under this peer's prefix that
+	// the new checkpoint does not reassert is deleted in the same batch, so
+	// deleted rows and drained unpublished slots cannot leak back in.
+	base := ckBase(p.name)
+	sn := db.Snapshot()
+	err = sn.Scan(base, ckPrefixEnd(base), func(k, v []byte) bool {
+		if !live[string(k)] {
+			b.Delete(append([]byte(nil), k...))
+		}
+		return true
+	})
+	sn.Close()
+	if err != nil {
+		return fmt.Errorf("core: checkpoint %s: sweep previous: %w", p.name, err)
+	}
+	if err := db.Apply(b, true); err != nil {
+		return fmt.Errorf("core: checkpoint %s: %w", p.name, err)
+	}
+	return nil
+}
+
+// RecoverPeerWith reconstructs a peer from its durable checkpoint in db
+// plus the published history in store. The invariant it restores: the
+// recovered peer is indistinguishable — instance rows, provenance, trust
+// state, dependency tracker, unpublished queue, sequence counter — from the
+// same peer having processed the same history live, with two documented
+// exceptions (Resolve decisions are not archived and regress to deferred;
+// the published snapshot equals the reconciled instance rather than the
+// instant of the last Publish).
+//
+// The replay is suffix-only for the instance: checkpoint rows already hold
+// the effects of every transaction the peer applied up to LastEpoch (E), so
+// reconciliation outcomes produced while replaying epochs ≤ E rebuild the
+// trust state but are NOT re-applied to the instance. Translations replay
+// over the full history — the engine's end state (and each candidate's
+// translated updates) depend on it — relying on ApplyAll's pinned
+// batch-composition property.
+func RecoverPeerWith(ctx context.Context, name string, sys *System, store p2p.Store, policy *recon.Policy, cfg exchange.Config, db *lsm.DB) (*Peer, error) {
+	p, err := NewPeerWith(name, sys, store, policy, cfg)
+	if err != nil {
+		return nil, err
+	}
+	fail := func(stage string, err error) (*Peer, error) {
+		return nil, fmt.Errorf("core: recover peer %s: %s: %w", name, stage, err)
+	}
+
+	// Phase 1 — load the checkpoint. No meta record means no checkpoint was
+	// ever taken: recovery degenerates to a full-history replay from a fresh
+	// peer (E = 0), the same code path.
+	meta := checkpointMeta{NextSeq: 1}
+	var ckUnpublished []*updates.Transaction
+	sn := db.Snapshot()
+	if raw, ok, err := sn.Get(ckMetaKey(name)); err != nil {
+		sn.Close()
+		return fail("read meta", err)
+	} else if ok {
+		if err := json.Unmarshal(raw, &meta); err != nil {
+			sn.Close()
+			return fail("decode meta", err)
+		}
+	}
+	rp := ckRowPrefix(name)
+	var derr error
+	err = sn.Scan(rp, ckPrefixEnd(rp), func(k, v []byte) bool {
+		rel, rest, e := lsm.DecodeString(k[len(rp):])
+		if e != nil {
+			derr = e
+			return false
+		}
+		tu, e := lsm.DecodeTuple(rest)
+		if e != nil {
+			derr = e
+			return false
+		}
+		prov, e := decodeProv(v)
+		if e != nil {
+			derr = e
+			return false
+		}
+		if _, e := p.local.Upsert(rel, tu, prov); e != nil {
+			derr = e
+			return false
+		}
+		return true
+	})
+	if err == nil {
+		err = derr
+	}
+	if err != nil {
+		sn.Close()
+		return fail("checkpoint rows", err)
+	}
+	up := ckUnpubPrefix(name)
+	derr = nil
+	err = sn.Scan(up, ckPrefixEnd(up), func(k, v []byte) bool {
+		var w p2p.WireTxn
+		if e := json.Unmarshal(v, &w); e != nil {
+			derr = e
+			return false
+		}
+		t, e := p2p.DecodeTxn(w)
+		if e != nil {
+			derr = e
+			return false
+		}
+		ckUnpublished = append(ckUnpublished, t)
+		return true
+	})
+	sn.Close()
+	if err == nil {
+		err = derr
+	}
+	if err != nil {
+		return fail("checkpoint unpublished", err)
+	}
+	p.nextSeq = meta.NextSeq
+	E := meta.LastEpoch
+
+	// Phase 2 — fetch the full published history and replay translations
+	// through the engine in adaptive windows (same group-commit shape as
+	// Reconcile), leaving the engine exactly where a live peer's would be.
+	txns, storeEpoch, err := store.Since(0)
+	if err != nil {
+		return fail("fetch history", err)
+	}
+	results := make([]*exchange.Result, 0, len(txns))
+	for rest := txns; len(rest) > 0; {
+		n := p.win.Next(len(rest))
+		start := time.Now()
+		rs, err := p.engine.ApplyAll(ctx, rest[:n])
+		if err != nil {
+			return fail("replay translations", err)
+		}
+		p.win.Observe(n, time.Since(start))
+		results = append(results, rs...)
+		rest = rest[n:]
+	}
+
+	// A checkpoint-unpublished transaction that later shows up in the store
+	// was published in the window between the checkpoint and the crash: it
+	// re-enters the trust state at its epoch slot and must NOT be restored
+	// to the unpublished queue (the archive already has it).
+	ownInStore := map[updates.TxnID]bool{}
+	for _, t := range txns {
+		if t.ID.Peer == name {
+			ownInStore[t.ID] = true
+		}
+	}
+	inCk := map[updates.TxnID]bool{}
+	for _, t := range ckUnpublished {
+		inCk[t.ID] = true
+	}
+
+	// Phase 3 — replay decisions in epoch order. Candidate runs are flushed
+	// through state.Reconcile at every boundary that changes what "applying
+	// the outcome" means: at each of our own transactions (AcceptLocal must
+	// interleave at its true position — acceptance order decides write
+	// conflicts) and at the E boundary (outcomes at epochs ≤ E are already
+	// reflected in the checkpoint rows and must not re-apply; outcomes after
+	// E must). Batch-insensitivity of state.Reconcile makes the coarser
+	// replay partitioning equivalent to the original round structure.
+	var run []*updates.Transaction
+	var runRes []*exchange.Result
+	runPre := false
+	flush := func(pre bool) error {
+		if len(run) == 0 {
+			return nil
+		}
+		cands := make([]*updates.Transaction, 0, len(run))
+		for i, txn := range run {
+			cands = append(cands, &updates.Transaction{
+				ID:      txn.ID,
+				Epoch:   txn.Epoch,
+				Updates: runRes[i].PerPeer[name],
+				Deps:    mergeDeps(txn.Deps, runRes[i].ExtraDeps[name]),
+			})
+		}
+		outcome, err := p.state.Reconcile(policy, cands)
+		if err != nil {
+			return err
+		}
+		for _, t := range outcome.Accepted {
+			if !pre {
+				if err := p.applyUpdates(t.Updates); err != nil {
+					return err
+				}
+			}
+			// RecordWrites, not Record: replay must restore the archived
+			// dependency edges, not recompute them against replay-time state.
+			p.tracker.RecordWrites(t)
+		}
+		run, runRes = nil, nil
+		return nil
+	}
+	restoreUnpublished := func() error {
+		for _, t := range ckUnpublished {
+			if ownInStore[t.ID] {
+				continue
+			}
+			if err := p.state.AcceptLocal(t); err != nil {
+				return err
+			}
+			p.tracker.RecordWrites(t)
+			p.unpublished = append(p.unpublished, t)
+		}
+		return nil
+	}
+	crossed := false
+	for i, txn := range txns {
+		pre := txn.Epoch <= E
+		if !pre && !crossed {
+			// Entering the post-checkpoint suffix: settle everything the
+			// checkpoint covers, then re-accept the never-published local
+			// commits — they were trusted before the crash, so they must be
+			// in the trust state before any suffix candidate is judged.
+			if err := flush(true); err != nil {
+				return fail("replay decisions", err)
+			}
+			if err := restoreUnpublished(); err != nil {
+				return fail("restore unpublished", err)
+			}
+			crossed = true
+		}
+		if txn.ID.Peer == name {
+			if err := flush(runPre); err != nil {
+				return fail("replay decisions", err)
+			}
+			// Our own published transaction. Its effects are in the
+			// checkpoint if it published before the checkpoint (epoch ≤ E)
+			// or was sitting in the unpublished queue when the checkpoint
+			// was taken; otherwise it committed after the checkpoint and
+			// must re-apply.
+			if !pre && !inCk[txn.ID] {
+				if err := p.applyUpdates(txn.Updates); err != nil {
+					return fail("reapply own txn", err)
+				}
+			}
+			if err := p.state.AcceptLocal(txn); err != nil {
+				return fail("accept own txn", err)
+			}
+			p.tracker.RecordWrites(txn)
+			if txn.ID.Seq >= p.nextSeq {
+				p.nextSeq = txn.ID.Seq + 1
+			}
+			continue
+		}
+		run = append(run, txn)
+		runRes = append(runRes, results[i])
+		runPre = pre
+	}
+	if err := flush(runPre); err != nil {
+		return fail("replay decisions", err)
+	}
+	if !crossed {
+		if err := restoreUnpublished(); err != nil {
+			return fail("restore unpublished", err)
+		}
+	}
+
+	p.lastEpoch = storeEpoch
+	if E > p.lastEpoch {
+		p.lastEpoch = E
+	}
+	// The published snapshot is approximated by the recovered instance; when
+	// the unpublished queue is nonempty the two diverge until the next
+	// Publish refreshes it, exactly as documented in DESIGN.md.
+	p.published = p.local.Snapshot()
+	return p, nil
+}
+
+// CheckpointEDB opens the named peer's last durable checkpoint as a
+// lazily-loading datalog EDB over one pinned LSM snapshot: each relation's
+// extent materializes only when a query plan reaches it, by a key-ordered
+// range scan of the checkpoint rows. The returned release function unpins
+// the snapshot; queries against the EDB must finish before calling it. The
+// boolean reports whether a checkpoint exists (when false the EDB is empty).
+func CheckpointEDB(db *lsm.DB, peer string, sch *schema.Schema) (*datalog.DB, func(), bool, error) {
+	sn := db.Snapshot()
+	_, found, err := sn.Get(ckMetaKey(peer))
+	if err != nil {
+		sn.Close()
+		return nil, nil, false, fmt.Errorf("core: open checkpoint for %s: %w", peer, err)
+	}
+	edb := datalog.NewDB()
+	for _, rel := range sch.Relations() {
+		relName := rel.Name
+		pfx := ckRelPrefix(peer, relName)
+		edb.SetLazy(relName, func(add func(schema.Tuple, provenance.Poly)) {
+			scanErr := sn.Scan(pfx, ckPrefixEnd(pfx), func(k, v []byte) bool {
+				tu, e := lsm.DecodeTuple(k[len(pfx):])
+				if e != nil {
+					log.Printf("core: checkpoint %s/%s: bad row key: %v", peer, relName, e)
+					return false
+				}
+				prov, e := decodeProv(v)
+				if e != nil {
+					log.Printf("core: checkpoint %s/%s: bad provenance: %v", peer, relName, e)
+					return false
+				}
+				add(tu, prov)
+				return true
+			})
+			if scanErr != nil {
+				log.Printf("core: checkpoint %s/%s: scan: %v", peer, relName, scanErr)
+			}
+		})
+	}
+	return edb, func() { sn.Close() }, found, nil
+}

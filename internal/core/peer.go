@@ -327,24 +327,32 @@ func (p *Peer) mirrorDelete(rel string, tu schema.Tuple) {
 }
 
 // queryEDB returns the local instance as a datalog EDB in O(#relations):
-// a copy-on-write snapshot of the maintained mirror, built from the tables
-// only on first use or after an out-of-band instance write. Evaluation
-// derives into its own extents, so the mirror itself is never mutated by a
-// query. Callers must hold p.mu.
+// a copy-on-write snapshot of the maintained mirror, rebuilt only on first
+// use or after an out-of-band instance write. The rebuild is lazy per
+// relation: each extent is declared with a fill that scans a COW snapshot
+// of the instance, so a query materializes only the relations its plan
+// reaches, and the incremental maintenance in mirrorUpsert/mirrorDelete
+// composes with it (a delta for an unmaterialized relation first pulls the
+// snapshot rows, then applies on top). Evaluation derives into its own
+// extents, so the mirror itself is never mutated by a query. Callers must
+// hold p.mu.
 func (p *Peer) queryEDB() *datalog.DB {
 	if !p.mirrorInSync() {
-		// Capture the version before reading rows: an out-of-band write
-		// racing the scan then leaves qdbVersion behind Version(), so the
+		// Capture the version before snapshotting: an out-of-band write
+		// racing the snapshot then leaves qdbVersion behind Version(), so the
 		// next query rebuilds instead of trusting a possibly torn mirror.
 		v := p.local.Version()
+		snap := p.local.Snapshot()
 		db := datalog.NewDB()
 		s := p.sys.Schema(p.name)
 		for _, rel := range s.Relations() {
-			db.Rel(rel.Name) // materialize even empty extents for the planner
-			rows, _ := p.local.Rows(rel.Name)
-			for _, row := range rows {
-				db.Add(rel.Name, row.Tuple, row.Prov)
-			}
+			name := rel.Name
+			db.SetLazy(name, func(add func(schema.Tuple, provenance.Poly)) {
+				rows, _ := snap.Rows(name)
+				for _, row := range rows {
+					add(row.Tuple, row.Prov)
+				}
+			})
 		}
 		p.qdb = db
 		p.qdbVersion = v

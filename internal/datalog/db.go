@@ -2,6 +2,7 @@ package datalog
 
 import (
 	"sort"
+	"sync"
 	"sync/atomic"
 
 	"orchestra/internal/provenance"
@@ -157,20 +158,105 @@ func (r *Rel) Facts() []Fact {
 	return out
 }
 
+// lazyExtents is a shared registry of extents that materialize on first
+// access: each declared predicate carries a fill function that streams its
+// facts in (from a storage snapshot, an LSM checkpoint scan, ...) the first
+// time any attached DB touches the predicate. The registry is shared by a DB
+// and all its Snapshots, so one materialization serves every view; it is the
+// only concurrency-safe piece of a DB, because snapshots taken from one
+// mirror are evaluated on separate goroutines.
+type lazyExtents struct {
+	mu   sync.Mutex
+	fill map[string]func(add func(schema.Tuple, provenance.Poly))
+	done map[string]*Rel
+}
+
+// get materializes (or returns the cached) extent for pred. The extent
+// comes back marked shared: many DBs may attach it, so each must
+// copy-on-write before mutating, exactly as with snapshot-shared extents.
+func (l *lazyExtents) get(pred string) (*Rel, bool) {
+	if l == nil {
+		return nil, false
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if r, ok := l.done[pred]; ok {
+		return r, true
+	}
+	fill, ok := l.fill[pred]
+	if !ok {
+		return nil, false
+	}
+	r := NewRel()
+	fill(func(t schema.Tuple, p provenance.Poly) { r.put(t, p) })
+	r.shared.Store(true)
+	l.done[pred] = r
+	return r, true
+}
+
+func (l *lazyExtents) has(pred string) bool {
+	if l == nil {
+		return false
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	_, ok := l.fill[pred]
+	return ok
+}
+
+func (l *lazyExtents) preds() []string {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]string, 0, len(l.fill))
+	for p := range l.fill {
+		out = append(out, p)
+	}
+	return out
+}
+
 // DB maps predicate names to extents.
 type DB struct {
 	rels map[string]*Rel
+	// lazy holds declared-but-unmaterialized extents; nil for fully eager
+	// databases. Shared (by pointer) with snapshots.
+	lazy *lazyExtents
 }
 
 // NewDB creates an empty database.
 func NewDB() *DB { return &DB{rels: map[string]*Rel{}} }
 
-// Rel returns the extent for pred, creating it if needed. The returned
-// extent may be shared with a snapshot: callers must treat it as read-only
-// and obtain mutable extents through MutableRel.
+// SetLazy declares that pred's extent exists but materializes on first
+// access: fill streams the facts in when (if) the predicate is first
+// touched. Queries then pay only for the relations their plan reaches —
+// the point of the hook is feeding pull-based pipelines from sources
+// (instance snapshots, durable checkpoint scans) without loading every
+// relation up front. fill must be deterministic and safe to call from any
+// goroutine; it runs at most once per registry, under the registry lock.
+// An eager extent later created or mutated under the same name shadows the
+// lazy declaration.
+func (db *DB) SetLazy(pred string, fill func(add func(schema.Tuple, provenance.Poly))) {
+	if db.lazy == nil {
+		db.lazy = &lazyExtents{fill: map[string]func(add func(schema.Tuple, provenance.Poly)){}, done: map[string]*Rel{}}
+	}
+	db.lazy.mu.Lock()
+	db.lazy.fill[pred] = fill
+	db.lazy.mu.Unlock()
+}
+
+// Rel returns the extent for pred, creating it if needed (materializing a
+// lazy declaration first). The returned extent may be shared with a
+// snapshot or a lazy registry: callers must treat it as read-only and
+// obtain mutable extents through MutableRel.
 func (db *DB) Rel(pred string) *Rel {
 	r, ok := db.rels[pred]
 	if !ok {
+		if lr, lok := db.lazy.get(pred); lok {
+			db.rels[pred] = lr
+			return lr
+		}
 		r = NewRel()
 		db.rels[pred] = r
 	}
@@ -178,12 +264,18 @@ func (db *DB) Rel(pred string) *Rel {
 }
 
 // MutableRel returns an extent for pred that is exclusively owned by db,
-// copy-on-write-cloning it first if it is shared with a snapshot. All
-// mutation paths (put, remove, in-place provenance writes) must go through
-// it; with no snapshot outstanding it is a map lookup and a flag test.
+// copy-on-write-cloning it first if it is shared with a snapshot or a lazy
+// registry. All mutation paths (put, remove, in-place provenance writes)
+// must go through it; with no snapshot outstanding it is a map lookup and a
+// flag test.
 func (db *DB) MutableRel(pred string) *Rel {
 	r, ok := db.rels[pred]
 	if !ok {
+		if lr, lok := db.lazy.get(pred); lok {
+			r = lr.cowClone()
+			db.rels[pred] = r
+			return r
+		}
 		r = NewRel()
 		db.rels[pred] = r
 		return r
@@ -211,17 +303,26 @@ func (r *Rel) cowClone() *Rel {
 	return nr
 }
 
-// Has reports whether the predicate has a (possibly empty) extent.
+// Has reports whether the predicate has a (possibly empty or still
+// unmaterialized) extent.
 func (db *DB) Has(pred string) bool {
-	_, ok := db.rels[pred]
-	return ok
+	if _, ok := db.rels[pred]; ok {
+		return true
+	}
+	return db.lazy.has(pred)
 }
 
-// Preds returns the sorted predicate names present.
+// Preds returns the sorted predicate names present, including lazy
+// declarations not yet materialized.
 func (db *DB) Preds() []string {
 	out := make([]string, 0, len(db.rels))
 	for p := range db.rels {
 		out = append(out, p)
+	}
+	for _, p := range db.lazy.preds() {
+		if _, ok := db.rels[p]; !ok {
+			out = append(out, p)
+		}
 	}
 	sort.Strings(out)
 	return out
@@ -257,8 +358,12 @@ func (db *DB) Remove(pred string, t schema.Tuple) {
 	db.MutableRel(pred).remove(t.Key())
 }
 
-// Size returns the total number of facts.
+// Size returns the total number of facts; lazy extents materialize so the
+// count is truthful.
 func (db *DB) Size() int {
+	for _, p := range db.lazy.preds() {
+		db.Rel(p)
+	}
 	n := 0
 	for _, r := range db.rels {
 		n += len(r.facts)
@@ -277,7 +382,7 @@ func (db *DB) Size() int {
 // like the deep Clone it replaces, provided all mutations go through the DB
 // API (Add, MutableRel, and the evaluator's merge paths).
 func (db *DB) Snapshot() *DB {
-	c := &DB{rels: make(map[string]*Rel, len(db.rels))}
+	c := &DB{rels: make(map[string]*Rel, len(db.rels)), lazy: db.lazy}
 	for p, r := range db.rels {
 		r.shared.Store(true)
 		c.rels[p] = r
@@ -289,6 +394,9 @@ func (db *DB) Snapshot() *DB {
 // callers want Snapshot instead; Clone remains for tests and for callers
 // that need a guaranteed-private copy regardless of mutation patterns.
 func (db *DB) Clone() *DB {
+	for _, p := range db.lazy.preds() {
+		db.Rel(p)
+	}
 	c := NewDB()
 	for p, r := range db.rels {
 		c.rels[p] = r.cowClone()

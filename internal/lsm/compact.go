@@ -1,0 +1,142 @@
+package lsm
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+)
+
+// Size-tiered compaction: segments are bucketed into size tiers (each tier
+// covers a 4x size range above compactTierBase), and whenever an
+// age-contiguous run of CompactFanIn same-tier segments exists, the run
+// merges newest-wins into one segment a tier up. Only age-contiguous runs
+// merge — without per-key versions, merging around an intervening segment
+// with overlapping keys would let older data resurface. Tombstones drop
+// only when the run includes the oldest segment (nothing beneath is left to
+// mask).
+const compactTierBase = 256 << 10
+
+func sizeTier(size int64) int {
+	t := 0
+	for s := size; s >= compactTierBase*4; s /= 4 {
+		t++
+	}
+	return t
+}
+
+// maybeCompactLocked runs compactions until no tier has a qualifying run.
+// Callers hold db.mu.
+func (db *DB) maybeCompactLocked() error {
+	for {
+		start, n := db.pickRun()
+		if n == 0 {
+			return nil
+		}
+		if err := db.compactRun(start, n); err != nil {
+			return err
+		}
+	}
+}
+
+// pickRun finds the leftmost (oldest) age-contiguous run of at least
+// CompactFanIn segments sharing a size tier.
+func (db *DB) pickRun() (start, n int) {
+	tables := db.man.Tables
+	for i := 0; i < len(tables); {
+		tier := sizeTier(tables[i].Size)
+		j := i + 1
+		for j < len(tables) && sizeTier(tables[j].Size) == tier {
+			j++
+		}
+		if j-i >= db.opt.CompactFanIn {
+			return i, j - i
+		}
+		i = j
+	}
+	return 0, 0
+}
+
+// compactRun merges tables [start, start+n) into one segment.
+func (db *DB) compactRun(start, n int) error {
+	in := db.tables[start : start+n]
+	dropTombstones := start == 0
+	// Newest-wins merge using the same source machinery scans use; input
+	// index order must be newest first.
+	it := &Iterator{}
+	for i := n - 1; i >= 0; i-- {
+		it.srcs = append(it.srcs, &sstSource{it: in[i].iter(nil)})
+	}
+	var entries []sstEntry
+	for {
+		// The scan Iterator skips tombstones; compaction must keep them
+		// (unless merging at the bottom), so drive the merge manually.
+		win := -1
+		for i, s := range it.srcs {
+			if e := s.err(); e != nil {
+				return e
+			}
+			if !s.valid() {
+				continue
+			}
+			if win < 0 || bytes.Compare(s.key(), it.srcs[win].key()) < 0 {
+				win = i
+			}
+		}
+		if win < 0 {
+			break
+		}
+		k := append([]byte(nil), it.srcs[win].key()...)
+		e := sstEntry{key: k, val: append([]byte(nil), it.srcs[win].val()...), del: it.srcs[win].del()}
+		for _, s := range it.srcs {
+			for s.valid() && bytes.Equal(s.key(), k) {
+				s.next()
+			}
+		}
+		if e.del && dropTombstones {
+			continue
+		}
+		entries = append(entries, e)
+	}
+
+	oldMetas := append([]tableMeta(nil), db.man.Tables[start:start+n]...)
+	newTables := append([]tableMeta(nil), db.man.Tables[:start]...)
+	newReaders := append([]*sstReader(nil), db.tables[:start]...)
+	var added *sstReader
+	if len(entries) > 0 {
+		num := db.man.NextFile
+		tm, err := writeSSTable(db.dir, num, entries, db.opt.BlockBytes)
+		if err != nil {
+			return err
+		}
+		r, err := openSSTable(db.dir, tm)
+		if err != nil {
+			return err
+		}
+		r.refs.Store(1)
+		db.man.NextFile++
+		newTables = append(newTables, tm)
+		newReaders = append(newReaders, r)
+		added = r
+	}
+	newTables = append(newTables, db.man.Tables[start+n:]...)
+	newReaders = append(newReaders, db.tables[start+n:]...)
+	savedTables := db.man.Tables
+	db.man.Tables = newTables
+	if err := db.man.save(db.dir); err != nil {
+		db.man.Tables = savedTables
+		if added != nil {
+			added.unref()
+		}
+		return err
+	}
+	for _, r := range db.tables[start : start+n] {
+		r.unref()
+	}
+	db.tables = newReaders
+	// The manifest no longer references the inputs; unlink them. Snapshots
+	// still holding references keep reading the open files.
+	for _, tm := range oldMetas {
+		os.Remove(filepath.Join(db.dir, sstName(tm.Num)))
+	}
+	return nil
+}

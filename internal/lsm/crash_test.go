@@ -1,0 +1,202 @@
+package lsm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// The crash harness: build a WAL of synced batches, then — per trial — copy
+// the directory, cut the final segment at a randomized byte offset, and
+// reopen. The recovered state must equal the state after the last batch
+// whose frame fully survives the cut: the longest durable prefix, nothing
+// more, nothing less.
+
+func copyDir(t *testing.T, src, dst string) {
+	t.Helper()
+	ents, err := os.ReadDir(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		data, err := os.ReadFile(filepath.Join(src, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dst, e.Name()), data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// frameEnds returns the cumulative byte offset of each complete frame end
+// in one WAL segment.
+func frameEnds(t *testing.T, path string) []int {
+	t.Helper()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ends []int
+	off := 0
+	for off+walHeaderLen <= len(data) {
+		n := int(binary.LittleEndian.Uint32(data[off:]))
+		if off+walHeaderLen+n > len(data) {
+			break
+		}
+		off += walHeaderLen + n
+		ends = append(ends, off)
+	}
+	return ends
+}
+
+func TestWALRandomizedCutRecovery(t *testing.T) {
+	src := t.TempDir()
+	db := mustOpen(t, src, Options{}) // large memtable: everything stays in the WAL
+	const batches = 40
+	for i := 1; i <= batches; i++ {
+		b := NewBatch()
+		b.Put([]byte("seq"), []byte(fmt.Sprintf("%d", i)))
+		b.Put([]byte(fmt.Sprintf("k%02d", i)), []byte("v"))
+		if i%3 == 0 {
+			b.Delete([]byte(fmt.Sprintf("k%02d", i-1)))
+		}
+		if err := db.Apply(b, true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Simulated crash: the DB is abandoned without Close (no flush); all
+	// durable state is the synced WAL.
+	seqs, err := listWALs(src)
+	if err != nil || len(seqs) != 1 {
+		t.Fatalf("want one wal segment, got %v (%v)", seqs, err)
+	}
+	walPath := filepath.Join(src, walName(seqs[0]))
+	ends := frameEnds(t, walPath)
+	if len(ends) != batches {
+		t.Fatalf("found %d frames, want %d", len(ends), batches)
+	}
+	size := ends[len(ends)-1]
+
+	rng := rand.New(rand.NewSource(99))
+	cuts := []int{0, 1, walHeaderLen - 1, walHeaderLen, size - 1, size}
+	for len(cuts) < 30 {
+		cuts = append(cuts, rng.Intn(size))
+	}
+	for _, cut := range cuts {
+		dst := t.TempDir()
+		copyDir(t, src, dst)
+		if err := os.Truncate(filepath.Join(dst, walName(seqs[0])), int64(cut)); err != nil {
+			t.Fatal(err)
+		}
+		// Expected prefix: every batch whose frame ends at or before the cut.
+		survived := 0
+		for _, e := range ends {
+			if e <= cut {
+				survived++
+			}
+		}
+		re, err := Open(dst, Options{})
+		if err != nil {
+			t.Fatalf("cut %d: reopen: %v", cut, err)
+		}
+		v, ok, err := re.Get([]byte("seq"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if survived == 0 {
+			if ok {
+				t.Fatalf("cut %d: expected empty recovery, got seq=%s", cut, v)
+			}
+		} else if !ok || string(v) != fmt.Sprintf("%d", survived) {
+			t.Fatalf("cut %d: recovered seq=%q/%v, want %d", cut, v, ok, survived)
+		}
+		// A batch is all-or-nothing: its second key must agree with seq.
+		for i := 1; i <= batches; i++ {
+			_, ok, _ := re.Get([]byte(fmt.Sprintf("k%02d", i)))
+			want := i <= survived && !(i%3 == 2 && i+1 <= survived) // deleted by batch i+1 when i+1 ≡ 0 mod 3
+			if ok != want {
+				t.Fatalf("cut %d: k%02d present=%v, want %v (survived=%d)", cut, i, ok, want, survived)
+			}
+		}
+		// The torn tail was truncated: a second reopen replays cleanly.
+		if err := re.Close(); err != nil {
+			t.Fatal(err)
+		}
+		re2, err := Open(dst, Options{})
+		if err != nil {
+			t.Fatalf("cut %d: second reopen: %v", cut, err)
+		}
+		re2.Close()
+	}
+}
+
+// A cut in the final segment of a multi-segment WAL recovers; the earlier,
+// fully-synced segments replay in full.
+func TestWALMultiSegmentTailCut(t *testing.T) {
+	src := t.TempDir()
+	opt := Options{WALSegmentBytes: 512, MemtableBytes: 1 << 30}
+	db := mustOpen(t, src, opt)
+	for i := 1; i <= 60; i++ {
+		if err := db.Put([]byte(fmt.Sprintf("k%02d", i)), []byte("v"), true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seqs, err := listWALs(src)
+	if err != nil || len(seqs) < 2 {
+		t.Fatalf("want multiple segments, got %v (%v)", seqs, err)
+	}
+	last := filepath.Join(src, walName(seqs[len(seqs)-1]))
+	st, _ := os.Stat(last)
+
+	dst := t.TempDir()
+	copyDir(t, src, dst)
+	if err := os.Truncate(filepath.Join(dst, walName(seqs[len(seqs)-1])), st.Size()/2); err != nil {
+		t.Fatal(err)
+	}
+	re, err := Open(dst, opt)
+	if err != nil {
+		t.Fatalf("reopen after tail cut: %v", err)
+	}
+	defer re.Close()
+	// Everything in the earlier segments must be present.
+	lastSegEnds := frameEnds(t, filepath.Join(dst, walName(seqs[len(seqs)-1])))
+	survivedInLast := len(lastSegEnds)
+	total := 0
+	sn := re.Snapshot()
+	defer sn.Close()
+	sn.Scan(nil, nil, func(k, v []byte) bool { total++; return true })
+	if total < 60-(survivedInLast+20) || total > 60 {
+		t.Fatalf("recovered %d keys out of 60 (last segment kept %d frames)", total, survivedInLast)
+	}
+}
+
+// Corruption before the tail is NOT recoverable silently — it must fail the
+// open, never drop committed middle records.
+func TestWALMidLogCorruptionFailsOpen(t *testing.T) {
+	src := t.TempDir()
+	opt := Options{WALSegmentBytes: 512, MemtableBytes: 1 << 30}
+	db := mustOpen(t, src, opt)
+	for i := 1; i <= 60; i++ {
+		if err := db.Put([]byte(fmt.Sprintf("k%02d", i)), []byte("v"), true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seqs, _ := listWALs(src)
+	if len(seqs) < 2 {
+		t.Fatalf("want multiple segments, got %v", seqs)
+	}
+	dst := t.TempDir()
+	copyDir(t, src, dst)
+	// Flip a payload byte in the FIRST segment.
+	first := filepath.Join(dst, walName(seqs[0]))
+	data, _ := os.ReadFile(first)
+	data[walHeaderLen+2] ^= 0xFF
+	os.WriteFile(first, data, 0o644)
+	if _, err := Open(dst, opt); err == nil {
+		t.Fatal("open succeeded over mid-log corruption")
+	}
+}

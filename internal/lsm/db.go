@@ -1,0 +1,487 @@
+package lsm
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// Options tunes a DB. The zero value is valid.
+type Options struct {
+	// MemtableBytes flushes the memtable to an SSTable segment once its
+	// resident size passes this bound. Default 4 MiB.
+	MemtableBytes int
+	// WALSegmentBytes rotates the active WAL segment past this size, so a
+	// crash replays a bounded suffix. Default 8 MiB.
+	WALSegmentBytes int64
+	// BlockBytes is the SSTable data-block split threshold. Default 4 KiB.
+	BlockBytes int
+	// CompactFanIn merges an age-contiguous run of this many same-tier
+	// segments into one. Default 4.
+	CompactFanIn int
+	// NoSync skips the per-commit fsync (rotation and flush still sync).
+	// Benchmarks and tests that only need crash-consistency of flushed
+	// state use it; durable deployments must not.
+	NoSync bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.MemtableBytes <= 0 {
+		o.MemtableBytes = 4 << 20
+	}
+	if o.WALSegmentBytes <= 0 {
+		o.WALSegmentBytes = 8 << 20
+	}
+	if o.BlockBytes <= 0 {
+		o.BlockBytes = 4096
+	}
+	if o.CompactFanIn < 2 {
+		o.CompactFanIn = 4
+	}
+	return o
+}
+
+// DB is a single-directory log-structured store: one WAL, one mutable
+// memtable, frozen memtables awaiting flush, and a stack of SSTable
+// segments (oldest first). All methods are safe for concurrent use; writes
+// and structural changes serialize on one mutex, which is the group-commit
+// point — a Batch is the unit of atomicity and of fsync.
+type DB struct {
+	mu     sync.Mutex
+	dir    string
+	opt    Options
+	man    *manifest
+	wal    *wal
+	mut    *memtable
+	imm    []*memtable  // frozen, oldest first
+	tables []*sstReader // oldest first, parallel to man.Tables
+	closed bool
+	// broken latches a failed flush/compaction: the on-disk state is still
+	// consistent (the manifest only ever swaps atomically) but the in-memory
+	// view may not match, so further writes are refused.
+	broken error
+}
+
+// ref-counted reader lifetime: the DB owns one reference per live table,
+// snapshots take another while they exist, and the file closes when the
+// last reference drops — so compaction can unlink segment files while
+// older snapshots still scan them.
+func (r *sstReader) ref() { r.refs.Add(1) }
+
+func (r *sstReader) unref() {
+	if r.refs.Add(-1) == 0 {
+		r.f.Close()
+	}
+}
+
+// Open opens (or creates) a DB in dir, recovering from the manifest and
+// replaying the WAL suffix. A torn record at the tail of the final WAL
+// segment — the signature of a crash mid-append — is truncated away with a
+// warning; corruption anywhere else fails the open.
+func Open(dir string, opt Options) (*DB, error) {
+	opt = opt.withDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("lsm: create db dir: %w", err)
+	}
+	man, _, err := loadManifest(dir)
+	if err != nil {
+		return nil, err
+	}
+	db := &DB{dir: dir, opt: opt, man: man, mut: newMemtable()}
+	for _, tm := range man.Tables {
+		r, err := openSSTable(dir, tm)
+		if err != nil {
+			db.closeTables()
+			return nil, err
+		}
+		r.refs.Store(1)
+		db.tables = append(db.tables, r)
+	}
+	seqs, err := listWALs(dir)
+	if err != nil {
+		db.closeTables()
+		return nil, err
+	}
+	var replay []uint64
+	maxSeq := man.WALFloor
+	for _, s := range seqs {
+		if s >= man.WALFloor {
+			replay = append(replay, s)
+		} else {
+			// Fully flushed before the crash; remove the leftover.
+			os.Remove(filepath.Join(dir, walName(s)))
+		}
+		if s > maxSeq {
+			maxSeq = s
+		}
+	}
+	if err := replayWAL(dir, replay, func(payload []byte) error {
+		return applyEncodedBatch(db.mut, payload)
+	}); err != nil {
+		db.closeTables()
+		return nil, err
+	}
+	// Append to a fresh segment rather than the possibly-truncated tail; the
+	// replayed segments stay on disk until the next flush advances the floor
+	// past them.
+	db.wal, err = openWAL(dir, maxSeq+1, opt.WALSegmentBytes)
+	if err != nil {
+		db.closeTables()
+		return nil, err
+	}
+	return db, nil
+}
+
+func (db *DB) closeTables() {
+	for _, r := range db.tables {
+		r.unref()
+	}
+	db.tables = nil
+}
+
+// Close flushes the memtable and releases the DB.
+func (db *DB) Close() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return nil
+	}
+	db.closed = true
+	var firstErr error
+	if db.broken == nil {
+		if err := db.flushLocked(); err != nil {
+			firstErr = err
+		}
+	}
+	if err := db.wal.close(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	db.closeTables()
+	return firstErr
+}
+
+// Dir returns the DB directory.
+func (db *DB) Dir() string { return db.dir }
+
+// Batch is an ordered set of writes applied and logged atomically: one WAL
+// record, one checksum, at most one fsync.
+type Batch struct {
+	ops     []batchOp
+	payload int
+}
+
+type batchOp struct {
+	key []byte
+	val []byte
+	del bool
+}
+
+// NewBatch returns an empty batch.
+func NewBatch() *Batch { return &Batch{} }
+
+// Put schedules a write. The byte slices are retained until Apply.
+func (b *Batch) Put(key, val []byte) {
+	b.ops = append(b.ops, batchOp{key: key, val: val})
+	b.payload += len(key) + len(val) + 16
+}
+
+// Delete schedules a tombstone.
+func (b *Batch) Delete(key []byte) {
+	b.ops = append(b.ops, batchOp{key: key, del: true})
+	b.payload += len(key) + 16
+}
+
+// Len returns the number of scheduled operations.
+func (b *Batch) Len() int { return len(b.ops) }
+
+const (
+	opPut = 1
+	opDel = 2
+)
+
+func (b *Batch) encode() []byte {
+	out := make([]byte, 0, b.payload)
+	for _, op := range b.ops {
+		if op.del {
+			out = append(out, opDel)
+			out = binary.AppendUvarint(out, uint64(len(op.key)))
+			out = append(out, op.key...)
+			continue
+		}
+		out = append(out, opPut)
+		out = binary.AppendUvarint(out, uint64(len(op.key)))
+		out = append(out, op.key...)
+		out = binary.AppendUvarint(out, uint64(len(op.val)))
+		out = append(out, op.val...)
+	}
+	return out
+}
+
+// applyEncodedBatch replays one WAL payload into a memtable.
+func applyEncodedBatch(m *memtable, payload []byte) error {
+	for len(payload) > 0 {
+		op := payload[0]
+		payload = payload[1:]
+		klen, n := binary.Uvarint(payload)
+		if n <= 0 || uint64(len(payload[n:])) < klen {
+			return fmt.Errorf("lsm: malformed wal batch")
+		}
+		key := payload[n : n+int(klen)]
+		payload = payload[n+int(klen):]
+		switch op {
+		case opDel:
+			m.set(key, nil, true)
+		case opPut:
+			vlen, n := binary.Uvarint(payload)
+			if n <= 0 || uint64(len(payload[n:])) < vlen {
+				return fmt.Errorf("lsm: malformed wal batch")
+			}
+			m.set(key, append([]byte(nil), payload[n:n+int(vlen)]...), false)
+			payload = payload[n+int(vlen):]
+		default:
+			return fmt.Errorf("lsm: unknown wal batch op %d", op)
+		}
+	}
+	return nil
+}
+
+// Apply commits the batch: logged to the WAL (fsynced when sync is true and
+// the DB syncs), then applied to the memtable. Group commit happens
+// naturally when callers assemble many logical writes into one batch — the
+// published-update store batches a whole PublishAll window this way.
+func (db *DB) Apply(b *Batch, sync bool) error {
+	if b.Len() == 0 {
+		return nil
+	}
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if err := db.usable(); err != nil {
+		return err
+	}
+	if err := db.wal.append(b.encode()); err != nil {
+		return err
+	}
+	if sync && !db.opt.NoSync {
+		if err := db.wal.sync(); err != nil {
+			return err
+		}
+	}
+	for _, op := range b.ops {
+		if op.del {
+			db.mut.set(op.key, nil, true)
+		} else {
+			db.mut.set(op.key, append([]byte(nil), op.val...), false)
+		}
+	}
+	return db.maybeFlushLocked()
+}
+
+// Put writes one key (a one-op batch).
+func (db *DB) Put(key, val []byte, sync bool) error {
+	b := NewBatch()
+	b.Put(key, val)
+	return db.Apply(b, sync)
+}
+
+// Delete tombstones one key (a one-op batch).
+func (db *DB) Delete(key []byte, sync bool) error {
+	b := NewBatch()
+	b.Delete(key)
+	return db.Apply(b, sync)
+}
+
+func (db *DB) usable() error {
+	if db.closed {
+		return fmt.Errorf("lsm: db is closed")
+	}
+	if db.broken != nil {
+		return fmt.Errorf("lsm: db failed a structural operation and is read-only: %w", db.broken)
+	}
+	return nil
+}
+
+// Get returns the current value of key.
+func (db *DB) Get(key []byte) ([]byte, bool, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return nil, false, fmt.Errorf("lsm: db is closed")
+	}
+	if e, ok := db.mut.get(key); ok {
+		return getEntry(e)
+	}
+	for i := len(db.imm) - 1; i >= 0; i-- {
+		if e, ok := db.imm[i].get(key); ok {
+			return getEntry(e)
+		}
+	}
+	for i := len(db.tables) - 1; i >= 0; i-- {
+		val, del, ok, err := db.tables[i].get(key)
+		if err != nil {
+			return nil, false, err
+		}
+		if ok {
+			if del {
+				return nil, false, nil
+			}
+			return val, true, nil
+		}
+	}
+	return nil, false, nil
+}
+
+func getEntry(e *mentry) ([]byte, bool, error) {
+	if e.del {
+		return nil, false, nil
+	}
+	return e.val, true, nil
+}
+
+// maybeFlushLocked flushes when the memtable passes its bound, and rotates
+// an oversized WAL segment otherwise.
+func (db *DB) maybeFlushLocked() error {
+	if db.mut.bytes >= db.opt.MemtableBytes {
+		return db.flushLocked()
+	}
+	if db.wal.full() {
+		// Rotation alone doesn't advance the WAL floor — the data is still
+		// only in the memtable — but it bounds single-segment replay cost.
+		if err := db.wal.rotate(); err != nil {
+			db.broken = err
+			return err
+		}
+	}
+	return nil
+}
+
+// Flush forces the memtable (and any frozen predecessors) into an SSTable
+// segment and advances the WAL floor past their log records. Callers use it
+// as a checkpoint barrier: once Flush returns, recovery cost for the
+// flushed data is a manifest read, not a log replay.
+func (db *DB) Flush() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if err := db.usable(); err != nil {
+		return err
+	}
+	return db.flushLocked()
+}
+
+func (db *DB) flushLocked() error {
+	if err := db.doFlush(); err != nil {
+		db.broken = err
+		return err
+	}
+	if err := db.maybeCompactLocked(); err != nil {
+		db.broken = err
+		return err
+	}
+	return nil
+}
+
+func (db *DB) doFlush() error {
+	if db.mut.len() > 0 {
+		db.imm = append(db.imm, db.mut)
+		db.mut = newMemtable()
+	}
+	if len(db.imm) == 0 {
+		return nil
+	}
+	// New writes land in a fresh WAL segment; everything frozen lives in
+	// segments before it, so the floor can advance there after the flush.
+	if err := db.wal.rotate(); err != nil {
+		return err
+	}
+	floor := db.wal.seq
+	// Newest-wins merge across the frozen memtables.
+	merged := map[string]*mentry{}
+	for _, m := range db.imm {
+		for k, e := range m.index {
+			merged[k] = e
+		}
+	}
+	entries := make([]sstEntry, 0, len(merged))
+	for _, e := range merged {
+		if e.del && len(db.tables) == 0 {
+			// Nothing older to mask: the tombstone is already meaningless.
+			continue
+		}
+		entries = append(entries, sstEntry{key: []byte(e.key), val: e.val, del: e.del})
+	}
+	sortEntries(entries)
+	if len(entries) > 0 {
+		num := db.man.NextFile
+		tm, err := writeSSTable(db.dir, num, entries, db.opt.BlockBytes)
+		if err != nil {
+			return err
+		}
+		r, err := openSSTable(db.dir, tm)
+		if err != nil {
+			return err
+		}
+		r.refs.Store(1)
+		db.man.NextFile++
+		db.man.Tables = append(db.man.Tables, tm)
+		db.man.WALFloor = floor
+		if err := db.man.save(db.dir); err != nil {
+			r.unref()
+			return err
+		}
+		db.tables = append(db.tables, r)
+	} else {
+		db.man.WALFloor = floor
+		if err := db.man.save(db.dir); err != nil {
+			return err
+		}
+	}
+	db.imm = nil
+	db.removeOldWALs(floor)
+	return nil
+}
+
+// sortEntries orders flush/compaction output; keys are unique post-merge,
+// so an unstable sort is fine.
+func sortEntries(entries []sstEntry) {
+	sort.Slice(entries, func(i, j int) bool { return bytes.Compare(entries[i].key, entries[j].key) < 0 })
+}
+
+func (db *DB) removeOldWALs(floor uint64) {
+	seqs, err := listWALs(db.dir)
+	if err != nil {
+		return
+	}
+	for _, s := range seqs {
+		if s < floor {
+			os.Remove(filepath.Join(db.dir, walName(s)))
+		}
+	}
+}
+
+// Stats reports coarse engine state for tests and tooling.
+type Stats struct {
+	MemtableBytes   int
+	FrozenMemtables int
+	Tables          int
+	TableBytes      int64
+	WALSegment      uint64
+}
+
+// Stats returns a point-in-time snapshot of engine internals.
+func (db *DB) Stats() Stats {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	st := Stats{
+		MemtableBytes:   db.mut.bytes,
+		FrozenMemtables: len(db.imm),
+		Tables:          len(db.tables),
+		WALSegment:      db.wal.seq,
+	}
+	for _, t := range db.man.Tables {
+		st.TableBytes += t.Size
+	}
+	return st
+}

@@ -1,0 +1,187 @@
+// Package lsm is the durable storage tier beneath the CDSS: a
+// log-structured merge engine with an order-preserving key encoding for
+// schema tuples, a segmented CRC-framed write-ahead log with batched fsync,
+// slab-backed memtables flushed to sorted checksummed SSTable segments
+// (sparse index + bloom filter), size-tiered compaction, and crash recovery
+// from a manifest + WAL replay. The upper layers (the p2p published-update
+// archive and peer instance checkpoints) store their keyspaces side by side
+// in one DB so a whole deployment shares a single WAL and group-commit
+// window. See DESIGN.md §11.
+package lsm
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"orchestra/internal/schema"
+)
+
+// The key encoding is order-preserving: for any two tuples a and b,
+// bytes.Compare(EncodeTuple(a), EncodeTuple(b)) equals a.Compare(b). That is
+// what lets SSTable segments keep index orderings on disk — a range scan
+// over an encoded prefix enumerates tuples in exactly the order the
+// in-memory tables and iterator pipelines expect.
+//
+// Per value: one kind tag byte (schema.Kind values already sort in
+// Value.Compare order), then a payload:
+//
+//   - strings and labeled nulls: raw bytes with 0x00 escaped as 0x00 0xFF,
+//     terminated by 0x00 0x01 — the terminator sorts below every escaped or
+//     literal byte, so prefixes sort first;
+//   - ints and bools: 8-byte big-endian with the sign bit flipped;
+//   - floats: IEEE-754 bits, sign-flipped for positives and complemented
+//     for negatives (the classic total-order trick). -0.0 and +0.0 compare
+//     equal in Value.Compare but encode distinctly, matching Value.Key's
+//     injectivity.
+//
+// Values are self-delimiting, so tuple encodings concatenate and a tuple
+// that is a strict prefix of another sorts first — exactly Tuple.Compare.
+
+const (
+	stringTerm1 = 0x00
+	stringTerm2 = 0x01
+	stringEsc   = 0xFF
+)
+
+// AppendString appends the order-preserving escaped-and-terminated encoding
+// of s (no kind tag). Composite-key layers use it to build prefixes such as
+// relation names that must sort correctly ahead of tuple bytes.
+func AppendString(b []byte, s string) []byte {
+	for i := 0; i < len(s); i++ {
+		if s[i] == 0x00 {
+			b = append(b, 0x00, stringEsc)
+		} else {
+			b = append(b, s[i])
+		}
+	}
+	return append(b, stringTerm1, stringTerm2)
+}
+
+// DecodeString decodes one AppendString-encoded string from the front of b,
+// returning the string and the remaining bytes. Composite-key layers (the
+// checkpoint keyspace) use it to take keys back apart.
+func DecodeString(b []byte) (string, []byte, error) { return decodeString(b) }
+
+func decodeString(b []byte) (string, []byte, error) {
+	var out []byte
+	for i := 0; i < len(b); {
+		c := b[i]
+		if c != 0x00 {
+			out = append(out, c)
+			i++
+			continue
+		}
+		if i+1 >= len(b) {
+			return "", nil, fmt.Errorf("lsm: truncated string encoding")
+		}
+		switch b[i+1] {
+		case stringEsc:
+			out = append(out, 0x00)
+			i += 2
+		case stringTerm2:
+			return string(out), b[i+2:], nil
+		default:
+			return "", nil, fmt.Errorf("lsm: malformed string escape 0x%02x", b[i+1])
+		}
+	}
+	return "", nil, fmt.Errorf("lsm: unterminated string encoding")
+}
+
+// AppendValue appends the order-preserving encoding of one value.
+func AppendValue(b []byte, v schema.Value) []byte {
+	b = append(b, byte(v.Kind()))
+	switch v.Kind() {
+	case schema.KindString, schema.KindLabeledNull:
+		return AppendString(b, v.Str())
+	case schema.KindInt:
+		return binary.BigEndian.AppendUint64(b, uint64(v.IntVal())^(1<<63))
+	case schema.KindBool:
+		if v.BoolVal() {
+			return append(b, 1)
+		}
+		return append(b, 0)
+	case schema.KindFloat:
+		u := math.Float64bits(v.FloatVal())
+		if u&(1<<63) != 0 {
+			u = ^u
+		} else {
+			u |= 1 << 63
+		}
+		return binary.BigEndian.AppendUint64(b, u)
+	default: // KindNull: tag alone
+		return b
+	}
+}
+
+// DecodeValue decodes one value off the front of b, returning the rest.
+func DecodeValue(b []byte) (schema.Value, []byte, error) {
+	if len(b) == 0 {
+		return schema.Value{}, nil, fmt.Errorf("lsm: empty value encoding")
+	}
+	kind := schema.Kind(b[0])
+	b = b[1:]
+	switch kind {
+	case schema.KindString, schema.KindLabeledNull:
+		s, rest, err := decodeString(b)
+		if err != nil {
+			return schema.Value{}, nil, err
+		}
+		if kind == schema.KindString {
+			return schema.String(s), rest, nil
+		}
+		return schema.LabeledNull(s), rest, nil
+	case schema.KindInt:
+		if len(b) < 8 {
+			return schema.Value{}, nil, fmt.Errorf("lsm: truncated int encoding")
+		}
+		u := binary.BigEndian.Uint64(b[:8])
+		return schema.Int(int64(u ^ (1 << 63))), b[8:], nil
+	case schema.KindBool:
+		if len(b) < 1 {
+			return schema.Value{}, nil, fmt.Errorf("lsm: truncated bool encoding")
+		}
+		return schema.Bool(b[0] == 1), b[1:], nil
+	case schema.KindFloat:
+		if len(b) < 8 {
+			return schema.Value{}, nil, fmt.Errorf("lsm: truncated float encoding")
+		}
+		u := binary.BigEndian.Uint64(b[:8])
+		if u&(1<<63) != 0 {
+			u &^= 1 << 63
+		} else {
+			u = ^u
+		}
+		return schema.Float(math.Float64frombits(u)), b[8:], nil
+	case schema.KindNull:
+		return schema.Value{}, b, nil
+	default:
+		return schema.Value{}, nil, fmt.Errorf("lsm: unknown value kind %d", kind)
+	}
+}
+
+// AppendTuple appends the order-preserving encoding of a whole tuple.
+func AppendTuple(b []byte, t schema.Tuple) []byte {
+	for _, v := range t {
+		b = AppendValue(b, v)
+	}
+	return b
+}
+
+// EncodeTuple is AppendTuple into a fresh slice.
+func EncodeTuple(t schema.Tuple) []byte { return AppendTuple(nil, t) }
+
+// DecodeTuple decodes a tuple encoding produced by AppendTuple, consuming
+// b entirely.
+func DecodeTuple(b []byte) (schema.Tuple, error) {
+	var t schema.Tuple
+	for len(b) > 0 {
+		v, rest, err := DecodeValue(b)
+		if err != nil {
+			return nil, err
+		}
+		t = append(t, v)
+		b = rest
+	}
+	return t, nil
+}

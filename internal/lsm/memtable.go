@@ -1,0 +1,72 @@
+package lsm
+
+import "sort"
+
+// memtable is the mutable in-memory tier: a hash index over entries
+// allocated from contiguous fixed-capacity slabs, the same address-stable
+// layout the datalog union shards use (PR 5). Appends never move existing
+// entries, so the index holds stable pointers and a freeze is free — the
+// slabs are simply never written again. Ordering is deferred to flush/scan
+// time, when sortedEntries sorts the index keys once.
+type memtable struct {
+	index map[string]*mentry
+	slabs [][]mentry
+	// bytes approximates resident size (keys + values) to trigger flushes.
+	bytes int
+}
+
+// mentry is one keyed write. del marks a tombstone (masking any older
+// value of the key in lower tiers).
+type mentry struct {
+	key string
+	val []byte
+	del bool
+}
+
+const memSlabSize = 256
+
+func newMemtable() *memtable {
+	return &memtable{index: map[string]*mentry{}}
+}
+
+func (m *memtable) len() int { return len(m.index) }
+
+// set records a put (del=false) or delete (del=true). The latest write to a
+// key wins in place; slab entries of overwritten versions stay allocated
+// until flush, matching the slab layout's remove-by-zeroing discipline.
+func (m *memtable) set(key []byte, val []byte, del bool) {
+	k := string(key)
+	if e, ok := m.index[k]; ok {
+		m.bytes += len(val) - len(e.val)
+		e.val = val
+		e.del = del
+		return
+	}
+	n := len(m.slabs)
+	if n == 0 || len(m.slabs[n-1]) == cap(m.slabs[n-1]) {
+		m.slabs = append(m.slabs, make([]mentry, 0, memSlabSize))
+		n++
+	}
+	slab := &m.slabs[n-1]
+	*slab = append(*slab, mentry{key: k, val: val, del: del})
+	m.index[k] = &(*slab)[len(*slab)-1]
+	m.bytes += len(k) + len(val) + 48
+}
+
+// get returns the entry for key, if any.
+func (m *memtable) get(key []byte) (*mentry, bool) {
+	e, ok := m.index[string(key)]
+	return e, ok
+}
+
+// sortedEntries returns the live entries in ascending key order. Keys are
+// encoded with the order-preserving codec, so plain string order is tuple
+// order.
+func (m *memtable) sortedEntries() []*mentry {
+	out := make([]*mentry, 0, len(m.index))
+	for _, e := range m.index {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].key < out[j].key })
+	return out
+}

@@ -1,0 +1,219 @@
+package lsm
+
+import "bytes"
+
+// Snapshot is a consistent point-in-time view of the DB. Taking one freezes
+// the mutable memtable (an O(1) operation thanks to the slab layout — no
+// copying, the slabs are simply never written again), so later writes and
+// flushes cannot show through. Snapshots serve point reads and — the reason
+// they exist — ordered batch scans that stream disk-resident relations
+// straight into the pull-based iterator pipelines.
+//
+// Close releases the snapshot's references on the SSTable segments it pins;
+// compaction can unlink segment files while snapshots still read them, and
+// the bytes go away only when the last reader lets go.
+type Snapshot struct {
+	mems   []*memtable  // oldest first, all frozen
+	tables []*sstReader // oldest first
+	closed bool
+}
+
+// Snapshot captures the DB's current contents.
+func (db *DB) Snapshot() *Snapshot {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.mut.len() > 0 {
+		db.imm = append(db.imm, db.mut)
+		db.mut = newMemtable()
+	}
+	sn := &Snapshot{
+		mems:   append([]*memtable(nil), db.imm...),
+		tables: append([]*sstReader(nil), db.tables...),
+	}
+	for _, r := range sn.tables {
+		r.ref()
+	}
+	return sn
+}
+
+// Close releases the snapshot. Using a closed snapshot is a bug; Close is
+// idempotent.
+func (sn *Snapshot) Close() {
+	if sn.closed {
+		return
+	}
+	sn.closed = true
+	for _, r := range sn.tables {
+		r.unref()
+	}
+}
+
+// Get returns the value of key as of the snapshot.
+func (sn *Snapshot) Get(key []byte) ([]byte, bool, error) {
+	for i := len(sn.mems) - 1; i >= 0; i-- {
+		if e, ok := sn.mems[i].get(key); ok {
+			return getEntry(e)
+		}
+	}
+	for i := len(sn.tables) - 1; i >= 0; i-- {
+		val, del, ok, err := sn.tables[i].get(key)
+		if err != nil {
+			return nil, false, err
+		}
+		if ok {
+			if del {
+				return nil, false, nil
+			}
+			return val, true, nil
+		}
+	}
+	return nil, false, nil
+}
+
+// Scan streams live keys in [lo, hi) in ascending order (nil bounds are
+// open). fn returning false stops the scan. The key and value slices are
+// only valid during the callback.
+func (sn *Snapshot) Scan(lo, hi []byte, fn func(key, val []byte) bool) error {
+	it := sn.Iter(lo, hi)
+	for it.Next() {
+		if !fn(it.Key(), it.Value()) {
+			return it.Err()
+		}
+	}
+	return it.Err()
+}
+
+// Iter returns a pull-based iterator over live keys in [lo, hi) — the shape
+// the PR 7 pipeline cursors consume: position with Next, read Key/Value,
+// check Err at the end.
+func (sn *Snapshot) Iter(lo, hi []byte) *Iterator {
+	it := &Iterator{hi: hi}
+	// Source order is priority: lower index wins key ties (newer data).
+	// Memtables are newer than every table; within each group, later
+	// elements are newer.
+	for i := len(sn.mems) - 1; i >= 0; i-- {
+		it.srcs = append(it.srcs, &memSource{entries: sn.mems[i].sortedEntries(), lo: lo})
+	}
+	for i := len(sn.tables) - 1; i >= 0; i-- {
+		it.srcs = append(it.srcs, &sstSource{it: sn.tables[i].iter(lo)})
+	}
+	for _, s := range it.srcs {
+		s.next()
+	}
+	return it
+}
+
+// source is one ordered input to the merge: a frozen memtable or a segment.
+type source interface {
+	valid() bool
+	key() []byte
+	val() []byte
+	del() bool
+	next()
+	err() error
+}
+
+type memSource struct {
+	entries []*mentry
+	i       int
+	started bool
+	lo      []byte
+}
+
+func (s *memSource) next() {
+	if !s.started {
+		s.started = true
+		s.i = 0
+		if s.lo != nil {
+			for s.i < len(s.entries) && s.entries[s.i].key < string(s.lo) {
+				s.i++
+			}
+		}
+		return
+	}
+	s.i++
+}
+func (s *memSource) valid() bool { return s.i < len(s.entries) }
+func (s *memSource) key() []byte { return []byte(s.entries[s.i].key) }
+func (s *memSource) val() []byte { return s.entries[s.i].val }
+func (s *memSource) del() bool   { return s.entries[s.i].del }
+func (s *memSource) err() error  { return nil }
+
+type sstSource struct {
+	it      *sstIter
+	started bool
+}
+
+func (s *sstSource) next() {
+	if !s.started {
+		s.started = true // iter() already positioned at the first entry
+		return
+	}
+	s.it.next()
+}
+func (s *sstSource) valid() bool { return s.it.valid }
+func (s *sstSource) key() []byte { return s.it.cur.key }
+func (s *sstSource) val() []byte { return s.it.cur.val }
+func (s *sstSource) del() bool   { return s.it.cur.del }
+func (s *sstSource) err() error  { return s.it.err }
+
+// Iterator k-way-merges the snapshot's sources newest-first: for each key,
+// the newest source wins and older versions (and tombstoned keys) are
+// skipped.
+type Iterator struct {
+	srcs []source // index order = priority, 0 newest
+	hi   []byte
+	k    []byte
+	v    []byte
+	fail error
+}
+
+// Next advances to the next live key; it returns false at the end of the
+// range or on error.
+func (it *Iterator) Next() bool {
+	for {
+		// Find the minimal key; ties resolve to the lowest index (newest).
+		win := -1
+		for i, s := range it.srcs {
+			if e := s.err(); e != nil {
+				it.fail = e
+				return false
+			}
+			if !s.valid() {
+				continue
+			}
+			if win < 0 || bytes.Compare(s.key(), it.srcs[win].key()) < 0 {
+				win = i
+			}
+		}
+		if win < 0 {
+			return false
+		}
+		k := it.srcs[win].key()
+		if it.hi != nil && bytes.Compare(k, it.hi) >= 0 {
+			return false
+		}
+		deleted := it.srcs[win].del()
+		it.k = k
+		it.v = it.srcs[win].val()
+		// Advance every source sitting on this key (shadowed versions).
+		for _, s := range it.srcs {
+			for s.valid() && bytes.Equal(s.key(), k) {
+				s.next()
+			}
+		}
+		if deleted {
+			continue
+		}
+		return true
+	}
+}
+
+// Key returns the current key; valid until the next call to Next.
+func (it *Iterator) Key() []byte { return it.k }
+
+// Value returns the current value; valid until the next call to Next.
+func (it *Iterator) Value() []byte { return it.v }
+
+// Err returns the first error the iterator hit, if any.
+func (it *Iterator) Err() error { return it.fail }

@@ -1,0 +1,182 @@
+package p2p
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"sync"
+
+	"orchestra/internal/lsm"
+	"orchestra/internal/updates"
+)
+
+// DurableStore is the published-transaction archive on the LSM tier. Where
+// FileStore replays its whole log into memory at open and serves reads from
+// there, DurableStore keeps the archive disk-resident: Publish commits one
+// lsm.Batch (one WAL record, one fsync — the group-commit window a
+// PublishAll hands us), and Since streams transactions out of a snapshot
+// range scan. Only the epoch counter and a record count live in memory, so
+// the archive is no longer capped by RAM.
+//
+// The store may share its lsm.DB with other keyspaces (peer checkpoints use
+// the same database under a different prefix); all its keys live under
+// "a/". The caller owns the DB's lifecycle.
+type DurableStore struct {
+	mu    sync.Mutex
+	db    *lsm.DB
+	epoch uint64
+	count int
+}
+
+// Key layout under the archive prefix:
+//
+//	a/t/<epoch be64><index be32> -> JSON WireTxn   (publish order == key order)
+//	a/s/<peer esc><seq be64>     -> ""             (TxnID seen marker)
+var (
+	durTxnPrefix  = []byte("a/t/")
+	durSeenPrefix = []byte("a/s/")
+)
+
+func durTxnKey(epoch uint64, idx int) []byte {
+	k := make([]byte, 0, len(durTxnPrefix)+12)
+	k = append(k, durTxnPrefix...)
+	k = binary.BigEndian.AppendUint64(k, epoch)
+	k = binary.BigEndian.AppendUint32(k, uint32(idx))
+	return k
+}
+
+func durSeenKey(id updates.TxnID) []byte {
+	k := append([]byte(nil), durSeenPrefix...)
+	k = lsm.AppendString(k, id.Peer)
+	k = binary.BigEndian.AppendUint64(k, id.Seq)
+	return k
+}
+
+// prefixEnd returns the tightest key upper-bounding every key with the
+// given prefix (nil means "to the end of the keyspace").
+func prefixEnd(p []byte) []byte {
+	out := append([]byte(nil), p...)
+	for i := len(out) - 1; i >= 0; i-- {
+		if out[i] != 0xFF {
+			out[i]++
+			return out[:i+1]
+		}
+	}
+	return nil
+}
+
+// NewDurableStore opens the archive keyspace inside db, recovering the
+// epoch counter from the highest archived key. The scan touches keys only
+// (values stream lazily per block), so open cost is bounded by index size,
+// not archive size.
+func NewDurableStore(db *lsm.DB) (*DurableStore, error) {
+	s := &DurableStore{db: db}
+	sn := db.Snapshot()
+	defer sn.Close()
+	err := sn.Scan(durTxnPrefix, prefixEnd(durTxnPrefix), func(k, v []byte) bool {
+		if len(k) >= len(durTxnPrefix)+8 {
+			if e := binary.BigEndian.Uint64(k[len(durTxnPrefix):]); e > s.epoch {
+				s.epoch = e
+			}
+		}
+		s.count++
+		return true
+	})
+	if err != nil {
+		return nil, fmt.Errorf("p2p: recover durable store: %w", err)
+	}
+	return s, nil
+}
+
+// Publish implements Store. The whole batch — however many transactions a
+// PublishAll window accumulated — becomes one atomic, fsynced lsm.Batch:
+// either every transaction and its seen marker is durable, or none are.
+func (s *DurableStore) Publish(txns []*updates.Transaction) (uint64, error) {
+	if len(txns) == 0 {
+		return s.Epoch()
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	dup := map[updates.TxnID]bool{}
+	for _, t := range txns {
+		if dup[t.ID] {
+			return 0, fmt.Errorf("%w: %s", ErrAlreadyPublished, t.ID)
+		}
+		dup[t.ID] = true
+		if _, ok, err := s.db.Get(durSeenKey(t.ID)); err != nil {
+			return 0, err
+		} else if ok {
+			return 0, fmt.Errorf("%w: %s", ErrAlreadyPublished, t.ID)
+		}
+	}
+	epoch := s.epoch + 1
+	b := lsm.NewBatch()
+	for i, t := range txns {
+		t.Epoch = epoch
+		data, err := json.Marshal(EncodeTxn(t))
+		if err != nil {
+			return 0, err
+		}
+		b.Put(durTxnKey(epoch, i), data)
+		b.Put(durSeenKey(t.ID), nil)
+	}
+	if err := s.db.Apply(b, true); err != nil {
+		return 0, err
+	}
+	s.epoch = epoch
+	s.count += len(txns)
+	return epoch, nil
+}
+
+// Since implements Store, streaming matching transactions from a snapshot
+// range scan starting just past the requested epoch. Keys sort by
+// (epoch, batch index), so scan order is exactly publish order.
+func (s *DurableStore) Since(since uint64) ([]*updates.Transaction, uint64, error) {
+	s.mu.Lock()
+	sn := s.db.Snapshot()
+	epoch := s.epoch
+	s.mu.Unlock()
+	defer sn.Close()
+	lo := make([]byte, 0, len(durTxnPrefix)+8)
+	lo = append(lo, durTxnPrefix...)
+	lo = binary.BigEndian.AppendUint64(lo, since+1)
+	var out []*updates.Transaction
+	var derr error
+	err := sn.Scan(lo, prefixEnd(durTxnPrefix), func(k, v []byte) bool {
+		var w WireTxn
+		if e := json.Unmarshal(v, &w); e != nil {
+			derr = fmt.Errorf("p2p: corrupt archived transaction: %w", e)
+			return false
+		}
+		t, e := DecodeTxn(w)
+		if e != nil {
+			derr = fmt.Errorf("p2p: corrupt archived transaction: %w", e)
+			return false
+		}
+		out = append(out, t)
+		return true
+	})
+	if err == nil {
+		err = derr
+	}
+	if err != nil {
+		return nil, 0, err
+	}
+	return out, epoch, nil
+}
+
+// Epoch implements Store.
+func (s *DurableStore) Epoch() (uint64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.epoch, nil
+}
+
+// Len returns the number of archived transactions.
+func (s *DurableStore) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.count
+}
+
+var _ Store = (*DurableStore)(nil)

@@ -1,9 +1,11 @@
 package p2p
 
 import (
-	"bufio"
+	"bytes"
 	"encoding/json"
 	"fmt"
+	"io"
+	"log"
 	"os"
 	"sync"
 
@@ -29,65 +31,120 @@ type logRecord struct {
 }
 
 // OpenFileStore opens (or creates) a file-backed store, replaying any
-// existing log into memory.
+// existing log into memory. A torn final record — the signature of a crash
+// mid-append — is truncated away with a warning, recovering the longest
+// durable prefix; a record that fails to parse anywhere before the tail is
+// real corruption and fails the open.
 func OpenFileStore(path string) (*FileStore, error) {
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("p2p: open store log: %w", err)
 	}
+	data, err := io.ReadAll(f)
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("p2p: read store log: %w", err)
+	}
 	mem := NewMemoryStore()
-	sc := bufio.NewScanner(f)
-	sc.Buffer(make([]byte, 1<<20), 1<<26)
-	line := 0
-	for sc.Scan() {
+	truncAt := int64(-1) // byte offset of a torn tail to cut, if any
+	needNL := false      // final record durable but missing its newline
+	off, line := 0, 0
+	for off < len(data) {
 		line++
-		if len(sc.Bytes()) == 0 {
+		nl := bytes.IndexByte(data[off:], '\n')
+		var raw []byte
+		var end int
+		if nl >= 0 {
+			raw, end = data[off:off+nl], off+nl+1
+		} else {
+			raw, end = data[off:], len(data)
+		}
+		if len(bytes.TrimSpace(raw)) == 0 {
+			off = end
 			continue
 		}
-		var rec logRecord
-		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+		rec, txns, err := decodeLogRecord(raw)
+		if err != nil {
+			if nl < 0 {
+				// Unterminated AND unparsable: each Publish is one
+				// Write(record+'\n'), so a missing terminator on the final
+				// chunk is the signature of a crash mid-append. Drop it and
+				// keep the durable prefix. A terminated record that fails to
+				// parse is real corruption and still fails the open.
+				log.Printf("p2p: store log %s: truncating torn record at line %d (offset %d): %v", path, line, off, err)
+				truncAt = int64(off)
+				break
+			}
 			f.Close()
 			return nil, fmt.Errorf("p2p: corrupt store log %s line %d: %v", path, line, err)
 		}
-		txns := make([]*updates.Transaction, 0, len(rec.Txns))
-		for _, w := range rec.Txns {
-			t, err := DecodeTxn(w)
-			if err != nil {
-				f.Close()
-				return nil, fmt.Errorf("p2p: corrupt store log %s line %d: %v", path, line, err)
-			}
-			t.Epoch = rec.Epoch
-			txns = append(txns, t)
-		}
 		mem.merge(txns, rec.Epoch)
+		if nl < 0 {
+			// Parsed fine but unterminated (crash after the payload bytes,
+			// before the newline): keep it, and restore the record separator
+			// so the next append starts a fresh line.
+			needNL = true
+		}
+		off = end
 	}
-	if err := sc.Err(); err != nil {
-		f.Close()
-		return nil, fmt.Errorf("p2p: read store log: %w", err)
+	if truncAt >= 0 {
+		if err := f.Truncate(truncAt); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("p2p: truncate torn store log: %w", err)
+		}
 	}
 	// Position at end for appends.
 	if _, err := f.Seek(0, 2); err != nil {
 		f.Close()
 		return nil, err
 	}
+	if needNL {
+		if _, err := f.Write([]byte{'\n'}); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("p2p: repair store log terminator: %w", err)
+		}
+	}
 	return &FileStore{mem: mem, f: f, path: path}, nil
 }
 
-// Publish implements Store: the batch is durably appended before the
-// in-memory state is updated and the new epoch acknowledged.
+// decodeLogRecord parses one JSON line into its transactions.
+func decodeLogRecord(raw []byte) (logRecord, []*updates.Transaction, error) {
+	var rec logRecord
+	if err := json.Unmarshal(raw, &rec); err != nil {
+		return rec, nil, err
+	}
+	txns := make([]*updates.Transaction, 0, len(rec.Txns))
+	for _, w := range rec.Txns {
+		t, err := DecodeTxn(w)
+		if err != nil {
+			return rec, nil, err
+		}
+		t.Epoch = rec.Epoch
+		txns = append(txns, t)
+	}
+	return rec, txns, nil
+}
+
+// Publish implements Store: the batch is durably appended and fsynced
+// BEFORE the in-memory state merges it. Ordering matters — if the append or
+// sync fails, the store must not have acknowledged state that disk never
+// saw, or a restart would silently lose transactions that readers already
+// observed.
 func (s *FileStore) Publish(txns []*updates.Transaction) (uint64, error) {
 	if len(txns) == 0 {
 		return s.Epoch()
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	epoch, err := s.mem.Publish(txns)
+	epoch, err := s.mem.prepare(txns)
 	if err != nil {
 		return 0, err
 	}
 	rec := logRecord{Epoch: epoch}
 	for _, t := range txns {
-		rec.Txns = append(rec.Txns, EncodeTxn(t))
+		w := EncodeTxn(t)
+		w.Epoch = epoch
+		rec.Txns = append(rec.Txns, w)
 	}
 	data, err := json.Marshal(rec)
 	if err != nil {
@@ -99,6 +156,7 @@ func (s *FileStore) Publish(txns []*updates.Transaction) (uint64, error) {
 	if err := s.f.Sync(); err != nil {
 		return 0, fmt.Errorf("p2p: sync store log: %w", err)
 	}
+	s.mem.commit(txns, epoch)
 	return epoch, nil
 }
 

@@ -15,6 +15,7 @@ type settings struct {
 	store           Store
 	policy          *TrustPolicy
 	strict          bool
+	durableDir      string
 }
 
 func defaultSettings() settings {
@@ -60,6 +61,20 @@ func WithProvenance(enabled bool) Option { return func(s *settings) { s.provenan
 // WithStore selects the published-update store the confederation shares
 // (default: a fresh in-process store). System-level; ignored on System.Peer.
 func WithStore(st Store) Option { return func(s *settings) { s.store = st } }
+
+// WithDurableDir puts the system on the durable LSM tier rooted at dir:
+// the published-transaction archive lives in a log-structured store
+// (checksummed WAL, sorted checkpointed SSTables) instead of process
+// memory, every Publish group-commits its batch as one fsynced WAL record,
+// and peers checkpoint their local instances into the same database —
+// automatically after each successful publish, or on demand with
+// Peer.Checkpoint. System.Peer then recovers each peer from its last
+// checkpoint plus the published suffix, so a process crash loses at most
+// the local commits made after the last checkpoint or publish. Mutually
+// exclusive with WithStore (the durable tier IS the store); system-level,
+// ignored on System.Peer. System.Close checkpoints every open peer and
+// releases the database.
+func WithDurableDir(dir string) Option { return func(s *settings) { s.durableDir = dir } }
 
 // WithTrustPolicy sets the trust policy — at Open, the default for every
 // peer; at System.Peer, that peer's policy. It overrides any policy the

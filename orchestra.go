@@ -10,6 +10,8 @@ import (
 	"orchestra/internal/core"
 	"orchestra/internal/demo"
 	"orchestra/internal/exchange"
+	"orchestra/internal/lsm"
+	"orchestra/internal/p2p"
 )
 
 // System is an open confederation: the shared published-update store, the
@@ -20,6 +22,13 @@ type System struct {
 	store    Store
 	base     settings
 	policies map[string]*TrustPolicy
+	// db is the durable LSM tier (WithDurableDir); nil for in-memory
+	// systems. It backs both the published archive and peer checkpoints,
+	// and is owned by the System: Close checkpoints open peers into it and
+	// releases it.
+	db        *lsm.DB
+	closeOnce sync.Once
+	closeErr  error
 
 	// ctx is the system lifetime; Close cancels it, stopping subscription
 	// pumps and ending every active subscription with ErrClosed.
@@ -48,6 +57,22 @@ func Open(sch *Schema, opts ...Option) (*System, error) {
 	}
 	base := defaultSettings().apply(opts)
 	store := base.store
+	var db *lsm.DB
+	if base.durableDir != "" {
+		if store != nil {
+			return nil, fmt.Errorf("orchestra: WithDurableDir and WithStore are mutually exclusive — the durable tier is the store")
+		}
+		db, err = lsm.Open(base.durableDir, lsm.Options{})
+		if err != nil {
+			return nil, fmt.Errorf("orchestra: open durable tier: %w", err)
+		}
+		ds, err := p2p.NewDurableStore(db)
+		if err != nil {
+			db.Close()
+			return nil, fmt.Errorf("orchestra: open durable tier: %w", err)
+		}
+		store = ds
+	}
 	if store == nil {
 		store = NewMemoryStore()
 	}
@@ -57,6 +82,7 @@ func Open(sch *Schema, opts ...Option) (*System, error) {
 		store:    store,
 		base:     base,
 		policies: policies,
+		db:       db,
 		ctx:      ctx,
 		cancel:   cancel,
 		peers:    map[string]*Peer{},
@@ -85,11 +111,20 @@ func (s *System) Peer(name string, opts ...Option) (*Peer, error) {
 	if pol == s.base.policy { // not overridden per peer: schema declarations win
 		pol = policyFor(s.policies, s.base.policy, name)
 	}
-	cp, err := core.NewPeerWith(name, s.core, s.store, pol, exchange.Config{
+	cfg := exchange.Config{
 		Parallelism:     set.parallelism,
 		MaxMonomials:    set.maxMonomials,
 		ReconcileWindow: set.reconcileWindow,
-	})
+	}
+	var cp *core.Peer
+	var err error
+	if s.db != nil {
+		// Durable tier: the peer comes back from its last checkpoint plus a
+		// replay of the published suffix, instead of starting empty.
+		cp, err = core.RecoverPeerWith(s.ctx, name, s.core, s.store, pol, cfg, s.db)
+	} else {
+		cp, err = core.NewPeerWith(name, s.core, s.store, pol, cfg)
+	}
 	if err != nil {
 		return nil, wrapErr(err)
 	}
@@ -148,10 +183,33 @@ func (s *System) Store() Store { return s.store }
 
 // Close releases the system: subscription pumps stop and every active
 // subscription ends with ErrClosed. Peers' local state stays readable, but
-// operations that would advance the system return ErrClosed.
+// operations that would advance the system return ErrClosed. On a durable
+// system, Close first checkpoints every open peer (so a clean shutdown
+// loses nothing, including committed-but-unpublished transactions) and
+// then releases the LSM database. Close is idempotent.
 func (s *System) Close() error {
-	s.cancel()
-	return nil
+	s.closeOnce.Do(func() {
+		s.cancel()
+		if s.db == nil {
+			return
+		}
+		s.mu.Lock()
+		peers := make([]*Peer, 0, len(s.peers))
+		for _, p := range s.peers {
+			peers = append(peers, p)
+		}
+		s.mu.Unlock()
+		sort.Slice(peers, func(i, j int) bool { return peers[i].name < peers[j].name })
+		for _, p := range peers {
+			if err := p.core.SaveCheckpoint(s.db); err != nil && s.closeErr == nil {
+				s.closeErr = fmt.Errorf("orchestra: close: checkpoint %s: %w", p.name, err)
+			}
+		}
+		if err := s.db.Close(); err != nil && s.closeErr == nil {
+			s.closeErr = fmt.Errorf("orchestra: close durable tier: %w", err)
+		}
+	})
+	return s.closeErr
 }
 
 // notifyPublish pokes every other peer's auto-reconcile pump after origin

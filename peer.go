@@ -96,9 +96,41 @@ func (p *Peer) PublishAll(ctx context.Context) (uint64, int, error) {
 		return 0, 0, wrapErr(err)
 	}
 	if published > 0 { // a no-op publish pushes nothing
+		if p.sys.db != nil {
+			// Ride the publish: the batch just became durable in the archive,
+			// so checkpointing now pins the instance at this epoch and keeps
+			// the recovery replay suffix short. The publish itself succeeded
+			// even if the checkpoint fails — recovery would simply replay
+			// from the previous checkpoint — so the epoch is still returned.
+			if err := p.core.SaveCheckpoint(p.sys.db); err != nil {
+				return epoch, published, fmt.Errorf("orchestra: checkpoint after publish at %s: %w", p.name, err)
+			}
+		}
 		p.sys.notifyPublish(p)
 	}
 	return epoch, published, nil
+}
+
+// Checkpoint durably snapshots the peer's full local state — instance rows
+// with provenance, trust decisions' inputs, and the committed-but-
+// unpublished transaction queue — into the system's LSM tier as one atomic
+// fsynced batch. After a crash, System.Peer recovers from the latest
+// checkpoint plus a replay of the published suffix; local commits made
+// after the last checkpoint or publish are the only thing a crash can
+// lose. On a durable system checkpoints also happen automatically after
+// every successful publish and at System.Close; call this to bound the
+// loss window between publishes. Returns an error on in-memory systems.
+func (p *Peer) Checkpoint() error {
+	if p.sys.db == nil {
+		return fmt.Errorf("orchestra: peer %s: Checkpoint requires a durable system (open with WithDurableDir)", p.name)
+	}
+	if err := p.sys.ctx.Err(); err != nil {
+		return ErrClosed
+	}
+	if err := p.core.SaveCheckpoint(p.sys.db); err != nil {
+		return wrapErr(err)
+	}
+	return nil
 }
 
 // Reconcile fetches newly published transactions, translates them into the
