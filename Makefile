@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fmt fmt-check lint vuln bench bench-smoke bench-query bench-publish bench-sweep bench-baseline bench-compare memprofile examples-check recovery-check ci
+.PHONY: build test race vet fmt fmt-check lint vuln bench bench-smoke bench-query bench-publish bench-sweep bench-baseline bench-compare bench-overhead endpoint-smoke memprofile examples-check recovery-check ci
 
 ## build: compile every package
 build:
@@ -87,6 +87,19 @@ bench-baseline:
 bench-compare:
 	./scripts/bench_compare.sh
 
+## bench-overhead: the instrumentation-overhead gate — the E2/E4/E10
+## workload shapes with the evaluator stats sink off vs on, best-of-COUNT
+## ns/op, failing past OVERHEAD_TOLERANCE percent (tunable:
+## OVERHEAD_TOLERANCE=3 BENCHTIME=50x COUNT=7; see DESIGN.md §12)
+bench-overhead:
+	./scripts/bench_overhead.sh
+
+## endpoint-smoke: start a real orchestra node with -metrics-addr,
+## publish through the REPL, and scrape /debug/orchestra (JSON),
+## /debug/orchestra/metrics (Prometheus text), and /debug/pprof/
+endpoint-smoke:
+	./scripts/endpoint_smoke.sh
+
 ## memprofile: heap profiles for the two memory-heaviest workloads — E2
 ## incremental maintenance (mem_e2.out) and the E10 parallel stratum under
 ## the adaptive worker gate (mem_e10.out). Inspect with
@@ -119,4 +132,4 @@ examples-check:
 ## ci: everything the CI workflow runs, in one command (lint and vuln are
 ## separate because they need tools on PATH; run `make lint vuln` too when
 ## you have them installed)
-ci: build vet fmt-check race bench-smoke bench-compare recovery-check examples-check
+ci: build vet fmt-check race bench-smoke bench-compare bench-overhead recovery-check examples-check endpoint-smoke

@@ -1,0 +1,105 @@
+package orchestra_test
+
+// Instrumentation-overhead pairs: the E2/E4/E10 workload shapes evaluated
+// with the evaluator's stats sink disabled and enabled, under identical
+// iteration counts. scripts/bench_overhead.sh runs these with -count and a
+// fixed -benchtime=Nx, pairs the metrics=off/metrics=on sub-benchmarks, and
+// fails when the enabled path regresses ns/op beyond OVERHEAD_TOLERANCE
+// (the acceptance bound is 3% on E4/E10). DESIGN.md §12 records the
+// methodology and measured numbers.
+
+import (
+	"testing"
+
+	"orchestra/internal/datalog"
+	"orchestra/internal/experiments"
+	"orchestra/internal/updates"
+	"orchestra/internal/workload"
+)
+
+// overheadPair runs the same body under both instrumentation settings by
+// flipping the experiments harness's shared stats sink — exactly what
+// orchestra-bench -metrics flips — so the pair measures the real recording
+// path, not a synthetic one.
+func overheadPair(b *testing.B, run func(b *testing.B)) {
+	for _, on := range []bool{false, true} {
+		name := "metrics=off"
+		if on {
+			name = "metrics=on"
+		}
+		b.Run(name, func(b *testing.B) {
+			if on {
+				experiments.Stats = &datalog.EvalStats{}
+				defer func() { experiments.Stats = nil }()
+			} else {
+				experiments.Stats = nil
+			}
+			run(b)
+		})
+	}
+}
+
+// BenchmarkOverheadE2Incremental is the E2 incremental-delta shape: 64-txn
+// deltas propagated through the Figure 2 engine (built over the harness's
+// stats sink, like every experiment engine). The delta is sized so one
+// iteration costs milliseconds — small enough to stay incremental, big
+// enough that the ratio the overhead gate computes is not scheduler noise.
+func BenchmarkOverheadE2Incremental(b *testing.B) {
+	overheadPair(b, func(b *testing.B) {
+		eng, seq, err := experiments.BuildFig2Engine(400)
+		if err != nil {
+			b.Fatal(err)
+		}
+		key := int64(1 << 40)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			var delta []*updates.Transaction
+			for j := 0; j < 64; j++ {
+				delta = append(delta, &updates.Transaction{
+					ID: updates.TxnID{Peer: workload.Alaska, Seq: seq},
+					Updates: []updates.Update{
+						updates.Insert("S", workload.STuple(key, key, "ACGT"))},
+				})
+				seq++
+				key++
+			}
+			if _, err := experiments.ApplyStream(eng, delta); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkOverheadE4Join is the E4 shape: one full fixpoint over the
+// 3-way join EDB with witness provenance.
+func BenchmarkOverheadE4Join(b *testing.B) {
+	overheadPair(b, func(b *testing.B) {
+		prog, edb, err := experiments.BuildJoinEDB(2000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := datalog.Eval(prog, edb,
+				datalog.Options{Provenance: true, Stats: experiments.Stats}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkOverheadE10Stratum is the E10 shape: the embarrassingly parallel
+// worker-sweep workload under the adaptive executor, where per-probe stats
+// recording is hottest.
+func BenchmarkOverheadE10Stratum(b *testing.B) {
+	overheadPair(b, func(b *testing.B) {
+		prog, edb := experiments.BuildParallelStratum(4, 500)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := datalog.Eval(prog, edb,
+				datalog.Options{Provenance: true, Stats: experiments.Stats}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -11,6 +11,7 @@
 //	orchestra-bench -quick      # CI-friendly
 //	orchestra-bench -full       # the sizes recorded in EXPERIMENTS.md
 //	orchestra-bench -only E2,E5 # subset
+//	orchestra-bench -metrics    # append per-experiment evaluator counters
 package main
 
 import (
@@ -20,14 +21,66 @@ import (
 	"os"
 	"strings"
 
+	"orchestra/internal/datalog"
 	"orchestra/internal/experiments"
 )
+
+// evalCounts is one plain reading of the shared EvalStats, so per-experiment
+// deltas are simple subtractions.
+type evalCounts struct {
+	probes, pushdown, candidates, emitted, suppressed int64
+	hashJoins, rounds, parRounds, workers             int64
+}
+
+func readCounts(st *datalog.EvalStats) evalCounts {
+	return evalCounts{
+		probes:     st.Probes.Load(),
+		pushdown:   st.PushdownProbes.Load(),
+		candidates: st.Candidates.Load(),
+		emitted:    st.Emitted.Load(),
+		suppressed: st.Suppressed.Load(),
+		hashJoins:  st.HashJoinBuilds.Load(),
+		rounds:     st.Rounds.Load(),
+		parRounds:  st.ParallelRounds.Load(),
+		workers:    st.WorkersUsed.Load(),
+	}
+}
+
+// printDelta renders what one experiment cost the evaluator, in the same
+// vocabulary as the /debug/orchestra endpoint's datalog_* series.
+func printDelta(id string, before, after evalCounts) {
+	d := evalCounts{
+		probes:     after.probes - before.probes,
+		pushdown:   after.pushdown - before.pushdown,
+		candidates: after.candidates - before.candidates,
+		emitted:    after.emitted - before.emitted,
+		suppressed: after.suppressed - before.suppressed,
+		hashJoins:  after.hashJoins - before.hashJoins,
+		rounds:     after.rounds - before.rounds,
+		parRounds:  after.parRounds - before.parRounds,
+		workers:    after.workers - before.workers,
+	}
+	util := 0.0
+	if d.rounds > 0 {
+		util = float64(d.workers) / float64(d.rounds)
+	}
+	fmt.Printf("  %s metrics: rounds=%d (parallel=%d, %.1f workers/round) probes=%d pushdown=%d candidates=%d emitted=%d suppressed=%d hashjoins=%d\n",
+		id, d.rounds, d.parRounds, util, d.probes, d.pushdown,
+		d.candidates, d.emitted, d.suppressed, d.hashJoins)
+}
 
 func main() {
 	quick := flag.Bool("quick", false, "smaller sizes (CI)")
 	full := flag.Bool("full", false, "the sizes recorded in EXPERIMENTS.md")
 	only := flag.String("only", "", "comma-separated experiment ids (e.g. E1,E5)")
+	metrics := flag.Bool("metrics", false, "print per-experiment datalog evaluator counter deltas")
 	flag.Parse()
+
+	var stats *datalog.EvalStats
+	if *metrics {
+		stats = &datalog.EvalStats{}
+		experiments.Stats = stats
+	}
 
 	e1 := []int{20, 100, 400}
 	e2base, e2fracs := 2000, []float64{0.001, 0.01, 0.1, 1.0}
@@ -91,11 +144,18 @@ func main() {
 		if !want(r.id) {
 			continue
 		}
+		var before evalCounts
+		if stats != nil {
+			before = readCounts(stats)
+		}
 		tbl, err := r.run()
 		if err != nil {
 			log.Fatalf("%s: %v", r.id, err)
 		}
 		tbl.Fprint(os.Stdout)
+		if stats != nil {
+			printDelta(r.id, before, readCounts(stats))
+		}
 		fmt.Println()
 	}
 }

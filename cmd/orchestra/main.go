@@ -7,6 +7,7 @@
 //	orchestra node  -config cdss.conf -peer NAME \
 //	                [-store HOST:PORT,HOST:PORT]            # interactive peer
 //	                [-durable DIR]                          # ...on the durable LSM tier
+//	                [-metrics-addr 127.0.0.1:6060]          # live introspection + pprof
 //	orchestra epoch -addr 127.0.0.1:7070                    # print the current epoch
 //	orchestra log   -addr 127.0.0.1:7070 [-since N]         # dump archived transactions
 //	orchestra inspect -config cdss.conf -peer NAME \
@@ -18,6 +19,9 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof/ on the default mux for -metrics-addr
 	"os"
 	"os/signal"
 	"strings"
@@ -36,6 +40,7 @@ func main() {
 		peerName := fs.String("peer", "", "peer to run as")
 		storeAddrs := fs.String("store", "", "comma-separated store replica addresses; empty = in-process store")
 		durableDir := fs.String("durable", "", "durable LSM tier directory; archive and peer checkpoints survive restarts")
+		metricsAddr := fs.String("metrics-addr", "", "serve /debug/orchestra (metrics JSON + Prometheus text) and /debug/pprof/ on this address")
 		_ = fs.Parse(os.Args[2:])
 		if *confPath == "" || *peerName == "" {
 			log.Fatal("usage: orchestra node -config FILE -peer NAME [-store ADDRS | -durable DIR]")
@@ -71,6 +76,24 @@ func main() {
 		peer, err := sys.Peer(*peerName)
 		if err != nil {
 			log.Fatal(err)
+		}
+		if *metricsAddr != "" {
+			// The pprof import registered its handlers on the default mux;
+			// mount the system's introspection endpoint beside them and serve
+			// both from one listener.
+			h := sys.DebugHandler()
+			http.Handle("/debug/orchestra", h)
+			http.Handle("/debug/orchestra/", h)
+			ln, err := net.Listen("tcp", *metricsAddr)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("metrics on http://%s/debug/orchestra (Prometheus at /debug/orchestra/metrics, pprof at /debug/pprof/)\n", ln.Addr())
+			go func() {
+				if err := http.Serve(ln, nil); err != nil {
+					log.Printf("metrics server: %v", err)
+				}
+			}()
 		}
 		fmt.Printf("orchestra node %q ready (type help)\n", *peerName)
 		if err := peer.RunREPL(os.Stdin, os.Stdout); err != nil {
@@ -181,6 +204,7 @@ func main() {
 func usage() {
 	fmt.Fprintf(os.Stderr, `usage:
   orchestra node  -config FILE -peer NAME [-store ADDRS | -durable DIR]  interactive CDSS peer
+                  [-metrics-addr HOST:PORT]                 ...serving live metrics + pprof
   orchestra serve -addr HOST:PORT [-log FILE]               run a store replica
   orchestra epoch -addr HOST:PORT                           print the current epoch
   orchestra log   -addr HOST:PORT [-since N]                dump archived transactions

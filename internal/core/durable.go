@@ -133,6 +133,9 @@ func decodeProv(data []byte) (provenance.Poly, error) {
 func (p *Peer) SaveCheckpoint(db *lsm.DB) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	sp := p.obsv.startSpan("core_checkpoint", p.name)
+	defer p.obsv.endSpan(sp, p.name)
+	p.obsv.checkpoints.Inc()
 	b := lsm.NewBatch()
 	live := map[string]bool{}
 	s := p.sys.Schema(p.name)

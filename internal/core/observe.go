@@ -1,0 +1,120 @@
+package core
+
+import (
+	"log/slog"
+	"time"
+
+	"orchestra/internal/datalog"
+	"orchestra/internal/exchange"
+	"orchestra/internal/obs"
+)
+
+// observer is a peer's resolved observability surface: span tracing for the
+// publish/reconcile/checkpoint/query operations, exchange-layer batch and
+// drain metrics, and structured slow-operation logging. The zero value is a
+// disabled observer — every handle is nil (obs handles no-op on nil) and
+// every method returns after a nil check — so un-instrumented peers pay no
+// clock reads or atomics. Installed once via Peer.SetObserver; handles are
+// resolved there, never per operation.
+type observer struct {
+	reg    *obs.Registry
+	slowOp time.Duration
+	// stats is the peer's engine-shared datalog.EvalStats (from
+	// exchange.Config.Stats); the observer folds per-operation fixpoint-round
+	// deltas out of it and installs it as the default query stats sink.
+	stats *datalog.EvalStats
+
+	publishes   *obs.Counter   // core_publish_total
+	publishedTx *obs.Counter   // core_published_txns_total
+	reconciles  *obs.Counter   // core_reconcile_total
+	acceptedTx  *obs.Counter   // core_accepted_txns_total
+	appliedUps  *obs.Counter   // core_applied_updates_total
+	checkpoints *obs.Counter   // core_checkpoint_total
+	queries     *obs.Counter   // core_query_total
+	batchTxns   *obs.Histogram // exchange_applyall_batch_txns
+	drainTxnNs  *obs.Histogram // exchange_drain_txn_ns (per-txn drain latency)
+	fixRounds   *obs.Histogram // datalog_fixpoint_rounds (per reconcile/query)
+	windowEwma  *obs.Gauge     // exchange_window_pertxn_ns (adaptive EWMA)
+}
+
+// SetObserver installs the peer's observability surface: operation spans and
+// counters record into reg, and operations slower than slowOp (when > 0) log
+// a structured warning through log/slog. The engine's evaluation counters
+// ride the peer's exchange.Config.Stats, so callers that want fixpoint-round
+// deltas must have built the peer with Config.Stats set. Passing a nil reg
+// disables observation again.
+func (p *Peer) SetObserver(reg *obs.Registry, slowOp time.Duration) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if reg == nil {
+		p.obsv = observer{}
+		return
+	}
+	p.obsv = observer{
+		reg:         reg,
+		slowOp:      slowOp,
+		stats:       p.engCfg.Stats,
+		publishes:   reg.Counter("core_publish_total"),
+		publishedTx: reg.Counter("core_published_txns_total"),
+		reconciles:  reg.Counter("core_reconcile_total"),
+		acceptedTx:  reg.Counter("core_accepted_txns_total"),
+		appliedUps:  reg.Counter("core_applied_updates_total"),
+		checkpoints: reg.Counter("core_checkpoint_total"),
+		queries:     reg.Counter("core_query_total"),
+		batchTxns:   reg.Histogram("exchange_applyall_batch_txns"),
+		drainTxnNs:  reg.Histogram("exchange_drain_txn_ns"),
+		fixRounds:   reg.Histogram("datalog_fixpoint_rounds"),
+		windowEwma:  reg.Gauge("exchange_window_pertxn_ns"),
+	}
+}
+
+// startSpan opens an operation span (nil when observation is disabled).
+func (o *observer) startSpan(name, peer string) *obs.Span {
+	if o.reg == nil {
+		return nil
+	}
+	return o.reg.StartSpan(name, peer)
+}
+
+// endSpan completes sp and emits the slow-operation warning when its
+// duration crosses the configured threshold. Safe on a nil span.
+func (o *observer) endSpan(sp *obs.Span, peer string) {
+	if sp == nil {
+		return
+	}
+	d := sp.End()
+	if o.slowOp > 0 && d > o.slowOp {
+		slog.Warn("orchestra: slow operation",
+			"op", sp.Name(), "peer", peer, "duration", d, "threshold", o.slowOp)
+	}
+}
+
+// roundsNow reads the engine's cumulative fixpoint-round counter (0 when no
+// stats struct is installed).
+func (o *observer) roundsNow() int64 {
+	if o.stats == nil {
+		return 0
+	}
+	return o.stats.Rounds.Load()
+}
+
+// observeRounds records the fixpoint rounds one operation consumed.
+func (o *observer) observeRounds(before int64) {
+	if o.stats == nil {
+		return
+	}
+	if d := o.stats.Rounds.Load() - before; d > 0 {
+		o.fixRounds.Observe(d)
+	}
+}
+
+// observeDrain records one drained group-commit window: batch size, per-txn
+// drain latency, and the adaptive controller's current EWMA.
+func (o *observer) observeDrain(win *exchange.AdaptiveWindow, n int, elapsed time.Duration) {
+	if o.reg == nil || n <= 0 {
+		return
+	}
+	o.batchTxns.Observe(int64(n))
+	o.drainTxnNs.Observe(elapsed.Nanoseconds() / int64(n))
+	o.windowEwma.Set(win.PerTxn().Nanoseconds())
+}

@@ -65,6 +65,9 @@ type Peer struct {
 	// call back into the peer; the orchestra facade uses it to feed change
 	// subscriptions.
 	applyHook func(ApplyEvent)
+	// obsv is the peer's observability surface (spans, counters, slow-op
+	// logging); the zero value is disabled. See SetObserver.
+	obsv observer
 }
 
 // ApplyEvent is one observed transaction application; see SetApplyHook.
@@ -382,12 +385,16 @@ func (p *Peer) PublishAll(ctx context.Context) (uint64, int, error) {
 		epoch, err := p.store.Epoch()
 		return epoch, 0, err
 	}
+	sp := p.obsv.startSpan("core_publish", p.name)
+	defer p.obsv.endSpan(sp, p.name)
+	p.obsv.publishes.Inc()
 	published := p.unpublished
 	epoch, err := p.store.Publish(published)
 	if err != nil {
 		return 0, 0, err
 	}
 	p.unpublished = nil
+	p.obsv.publishedTx.Add(int64(len(published)))
 	// O(#relations) copy-on-write snapshot: tables are only copied if later
 	// local edits touch them, so publishing is cheap even for large
 	// instances.
@@ -430,6 +437,10 @@ func (p *Peer) Reconcile(ctx context.Context) (*ReconcileReport, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	sp := p.obsv.startSpan("core_reconcile", p.name)
+	defer p.obsv.endSpan(sp, p.name)
+	p.obsv.reconciles.Inc()
+	defer p.obsv.observeRounds(p.obsv.roundsNow())
 	if p.engineDirty {
 		if err := p.rebuildEngine(ctx); err != nil {
 			return nil, err
@@ -456,6 +467,7 @@ func (p *Peer) Reconcile(ctx context.Context) (*ReconcileReport, error) {
 	results := make([]*exchange.Result, 0, len(fresh))
 	for rest := fresh; len(rest) > 0; {
 		n := p.win.Next(len(rest))
+		dsp := sp.Child("exchange_drain")
 		start := time.Now()
 		rs, err := p.engine.ApplyAll(ctx, rest[:n])
 		if err != nil {
@@ -466,7 +478,10 @@ func (p *Peer) Reconcile(ctx context.Context) (*ReconcileReport, error) {
 			p.engineDirty = true
 			return nil, err
 		}
-		p.win.Observe(n, time.Since(start))
+		elapsed := time.Since(start)
+		p.win.Observe(n, elapsed)
+		dsp.End()
+		p.obsv.observeDrain(p.win, n, elapsed)
 		results = append(results, rs...)
 		rest = rest[n:]
 	}
@@ -557,6 +572,8 @@ func (p *Peer) applyOutcome(outcome *recon.Outcome, report *ReconcileReport) err
 		if p.applyHook != nil {
 			p.applyHook(ApplyEvent{Txn: txn.ID, Epoch: txn.Epoch, Local: false, Updates: txn.Updates})
 		}
+		p.obsv.acceptedTx.Inc()
+		p.obsv.appliedUps.Add(int64(len(txn.Updates)))
 		report.Accepted = append(report.Accepted, txn.ID)
 		report.AppliedUpdates += len(txn.Updates)
 	}

@@ -130,11 +130,20 @@ func (p *Peer) QueryGoal(ctx context.Context, q GoalQuery) ([]Answer, error) {
 	if err := validateGoalQuery(s, q); err != nil {
 		return nil, err
 	}
+	sp := p.obsv.startSpan("core_query", p.name)
+	defer p.obsv.endSpan(sp, p.name)
+	p.obsv.queries.Inc()
+	defer p.obsv.observeRounds(p.obsv.roundsNow())
 	edb := p.queryEDB()
 	opts := datalog.Options{
 		Provenance:  !q.NoProvenance,
 		Parallelism: p.engCfg.Parallelism,
 		Stats:       q.Stats,
+	}
+	if opts.Stats == nil {
+		// Fold un-redirected query evaluation into the peer's shared stats, so
+		// System.Metrics() reflects query work without callers wiring a struct.
+		opts.Stats = p.obsv.stats
 	}
 	var facts []datalog.Fact
 	var err error

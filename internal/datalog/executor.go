@@ -400,6 +400,12 @@ func (re *roundExec) runRound(ctx context.Context, jobs []job, db *DB, opts Opti
 	if workers > len(jobs) {
 		workers = len(jobs)
 	}
+	if opts.Stats != nil {
+		opts.Stats.WorkersUsed.Add(int64(workers))
+		if workers > 1 {
+			opts.Stats.ParallelRounds.Add(1)
+		}
+	}
 	if workers <= 1 {
 		if opts.Materialized {
 			emit := func(pred string, t schema.Tuple, p provenance.Poly) {

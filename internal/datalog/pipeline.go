@@ -80,6 +80,12 @@ type EvalStats struct {
 	HashJoinBuilds atomic.Int64
 	// Rounds counts executed stratum rounds (naive and semi-naive).
 	Rounds atomic.Int64
+	// ParallelRounds counts rounds that ran with more than one worker; the
+	// ratio to Rounds is the adaptive scheduler's fan-out decision rate.
+	ParallelRounds atomic.Int64
+	// WorkersUsed sums the worker count over all rounds, so
+	// WorkersUsed/Rounds is mean per-round worker utilization.
+	WorkersUsed atomic.Int64
 	// PeakLive is the maximum number of intermediate head emissions buffered
 	// at any single round barrier. The streaming sequential path merges
 	// eagerly and buffers nothing, so it reports 0; parallel rounds report
@@ -100,9 +106,10 @@ func (s *EvalStats) PushdownRate() float64 {
 // String renders the counters on one line, for logs and test failures.
 func (s *EvalStats) String() string {
 	return fmt.Sprintf(
-		"probes=%d pushdown=%d candidates=%d emitted=%d suppressed=%d hashjoins=%d rounds=%d peaklive=%d",
+		"probes=%d pushdown=%d candidates=%d emitted=%d suppressed=%d hashjoins=%d rounds=%d parrounds=%d workers=%d peaklive=%d",
 		s.Probes.Load(), s.PushdownProbes.Load(), s.Candidates.Load(), s.Emitted.Load(),
-		s.Suppressed.Load(), s.HashJoinBuilds.Load(), s.Rounds.Load(), s.PeakLive.Load())
+		s.Suppressed.Load(), s.HashJoinBuilds.Load(), s.Rounds.Load(),
+		s.ParallelRounds.Load(), s.WorkersUsed.Load(), s.PeakLive.Load())
 }
 
 // atomicMax raises a to at least v.

@@ -82,6 +82,11 @@ type Config struct {
 	// batched call — so the window only trades peak memory and
 	// time-to-first-change against per-batch fixpoint amortization.
 	ReconcileWindow int
+	// Stats, when non-nil, receives the engine's datalog evaluation counters
+	// (probes, emissions, fixpoint rounds, worker utilization). The struct is
+	// shared with the evaluator's workers and survives engine rebuilds, so an
+	// owner installs one struct for the peer's lifetime.
+	Stats *datalog.EvalStats
 }
 
 // maxMonomials resolves the configured witness bound.
@@ -114,6 +119,7 @@ func NewEngineWith(peers map[string]*schema.Schema, mappings []*mapping.Mapping,
 		MaxMonomials:     cfg.maxMonomials(),
 		Parallelism:      cfg.Parallelism,
 		NoReorder:        cfg.NoReorder,
+		Stats:            cfg.Stats,
 	}
 	inc, err := datalog.NewIncremental(prog, datalog.NewDB(), opts)
 	if err != nil {

@@ -94,3 +94,9 @@ func (w *AdaptiveWindow) Observe(n int, elapsed time.Duration) {
 	}
 	w.perTxn += windowAlpha * (sample - w.perTxn)
 }
+
+// PerTxn returns the current EWMA of drain latency per transaction (0 until
+// the first observation, and always 0 for fixed or unbounded windows).
+func (w *AdaptiveWindow) PerTxn() time.Duration {
+	return time.Duration(w.perTxn * float64(time.Second))
+}

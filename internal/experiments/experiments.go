@@ -26,6 +26,18 @@ import (
 	"orchestra/internal/workload"
 )
 
+// Stats, when non-nil, receives the datalog evaluator's counters from every
+// experiment run: engines are built over it and the inline evaluations carry
+// it in their Options. All fields are atomic, so one struct can span
+// concurrent runs. cmd/orchestra-bench -metrics installs one and prints the
+// per-experiment deltas; the testing.B benchmarks leave it nil.
+var Stats *datalog.EvalStats
+
+// engineConfig is the exchange configuration every experiment engine is
+// built with — just the shared stats sink; tuning stays at defaults so the
+// tables measure what they always measured.
+func engineConfig() exchange.Config { return exchange.Config{Stats: Stats} }
+
 // Table is one experiment's result table.
 type Table struct {
 	ID      string
@@ -75,7 +87,7 @@ func dur(d time.Duration) string {
 // seedEngine builds an exchange engine for a topology and inserts the O/P
 // dimension rows needed so S streams join successfully.
 func seedEngine(topo *workload.Topology, origin string, keySpace int, maxPid int) (*exchange.Engine, uint64, error) {
-	eng, err := exchange.NewEngine(topo.Peers, topo.Mappings)
+	eng, err := exchange.NewEngineWith(topo.Peers, topo.Mappings, engineConfig())
 	if err != nil {
 		return nil, 0, err
 	}
@@ -155,7 +167,7 @@ func E1InsertionScaling(sizes []int) (*Table, error) {
 // BuildFig2Engine seeds a Figure 2 engine with base tuples at Alaska.
 // Exported for the testing.B benchmarks.
 func BuildFig2Engine(base int) (*exchange.Engine, uint64, error) {
-	eng, err := exchange.NewEngine(workload.Figure2Peers(), workload.Figure2Mappings())
+	eng, err := exchange.NewEngineWith(workload.Figure2Peers(), workload.Figure2Mappings(), engineConfig())
 	if err != nil {
 		return nil, 0, err
 	}
@@ -313,9 +325,9 @@ func E4ProvenanceOverhead(n int) (*Table, error) {
 		name string
 		opts datalog.Options
 	}{
-		{"none", datalog.Options{}},
-		{"witness-B[X]", datalog.Options{Provenance: true}},
-		{"exact-N[X]", datalog.Options{Provenance: true, Exact: true}},
+		{"none", datalog.Options{Stats: Stats}},
+		{"witness-B[X]", datalog.Options{Provenance: true, Stats: Stats}},
+		{"exact-N[X]", datalog.Options{Provenance: true, Exact: true, Stats: Stats}},
 	}
 	var baseline time.Duration
 	for i, m := range modes {
@@ -402,7 +414,7 @@ func E7WitnessBound(peers, txns int, bounds []int) (*Table, error) {
 		if err != nil {
 			return nil, err
 		}
-		opts := datalog.Options{Provenance: true, ChaseSubsumption: true, MaxMonomials: bound}
+		opts := datalog.Options{Provenance: true, ChaseSubsumption: true, MaxMonomials: bound, Stats: Stats}
 		inc, err := datalog.NewIncremental(prog, datalog.NewDB(), opts)
 		if err != nil {
 			return nil, err
@@ -527,7 +539,7 @@ func E9PublishBatch(burst, npub int) (*Table, error) {
 	}
 	for _, k := range kinds {
 		txns := PipelineBurst(k.topo, burst, npub, 1)
-		seqEng, err := exchange.NewEngine(k.topo.Peers, k.topo.Mappings)
+		seqEng, err := exchange.NewEngineWith(k.topo.Peers, k.topo.Mappings, engineConfig())
 		if err != nil {
 			return nil, err
 		}
@@ -536,7 +548,7 @@ func E9PublishBatch(burst, npub int) (*Table, error) {
 			return nil, err
 		}
 		seq := time.Since(start)
-		batEng, err := exchange.NewEngine(k.topo.Peers, k.topo.Mappings)
+		batEng, err := exchange.NewEngineWith(k.topo.Peers, k.topo.Mappings, engineConfig())
 		if err != nil {
 			return nil, err
 		}
@@ -571,7 +583,7 @@ func E8GoalDirectedQuery(n int) (*Table, error) {
 	}
 	goal := datalog.NewAtom("c.OPS",
 		datalog.C(schema.String(workload.Organism(3))), datalog.V("p"), datalog.V("s"))
-	opts := datalog.Options{Provenance: true}
+	opts := datalog.Options{Provenance: true, Stats: Stats}
 	ctx := context.Background()
 
 	start := time.Now()
@@ -645,7 +657,7 @@ func E10ParallelStratum(nrules, nrows int, workers []int) (*Table, error) {
 	prog, edb := BuildParallelStratum(nrules, nrows)
 	run := func(par int) (time.Duration, int, error) {
 		start := time.Now()
-		res, err := datalog.Eval(prog, edb, datalog.Options{Provenance: true, Parallelism: par})
+		res, err := datalog.Eval(prog, edb, datalog.Options{Provenance: true, Parallelism: par, Stats: Stats})
 		if err != nil {
 			return 0, 0, err
 		}

@@ -113,6 +113,7 @@ func (db *DB) compactRun(start, n int) error {
 			return err
 		}
 		r.refs.Store(1)
+		r.met = db.met
 		db.man.NextFile++
 		newTables = append(newTables, tm)
 		newReaders = append(newReaders, r)
@@ -135,7 +136,9 @@ func (db *DB) compactRun(start, n int) error {
 	db.tables = newReaders
 	// The manifest no longer references the inputs; unlink them. Snapshots
 	// still holding references keep reading the open files.
+	db.met.compactions.Inc()
 	for _, tm := range oldMetas {
+		db.met.compactBytes.Add(tm.Size)
 		os.Remove(filepath.Join(db.dir, sstName(tm.Num)))
 	}
 	return nil

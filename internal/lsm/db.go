@@ -8,6 +8,9 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+	"time"
+
+	"orchestra/internal/obs"
 )
 
 // Options tunes a DB. The zero value is valid.
@@ -27,6 +30,9 @@ type Options struct {
 	// Benchmarks and tests that only need crash-consistency of flushed
 	// state use it; durable deployments must not.
 	NoSync bool
+	// Metrics, when non-nil, receives lsm_* counters and the WAL fsync
+	// latency histogram. Nil disables recording at nil-check cost.
+	Metrics *obs.Registry
 }
 
 func (o Options) withDefaults() Options {
@@ -59,6 +65,7 @@ type DB struct {
 	mut    *memtable
 	imm    []*memtable  // frozen, oldest first
 	tables []*sstReader // oldest first, parallel to man.Tables
+	met    dbMetrics
 	closed bool
 	// broken latches a failed flush/compaction: the on-disk state is still
 	// consistent (the manifest only ever swaps atomically) but the in-memory
@@ -91,7 +98,7 @@ func Open(dir string, opt Options) (*DB, error) {
 	if err != nil {
 		return nil, err
 	}
-	db := &DB{dir: dir, opt: opt, man: man, mut: newMemtable()}
+	db := &DB{dir: dir, opt: opt, man: man, mut: newMemtable(), met: newDBMetrics(opt.Metrics)}
 	for _, tm := range man.Tables {
 		r, err := openSSTable(dir, tm)
 		if err != nil {
@@ -99,6 +106,7 @@ func Open(dir string, opt Options) (*DB, error) {
 			return nil, err
 		}
 		r.refs.Store(1)
+		r.met = db.met
 		db.tables = append(db.tables, r)
 	}
 	seqs, err := listWALs(dir)
@@ -262,12 +270,22 @@ func (db *DB) Apply(b *Batch, sync bool) error {
 	if err := db.usable(); err != nil {
 		return err
 	}
-	if err := db.wal.append(b.encode()); err != nil {
+	payload := b.encode()
+	if err := db.wal.append(payload); err != nil {
 		return err
 	}
+	db.met.walAppends.Inc()
+	db.met.walBytes.Add(int64(len(payload)))
 	if sync && !db.opt.NoSync {
+		var start time.Time
+		if db.met.fsyncNs != nil {
+			start = time.Now()
+		}
 		if err := db.wal.sync(); err != nil {
 			return err
+		}
+		if db.met.fsyncNs != nil {
+			db.met.fsyncNs.Observe(time.Since(start).Nanoseconds())
 		}
 	}
 	for _, op := range b.ops {
@@ -311,6 +329,7 @@ func (db *DB) Get(key []byte) ([]byte, bool, error) {
 	if db.closed {
 		return nil, false, fmt.Errorf("lsm: db is closed")
 	}
+	db.met.gets.Inc()
 	if e, ok := db.mut.get(key); ok {
 		return getEntry(e)
 	}
@@ -424,6 +443,7 @@ func (db *DB) doFlush() error {
 			return err
 		}
 		r.refs.Store(1)
+		r.met = db.met
 		db.man.NextFile++
 		db.man.Tables = append(db.man.Tables, tm)
 		db.man.WALFloor = floor
@@ -432,6 +452,7 @@ func (db *DB) doFlush() error {
 			return err
 		}
 		db.tables = append(db.tables, r)
+		db.met.flushes.Inc()
 	} else {
 		db.man.WALFloor = floor
 		if err := db.man.save(db.dir); err != nil {

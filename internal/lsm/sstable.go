@@ -220,6 +220,9 @@ type sstReader struct {
 	meta  tableMeta
 	index []blockMeta
 	bloom bloomFilter
+	// met carries the owning DB's metric handles (zero value = disabled);
+	// copied in at open so reads need no DB back-pointer.
+	met dbMetrics
 	// refs counts owners (the DB plus live snapshots); the file closes when
 	// it reaches zero, letting compaction unlink segments under snapshots.
 	refs atomic.Int32
@@ -311,6 +314,7 @@ func (r *sstReader) loadBlock(i int) ([]byte, error) {
 	if crc32.Checksum(buf, crcTable) != bm.crc {
 		return nil, fmt.Errorf("lsm: sstable %s block %d checksum mismatch", r.f.Name(), i)
 	}
+	r.met.blockReads.Inc()
 	return buf, nil
 }
 
@@ -327,7 +331,9 @@ func (r *sstReader) get(key []byte) (val []byte, del, ok bool, err error) {
 	if bytes.Compare(key, r.meta.Min) < 0 || bytes.Compare(key, r.meta.Max) > 0 {
 		return nil, false, false, nil
 	}
+	r.met.bloomChecks.Inc()
 	if !r.bloom.mayContain(key) {
+		r.met.bloomSkips.Inc()
 		return nil, false, false, nil
 	}
 	bi := r.blockFor(key)

@@ -1,0 +1,77 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Prometheus text-format rendering of a snapshot. Histograms render as
+// summaries (quantile-labeled gauges plus _count and _sum) rather than
+// native Prometheus histograms: the log2 buckets are an implementation
+// detail, while p50/p95/p99 are the series operators actually watch.
+
+// promName sanitizes a metric name into the Prometheus charset and applies
+// the orchestra_ namespace prefix.
+func promName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name) + len("orchestra_"))
+	b.WriteString("orchestra_")
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '_', c == ':':
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// WriteProm renders the snapshot in Prometheus text exposition format,
+// deterministically ordered.
+func WriteProm(w io.Writer, s *Snapshot) error {
+	for _, name := range s.SortedCounterNames() {
+		pn := promName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", pn, pn, s.Counters[name]); err != nil {
+			return err
+		}
+	}
+	gnames := make([]string, 0, len(s.Gauges))
+	for k := range s.Gauges {
+		gnames = append(gnames, k)
+	}
+	sort.Strings(gnames)
+	for _, name := range gnames {
+		pn := promName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", pn, pn, s.Gauges[name]); err != nil {
+			return err
+		}
+	}
+	hnames := make([]string, 0, len(s.Histograms))
+	for k := range s.Histograms {
+		hnames = append(hnames, k)
+	}
+	sort.Strings(hnames)
+	for _, name := range hnames {
+		h := s.Histograms[name]
+		pn := promName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s summary\n", pn); err != nil {
+			return err
+		}
+		for _, q := range []struct {
+			label string
+			v     int64
+		}{{"0.5", h.P50}, {"0.95", h.P95}, {"0.99", h.P99}} {
+			if _, err := fmt.Fprintf(w, "%s{quantile=%q} %d\n", pn, q.label, q.v); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum %d\n%s_count %d\n", pn, h.Sum, pn, h.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}

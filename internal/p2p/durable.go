@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"orchestra/internal/lsm"
+	"orchestra/internal/obs"
 	"orchestra/internal/updates"
 )
 
@@ -26,6 +27,31 @@ type DurableStore struct {
 	db    *lsm.DB
 	epoch uint64
 	count int
+	// Metric handles (nil when no registry is installed; see SetMetrics).
+	pubBatches *obs.Counter   // p2p_publish_batches_total
+	pubTxns    *obs.Counter   // p2p_published_txns_total
+	pubBytes   *obs.Counter   // p2p_published_bytes_total
+	batchTxns  *obs.Histogram // p2p_publish_batch_txns
+	sinceScans *obs.Counter   // p2p_since_scans_total
+	sinceTxns  *obs.Counter   // p2p_since_txns_total
+}
+
+// SetMetrics installs (or, with nil, removes) the archive's metric handles.
+// Call before concurrent use begins.
+func (s *DurableStore) SetMetrics(r *obs.Registry) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if r == nil {
+		s.pubBatches, s.pubTxns, s.pubBytes, s.batchTxns = nil, nil, nil, nil
+		s.sinceScans, s.sinceTxns = nil, nil
+		return
+	}
+	s.pubBatches = r.Counter("p2p_publish_batches_total")
+	s.pubTxns = r.Counter("p2p_published_txns_total")
+	s.pubBytes = r.Counter("p2p_published_bytes_total")
+	s.batchTxns = r.Histogram("p2p_publish_batch_txns")
+	s.sinceScans = r.Counter("p2p_since_scans_total")
+	s.sinceTxns = r.Counter("p2p_since_txns_total")
 }
 
 // Key layout under the archive prefix:
@@ -111,12 +137,14 @@ func (s *DurableStore) Publish(txns []*updates.Transaction) (uint64, error) {
 	}
 	epoch := s.epoch + 1
 	b := lsm.NewBatch()
+	var bytes int64
 	for i, t := range txns {
 		t.Epoch = epoch
 		data, err := json.Marshal(EncodeTxn(t))
 		if err != nil {
 			return 0, err
 		}
+		bytes += int64(len(data))
 		b.Put(durTxnKey(epoch, i), data)
 		b.Put(durSeenKey(t.ID), nil)
 	}
@@ -125,6 +153,10 @@ func (s *DurableStore) Publish(txns []*updates.Transaction) (uint64, error) {
 	}
 	s.epoch = epoch
 	s.count += len(txns)
+	s.pubBatches.Inc()
+	s.pubTxns.Add(int64(len(txns)))
+	s.pubBytes.Add(bytes)
+	s.batchTxns.Observe(int64(len(txns)))
 	return epoch, nil
 }
 
@@ -162,6 +194,8 @@ func (s *DurableStore) Since(since uint64) ([]*updates.Transaction, uint64, erro
 	if err != nil {
 		return nil, 0, err
 	}
+	s.sinceScans.Inc()
+	s.sinceTxns.Add(int64(len(out)))
 	return out, epoch, nil
 }
 

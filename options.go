@@ -1,5 +1,7 @@
 package orchestra
 
+import "time"
+
 // Option tunes Open (system-wide defaults) and System.Peer (per-peer
 // overrides). Options replace the exported configuration structs the
 // internal layers use; the zero configuration is always valid.
@@ -16,10 +18,12 @@ type settings struct {
 	policy          *TrustPolicy
 	strict          bool
 	durableDir      string
+	metrics         bool
+	slowOp          time.Duration
 }
 
 func defaultSettings() settings {
-	return settings{provenance: true}
+	return settings{provenance: true, metrics: true}
 }
 
 func (s settings) apply(opts []Option) settings {
@@ -87,3 +91,18 @@ func WithTrustPolicy(p *TrustPolicy) Option { return func(s *settings) { s.polic
 // them and succeeding. Pipelines that must not proceed past unresolved
 // disagreement set this; interactive peers usually keep the default.
 func WithStrictConflicts() Option { return func(s *settings) { s.strict = true } }
+
+// WithMetrics toggles the system's observability layer (default true): the
+// metrics registry behind System.Metrics and System.DebugHandler, operation
+// span tracing, and the layer counters fed by lsm/exchange/datalog/core.
+// Disabling it reduces instrumentation to nil checks on hot paths — the
+// overhead benchmark gate in CI holds the enabled path within a few percent
+// of this disabled baseline. System-level; ignored on System.Peer.
+func WithMetrics(enabled bool) Option { return func(s *settings) { s.metrics = enabled } }
+
+// WithSlowOpThreshold makes every publish, reconcile, checkpoint, or query
+// slower than d emit one structured warning through log/slog (op, peer,
+// duration). 0 (the default) disables slow-op logging. Requires metrics to
+// be enabled. At Open it sets the default for every peer; at System.Peer it
+// overrides for that peer.
+func WithSlowOpThreshold(d time.Duration) Option { return func(s *settings) { s.slowOp = d } }

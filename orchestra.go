@@ -8,9 +8,11 @@ import (
 	"sync"
 
 	"orchestra/internal/core"
+	"orchestra/internal/datalog"
 	"orchestra/internal/demo"
 	"orchestra/internal/exchange"
 	"orchestra/internal/lsm"
+	"orchestra/internal/obs"
 	"orchestra/internal/p2p"
 )
 
@@ -29,6 +31,12 @@ type System struct {
 	db        *lsm.DB
 	closeOnce sync.Once
 	closeErr  error
+
+	// reg is the system-wide metrics registry (nil with WithMetrics(false));
+	// stats is the engine-shared datalog counter block every peer's
+	// evaluations accumulate into. See metrics.go.
+	reg   *obs.Registry
+	stats *datalog.EvalStats
 
 	// ctx is the system lifetime; Close cancels it, stopping subscription
 	// pumps and ending every active subscription with ErrClosed.
@@ -56,13 +64,14 @@ func Open(sch *Schema, opts ...Option) (*System, error) {
 		return nil, wrapErr(err)
 	}
 	base := defaultSettings().apply(opts)
+	reg, stats := newSystemObservability(base.metrics)
 	store := base.store
 	var db *lsm.DB
 	if base.durableDir != "" {
 		if store != nil {
 			return nil, fmt.Errorf("orchestra: WithDurableDir and WithStore are mutually exclusive — the durable tier is the store")
 		}
-		db, err = lsm.Open(base.durableDir, lsm.Options{})
+		db, err = lsm.Open(base.durableDir, lsm.Options{Metrics: reg})
 		if err != nil {
 			return nil, fmt.Errorf("orchestra: open durable tier: %w", err)
 		}
@@ -71,6 +80,7 @@ func Open(sch *Schema, opts ...Option) (*System, error) {
 			db.Close()
 			return nil, fmt.Errorf("orchestra: open durable tier: %w", err)
 		}
+		ds.SetMetrics(reg)
 		store = ds
 	}
 	if store == nil {
@@ -83,6 +93,8 @@ func Open(sch *Schema, opts ...Option) (*System, error) {
 		base:     base,
 		policies: policies,
 		db:       db,
+		reg:      reg,
+		stats:    stats,
 		ctx:      ctx,
 		cancel:   cancel,
 		peers:    map[string]*Peer{},
@@ -115,6 +127,7 @@ func (s *System) Peer(name string, opts ...Option) (*Peer, error) {
 		Parallelism:     set.parallelism,
 		MaxMonomials:    set.maxMonomials,
 		ReconcileWindow: set.reconcileWindow,
+		Stats:           s.stats,
 	}
 	var cp *core.Peer
 	var err error
@@ -129,14 +142,17 @@ func (s *System) Peer(name string, opts ...Option) (*Peer, error) {
 		return nil, wrapErr(err)
 	}
 	p := &Peer{
-		sys:  s,
-		name: name,
-		core: cp,
-		set:  set,
-		wake: make(chan struct{}, 1),
-		subs: map[*subscription]struct{}{},
+		sys:       s,
+		name:      name,
+		core:      cp,
+		set:       set,
+		wake:      make(chan struct{}, 1),
+		subs:      map[*subscription]struct{}{},
+		subEvents: s.reg.Counter("subscribe_events_total"),
+		pumpRuns:  s.reg.Counter("subscribe_pump_reconciles_total"),
 	}
 	cp.SetApplyHook(p.fanout)
+	cp.SetObserver(s.reg, set.slowOp)
 	s.peers[name] = p
 	return p, nil
 }

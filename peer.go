@@ -7,6 +7,7 @@ import (
 	"sync"
 
 	"orchestra/internal/core"
+	"orchestra/internal/obs"
 	"orchestra/internal/repl"
 )
 
@@ -27,6 +28,10 @@ type Peer struct {
 	subs        map[*subscription]struct{}
 	pumpStarted bool
 	wake        chan struct{}
+
+	// Subscription-path metric handles, nil when metrics are disabled.
+	subEvents *obs.Counter // subscribe_events_total
+	pumpRuns  *obs.Counter // subscribe_pump_reconciles_total
 }
 
 // Name returns the peer's name.

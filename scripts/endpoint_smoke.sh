@@ -1,0 +1,75 @@
+#!/bin/sh
+# Debug-endpoint smoke test: builds cmd/orchestra, starts a real node with
+# -metrics-addr, publishes one transaction through the REPL, scrapes both
+# renderings of /debug/orchestra, and asserts well-formed output — the
+# "start node, scrape" gate from ISSUE 9 / DESIGN.md §12.
+#
+#   ./scripts/endpoint_smoke.sh
+#   SMOKE_ADDR=127.0.0.1:16831 ./scripts/endpoint_smoke.sh
+set -e
+
+addr="${SMOKE_ADDR:-127.0.0.1:16830}"
+dir="$(mktemp -d)"
+pid=""
+trap 'if [ -n "$pid" ]; then kill "$pid" 2>/dev/null || true; fi; rm -rf "$dir"' EXIT
+
+go build -o "$dir/orchestra" ./cmd/orchestra
+
+cat > "$dir/smoke.conf" <<'EOF'
+peer a {
+    relation R(x int, y string) key(x)
+}
+peer b like a
+mapping identity M_ab a b
+EOF
+
+# The REPL gets an insert and a publish, then its stdin stays open long
+# enough for the scrapes; the node exits when the pipe closes.
+{ printf 'insert R 1 "v"\npublish\n'; sleep 15; } | \
+    "$dir/orchestra" node -config "$dir/smoke.conf" -peer a -metrics-addr "$addr" \
+    > "$dir/node.out" 2>&1 &
+pid=$!
+
+# Poll until the endpoint serves a snapshot that has seen the publish.
+ok=""
+for _ in $(seq 1 100); do
+    if curl -fsS "http://$addr/debug/orchestra" > "$dir/snap.json" 2>/dev/null \
+        && grep -q '"core_publish_total": 1' "$dir/snap.json"; then
+        ok=1
+        break
+    fi
+    sleep 0.1
+done
+if [ -z "$ok" ]; then
+    echo "endpoint_smoke: node never served a snapshot with core_publish_total=1" >&2
+    cat "$dir/node.out" >&2
+    exit 1
+fi
+
+# The JSON rendering must parse and carry the series the round trip lights up.
+if command -v python3 >/dev/null 2>&1; then
+    python3 -m json.tool "$dir/snap.json" > /dev/null \
+        || { echo "endpoint_smoke: /debug/orchestra is not valid JSON" >&2; exit 1; }
+fi
+for want in '"counters"' '"histograms"' '"eval"' 'core_publish_ns'; do
+    grep -q "$want" "$dir/snap.json" \
+        || { echo "endpoint_smoke: JSON snapshot missing $want" >&2; exit 1; }
+done
+
+# The Prometheus rendering must expose typed series and only two-field
+# sample lines.
+curl -fsS "http://$addr/debug/orchestra/metrics" > "$dir/metrics.prom"
+for want in '# TYPE orchestra_core_publish_total counter' \
+            'orchestra_core_publish_total 1' \
+            'quantile="0.99"'; do
+    grep -q "$want" "$dir/metrics.prom" \
+        || { echo "endpoint_smoke: Prometheus scrape missing: $want" >&2; exit 1; }
+done
+awk '!/^#/ && NF != 2 { print "endpoint_smoke: malformed sample line: " $0; bad = 1 } END { exit bad }' \
+    "$dir/metrics.prom"
+
+# pprof rides on the same listener.
+curl -fsS -o /dev/null "http://$addr/debug/pprof/" \
+    || { echo "endpoint_smoke: /debug/pprof/ not served" >&2; exit 1; }
+
+echo "endpoint_smoke: OK ($(grep -c '' "$dir/metrics.prom") Prometheus lines, pprof live)"

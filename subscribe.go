@@ -221,6 +221,7 @@ func (p *Peer) pump() {
 				case <-t.C:
 				}
 			}
+			p.pumpRuns.Inc()
 			start := time.Now()
 			_, err := p.core.Reconcile(p.sys.ctx)
 			if el := time.Since(start); drain == 0 {
@@ -272,11 +273,13 @@ func (p *Peer) fanout(ev core.ApplyEvent) {
 	for sub := range p.subs {
 		if sub.set.relations == nil {
 			sub.push(changes...)
+			p.subEvents.Add(int64(len(changes)))
 			continue
 		}
 		for _, ev := range changes {
 			if sub.set.relations[ev.change.Rel] {
 				sub.push(ev)
+				p.subEvents.Inc()
 			}
 		}
 	}
