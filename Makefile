@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet fmt fmt-check lint vuln bench bench-smoke bench-query bench-publish bench-sweep bench-baseline bench-compare bench-overhead endpoint-smoke memprofile examples-check recovery-check ci
+.PHONY: build test race vet fmt fmt-check lint vuln bench bench-smoke bench-query bench-publish bench-sweep bench-baseline bench-compare bench-overhead endpoint-smoke memprofile examples-check recovery-check recovery-scaling ci
 
 ## build: compile every package
 build:
@@ -122,6 +122,14 @@ recovery-check:
 		./internal/lsm/ ./internal/p2p/ ./internal/core/ .
 	@echo recovery gate OK
 
+## recovery-scaling: the O(suffix) recovery gate — BenchmarkRecovery at a
+## small and a large transaction history, asserting from-checkpoint beats
+## full replay by at least 5x at the large one and that the gap widens as
+## the history grows (DESIGN.md §13). Tunables: SMALL LARGE BENCHTIME
+## COUNT MIN_SPEEDUP.
+recovery-scaling:
+	sh scripts/recovery_scaling.sh
+
 ## examples-check: build every example and golden-check quickstart's output,
 ## so API drift that breaks user-facing examples fails the gate
 examples-check:
@@ -132,4 +140,4 @@ examples-check:
 ## ci: everything the CI workflow runs, in one command (lint and vuln are
 ## separate because they need tools on PATH; run `make lint vuln` too when
 ## you have them installed)
-ci: build vet fmt-check race bench-smoke bench-compare bench-overhead recovery-check examples-check endpoint-smoke
+ci: build vet fmt-check race bench-smoke bench-compare bench-overhead recovery-check recovery-scaling examples-check endpoint-smoke

@@ -11,6 +11,8 @@ package orchestra_test
 import (
 	"context"
 	"fmt"
+	"os"
+	"strconv"
 	"testing"
 
 	"orchestra/internal/core"
@@ -71,10 +73,23 @@ func BenchmarkDurablePublish(b *testing.B) {
 	})
 }
 
-// BenchmarkRecovery: recover a peer whose checkpoint covers most of an
-// 8-epoch, 256-transaction history, versus recovering from the archive
-// alone (no checkpoint — full replay). The gap is what checkpointing buys.
+// BenchmarkRecovery: recover a peer whose checkpoint covers all but a fixed
+// two-epoch suffix of the published history, versus recovering from the
+// archive alone (no checkpoint — full replay). The gap is what the engine
+// snapshot buys: the restore-then-suffix path scales with the suffix, the
+// replay path with the whole history. ORCH_RECOVERY_TXNS sets the total
+// transaction count (default 256; scripts/recovery_scaling.sh sweeps it to
+// assert the scaling split holds as the history grows).
 func BenchmarkRecovery(b *testing.B) {
+	total := 256
+	if s := os.Getenv("ORCH_RECOVERY_TXNS"); s != "" {
+		n, err := strconv.Atoi(s)
+		if err != nil || n < 4*durableBurst {
+			b.Fatalf("ORCH_RECOVERY_TXNS=%q: want an integer >= %d", s, 4*durableBurst)
+		}
+		total = n
+	}
+	epochs := total / durableBurst
 	for _, withCheckpoint := range []bool{true, false} {
 		name := "from-checkpoint"
 		if !withCheckpoint {
@@ -90,7 +105,10 @@ func BenchmarkRecovery(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
-			topo := workload.Chain(2)
+			// A three-peer chain: the subscriber sits two mapping hops from
+			// the publisher, so full replay re-runs a multi-hop chase per
+			// transaction — the translation work the engine snapshot spares.
+			topo := workload.Chain(3)
 			sys, err := core.NewSystem(topo.Peers, topo.Mappings)
 			if err != nil {
 				b.Fatal(err)
@@ -99,20 +117,22 @@ func BenchmarkRecovery(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
-			sub, err := core.NewPeer(topo.Names[1], sys, ds, recon.TrustAll(1))
+			sub, err := core.NewPeer(topo.Names[len(topo.Names)-1], sys, ds, recon.TrustAll(1))
 			if err != nil {
 				b.Fatal(err)
 			}
 			ctx := context.Background()
 			key := int64(0)
-			for epoch := 0; epoch < 8; epoch++ {
-				tx := pub.NewTransaction()
-				for j := 0; j < 32; j++ {
-					tx.Insert("S", workload.STuple(key, key, fmt.Sprintf("SEQ-%d", key)))
+			for epoch := 0; epoch < epochs; epoch++ {
+				// One epoch = a burst of single-insert transactions archived
+				// by one Publish.
+				for j := 0; j < durableBurst; j++ {
+					if _, err := pub.NewTransaction().
+						Insert("S", workload.STuple(key, key, fmt.Sprintf("SEQ-%d", key))).
+						Commit(); err != nil {
+						b.Fatal(err)
+					}
 					key++
-				}
-				if _, err := tx.Commit(); err != nil {
-					b.Fatal(err)
 				}
 				if _, err := pub.Publish(ctx); err != nil {
 					b.Fatal(err)
@@ -120,9 +140,9 @@ func BenchmarkRecovery(b *testing.B) {
 				if _, err := sub.Reconcile(ctx); err != nil {
 					b.Fatal(err)
 				}
-				// Checkpoint after the 6th epoch: recovery replays a
-				// 2-epoch suffix instead of the whole history.
-				if withCheckpoint && epoch == 5 {
+				// Checkpoint with two epochs still to come: the replay suffix
+				// stays fixed no matter how long the history grows.
+				if withCheckpoint && epoch == epochs-3 {
 					if err := sub.SaveCheckpoint(db); err != nil {
 						b.Fatal(err)
 					}
@@ -130,7 +150,7 @@ func BenchmarkRecovery(b *testing.B) {
 			}
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
-				p, err := core.RecoverPeerWith(ctx, topo.Names[1], sys, ds, recon.TrustAll(1), exchange.Config{}, db)
+				p, err := core.RecoverPeerWith(ctx, topo.Names[len(topo.Names)-1], sys, ds, recon.TrustAll(1), exchange.Config{}, db)
 				if err != nil {
 					b.Fatal(err)
 				}

@@ -9,6 +9,7 @@ package core
 
 import (
 	"context"
+	"fmt"
 	"math/rand"
 	"os"
 	"path/filepath"
@@ -18,9 +19,35 @@ import (
 	"orchestra/internal/lsm"
 	"orchestra/internal/p2p"
 	"orchestra/internal/recon"
+	"orchestra/internal/schema"
+	"orchestra/internal/storage"
 	"orchestra/internal/updates"
 	"orchestra/internal/workload"
 )
+
+// requireEqualWithProvenance compares two instances row by row, including
+// the provenance polynomials Instance.Equal deliberately ignores: a durable
+// peer must recover identical annotations, not just identical tuples.
+func requireEqualWithProvenance(t *testing.T, label string, sch *schema.Schema, a, b *storage.Instance) {
+	t.Helper()
+	if !a.Equal(b) {
+		t.Fatalf("%s: instances differ: %d vs %d tuples", label, a.Size(), b.Size())
+	}
+	for _, rel := range sch.Relations() {
+		ra, _ := a.Rows(rel.Name)
+		rb, _ := b.Rows(rel.Name)
+		if len(ra) != len(rb) {
+			t.Fatalf("%s: %s: %d vs %d rows", label, rel.Name, len(ra), len(rb))
+		}
+		for i := range ra {
+			// Rows come back tuple-sorted, so same index = same tuple.
+			if !ra[i].Prov.Equal(rb[i].Prov) {
+				t.Fatalf("%s: %s %v: provenance %v vs %v",
+					label, rel.Name, ra[i].Tuple, ra[i].Prov, rb[i].Prov)
+			}
+		}
+	}
+}
 
 // openDurableTier opens (or reopens) the shared LSM database and the
 // archive store inside it.
@@ -110,10 +137,8 @@ func TestDurablePeerKillRestartEquivalence(t *testing.T) {
 	defer db2.Close()
 	dresden2 := recoverPeer(t, workload.Dresden, ds2, recon.TrustAll(1), db2)
 
-	if !dresden2.Instance().Equal(dresden.Instance()) {
-		t.Fatalf("recovered instance (%d tuples) != live (%d tuples)",
-			dresden2.Instance().Size(), dresden.Instance().Size())
-	}
+	requireEqualWithProvenance(t, "kill-restart", sys.Schema(workload.Dresden),
+		dresden.Instance(), dresden2.Instance())
 	if dresden2.Epoch() != dresden.Epoch() {
 		t.Errorf("epoch: recovered %d, live %d", dresden2.Epoch(), dresden.Epoch())
 	}
@@ -424,10 +449,8 @@ func TestQuickDurableMatchesMemoryOracle(t *testing.T) {
 			reconcile(t, p)
 		}
 		for _, name := range topo.Names {
-			if !memPeers[name].Instance().Equal(durPeers[name].Instance()) {
-				t.Fatalf("trial %d: %s diverged: memory %d tuples, durable %d tuples",
-					trial, name, memPeers[name].Instance().Size(), durPeers[name].Instance().Size())
-			}
+			requireEqualWithProvenance(t, fmt.Sprintf("trial %d: %s", trial, name),
+				sysM.Schema(name), memPeers[name].Instance(), durPeers[name].Instance())
 		}
 		db.Close()
 	}

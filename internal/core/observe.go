@@ -35,6 +35,10 @@ type observer struct {
 	drainTxnNs  *obs.Histogram // exchange_drain_txn_ns (per-txn drain latency)
 	fixRounds   *obs.Histogram // datalog_fixpoint_rounds (per reconcile/query)
 	windowEwma  *obs.Gauge     // exchange_window_pertxn_ns (adaptive EWMA)
+
+	recoveryTxns    *obs.Histogram // recovery_replay_txns (suffix length per recovery)
+	recoveryLoadNs  *obs.Histogram // recovery_load_ns (checkpoint+snapshot load time)
+	checkpointBytes *obs.Gauge     // checkpoint_bytes (last checkpoint batch size)
 }
 
 // SetObserver installs the peer's observability surface: operation spans and
@@ -65,6 +69,18 @@ func (p *Peer) SetObserver(reg *obs.Registry, slowOp time.Duration) {
 		drainTxnNs:  reg.Histogram("exchange_drain_txn_ns"),
 		fixRounds:   reg.Histogram("datalog_fixpoint_rounds"),
 		windowEwma:  reg.Gauge("exchange_window_pertxn_ns"),
+
+		recoveryTxns:    reg.Histogram("recovery_replay_txns"),
+		recoveryLoadNs:  reg.Histogram("recovery_load_ns"),
+		checkpointBytes: reg.Gauge("checkpoint_bytes"),
+	}
+	// Recovery runs before the observer is installed (RecoverPeerWith is
+	// called by the facade before SetObserver); the peer buffers its
+	// recovery stats and they flush here, on first installation.
+	if p.pendingRecovery {
+		p.obsv.recoveryTxns.Observe(p.recReplayTxns)
+		p.obsv.recoveryLoadNs.Observe(p.recLoadNs)
+		p.pendingRecovery = false
 	}
 }
 

@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"sort"
 	"sync"
@@ -9,6 +10,7 @@ import (
 
 	"orchestra/internal/datalog"
 	"orchestra/internal/exchange"
+	"orchestra/internal/lsm"
 	"orchestra/internal/p2p"
 	"orchestra/internal/provenance"
 	"orchestra/internal/recon"
@@ -58,6 +60,20 @@ type Peer struct {
 	// rebuild rather than stale answers. Guarded by mu.
 	qdb        *datalog.DB
 	qdbVersion uint64
+	// db is the durable tier backing this peer (nil for in-memory systems):
+	// RecoverPeerWith attaches it so Resolve can archive its decision in the
+	// "r/" keyspace and rebuildEngine can restore from the last engine
+	// snapshot instead of replaying the full history.
+	db *lsm.DB
+	// resolveSeq numbers the next archived Resolve decision; a clean
+	// checkpoint folds the archive into the engine snapshot and resets it.
+	resolveSeq uint64
+	// pendingRecovery buffers recovery metrics until SetObserver installs
+	// the registry (recovery runs before the observer exists — see
+	// orchestra's System.Peer).
+	pendingRecovery bool
+	recReplayTxns   int64
+	recLoadNs       int64
 	// applyHook, when set, observes every batch of updates that reaches
 	// durability or the local instance: published local transactions (at
 	// Publish, with their assigned epoch) and accepted candidates (at
@@ -512,19 +528,36 @@ func (p *Peer) Reconcile(ctx context.Context) (*ReconcileReport, error) {
 	return report, nil
 }
 
-// rebuildEngine replaces a dirty translation engine with a fresh one,
-// replaying the published history up to lastEpoch (those transactions
-// already reached reconciliation in completed rounds; everything later
-// re-enters through the normal Reconcile loop, which also regenerates its
-// candidates). Called under the peer mutex. If the replay itself fails —
-// e.g. the caller's deadline expires again — the engine stays dirty and the
-// next Reconcile retries the rebuild.
+// rebuildEngine replaces a dirty translation engine with a fresh one. On a
+// durable peer it restores the last engine snapshot first and replays only
+// the published suffix between the snapshot's watermark and lastEpoch;
+// without a usable snapshot it replays the whole history up to lastEpoch
+// (those transactions already reached reconciliation in completed rounds;
+// everything later re-enters through the normal Reconcile loop, which also
+// regenerates its candidates). Called under the peer mutex. If the replay
+// itself fails — e.g. the caller's deadline expires again — the engine
+// stays dirty and the next Reconcile retries the rebuild.
 func (p *Peer) rebuildEngine(ctx context.Context) error {
 	eng, err := exchange.NewEngineWith(p.sys.Peers(), p.sys.Mappings(), p.engCfg)
 	if err != nil {
 		return err
 	}
-	txns, _, err := p.store.Since(0)
+	since := uint64(0)
+	if p.db != nil {
+		sn := p.db.Snapshot()
+		raw, ok, gerr := sn.Get(ekKey(p.name))
+		sn.Close()
+		if gerr == nil && ok {
+			// Best-effort: a snapshot that fails to decode or load just
+			// leaves the fresh engine on the full-replay path.
+			if snap, derr := decodeEngineBlob(raw); derr == nil && snap.Watermark <= p.lastEpoch {
+				if eng.LoadState(snap.Engine) == nil {
+					since = snap.Watermark
+				}
+			}
+		}
+	}
+	txns, _, err := p.store.Since(since)
 	if err != nil {
 		return err
 	}
@@ -544,7 +577,12 @@ func (p *Peer) rebuildEngine(ctx context.Context) error {
 }
 
 // Resolve settles a deferred conflict in favor of winner (site-administrator
-// action, demo scenario 4) and applies the consequences.
+// action, demo scenario 4) and applies the consequences. On a durable peer
+// the decision is archived with one fsynced write before Resolve returns,
+// so a crash after Resolve cannot regress the conflict to deferred: recovery
+// re-applies the archived decision at its recorded position. A crash during
+// Resolve — after the in-memory application but before the fsync — loses
+// the decision, exactly as it would have lost a Resolve that never ran.
 func (p *Peer) Resolve(ctx context.Context, winner updates.TxnID) (*ReconcileReport, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
@@ -558,6 +596,22 @@ func (p *Peer) Resolve(ctx context.Context, winner updates.TxnID) (*ReconcileRep
 	report := &ReconcileReport{Epoch: p.lastEpoch}
 	if err := p.applyOutcome(outcome, report); err != nil {
 		return nil, err
+	}
+	if p.db != nil {
+		data, err := json.Marshal(resolveDecision{
+			WinnerPeer: winner.Peer,
+			WinnerSeq:  winner.Seq,
+			AfterEpoch: p.lastEpoch,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("core: archive resolve at %s: %w", p.name, err)
+		}
+		b := lsm.NewBatch()
+		b.Put(rkKey(p.name, p.resolveSeq), data)
+		if err := p.db.Apply(b, true); err != nil {
+			return nil, fmt.Errorf("core: archive resolve at %s: %w", p.name, err)
+		}
+		p.resolveSeq++
 	}
 	report.sort()
 	return report, nil

@@ -344,8 +344,14 @@ func (db *DB) AddTuple(pred string, t schema.Tuple) bool {
 // annotation-only change writes the stored fact in place — the tuple's
 // index entries are unaffected, so no index maintenance runs.
 func (db *DB) Set(pred string, t schema.Tuple, p provenance.Poly) {
+	db.setKeyed(pred, t.Key(), t, p)
+}
+
+// setKeyed is Set for callers that already hold the tuple's canonical key
+// (the snapshot codec decodes keys before tuples, and the key computation is
+// measurable on the recovery path).
+func (db *DB) setKeyed(pred, k string, t schema.Tuple, p provenance.Poly) {
 	r := db.MutableRel(pred)
-	k := t.Key()
 	if f := r.facts[k]; f != nil {
 		f.Prov = p.Intern()
 		return

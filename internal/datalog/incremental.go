@@ -86,6 +86,131 @@ type tokenEntry struct {
 	key  string
 }
 
+// TokenEntry is the exported form of one token-occurrence record: the fact
+// stored under Key in Pred mentioned Var in its annotation at some point.
+// Duplicates are tolerated everywhere (folding is idempotent), which is
+// what lets the engine snapshot carry the flat log instead of the folded
+// nested-map index.
+type TokenEntry struct {
+	Var  provenance.Var
+	Pred string
+	Key  string
+}
+
+// TokenOccurrences returns the maintained token-occurrence state flattened
+// into one deterministic (sorted, deduplicated) list — the serializable
+// form of tokenIndex plus the pending tokenLog. RestoreIncremental accepts
+// it back verbatim; the lazy index refolds on the first deletion-side
+// consumer.
+func (inc *Incremental) TokenOccurrences() []TokenEntry {
+	inc.foldTokenLog()
+	out := make([]TokenEntry, 0, len(inc.tokenLog))
+	for v, preds := range inc.tokenIndex {
+		for pred, keys := range preds {
+			for k := range keys {
+				out = append(out, TokenEntry{Var: v, Pred: pred, Key: k})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Var != b.Var {
+			return a.Var < b.Var
+		}
+		if a.Pred != b.Pred {
+			return a.Pred < b.Pred
+		}
+		return a.Key < b.Key
+	})
+	return out
+}
+
+// DeadTokens returns the sorted set of tokens killed by DeleteBase since
+// construction — part of the serializable engine state: a restored engine
+// must keep treating them as dead when later deletions restrict
+// annotations.
+func (inc *Incremental) DeadTokens() []provenance.Var {
+	out := make([]provenance.Var, 0, len(inc.dead))
+	for v := range inc.dead {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// RestoreIncremental rebuilds maintained state around a database already at
+// fixpoint — the snapshot-restore counterpart of NewIncremental. It skips
+// the initial evaluation entirely (the caller warrants db is the fixpoint
+// of p over its base facts, e.g. a DecodeDB of a snapshot taken from a
+// live Incremental) but rebuilds everything derived from the program text:
+// strata, compiled plans, and the need tables. The token occurrences and
+// dead set seed the deletion index lazily, exactly as a live engine keeps
+// them. Ownership of db transfers to the returned Incremental.
+func RestoreIncremental(p *Program, db *DB, opts Options, occurrences []TokenEntry, dead []provenance.Var) (*Incremental, error) {
+	for _, r := range p.Rules {
+		for _, l := range r.Body {
+			if l.Negated {
+				return nil, fmt.Errorf("datalog: incremental maintenance requires a negation-free program (rule %s)", r.ID)
+			}
+		}
+	}
+	strata, err := p.Stratify()
+	if err != nil {
+		return nil, err
+	}
+	maxIter := opts.MaxIterations
+	if maxIter <= 0 {
+		maxIter = DefaultMaxIterations
+	}
+	ensurePreds(p, db)
+	inc := &Incremental{
+		prog:   p,
+		strata: strata,
+		db:     db,
+		pl:     newPlanner(opts.NoReorder),
+		opts: Options{
+			Provenance:       true,
+			ChaseSubsumption: opts.ChaseSubsumption,
+			MaxMonomials:     opts.MaxMonomials,
+			Parallelism:      opts.Parallelism,
+			NoReorder:        opts.NoReorder,
+			Materialized:     opts.Materialized,
+			Stats:            opts.Stats,
+		},
+		maxIter:    maxIter,
+		tokenIndex: map[provenance.Var]map[string]map[string]bool{},
+		dead:       make(map[provenance.Var]bool, len(dead)),
+	}
+	inc.planTab = make([][]rulePlans, len(strata))
+	for si, stratum := range strata {
+		inc.planTab[si] = inc.pl.plansFor(stratum, db)
+	}
+	inc.needTab = make([]map[string]bool, len(strata))
+	suffix := map[string]bool{}
+	for si := len(strata) - 1; si >= 0; si-- {
+		for _, r := range strata[si] {
+			for _, l := range r.Body {
+				if l.Builtin == nil && !l.Negated {
+					suffix[l.Atom.Pred] = true
+				}
+			}
+		}
+		m := make(map[string]bool, len(suffix))
+		for p := range suffix {
+			m[p] = true
+		}
+		inc.needTab[si] = m
+	}
+	inc.tokenLog = make([]tokenEntry, 0, len(occurrences))
+	for _, e := range occurrences {
+		inc.tokenLog = append(inc.tokenLog, tokenEntry{v: e.Var, pred: e.Pred, key: e.Key})
+	}
+	for _, v := range dead {
+		inc.dead[v] = true
+	}
+	return inc, nil
+}
+
 // NewIncremental computes the initial fixpoint over edb and returns the
 // maintained state. The input database is captured by copy-on-write
 // snapshot, never mutated: extents the maintained fixpoint later touches

@@ -1,0 +1,215 @@
+package exchange
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"orchestra/internal/datalog"
+	"orchestra/internal/provenance"
+	"orchestra/internal/updates"
+)
+
+// Engine state serialization (DESIGN.md §13). SaveState captures everything
+// the translation engine accumulates over its lifetime — the union database
+// (through the datalog snapshot codec), the flat token-occurrence log the
+// lazy deletion index refolds from, the dead-token set, the base-token map,
+// and the applied-transaction set — so a recovered peer restores the engine
+// and replays only the post-checkpoint archive suffix instead of its whole
+// fetched history.
+//
+// Layout (uvarint integers, uvarint-length-prefixed strings):
+//
+//	magic "OES1"
+//	dbLen, then the EncodeDB blob
+//	occCount · { var, pred, tupleKey }   (sorted — TokenOccurrences order)
+//	deadCount · { var }                  (sorted)
+//	baseCount · { key, tokCount · tok }  (sorted by key)
+//	appliedCount · { peer, seq }         (sorted by TxnID)
+
+// stateMagic versions the engine-state layout; see codecMagic in
+// internal/datalog for the refusal contract.
+const stateMagic = "OES1"
+
+// SaveState serializes the engine's accumulated state. The engine is not
+// mutated (the token log folds into its index, which is an internal
+// representation change only).
+func (e *Engine) SaveState() ([]byte, error) {
+	dbBlob, err := datalog.EncodeDB(e.inc.DB())
+	if err != nil {
+		return nil, err
+	}
+	buf := append([]byte(nil), stateMagic...)
+	buf = binary.AppendUvarint(buf, uint64(len(dbBlob)))
+	buf = append(buf, dbBlob...)
+
+	occ := e.inc.TokenOccurrences()
+	buf = binary.AppendUvarint(buf, uint64(len(occ)))
+	for _, o := range occ {
+		buf = appendStateString(buf, string(o.Var))
+		buf = appendStateString(buf, o.Pred)
+		buf = appendStateString(buf, o.Key)
+	}
+
+	dead := e.inc.DeadTokens()
+	buf = binary.AppendUvarint(buf, uint64(len(dead)))
+	for _, v := range dead {
+		buf = appendStateString(buf, string(v))
+	}
+
+	baseKeys := make([]string, 0, len(e.baseTokens))
+	for k := range e.baseTokens {
+		baseKeys = append(baseKeys, k)
+	}
+	sort.Strings(baseKeys)
+	buf = binary.AppendUvarint(buf, uint64(len(baseKeys)))
+	for _, k := range baseKeys {
+		buf = appendStateString(buf, k)
+		toks := e.baseTokens[k]
+		buf = binary.AppendUvarint(buf, uint64(len(toks)))
+		for _, t := range toks {
+			buf = appendStateString(buf, string(t))
+		}
+	}
+
+	applied := make([]updates.TxnID, 0, len(e.applied))
+	for id := range e.applied {
+		applied = append(applied, id)
+	}
+	sort.Slice(applied, func(i, j int) bool { return applied[i].Less(applied[j]) })
+	buf = binary.AppendUvarint(buf, uint64(len(applied)))
+	for _, id := range applied {
+		buf = appendStateString(buf, id.Peer)
+		buf = binary.AppendUvarint(buf, id.Seq)
+	}
+	return buf, nil
+}
+
+// LoadState replaces the engine's accumulated state with a SaveState
+// snapshot: the union database is decoded and wrapped in restored
+// incremental maintenance (no re-evaluation — the snapshot is already at
+// fixpoint), and the base-token map and applied set are rebuilt exactly.
+// On error the engine is left unchanged.
+func (e *Engine) LoadState(blob []byte) error {
+	if len(blob) < len(stateMagic) || string(blob[:len(stateMagic)]) != stateMagic {
+		return fmt.Errorf("exchange: not an engine snapshot (bad magic)")
+	}
+	r := &stateReader{buf: blob[len(stateMagic):]}
+
+	dbLen := r.uvarint()
+	if r.err == nil && dbLen > uint64(len(r.buf)) {
+		r.err = fmt.Errorf("exchange: truncated engine snapshot (db blob overruns buffer)")
+	}
+	if r.err != nil {
+		return r.err
+	}
+	db, err := datalog.DecodeDB(r.buf[:dbLen])
+	if err != nil {
+		return err
+	}
+	r.buf = r.buf[dbLen:]
+
+	nOcc := r.uvarint()
+	occ := make([]datalog.TokenEntry, 0, nOcc)
+	for i := uint64(0); i < nOcc && r.err == nil; i++ {
+		occ = append(occ, datalog.TokenEntry{
+			Var:  provenance.Var(r.string()),
+			Pred: r.string(),
+			Key:  r.string(),
+		})
+	}
+	nDead := r.uvarint()
+	dead := make([]provenance.Var, 0, nDead)
+	for i := uint64(0); i < nDead && r.err == nil; i++ {
+		dead = append(dead, provenance.Var(r.string()))
+	}
+	nBase := r.uvarint()
+	base := make(map[string][]provenance.Var, nBase)
+	for i := uint64(0); i < nBase && r.err == nil; i++ {
+		k := r.string()
+		nToks := r.uvarint()
+		toks := make([]provenance.Var, 0, nToks)
+		for j := uint64(0); j < nToks && r.err == nil; j++ {
+			toks = append(toks, provenance.Var(r.string()))
+		}
+		base[k] = toks
+	}
+	nApplied := r.uvarint()
+	applied := make(map[updates.TxnID]bool, nApplied)
+	for i := uint64(0); i < nApplied && r.err == nil; i++ {
+		id := updates.TxnID{Peer: r.string()}
+		id.Seq = r.uvarint()
+		applied[id] = true
+	}
+	if r.err != nil {
+		return r.err
+	}
+	if len(r.buf) != 0 {
+		return fmt.Errorf("exchange: %d trailing bytes after engine snapshot", len(r.buf))
+	}
+
+	inc, err := datalog.RestoreIncremental(e.prog, db, e.opts, occ, dead)
+	if err != nil {
+		return err
+	}
+	e.inc = inc
+	e.baseTokens = base
+	e.applied = applied
+	e.unionSnap = nil
+	return nil
+}
+
+// StatState summarizes an engine snapshot's union-database section without
+// materializing it — the path behind `orchestra inspect`.
+func StatState(blob []byte) (datalog.DBStats, error) {
+	if len(blob) < len(stateMagic) || string(blob[:len(stateMagic)]) != stateMagic {
+		return datalog.DBStats{}, fmt.Errorf("exchange: not an engine snapshot (bad magic)")
+	}
+	r := &stateReader{buf: blob[len(stateMagic):]}
+	dbLen := r.uvarint()
+	if r.err == nil && dbLen > uint64(len(r.buf)) {
+		r.err = fmt.Errorf("exchange: truncated engine snapshot (db blob overruns buffer)")
+	}
+	if r.err != nil {
+		return datalog.DBStats{}, r.err
+	}
+	return datalog.StatDB(r.buf[:dbLen])
+}
+
+func appendStateString(buf []byte, s string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+// stateReader is a cursor over the snapshot body with sticky error handling.
+type stateReader struct {
+	buf []byte
+	err error
+}
+
+func (r *stateReader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.buf)
+	if n <= 0 {
+		r.err = fmt.Errorf("exchange: truncated engine snapshot (bad varint)")
+		return 0
+	}
+	r.buf = r.buf[n:]
+	return v
+}
+
+func (r *stateReader) string() string {
+	n := r.uvarint()
+	if r.err != nil {
+		return ""
+	}
+	if n > uint64(len(r.buf)) {
+		r.err = fmt.Errorf("exchange: truncated engine snapshot (string overruns buffer)")
+		return ""
+	}
+	s := string(r.buf[:n])
+	r.buf = r.buf[n:]
+	return s
+}

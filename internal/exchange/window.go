@@ -100,3 +100,19 @@ func (w *AdaptiveWindow) Observe(n int, elapsed time.Duration) {
 func (w *AdaptiveWindow) PerTxn() time.Duration {
 	return time.Duration(w.perTxn * float64(time.Second))
 }
+
+// PerTxnSeconds returns the raw EWMA estimate in seconds per transaction —
+// the serializable form of the controller's learned state, restored with
+// SeedPerTxn after a crash.
+func (w *AdaptiveWindow) PerTxnSeconds() float64 { return w.perTxn }
+
+// SeedPerTxn restores a previously saved EWMA estimate, so a recovered peer
+// sizes its first windows from pre-crash drain latency instead of
+// re-learning from windowSeed. Fixed and unbounded configurations ignore
+// seeds, exactly as they ignore observations.
+func (w *AdaptiveWindow) SeedPerTxn(seconds float64) {
+	if w.fixed != 0 || seconds <= 0 {
+		return
+	}
+	w.perTxn = seconds
+}

@@ -2,6 +2,7 @@ package p2p
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
 	"fmt"
 	"net"
@@ -18,29 +19,84 @@ import (
 type Client struct {
 	addr    string
 	timeout time.Duration
+	// ctx, when set via WithContext, bounds every request: cancellation
+	// aborts the dial and unblocks in-flight I/O.
+	ctx context.Context
 }
 
-// NewClient creates a client for the server at addr.
-func NewClient(addr string) *Client {
-	return &Client{addr: addr, timeout: 5 * time.Second}
+// DefaultClientTimeout bounds each request's dial and I/O when no explicit
+// timeout is configured.
+const DefaultClientTimeout = 5 * time.Second
+
+// NewClient creates a client for the server at addr with the default
+// per-request timeout.
+func NewClient(addr string) *Client { return NewClientWith(addr, 0) }
+
+// NewClientWith is NewClient with an explicit per-request dial/IO timeout;
+// timeout <= 0 selects DefaultClientTimeout.
+func NewClientWith(addr string, timeout time.Duration) *Client {
+	if timeout <= 0 {
+		timeout = DefaultClientTimeout
+	}
+	return &Client{addr: addr, timeout: timeout}
+}
+
+// WithContext returns a client whose requests additionally honor ctx:
+// cancellation aborts the dial and any blocked read or write, and the
+// returned error is the context's. The receiver is unchanged.
+func (c *Client) WithContext(ctx context.Context) *Client {
+	cp := *c
+	cp.ctx = ctx
+	return &cp
 }
 
 func (c *Client) roundTrip(req request) (response, error) {
-	conn, err := net.DialTimeout("tcp", c.addr, c.timeout)
+	ctx := c.ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return response{}, err
+	}
+	d := net.Dialer{Timeout: c.timeout}
+	conn, err := d.DialContext(ctx, "tcp", c.addr)
 	if err != nil {
+		if ce := ctx.Err(); ce != nil {
+			return response{}, ce
+		}
 		return response{}, fmt.Errorf("p2p: dial %s: %w", c.addr, err)
 	}
 	defer conn.Close()
 	_ = conn.SetDeadline(time.Now().Add(c.timeout))
+	// The watcher yanks the deadline on cancellation so a blocked read or
+	// write returns immediately instead of waiting out the full timeout.
+	done := make(chan struct{})
+	defer close(done)
+	go func() {
+		select {
+		case <-ctx.Done():
+			_ = conn.SetDeadline(time.Now())
+		case <-done:
+		}
+	}()
+	fail := func(stage string, err error) (response, error) {
+		if ce := ctx.Err(); ce != nil {
+			return response{}, ce
+		}
+		return response{}, fmt.Errorf("p2p: %s %s: %w", stage, c.addr, err)
+	}
 	enc := json.NewEncoder(conn)
 	if err := enc.Encode(req); err != nil {
-		return response{}, fmt.Errorf("p2p: send to %s: %w", c.addr, err)
+		return fail("send to", err)
 	}
 	var resp response
 	if err := json.NewDecoder(bufio.NewReader(conn)).Decode(&resp); err != nil {
-		return response{}, fmt.Errorf("p2p: recv from %s: %w", c.addr, err)
+		return fail("recv from", err)
 	}
 	if resp.Error != "" {
+		if s := sentinelForCode(resp.Code); s != nil {
+			return response{}, fmt.Errorf("p2p: server %s: %w", c.addr, &wireError{msg: resp.Error, sentinel: s})
+		}
 		return response{}, fmt.Errorf("p2p: server %s: %s", c.addr, resp.Error)
 	}
 	return resp, nil

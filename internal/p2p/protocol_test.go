@@ -2,10 +2,15 @@ package p2p
 
 import (
 	"bufio"
+	"context"
 	"encoding/json"
+	"errors"
 	"net"
+	"strings"
 	"testing"
 	"time"
+
+	"orchestra/internal/updates"
 )
 
 // rawRequest sends a raw line to the server and decodes one response.
@@ -97,5 +102,114 @@ func TestServerCloseDropsConnections(t *testing.T) {
 	// New dials fail.
 	if _, err := net.DialTimeout("tcp", srv.Addr(), 200*time.Millisecond); err == nil {
 		t.Error("dial succeeded after close")
+	}
+}
+
+// TestClientPreservesAlreadyPublishedIdentity pins that the wire error code
+// carries sentinel identity across the TCP protocol: errors.Is must hold on
+// the client exactly as it does against an in-process store.
+func TestClientPreservesAlreadyPublishedIdentity(t *testing.T) {
+	srv, err := NewServer(NewMemoryStore(), "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	c := NewClient(srv.Addr())
+	if _, err := c.Publish([]*updates.Transaction{txn("a", 1, updates.Insert("R", tup("x")))}); err != nil {
+		t.Fatal(err)
+	}
+	_, err = c.Publish([]*updates.Transaction{txn("a", 1, updates.Insert("R", tup("x")))})
+	if err == nil {
+		t.Fatal("duplicate publish accepted")
+	}
+	if !errors.Is(err, ErrAlreadyPublished) {
+		t.Fatalf("duplicate publish error lost identity across the wire: %v", err)
+	}
+	if !strings.Contains(err.Error(), "a:1") {
+		t.Errorf("error dropped the server detail: %v", err)
+	}
+	// A fresh transaction still publishes: the error path is per-request.
+	if _, err := c.Publish([]*updates.Transaction{txn("a", 2, updates.Insert("R", tup("y")))}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestClientConfigurableTimeout pins NewClientWith: a short timeout fails a
+// dial to a blackholed address quickly instead of waiting out the default.
+func TestClientConfigurableTimeout(t *testing.T) {
+	if NewClientWith("x", 0).timeout != DefaultClientTimeout {
+		t.Fatal("zero timeout did not select the default")
+	}
+	if got := NewClientWith("x", 250*time.Millisecond).timeout; got != 250*time.Millisecond {
+		t.Fatalf("timeout = %v", got)
+	}
+	// A listener that never answers: accept the connection and go silent, so
+	// the request blocks in the read until the I/O deadline fires.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			defer conn.Close()
+		}
+	}()
+	c := NewClientWith(ln.Addr().String(), 200*time.Millisecond)
+	start := time.Now()
+	if _, err := c.Epoch(); err == nil {
+		t.Fatal("request against a silent server succeeded")
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("short timeout not honored: request took %v", elapsed)
+	}
+}
+
+// TestClientHonorsContextCancellation pins WithContext: cancelling mid-read
+// unblocks the request immediately and surfaces the context error.
+func TestClientHonorsContextCancellation(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			defer conn.Close() // accept, never respond
+		}
+	}()
+
+	// Already-cancelled context: fails before dialing.
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := NewClient(ln.Addr().String()).WithContext(cancelled).Epoch(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled request error = %v", err)
+	}
+
+	// Cancellation while blocked in the read: the watcher yanks the deadline
+	// well before the 30s timeout would.
+	ctx, cancel2 := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := NewClientWith(ln.Addr().String(), 30*time.Second).WithContext(ctx).Epoch()
+		done <- err
+	}()
+	time.Sleep(50 * time.Millisecond)
+	cancel2()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("cancelled request error = %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancellation did not unblock the request")
 	}
 }

@@ -113,7 +113,7 @@ func (s *Server) handle(req request) response {
 		}
 		epoch, err := s.store.Publish(txns)
 		if err != nil {
-			return response{Error: err.Error()}
+			return response{Error: err.Error(), Code: errCodeFor(err)}
 		}
 		return response{OK: true, Epoch: epoch}
 	case "since":

@@ -17,9 +17,10 @@ import (
 	"orchestra/internal/updates"
 )
 
-// ErrAlreadyPublished reports a transaction id published twice. Note that
-// identity is lost across the TCP store protocol (errors travel as
-// strings); in-process stores preserve it for errors.Is.
+// ErrAlreadyPublished reports a transaction id published twice. Identity
+// survives the TCP store protocol: the server tags the response with a wire
+// error code and Client rebuilds the sentinel, so errors.Is works the same
+// against in-process and remote stores.
 var ErrAlreadyPublished = errors.New("p2p: transaction already published")
 
 // Store is the published-transaction archive. Each successful Publish

@@ -101,8 +101,43 @@ type request struct {
 }
 
 type response struct {
-	OK    bool      `json:"ok"`
-	Error string    `json:"error,omitempty"`
+	OK    bool   `json:"ok"`
+	Error string `json:"error,omitempty"`
+	// Code carries the sentinel identity of well-known errors across the
+	// wire (errCodeFor/sentinelForCode), so clients rebuild an error that
+	// still matches errors.Is even though Error itself is just a string.
+	Code  string    `json:"code,omitempty"`
 	Epoch uint64    `json:"epoch,omitempty"`
 	Txns  []WireTxn `json:"txns,omitempty"`
 }
+
+// Wire error codes. Every sentinel that must survive the TCP protocol gets
+// a stable code; unknown codes degrade to a plain string error.
+const codeAlreadyPublished = "already_published"
+
+// errCodeFor maps an error to its wire code ("" when it has none).
+func errCodeFor(err error) string {
+	if errors.Is(err, ErrAlreadyPublished) {
+		return codeAlreadyPublished
+	}
+	return ""
+}
+
+// sentinelForCode maps a wire code back to the sentinel it stands for.
+func sentinelForCode(code string) error {
+	if code == codeAlreadyPublished {
+		return ErrAlreadyPublished
+	}
+	return nil
+}
+
+// wireError is a server-reported error rebuilt on the client with its
+// sentinel identity: Error() keeps the server's exact message, Unwrap makes
+// errors.Is(err, sentinel) hold across the protocol boundary.
+type wireError struct {
+	msg      string
+	sentinel error
+}
+
+func (e *wireError) Error() string { return e.msg }
+func (e *wireError) Unwrap() error { return e.sentinel }

@@ -207,6 +207,33 @@ func FromMonomials(monos []Monomial) Poly {
 	return canonicalize(out, keys, false)
 }
 
+// FromCanonicalMonomials builds a polynomial from monomials already in
+// canonical form: strictly increasing variable keys, no zero coefficients.
+// That is exactly the order Monomials() reports and the snapshot codecs
+// preserve, so decode paths can skip both the sort-and-merge normalization
+// and the defensive copy FromMonomials makes. Ownership of monos and its
+// Vars slices transfers to the polynomial — the caller must not retain or
+// mutate them afterwards. The canonical-form invariant is verified on the
+// way in; input that violates it falls back to FromMonomials (which
+// copies), so a hand-crafted or corrupted monomial list can never produce
+// a non-canonical node.
+func FromCanonicalMonomials(monos []Monomial) Poly {
+	if len(monos) == 0 {
+		return Poly{}
+	}
+	keys := make([]string, 0, len(monos))
+	for i, m := range monos {
+		if m.Coef == 0 {
+			return FromMonomials(monos)
+		}
+		keys = append(keys, m.varKey())
+		if i > 0 && keys[i-1] >= keys[i] {
+			return FromMonomials(monos)
+		}
+	}
+	return newNode(monos, keys)
+}
+
 // canonicalize sorts a raw (owned) monomial list by variable key, merges
 // duplicate keys by coefficient addition (capped at 1 when capCoef is set),
 // drops zero coefficients, and interns the result. It replaces the old

@@ -125,16 +125,16 @@ func ParseTupleKey(key string) (Tuple, error) {
 		if bar < 0 {
 			return nil, fmt.Errorf("schema: malformed tuple key %q", key)
 		}
-		var n int
-		if _, err := fmt.Sscanf(key[:bar], "%d", &n); err != nil {
+		n, err := strconv.Atoi(key[:bar])
+		if err != nil || n < 0 {
 			return nil, fmt.Errorf("schema: malformed tuple key length %q: %v", key[:bar], err)
 		}
 		if bar+1+n > len(key) {
 			return nil, fmt.Errorf("schema: truncated tuple key %q", key)
 		}
-		v, err := ParseValue(key[bar+1 : bar+1+n])
-		if err != nil {
-			return nil, err
+		v, verr := ParseValue(key[bar+1 : bar+1+n])
+		if verr != nil {
+			return nil, verr
 		}
 		t = append(t, v)
 		key = key[bar+1+n:]

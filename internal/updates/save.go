@@ -1,0 +1,29 @@
+package updates
+
+import "sort"
+
+// SavedWriter is one entry of a Tracker's last-writer index — the
+// serializable form behind engine-state checkpoints (DESIGN.md §13).
+type SavedWriter struct {
+	Key    string
+	Writer TxnID
+}
+
+// Save flattens the tracker's last-writer index in key order.
+func (tr *Tracker) Save() []SavedWriter {
+	out := make([]SavedWriter, 0, len(tr.lastWriter))
+	for k, id := range tr.lastWriter {
+		out = append(out, SavedWriter{Key: k, Writer: id})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// Restore replaces the tracker's last-writer index with a saved snapshot.
+// The keyOf projection is kept.
+func (tr *Tracker) Restore(ws []SavedWriter) {
+	tr.lastWriter = make(map[string]TxnID, len(ws))
+	for _, w := range ws {
+		tr.lastWriter[w.Key] = w.Writer
+	}
+}

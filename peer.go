@@ -116,15 +116,17 @@ func (p *Peer) PublishAll(ctx context.Context) (uint64, int, error) {
 	return epoch, published, nil
 }
 
-// Checkpoint durably snapshots the peer's full local state — instance rows
-// with provenance, trust decisions' inputs, and the committed-but-
-// unpublished transaction queue — into the system's LSM tier as one atomic
-// fsynced batch. After a crash, System.Peer recovers from the latest
-// checkpoint plus a replay of the published suffix; local commits made
-// after the last checkpoint or publish are the only thing a crash can
-// lose. On a durable system checkpoints also happen automatically after
-// every successful publish and at System.Close; call this to bound the
-// loss window between publishes. Returns an error on in-memory systems.
+// Checkpoint durably snapshots the peer's full state — instance rows with
+// provenance, the translation-engine snapshot (union database, token
+// bookkeeping, applied set), the trust state with every settled conflict,
+// the dependency tracker, and the committed-but-unpublished transaction
+// queue — into the system's LSM tier as one atomic fsynced batch. After a
+// crash, System.Peer restores the snapshot and replays only the published
+// suffix after the checkpoint epoch; local commits made after the last
+// checkpoint or publish are the only thing a crash can lose. On a durable
+// system checkpoints also happen automatically after every successful
+// publish and at System.Close; call this to bound the loss window between
+// publishes. Returns an error on in-memory systems.
 func (p *Peer) Checkpoint() error {
 	if p.sys.db == nil {
 		return fmt.Errorf("orchestra: peer %s: Checkpoint requires a durable system (open with WithDurableDir)", p.name)
@@ -136,6 +138,38 @@ func (p *Peer) Checkpoint() error {
 		return wrapErr(err)
 	}
 	return nil
+}
+
+// SnapshotStats summarizes a peer's durable engine snapshot.
+type SnapshotStats struct {
+	// Preds, Facts, PolyNodes, and Vars describe the snapshot's union
+	// database: predicates with encoded extents, total facts, distinct
+	// interned provenance polynomials, and distinct provenance variables.
+	Preds, Facts, PolyNodes, Vars int
+	// Bytes is the full encoded snapshot size.
+	Bytes int
+	// Epoch is the store epoch the snapshot is valid at: recovery replays
+	// only transactions published after it.
+	Epoch uint64
+}
+
+// SnapshotStats reports the peer's durable engine snapshot without
+// materializing it — what `orchestra inspect` dumps. ok is false when the
+// peer has no snapshot yet (no checkpoint has run, or the last one found
+// the engine unusable and skipped the snapshot). Returns an error on
+// in-memory systems.
+func (p *Peer) SnapshotStats() (stats SnapshotStats, ok bool, err error) {
+	if p.sys.db == nil {
+		return SnapshotStats{}, false, fmt.Errorf("orchestra: peer %s: SnapshotStats requires a durable system (open with WithDurableDir)", p.name)
+	}
+	st, epoch, ok, err := core.EngineSnapshotStats(p.sys.db, p.name)
+	if err != nil || !ok {
+		return SnapshotStats{}, false, wrapErr(err)
+	}
+	return SnapshotStats{
+		Preds: st.Preds, Facts: st.Facts, PolyNodes: st.PolyNodes, Vars: st.Vars,
+		Bytes: st.Bytes, Epoch: epoch,
+	}, true, nil
 }
 
 // Reconcile fetches newly published transactions, translates them into the

@@ -1,0 +1,87 @@
+#!/bin/sh
+# Recovery-scaling gate: runs BenchmarkRecovery (bench_durable_test.go) at a
+# small and a large transaction history and asserts the O(suffix) recovery
+# claim (DESIGN.md §13) holds as the history grows:
+#
+#   1. from-checkpoint beats full replay by at least MIN_SPEEDUP at the
+#      large history — the headline acceptance bar;
+#   2. the speedup at the large history exceeds the speedup at the small
+#      one — the gap must widen with history, because replay re-runs the
+#      whole translation chase while the checkpoint path replays only the
+#      fixed post-checkpoint suffix on top of a linear snapshot load.
+#
+#   ./scripts/recovery_scaling.sh                      # 1k vs 8k, 5x bar
+#   SMALL=512 LARGE=4096 ./scripts/recovery_scaling.sh
+#   BENCHTIME=6x COUNT=3 MIN_SPEEDUP=4 ./scripts/recovery_scaling.sh
+#
+# Methodology mirrors bench_overhead.sh: a fixed -benchtime=Nx pins both
+# arms to the same iteration count, best-of-COUNT separate invocations
+# discards scheduler and GC noise, and each invocation measures the
+# from-checkpoint/full-replay pair adjacent in time so machine-load drift
+# cannot bias one arm.
+set -e
+
+small="${SMALL:-1024}"
+large="${LARGE:-8192}"
+benchtime="${BENCHTIME:-4x}"
+count="${COUNT:-2}"
+min_speedup="${MIN_SPEEDUP:-5}"
+
+out=""
+for txns in "$small" "$large"; do
+    i=1
+    while [ "$i" -le "$count" ]; do
+        run="$(ORCH_RECOVERY_TXNS="$txns" go test -bench '^BenchmarkRecovery$' -benchtime="$benchtime" -count=1 -run '^$' .)"
+        out="$out
+txns=$txns $(printf '%s\n' "$run" | grep '^BenchmarkRecovery' | tr '\n' '@')"
+        i=$((i + 1))
+    done
+done
+printf '%s\n' "$out" | tr '@' '\n'
+
+printf '%s\n' "$out" | tr '@' '\n' | awk -v small="$small" -v large="$large" -v min_speedup="$min_speedup" '
+/^txns=/ {
+    txns = substr($1, 6)
+    name = $2
+    sub(/^BenchmarkRecovery\//, "", name)
+    sub(/-[0-9]+$/, "", name)  # strip the -GOMAXPROCS suffix
+    ns = $4 + 0
+    key = txns "/" name
+    if (!(key in best) || ns < best[key]) best[key] = ns
+    next
+}
+/^BenchmarkRecovery/ {
+    name = $1
+    sub(/^BenchmarkRecovery\//, "", name)
+    sub(/-[0-9]+$/, "", name)
+    ns = $3 + 0
+    key = txns "/" name
+    if (!(key in best) || ns < best[key]) best[key] = ns
+}
+END {
+    fail = 0
+    for (i = 1; i <= 2; i++) {
+        txns = (i == 1) ? small : large
+        ck = best[txns "/from-checkpoint"]
+        full = best[txns "/full-replay"]
+        if (ck == 0 || full == 0) {
+            printf "recovery_scaling: missing results at %d txns\n", txns
+            exit 1
+        }
+        speedup[i] = full / ck
+        printf "recovery_scaling: %5d txns  from-checkpoint=%.0f ns/op  full-replay=%.0f ns/op  speedup=%.2fx\n",
+            txns, ck, full, speedup[i]
+    }
+    if (speedup[2] < min_speedup) {
+        printf "recovery_scaling: FAIL speedup at %d txns is %.2fx, want >= %.2fx\n",
+            large, speedup[2], min_speedup
+        fail = 1
+    }
+    if (speedup[2] <= speedup[1]) {
+        printf "recovery_scaling: FAIL speedup did not grow with history (%.2fx at %d vs %.2fx at %d)\n",
+            speedup[2], large, speedup[1], small
+        fail = 1
+    }
+    exit fail
+}'
+echo "recovery_scaling: gate OK (>= ${min_speedup}x at ${large} txns, gap widens from ${small})"
